@@ -1,0 +1,119 @@
+//! Benchmarks for the statistics substrate: sampling, MLE fitting, model
+//! selection, ECDF construction and k-means clustering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcfail_stats::dist::{ContinuousDist, Gamma, LogNormal, Weibull};
+use dcfail_stats::empirical::Ecdf;
+use dcfail_stats::fit::{fit_gamma, fit_lognormal, fit_weibull, Family, ModelSelection};
+use dcfail_stats::kmeans::{KMeans, KMeansConfig};
+use dcfail_stats::rng::StreamRng;
+use dcfail_stats::survival::{KaplanMeier, Observation};
+
+fn sample(dist: &dyn ContinuousDist, n: usize) -> Vec<f64> {
+    let mut rng = StreamRng::new(5);
+    (0..n).map(|_| dist.sample(&mut rng)).collect()
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stats/sample_10k");
+    let gamma = Gamma::new(0.8, 30.0).unwrap();
+    let weibull = Weibull::new(1.2, 20.0).unwrap();
+    let lognormal = LogNormal::new(2.0, 1.5).unwrap();
+    g.bench_function("gamma", |b| {
+        let mut rng = StreamRng::new(1);
+        b.iter(|| -> f64 { (0..10_000).map(|_| gamma.sample(&mut rng)).sum() })
+    });
+    g.bench_function("weibull", |b| {
+        let mut rng = StreamRng::new(1);
+        b.iter(|| -> f64 { (0..10_000).map(|_| weibull.sample(&mut rng)).sum() })
+    });
+    g.bench_function("lognormal", |b| {
+        let mut rng = StreamRng::new(1);
+        b.iter(|| -> f64 { (0..10_000).map(|_| lognormal.sample(&mut rng)).sum() })
+    });
+    g.finish();
+}
+
+fn bench_fitting(c: &mut Criterion) {
+    let data = sample(&Gamma::new(0.9, 25.0).unwrap(), 5_000);
+    let mut g = c.benchmark_group("stats/fit_5k");
+    g.bench_function("gamma_mle", |b| b.iter(|| fit_gamma(&data).unwrap()));
+    g.bench_function("weibull_mle", |b| b.iter(|| fit_weibull(&data).unwrap()));
+    g.bench_function("lognormal_mle", |b| {
+        b.iter(|| fit_lognormal(&data).unwrap())
+    });
+    g.bench_function("model_selection", |b| {
+        b.iter(|| ModelSelection::fit(&data, &Family::ALL).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_ecdf(c: &mut Criterion) {
+    let data = sample(&LogNormal::new(1.0, 1.0).unwrap(), 20_000);
+    c.bench_function("stats/ecdf_20k_build_and_eval", |b| {
+        b.iter(|| {
+            let e = Ecdf::new(&data);
+            (0..100).map(|i| e.eval(i as f64)).sum::<f64>()
+        })
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut rng = StreamRng::new(9);
+    let points: Vec<Vec<f32>> = (0..2_000)
+        .map(|i| {
+            let cx = (i % 5) as f32 * 10.0;
+            (0..32).map(|_| cx + rng.standard_normal() as f32).collect()
+        })
+        .collect();
+    let mut g = c.benchmark_group("stats/kmeans_2k_d32");
+    g.sample_size(10);
+    for k in [5usize, 14] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut rng = StreamRng::new(3);
+                KMeans::fit(&points, KMeansConfig::new(k), &mut rng).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_survival(c: &mut Criterion) {
+    let mut rng = StreamRng::new(11);
+    let dist = Weibull::new(0.9, 40.0).unwrap();
+    let obs: Vec<Observation> = (0..10_000)
+        .map(|i| {
+            let t = dist.sample(&mut rng);
+            if i % 3 == 0 {
+                Observation::censored(t)
+            } else {
+                Observation::event(t)
+            }
+        })
+        .collect();
+    c.bench_function("stats/kaplan_meier_10k", |b| {
+        b.iter(|| KaplanMeier::fit(&obs).unwrap())
+    });
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let data = sample(&LogNormal::new(1.0, 1.0).unwrap(), 1_000);
+    c.bench_function("stats/bootstrap_mean_1k_x500", |b| {
+        b.iter(|| {
+            let mut rng = StreamRng::new(5);
+            dcfail_stats::bootstrap::bootstrap_mean_ci(&data, 0.95, 500, &mut rng).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sampling,
+    bench_fitting,
+    bench_ecdf,
+    bench_kmeans,
+    bench_survival,
+    bench_bootstrap
+);
+criterion_main!(benches);

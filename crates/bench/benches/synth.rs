@@ -1,0 +1,48 @@
+//! Benchmarks for the trace simulator: population building, telemetry
+//! generation and full scenario assembly at several scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcfail_stats::rng::StreamRng;
+use dcfail_synth::{population, telemetry_gen, Scenario, ScenarioConfig};
+
+fn bench_population(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synth/population");
+    for scale in [0.05, 0.2] {
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &scale| {
+            let mut config = ScenarioConfig::paper();
+            config.scale = scale;
+            let rng = StreamRng::new(1);
+            b.iter(|| population::build(&config, &rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    let mut config = ScenarioConfig::paper();
+    config.scale = 0.1;
+    let rng = StreamRng::new(1);
+    let pop = population::build(&config, &rng);
+    c.bench_function("synth/telemetry@0.1", |b| {
+        b.iter(|| telemetry_gen::generate(&config, &pop, &rng))
+    });
+}
+
+fn bench_full_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synth/scenario");
+    group.sample_size(10);
+    for scale in [0.05, 0.2] {
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &scale| {
+            b.iter(|| Scenario::paper().seed(1).scale(scale).build())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_population,
+    bench_telemetry,
+    bench_full_scenario
+);
+criterion_main!(benches);

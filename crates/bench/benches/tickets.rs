@@ -1,0 +1,43 @@
+//! Benchmarks for the ticketing pipeline: crash extraction, manual labeling
+//! and the full TF-IDF + k-means classification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcfail_bench::bench_dataset;
+use dcfail_model::ticket::Ticket;
+use dcfail_stats::rng::StreamRng;
+use dcfail_tickets::classify::{classify, manual_label, PipelineConfig};
+use dcfail_tickets::extract::{extract_crash_tickets, reconstruct_incidents};
+use dcfail_tickets::store::TicketStore;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let ds = bench_dataset(0.1, 3);
+    let store = TicketStore::from_tickets(ds.tickets().to_vec());
+    let crash: Vec<&Ticket> = ds.tickets().iter().filter(|t| t.is_crash()).collect();
+
+    let mut g = c.benchmark_group("tickets");
+    g.sample_size(10);
+    g.bench_function("extract_crash", |b| {
+        b.iter(|| extract_crash_tickets(&store))
+    });
+    g.bench_function("manual_label_all", |b| {
+        b.iter(|| -> usize {
+            crash
+                .iter()
+                .map(|t| manual_label(t.description(), t.resolution()).index())
+                .sum()
+        })
+    });
+    g.bench_function("kmeans_classify", |b| {
+        b.iter(|| {
+            let mut rng = StreamRng::new(4);
+            classify(&crash, PipelineConfig::default(), &mut rng)
+        })
+    });
+    g.bench_function("reconstruct_incidents", |b| {
+        b.iter(|| reconstruct_incidents(&store, dcfail_model::time::MINUTE * 30))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,178 @@
+//! Reproduction harness: regenerates every table and figure of Birke et al.
+//! (DSN 2014) from a fresh simulation.
+//!
+//! ```text
+//! repro [--scale S] [--seed N] [--classify] [--csv DIR] [all | ablate | <id>...]
+//! ```
+//!
+//! * `all` (default) — run every artifact in paper order.
+//! * `extras` — run the extension reports (availability, censoring-corrected
+//!   inter-failure times, bootstrap CIs, failure prediction, what-ifs).
+//! * `summary` — re-derive the paper's §VII findings with verdicts.
+//! * `ablate` — run the ablation suite instead.
+//! * `<id>` — one or more of `table1..table7`, `fig1..fig10`.
+//! * `--classify` — re-label events with a freshly trained k-means pipeline
+//!   (instead of the simulator's monitor labels) before analyzing.
+//! * `--csv DIR` — also write each artifact's CSV series under `DIR`.
+
+use dcfail_bench::ablation;
+use dcfail_report::experiments::{run, ExperimentId};
+use dcfail_stats::rng::StreamRng;
+use dcfail_synth::Scenario;
+use dcfail_tickets::classify::{apply_to_dataset, PipelineConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    scale: f64,
+    seed: u64,
+    classify: bool,
+    csv_dir: Option<PathBuf>,
+    targets: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        scale: 1.0,
+        seed: 42,
+        classify: false,
+        csv_dir: None,
+        targets: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                opts.scale = v.parse().map_err(|_| format!("bad scale '{v}'"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+            }
+            "--classify" => opts.classify = true,
+            "--csv" => {
+                let v = args.next().ok_or("--csv needs a directory")?;
+                opts.csv_dir = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: repro [--scale S] [--seed N] [--classify] [--csv DIR] \
+                            [all | ablate | <id>...]"
+                        .into(),
+                )
+            }
+            other => opts.targets.push(other.to_string()),
+        }
+    }
+    if opts.targets.is_empty() {
+        opts.targets.push("all".into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.targets.iter().any(|t| t == "ablate") {
+        // Ablations run several full simulations; cap the scale for speed.
+        let scale = opts.scale.min(0.3);
+        println!("== ablation suite (seed {}, scale {scale}) ==\n", opts.seed);
+        for a in ablation::run_all(opts.seed, scale) {
+            println!(
+                "{:<22} {:<45} with: {:>10.3}  without: {:>10.3}  impact: {}",
+                a.effect,
+                a.metric,
+                a.with_effect,
+                a.without_effect,
+                a.impact()
+                    .map(|i| format!("{i:.1}x"))
+                    .unwrap_or_else(|| "inf".into())
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let run_extras = opts.targets.iter().any(|t| t == "extras");
+    let run_summary = opts.targets.iter().any(|t| t == "summary");
+    let only_special = opts.targets.iter().all(|t| t == "extras" || t == "summary");
+    let ids: Vec<ExperimentId> = if only_special {
+        Vec::new()
+    } else if opts.targets.iter().any(|t| t == "all") {
+        ExperimentId::ALL.to_vec()
+    } else {
+        let mut ids = Vec::new();
+        for t in &opts.targets {
+            if t == "extras" || t == "summary" {
+                continue;
+            }
+            match t.parse::<ExperimentId>() {
+                Ok(id) => ids.push(id),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        ids
+    };
+
+    eprintln!(
+        "generating paper scenario (seed {}, scale {}) ...",
+        opts.seed, opts.scale
+    );
+    let mut dataset = Scenario::paper()
+        .seed(opts.seed)
+        .scale(opts.scale)
+        .build()
+        .into_dataset();
+
+    if opts.classify {
+        eprintln!("re-labeling events with the k-means pipeline ...");
+        let mut rng = StreamRng::new(opts.seed ^ 0x7ea).fork("repro.classify");
+        let c = apply_to_dataset(&mut dataset, PipelineConfig::default(), &mut rng);
+        eprintln!(
+            "pipeline accuracy vs manual labels: {:.1}% (paper: 87%)",
+            100.0 * c.accuracy_vs_manual()
+        );
+    }
+
+    if let Some(dir) = &opts.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    for id in ids {
+        let rendered = run(id, &dataset);
+        println!("==== {} ====", rendered.title);
+        println!("{}", rendered.text);
+        if let (Some(dir), Some(csv)) = (&opts.csv_dir, &rendered.csv) {
+            let path = dir.join(format!("{}.csv", id.key()));
+            if let Err(e) = std::fs::write(&path, csv) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if run_extras {
+        for rendered in dcfail_report::extras::run_all(&dataset, opts.seed) {
+            println!("==== {} ====", rendered.title);
+            println!("{}", rendered.text);
+        }
+    }
+    if run_summary {
+        let rendered = dcfail_report::summary::findings(&dataset);
+        println!("==== {} ====", rendered.title);
+        println!("{}", rendered.text);
+    }
+    ExitCode::SUCCESS
+}

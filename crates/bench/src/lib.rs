@@ -1,0 +1,38 @@
+//! # dcfail-bench
+//!
+//! Benchmark harness for the dcfail workspace:
+//!
+//! * the [`repro`](crate::ablation) binary (`cargo run -p dcfail-bench --bin
+//!   repro --release -- all`) regenerates every table and figure of the
+//!   paper from a fresh simulation;
+//! * criterion benches (`cargo bench`) time trace generation, the
+//!   classification pipeline, distribution fitting and every analysis
+//!   family;
+//! * [`ablation`] quantifies how each ground-truth effect family carries its
+//!   paper artifact (switch the effect off → the artifact collapses).
+
+pub mod ablation;
+
+use dcfail_model::dataset::FailureDataset;
+use dcfail_synth::Scenario;
+
+/// Builds the standard benchmark dataset (paper scenario at the given
+/// scale).
+pub fn bench_dataset(scale: f64, seed: u64) -> FailureDataset {
+    Scenario::paper()
+        .seed(seed)
+        .scale(scale)
+        .build()
+        .into_dataset()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_dataset_builds() {
+        let ds = bench_dataset(0.02, 9);
+        assert!(!ds.events().is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Failure rate vs resource capacity (Fig. 7).
+//!
+//! Four panels: CPU counts (a), memory size (b), disk capacity (c) and
+//! number of disks (d). CPU and memory exist for PMs and VMs; the paper has
+//! no PM disk data, so the disk panels are VM-only.
+
+use crate::curve::{weekly_rate_by, AttributeCurve};
+use dcfail_model::prelude::*;
+use dcfail_stats::binning::Bins;
+
+/// CPU-count bins per machine kind (the paper's x-axes).
+fn cpu_bins(kind: MachineKind) -> Bins {
+    match kind {
+        MachineKind::Pm => Bins::discrete(&[1.0, 2.0, 4.0, 8.0, 16.0, 24.0, 32.0, 64.0]),
+        MachineKind::Vm => Bins::discrete(&[1.0, 2.0, 4.0, 8.0]),
+    }
+}
+
+/// Memory bins in GB per machine kind.
+fn memory_bins(kind: MachineKind) -> Bins {
+    match kind {
+        MachineKind::Pm => Bins::discrete(&[2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0]),
+        MachineKind::Vm => Bins::discrete(&[0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0]),
+    }
+}
+
+/// Fig. 7(a): weekly failure rate vs number of (v)CPUs.
+pub fn rate_by_cpu(dataset: &FailureDataset, kind: MachineKind) -> AttributeCurve {
+    weekly_rate_by(dataset, "cpu count", &cpu_bins(kind), kind, |m, _| {
+        Some(m.capacity().cpus() as f64)
+    })
+}
+
+/// Fig. 7(b): weekly failure rate vs memory size (GB).
+pub fn rate_by_memory(dataset: &FailureDataset, kind: MachineKind) -> AttributeCurve {
+    weekly_rate_by(dataset, "memory GB", &memory_bins(kind), kind, |m, _| {
+        Some(m.capacity().memory_gb())
+    })
+}
+
+/// Fig. 7(c): weekly VM failure rate vs total disk capacity (GB). VM-only:
+/// the dataset carries no PM disk attributes, matching the paper.
+pub fn rate_by_disk_capacity(dataset: &FailureDataset) -> AttributeCurve {
+    let bins = Bins::discrete(&[
+        8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0,
+    ]);
+    weekly_rate_by(dataset, "disk GB", &bins, MachineKind::Vm, |m, _| {
+        Some(m.capacity().disk_gb() as f64)
+    })
+}
+
+/// Fig. 7(d): weekly VM failure rate vs number of virtual disks.
+pub fn rate_by_disk_count(dataset: &FailureDataset) -> AttributeCurve {
+    let bins = Bins::discrete(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    weekly_rate_by(dataset, "disk count", &bins, MachineKind::Vm, |m, _| {
+        Some(m.capacity().disks() as f64)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn pm_cpu_rate_rises_to_24_then_drops() {
+        let curve = rate_by_cpu(testutil::dataset(), MachineKind::Pm);
+        let low = curve.mean_of("1").or(curve.mean_of("2")).unwrap();
+        let peak = curve.mean_of("24").or(curve.mean_of("16")).unwrap();
+        assert!(peak > 2.0 * low, "peak {peak} vs low {low}");
+        // 32/64-CPU machines are *more* reliable than the 16–24 peak.
+        if let Some(big) = curve.mean_of("32").or(curve.mean_of("64")) {
+            assert!(big < peak, "32/64-cpu rate {big} vs peak {peak}");
+        }
+        // Paper: ~5.5× dynamic range for PM CPU counts.
+        let range = curve.dynamic_range().unwrap();
+        assert!(range > 2.5, "dynamic range {range}");
+    }
+
+    #[test]
+    fn vm_cpu_rate_increases() {
+        let curve = rate_by_cpu(testutil::dataset(), MachineKind::Vm);
+        let one = curve.mean_of("1").unwrap();
+        let eight = curve.mean_of("8").or(curve.mean_of("4")).unwrap();
+        // Paper: ~2.5× from 1 to 8 vCPUs.
+        assert!(eight > 1.4 * one, "8cpu {eight} vs 1cpu {one}");
+    }
+
+    #[test]
+    fn memory_curves_are_bathtub_shaped() {
+        let ds = testutil::dataset();
+        let pm = rate_by_memory(ds, MachineKind::Pm);
+        // Small and large PM memory out-fail the middle.
+        let small = pm.mean_of("2").or(pm.mean_of("4")).unwrap();
+        let mid = pm.mean_of("16").or(pm.mean_of("8")).unwrap();
+        let large = pm
+            .mean_of("128")
+            .or(pm.mean_of("256"))
+            .or(pm.mean_of("64"))
+            .unwrap();
+        assert!(small > mid, "PM small {small} vs mid {mid}");
+        assert!(large > mid, "PM large {large} vs mid {mid}");
+
+        let vm = rate_by_memory(ds, MachineKind::Vm);
+        // VM dip in the 4–8 GB range.
+        let low = vm.mean_of("1").or(vm.mean_of("2")).unwrap();
+        let dip = vm.mean_of("8").or(vm.mean_of("4")).unwrap();
+        assert!(dip < low, "VM dip {dip} vs low {low}");
+    }
+
+    #[test]
+    fn disk_count_has_strongest_vm_capacity_impact() {
+        let ds = testutil::dataset();
+        let by_count = rate_by_disk_count(ds);
+        let one = by_count.mean_of("1").unwrap();
+        let many = by_count
+            .mean_of("6")
+            .or(by_count.mean_of("5"))
+            .or(by_count.mean_of("4"))
+            .unwrap();
+        // Paper: ~10× from 1 to 6 disks; spatial dilution caps ours ~3×.
+        assert!(many > 2.5 * one, "many-disk {many} vs one-disk {one}");
+
+        // Disk capacity: small disks rare failures, ≥32 GB roughly flat.
+        let by_cap = rate_by_disk_capacity(ds);
+        let small = by_cap.mean_of("8").unwrap();
+        let mid = by_cap.mean_of("64").unwrap();
+        assert!(mid > small, "32+GB {mid} vs 8GB {small}");
+        let flat: Vec<f64> = ["64", "128", "256", "512"]
+            .iter()
+            .filter_map(|l| by_cap.mean_of(l))
+            .collect();
+        let lo = flat.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = flat.iter().cloned().fold(0.0f64, f64::max);
+        assert!(hi / lo < 2.5, "flat region spread {}", hi / lo);
+
+        // Count impact beats capacity impact (paper's conclusion).
+        assert!(
+            by_count.dynamic_range().unwrap() > by_cap.dynamic_range().unwrap(),
+            "count {} vs capacity {}",
+            by_count.dynamic_range().unwrap(),
+            by_cap.dynamic_range().unwrap()
+        );
+    }
+
+    #[test]
+    fn pm_cpu_impact_exceeds_vm_cpu_impact() {
+        let ds = testutil::dataset();
+        let pm = rate_by_cpu(ds, MachineKind::Pm).dynamic_range().unwrap();
+        let vm = rate_by_cpu(ds, MachineKind::Vm).dynamic_range().unwrap();
+        // Paper: 5.5× (PM) vs 2.5× (VM).
+        assert!(pm > vm, "pm {pm} vs vm {vm}");
+    }
+
+    #[test]
+    fn curves_have_populated_buckets() {
+        let ds = testutil::dataset();
+        for curve in [
+            rate_by_cpu(ds, MachineKind::Pm),
+            rate_by_cpu(ds, MachineKind::Vm),
+            rate_by_memory(ds, MachineKind::Pm),
+            rate_by_memory(ds, MachineKind::Vm),
+            rate_by_disk_capacity(ds),
+            rate_by_disk_count(ds),
+        ] {
+            assert!(
+                curve.points.len() >= 3,
+                "{}: too few buckets",
+                curve.attribute
+            );
+            for p in &curve.points {
+                assert!(p.machine_weeks > 0);
+                assert!(p.mean >= 0.0);
+                assert!(p.p25 <= p.p75);
+            }
+        }
+    }
+}

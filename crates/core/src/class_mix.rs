@@ -1,0 +1,157 @@
+//! Ticket distribution across failure classes (Fig. 1).
+//!
+//! Fig. 1 shows, per subsystem, the share of crash tickets in each of the
+//! five *classified* root-cause classes, excluding the unclassifiable
+//! "other" tickets (53% of the dataset, reported separately).
+
+use crate::ClassSource;
+use dcfail_model::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Class shares for one subsystem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubsystemClassMix {
+    /// Subsystem name.
+    pub name: String,
+    /// Crash tickets per class (dense by [`FailureClass::index`]).
+    pub counts: [usize; 6],
+    /// Share of each *classified* class among classified tickets, dense by
+    /// class index; the `Other` slot holds 0.
+    pub classified_shares: [f64; 6],
+    /// Share of "other" tickets among all crash tickets.
+    pub other_share: f64,
+}
+
+/// The full Fig. 1 plus the headline "other" shares.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassMix {
+    /// Per-subsystem mixes, in subsystem order.
+    pub per_subsystem: Vec<SubsystemClassMix>,
+    /// Estate-wide mix.
+    pub overall: SubsystemClassMix,
+}
+
+fn mix_of(name: &str, counts: [usize; 6]) -> SubsystemClassMix {
+    let total: usize = counts.iter().sum();
+    let other = counts[FailureClass::Other.index()];
+    let classified_total = total - other;
+    let mut classified_shares = [0.0; 6];
+    if classified_total > 0 {
+        for class in FailureClass::CLASSIFIED {
+            classified_shares[class.index()] =
+                counts[class.index()] as f64 / classified_total as f64;
+        }
+    }
+    SubsystemClassMix {
+        name: name.to_string(),
+        counts,
+        classified_shares,
+        other_share: if total == 0 {
+            0.0
+        } else {
+            other as f64 / total as f64
+        },
+    }
+}
+
+/// Computes Fig. 1 from a dataset's failure events.
+pub fn class_mix(dataset: &FailureDataset, source: ClassSource) -> ClassMix {
+    let num_sys = dataset.topology().subsystems().len();
+    let mut per_sys = vec![[0usize; 6]; num_sys];
+    let mut overall = [0usize; 6];
+    for ev in dataset.events() {
+        let class = source.class_of(ev);
+        let sys = dataset.machine(ev.machine()).subsystem().index();
+        per_sys[sys][class.index()] += 1;
+        overall[class.index()] += 1;
+    }
+    ClassMix {
+        per_subsystem: dataset
+            .topology()
+            .subsystems()
+            .iter()
+            .map(|meta| mix_of(meta.name(), per_sys[meta.id().index()]))
+            .collect(),
+        overall: mix_of("All", overall),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn other_share_is_roughly_the_degraded_fraction() {
+        let mix = class_mix(testutil::dataset(), ClassSource::Reported);
+        // Paper: 53% of crash tickets are unclassifiable.
+        assert!(
+            (mix.overall.other_share - 0.53).abs() < 0.08,
+            "other share {}",
+            mix.overall.other_share
+        );
+        // Ground truth has no Other class at all.
+        let truth = class_mix(testutil::dataset(), ClassSource::Truth);
+        assert_eq!(truth.overall.counts[FailureClass::Other.index()], 0);
+        assert_eq!(truth.overall.other_share, 0.0);
+    }
+
+    #[test]
+    fn software_and_reboot_dominate_classified_tickets() {
+        let mix = class_mix(testutil::dataset(), ClassSource::Reported);
+        let shares = mix.overall.classified_shares;
+        let sw = shares[FailureClass::Software.index()];
+        let reboot = shares[FailureClass::Reboot.index()];
+        let power = shares[FailureClass::Power.index()];
+        assert!(sw > 0.2, "software share {sw}");
+        assert!(reboot > 0.2, "reboot share {reboot}");
+        // Power is a minor cause overall.
+        assert!(power < 0.15, "power share {power}");
+        // Classified shares sum to 1.
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sys5_is_power_heavy_and_sys3_power_free() {
+        let mix = class_mix(testutil::dataset(), ClassSource::Truth);
+        let power = |i: usize| mix.per_subsystem[i].classified_shares[FailureClass::Power.index()];
+        assert_eq!(power(2), 0.0, "Sys III must have no power failures");
+        for i in [0usize, 1, 3] {
+            assert!(
+                power(4) > power(i),
+                "Sys V power share {} should top Sys {} ({})",
+                power(4),
+                i + 1,
+                power(i)
+            );
+        }
+        // Paper: Sys V power ≈ 29% of classified.
+        assert!(
+            power(4) > 0.10 && power(4) < 0.45,
+            "Sys V power {}",
+            power(4)
+        );
+    }
+
+    #[test]
+    fn counts_sum_to_event_total() {
+        let ds = testutil::dataset();
+        let mix = class_mix(ds, ClassSource::Reported);
+        let total: usize = mix.overall.counts.iter().sum();
+        assert_eq!(total, ds.events().len());
+        let per_sys_total: usize = mix
+            .per_subsystem
+            .iter()
+            .map(|s| s.counts.iter().sum::<usize>())
+            .sum();
+        assert_eq!(per_sys_total, total);
+    }
+
+    #[test]
+    fn empty_mix_is_all_zero() {
+        let m = mix_of("empty", [0; 6]);
+        assert_eq!(m.other_share, 0.0);
+        assert!(m.classified_shares.iter().all(|&s| s == 0.0));
+    }
+}

@@ -1,0 +1,105 @@
+//! Failure rate vs VM consolidation level (Fig. 9).
+//!
+//! The consolidation level of a VM is the number of VMs sharing its hosting
+//! platform; since it drifts with power-cycling and migration, the paper
+//! (and we) use the average monthly level over the year.
+
+use crate::curve::{weekly_rate_by, AttributeCurve};
+use dcfail_model::prelude::*;
+use dcfail_stats::binning::Bins;
+
+/// Bins for consolidation levels 1, 2, 4, ..., 32 with geometric-midpoint
+/// edges: a VM whose co-residents are occasionally off still lands in its
+/// box's nominal level (e.g. a yearly mean of 29.7 on a 32-VM box maps to
+/// the "32" bin, not "16").
+fn level_bins() -> Bins {
+    Bins::from_edges(vec![1.0, 1.5, 3.0, 6.0, 12.0, 24.0, 100.0]).with_labels(vec![
+        "1".into(),
+        "2".into(),
+        "4".into(),
+        "8".into(),
+        "16".into(),
+        "32".into(),
+    ])
+}
+
+/// Fig. 9: weekly VM failure rate vs average consolidation level.
+pub fn rate_by_consolidation(dataset: &FailureDataset) -> AttributeCurve {
+    let bins = level_bins();
+    weekly_rate_by(dataset, "consolidation", &bins, MachineKind::Vm, |m, _| {
+        dataset.telemetry().mean_consolidation(m.id())
+    })
+}
+
+/// Distribution of VMs across consolidation-level bins: `(label, share)`.
+pub fn vm_share_by_level(dataset: &FailureDataset) -> Vec<(String, f64)> {
+    let bins = level_bins();
+    let mut counts = vec![0usize; bins.len()];
+    let mut total = 0usize;
+    for m in dataset.machines_of_kind(MachineKind::Vm) {
+        if let Some(level) = dataset.telemetry().mean_consolidation(m.id()) {
+            if let Some(bin) = bins.index_of(level) {
+                counts[bin] += 1;
+                total += 1;
+            }
+        }
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (bins.label(i).to_string(), c as f64 / total.max(1) as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn rate_decreases_with_consolidation() {
+        let curve = rate_by_consolidation(testutil::dataset());
+        let lone = curve.mean_of("1").or(curve.mean_of("2")).unwrap();
+        let packed = curve.mean_of("32").or(curve.mean_of("16")).unwrap();
+        assert!(
+            lone > 1.5 * packed,
+            "level-1 rate {lone} vs level-32 rate {packed}"
+        );
+        // Monotone-ish decrease across the curve (allow small noise).
+        let means: Vec<f64> = curve.points.iter().map(|p| p.mean).collect();
+        assert!(means.first().unwrap() > means.last().unwrap());
+    }
+
+    #[test]
+    fn vm_population_skews_toward_high_consolidation() {
+        let shares = vm_share_by_level(testutil::dataset());
+        let total: f64 = shares.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let lone = shares
+            .iter()
+            .find(|(l, _)| l == "1")
+            .map(|&(_, s)| s)
+            .unwrap_or(0.0);
+        let high: f64 = shares
+            .iter()
+            .filter(|(l, _)| l == "16" || l == "32")
+            .map(|&(_, s)| s)
+            .sum();
+        // Paper: 0.6% at level 1, ~62% at levels 16+.
+        assert!(lone < 0.15, "lone share {lone}");
+        assert!(high > 0.35, "high share {high}");
+    }
+
+    #[test]
+    fn curve_points_are_ordered_by_level() {
+        let curve = rate_by_consolidation(testutil::dataset());
+        let labels: Vec<&str> = curve.points.iter().map(|p| p.label.as_str()).collect();
+        let expected = ["1", "2", "4", "8", "16", "32"];
+        let mut last_pos = 0;
+        for l in &labels {
+            let pos = expected.iter().position(|e| e == l).expect("known label");
+            assert!(pos >= last_pos);
+            last_pos = pos;
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Shared machinery for the rate-vs-attribute figures (Figs. 7–10).
+//!
+//! All four figures have the same skeleton: bucket machines by an attribute
+//! (capacity, weekly usage, consolidation level, on/off frequency), compute
+//! the weekly failure rate of each bucket, and report mean + 25th/75th
+//! percentiles per bucket. [`weekly_rate_by`] implements that skeleton for
+//! any attribute function; attributes may vary per week (usage) or be static
+//! (capacity).
+
+use dcfail_model::prelude::*;
+use dcfail_stats::empirical::Summary;
+use serde::{Deserialize, Serialize};
+
+/// One bucket of a rate-vs-attribute curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Bucket label (e.g. `"4"` CPUs or `"10-20"` percent).
+    pub label: String,
+    /// Mean weekly failure rate of the bucket.
+    pub mean: f64,
+    /// 25th percentile of the bucket's weekly rate series.
+    pub p25: f64,
+    /// 75th percentile of the bucket's weekly rate series.
+    pub p75: f64,
+    /// Machine-weeks observed in the bucket.
+    pub machine_weeks: usize,
+    /// Failure events observed in the bucket.
+    pub events: usize,
+}
+
+/// A full rate-vs-attribute curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttributeCurve {
+    /// What the attribute is (for rendering).
+    pub attribute: String,
+    /// Buckets in attribute order; empty buckets are omitted.
+    pub points: Vec<CurvePoint>,
+}
+
+impl AttributeCurve {
+    /// Mean rate of the bucket with `label`, if present.
+    pub fn mean_of(&self, label: &str) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.label == label)
+            .map(|p| p.mean)
+    }
+
+    /// [`AttributeCurve::dynamic_range`] restricted to buckets holding at
+    /// least `min_share` of the curve's machine-weeks — sparse outlier
+    /// buckets otherwise dominate the ratio.
+    pub fn dynamic_range_min_weight(&self, min_share: f64) -> Option<f64> {
+        let total: usize = self.points.iter().map(|p| p.machine_weeks).sum();
+        let floor = (total as f64 * min_share) as usize;
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0;
+        for p in &self.points {
+            if p.machine_weeks < floor.max(1) {
+                continue;
+            }
+            lo = lo.min(p.mean);
+            hi = hi.max(p.mean);
+        }
+        (lo.is_finite() && lo > 0.0 && hi > 0.0).then(|| hi / lo)
+    }
+
+    /// Ratio between the highest and lowest bucket means (the paper's
+    /// "impact factor", e.g. 5.5× for PM CPU counts).
+    pub fn dynamic_range(&self) -> Option<f64> {
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0;
+        for p in &self.points {
+            if p.machine_weeks == 0 {
+                continue;
+            }
+            lo = lo.min(p.mean);
+            hi = hi.max(p.mean);
+        }
+        (lo.is_finite() && lo > 0.0 && hi > 0.0).then(|| hi / lo)
+    }
+}
+
+/// Computes a weekly-rate curve over attribute `attr`.
+///
+/// `attr(machine, week)` returns the machine's bucket attribute for that
+/// week, or `None` to exclude the machine-week (e.g. missing telemetry).
+/// For each bucket, the weekly rate series is
+/// `events(bucket, week) / machines(bucket, week)` over all weeks where the
+/// bucket is populated.
+pub fn weekly_rate_by(
+    dataset: &FailureDataset,
+    attribute: &str,
+    bins: &dcfail_stats::binning::Bins,
+    kind: MachineKind,
+    mut attr: impl FnMut(&Machine, usize) -> Option<f64>,
+) -> AttributeCurve {
+    let weeks = dataset.horizon().num_weeks();
+    let nbins = bins.len();
+    // Per (bin, week): population and event counts.
+    let mut population = vec![vec![0usize; weeks]; nbins];
+    let mut events = vec![vec![0usize; weeks]; nbins];
+
+    // Assign machine-weeks to bins.
+    let mut bin_of_machine_week: Vec<Vec<Option<usize>>> = Vec::new();
+    for m in dataset.machines() {
+        let mut per_week = vec![None; weeks];
+        if m.kind() == kind {
+            for (w, slot) in per_week.iter_mut().enumerate() {
+                if let Some(value) = attr(m, w) {
+                    if let Some(bin) = bins.index_of(value) {
+                        population[bin][w] += 1;
+                        *slot = Some(bin);
+                    }
+                }
+            }
+        }
+        bin_of_machine_week.push(per_week);
+    }
+
+    // Count events per (bin, week).
+    for ev in dataset.events() {
+        let Some(w) = dataset.horizon().week_of(ev.at()) else {
+            continue;
+        };
+        if let Some(bin) = bin_of_machine_week[ev.machine().index()][w] {
+            events[bin][w] += 1;
+        }
+    }
+
+    // Summarize per bin.
+    let mut points = Vec::new();
+    for bin in 0..nbins {
+        let mut series = Vec::new();
+        let mut machine_weeks = 0usize;
+        let mut event_total = 0usize;
+        for w in 0..weeks {
+            let pop = population[bin][w];
+            if pop == 0 {
+                continue;
+            }
+            machine_weeks += pop;
+            event_total += events[bin][w];
+            series.push(events[bin][w] as f64 / pop as f64);
+        }
+        let Some(s) = Summary::of(&series) else {
+            continue;
+        };
+        points.push(CurvePoint {
+            label: bins.label(bin).to_string(),
+            mean: s.mean,
+            p25: s.p25,
+            p75: s.p75,
+            machine_weeks,
+            events: event_total,
+        });
+    }
+    AttributeCurve {
+        attribute: attribute.to_string(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use dcfail_stats::binning::Bins;
+
+    #[test]
+    fn curve_rate_normalizes_by_population() {
+        let ds = testutil::dataset();
+        // Single catch-all bin → curve mean equals the overall weekly rate.
+        let bins = Bins::from_edges(vec![0.0, 1e9]);
+        let curve = weekly_rate_by(ds, "all", &bins, MachineKind::Pm, |_, _| Some(1.0));
+        assert_eq!(curve.points.len(), 1);
+        let fig2 = crate::rates::weekly_failure_rates(ds);
+        assert!(
+            (curve.points[0].mean - fig2.all_pm.mean).abs() < 1e-9,
+            "curve {} vs fig2 {}",
+            curve.points[0].mean,
+            fig2.all_pm.mean
+        );
+    }
+
+    #[test]
+    fn events_and_machine_weeks_are_consistent() {
+        let ds = testutil::dataset();
+        let bins = Bins::discrete(&[1.0, 2.0, 4.0, 8.0, 16.0, 24.0, 32.0, 64.0]);
+        let curve = weekly_rate_by(ds, "cpus", &bins, MachineKind::Pm, |m, _| {
+            Some(m.capacity().cpus() as f64)
+        });
+        let total_events: usize = curve.points.iter().map(|p| p.events).sum();
+        let expected = ds
+            .events()
+            .iter()
+            .filter(|e| ds.machine(e.machine()).is_pm())
+            .count();
+        assert_eq!(total_events, expected);
+        let total_mw: usize = curve.points.iter().map(|p| p.machine_weeks).sum();
+        assert_eq!(total_mw, ds.population(MachineKind::Pm, None) * 52);
+    }
+
+    #[test]
+    fn excluded_machine_weeks_drop_out() {
+        let ds = testutil::tiny();
+        let bins = Bins::from_edges(vec![0.0, 2.0]);
+        let curve = weekly_rate_by(ds, "none", &bins, MachineKind::Vm, |_, _| None);
+        assert!(curve.points.is_empty());
+        assert!(curve.dynamic_range().is_none());
+    }
+
+    #[test]
+    fn mean_of_and_dynamic_range() {
+        let curve = AttributeCurve {
+            attribute: "x".into(),
+            points: vec![
+                CurvePoint {
+                    label: "a".into(),
+                    mean: 0.002,
+                    p25: 0.0,
+                    p75: 0.004,
+                    machine_weeks: 10,
+                    events: 1,
+                },
+                CurvePoint {
+                    label: "b".into(),
+                    mean: 0.01,
+                    p25: 0.005,
+                    p75: 0.015,
+                    machine_weeks: 10,
+                    events: 5,
+                },
+            ],
+        };
+        assert_eq!(curve.mean_of("b"), Some(0.01));
+        assert_eq!(curve.mean_of("zz"), None);
+        assert!((curve.dynamic_range().unwrap() - 5.0).abs() < 1e-12);
+        // Weighted range drops sparse buckets.
+        assert!((curve.dynamic_range_min_weight(0.1).unwrap() - 5.0).abs() < 1e-12);
+        let mut sparse = curve.clone();
+        sparse.points.push(CurvePoint {
+            label: "c".into(),
+            mean: 1.0,
+            p25: 0.0,
+            p75: 1.0,
+            machine_weeks: 1,
+            events: 1,
+        });
+        assert!(sparse.dynamic_range().unwrap() > 100.0);
+        assert!((sparse.dynamic_range_min_weight(0.2).unwrap() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,243 @@
+//! Recurrent vs random failures (Fig. 5, Table V).
+//!
+//! The **recurrent failure probability** is: given a server fails, the
+//! probability it fails again within a day / week / month. The **random
+//! failure probability** is: the probability any server fails at least once
+//! within a week. Their ratio — ~35× for PMs and ~42× for VMs in the paper —
+//! is the headline evidence that failures are not memoryless.
+
+use dcfail_model::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Given a failure, the probability of another failure of the same machine
+/// within `window`.
+///
+/// Only failures whose full window fits inside the observation horizon are
+/// counted (right-censoring would otherwise bias the probability down).
+pub fn recurrent_probability(
+    dataset: &FailureDataset,
+    kind: MachineKind,
+    window: SimDuration,
+    subsystem: Option<SubsystemId>,
+) -> Option<f64> {
+    let mut eligible = 0usize;
+    let mut recurred = 0usize;
+    for (machine, _) in dataset.failing_machines() {
+        let m = dataset.machine(machine);
+        if m.kind() != kind || subsystem.is_some_and(|s| m.subsystem() != s) {
+            continue;
+        }
+        let times: Vec<SimTime> = dataset.events_for(machine).map(|e| e.at()).collect();
+        for (i, &t) in times.iter().enumerate() {
+            if t + window >= dataset.horizon().end() {
+                continue; // censored
+            }
+            eligible += 1;
+            if times[i + 1..].iter().any(|&u| u > t && u - t <= window) {
+                recurred += 1;
+            }
+        }
+    }
+    (eligible > 0).then(|| recurred as f64 / eligible as f64)
+}
+
+/// The probability that a server of the group fails at least once in a week
+/// (mean over observation weeks).
+pub fn random_weekly_probability(
+    dataset: &FailureDataset,
+    kind: MachineKind,
+    subsystem: Option<SubsystemId>,
+) -> Option<f64> {
+    let population = dataset.population(kind, subsystem);
+    if population == 0 {
+        return None;
+    }
+    let weeks = dataset.horizon().num_weeks();
+    // Distinct failing machines per week.
+    let mut failing: Vec<std::collections::BTreeSet<MachineId>> =
+        vec![std::collections::BTreeSet::new(); weeks];
+    for ev in dataset.events() {
+        let m = dataset.machine(ev.machine());
+        if m.kind() != kind || subsystem.is_some_and(|s| m.subsystem() != s) {
+            continue;
+        }
+        if let Some(w) = dataset.horizon().week_of(ev.at()) {
+            failing[w].insert(ev.machine());
+        }
+    }
+    let mean = failing
+        .iter()
+        .map(|set| set.len() as f64 / population as f64)
+        .sum::<f64>()
+        / weeks as f64;
+    Some(mean)
+}
+
+/// Fig. 5: recurrence probabilities at day/week/month windows per kind.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecurrenceWindows {
+    /// P(recurrent failure within 24 hours).
+    pub day: f64,
+    /// P(recurrent failure within a week).
+    pub week: f64,
+    /// P(recurrent failure within a 28-day month).
+    pub month: f64,
+}
+
+/// Computes Fig. 5 for one machine kind.
+pub fn fig5(dataset: &FailureDataset, kind: MachineKind) -> Option<RecurrenceWindows> {
+    Some(RecurrenceWindows {
+        day: recurrent_probability(dataset, kind, DAY, None)?,
+        week: recurrent_probability(dataset, kind, WEEK, None)?,
+        month: recurrent_probability(dataset, kind, MONTH, None)?,
+    })
+}
+
+/// One Table V cell group: random weekly probability, weekly recurrence and
+/// their ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table5Cell {
+    /// Random weekly failure probability.
+    pub random: f64,
+    /// Recurrent probability within a week.
+    pub recurrent: f64,
+}
+
+impl Table5Cell {
+    /// Recurrent-to-random intensity ratio (the paper's 35×/42×); `None`
+    /// when the random probability is zero.
+    pub fn ratio(&self) -> Option<f64> {
+        (self.random > 0.0).then(|| self.recurrent / self.random)
+    }
+}
+
+/// Table V: random vs recurrent weekly probabilities for "All" plus each
+/// subsystem, per machine kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table5 {
+    /// Column labels: "All", then subsystem names.
+    pub columns: Vec<String>,
+    /// PM cells, parallel to `columns` (`None` when no data).
+    pub pm: Vec<Option<Table5Cell>>,
+    /// VM cells, parallel to `columns`.
+    pub vm: Vec<Option<Table5Cell>>,
+}
+
+/// Computes Table V.
+pub fn table5(dataset: &FailureDataset) -> Table5 {
+    let mut columns = vec!["All".to_string()];
+    let mut groups: Vec<Option<SubsystemId>> = vec![None];
+    for meta in dataset.topology().subsystems() {
+        columns.push(meta.name().to_string());
+        groups.push(Some(meta.id()));
+    }
+    let cell = |kind: MachineKind, sys: Option<SubsystemId>| -> Option<Table5Cell> {
+        let random = random_weekly_probability(dataset, kind, sys)?;
+        let recurrent = recurrent_probability(dataset, kind, WEEK, sys).unwrap_or(0.0);
+        Some(Table5Cell { random, recurrent })
+    };
+    Table5 {
+        pm: groups.iter().map(|&g| cell(MachineKind::Pm, g)).collect(),
+        vm: groups.iter().map(|&g| cell(MachineKind::Vm, g)).collect(),
+        columns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn recurrence_grows_sublinearly_with_window() {
+        let ds = testutil::dataset();
+        for kind in MachineKind::ALL {
+            let f = fig5(ds, kind).expect("population fails");
+            assert!(f.day < f.week, "{kind}: day {} week {}", f.day, f.week);
+            assert!(f.week < f.month);
+            // Sub-linear: weekly is below 7× daily (the simulator's
+            // day-granular clock makes the daily window conservative).
+            assert!(
+                f.week < 7.0 * f.day,
+                "{kind}: week {} vs day {}",
+                f.week,
+                f.day
+            );
+            // Subsequent failures cluster tightly: most of the monthly
+            // recurrence is already there within a week.
+            assert!(f.week > 0.5 * f.month);
+        }
+    }
+
+    #[test]
+    fn pm_recurrence_exceeds_vm_recurrence() {
+        let ds = testutil::dataset();
+        let pm = fig5(ds, MachineKind::Pm).unwrap();
+        let vm = fig5(ds, MachineKind::Vm).unwrap();
+        // Paper: PM weekly recurrence ≈ 0.22, VM ≈ 0.16.
+        assert!(pm.week > vm.week, "pm {} vm {}", pm.week, vm.week);
+        assert!((pm.week - 0.22).abs() < 0.10, "PM weekly {}", pm.week);
+        assert!((vm.week - 0.16).abs() < 0.10, "VM weekly {}", vm.week);
+    }
+
+    #[test]
+    fn table5_ratios_match_paper_magnitudes() {
+        let ds = testutil::dataset();
+        let t5 = table5(ds);
+        assert_eq!(t5.columns.len(), 6);
+        let pm_all = t5.pm[0].expect("PM data");
+        let vm_all = t5.vm[0].expect("VM data");
+        // Paper: random ≈ 0.0062 (PM) / 0.0038 (VM).
+        assert!(
+            pm_all.random > 0.002 && pm_all.random < 0.012,
+            "PM random {}",
+            pm_all.random
+        );
+        assert!(pm_all.random > vm_all.random);
+        // Ratios: PM ≈ 35×, VM ≈ 42× — at minimum well above 10× and with
+        // the VM ratio exceeding the PM ratio.
+        let pm_ratio = pm_all.ratio().unwrap();
+        let vm_ratio = vm_all.ratio().unwrap();
+        assert!(pm_ratio > 10.0, "PM ratio {pm_ratio}");
+        assert!(vm_ratio > 10.0, "VM ratio {vm_ratio}");
+        assert!(
+            vm_ratio > pm_ratio,
+            "VM ratio {vm_ratio} should exceed PM ratio {pm_ratio}"
+        );
+    }
+
+    #[test]
+    fn sys2_vm_cell_is_empty_or_zero() {
+        let ds = testutil::dataset();
+        let t5 = table5(ds);
+        // Sys II VMs never fail: random probability 0 → ratio None.
+        if let Some(cell) = t5.vm[2] {
+            assert_eq!(cell.random, 0.0);
+            assert!(cell.ratio().is_none());
+        }
+    }
+
+    #[test]
+    fn random_probability_bounded_by_rate() {
+        let ds = testutil::dataset();
+        for kind in MachineKind::ALL {
+            let random = random_weekly_probability(ds, kind, None).unwrap();
+            let series = crate::rates::rate_series(ds, kind, None, crate::rates::Granularity::Week);
+            let mean_rate = series.iter().sum::<f64>() / series.len() as f64;
+            // P(≥1 failure) ≤ E[#failures].
+            assert!(random <= mean_rate + 1e-12);
+            assert!(random > 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_group_returns_none() {
+        let ds = testutil::tiny();
+        assert!(
+            random_weekly_probability(ds, MachineKind::Pm, Some(SubsystemId::new(42))).is_none()
+        );
+        assert!(
+            recurrent_probability(ds, MachineKind::Pm, WEEK, Some(SubsystemId::new(42))).is_none()
+        );
+    }
+}

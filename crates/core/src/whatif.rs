@@ -1,0 +1,264 @@
+//! Counterfactual policy evaluation from measured curves.
+//!
+//! The paper ends with operational advice: consolidate VMs onto well-filled
+//! platforms (Fig. 9), keep power-cycling moderate (Fig. 10), prefer fewer
+//! virtual disks (Fig. 7d). This module makes that advice executable: it
+//! learns the measured rate-vs-attribute curves from a dataset and predicts
+//! the fleet-wide VM failure rate under an intervention that moves machines
+//! across buckets.
+//!
+//! The prediction is a *reweighting* counterfactual: it assumes the measured
+//! per-bucket rates are causal and stable — exactly the reading the paper's
+//! recommendations imply. That assumption is documented, not hidden; the
+//! [`WhatIf::baseline_vm_rate`] vs actual-rate calibration check quantifies
+//! how well the bucket model explains the fleet in the first place.
+
+use crate::consolidation::rate_by_consolidation;
+use crate::curve::AttributeCurve;
+use crate::onoff::rate_by_onoff;
+use dcfail_model::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A policy intervention on the VM fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Intervention {
+    /// Re-home every VM on a platform below `min_level` average
+    /// consolidation onto platforms at `min_level` (Fig. 9 advice).
+    RaiseConsolidation {
+        /// Target minimum consolidation level.
+        min_level: f64,
+    },
+    /// Throttle power cycling so no VM exceeds `max_per_month` on/off
+    /// transitions (Fig. 10 advice).
+    LimitPowerCycling {
+        /// Maximum monthly on/off transitions after the intervention.
+        max_per_month: f64,
+    },
+    /// Consolidate virtual disks so no VM has more than `max_disks`
+    /// volumes (Fig. 7d advice).
+    ConsolidateDisks {
+        /// Maximum number of virtual disks after the intervention.
+        max_disks: u32,
+    },
+}
+
+/// Outcome of evaluating an intervention.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WhatIfOutcome {
+    /// Predicted fleet VM weekly rate before the intervention.
+    pub baseline: f64,
+    /// Predicted rate after the intervention.
+    pub counterfactual: f64,
+    /// VMs whose bucket changed.
+    pub vms_moved: usize,
+}
+
+impl WhatIfOutcome {
+    /// Relative rate change, negative = improvement.
+    pub fn relative_change(&self) -> f64 {
+        if self.baseline == 0.0 {
+            0.0
+        } else {
+            self.counterfactual / self.baseline - 1.0
+        }
+    }
+}
+
+/// A curve-based counterfactual model of the VM fleet.
+#[derive(Debug, Clone)]
+pub struct WhatIf<'a> {
+    dataset: &'a FailureDataset,
+    consolidation: AttributeCurve,
+    onoff: AttributeCurve,
+    disks: AttributeCurve,
+}
+
+impl<'a> WhatIf<'a> {
+    /// Measures the relevant curves from a dataset.
+    pub fn from_dataset(dataset: &'a FailureDataset) -> Self {
+        Self {
+            consolidation: rate_by_consolidation(dataset),
+            onoff: rate_by_onoff(dataset),
+            disks: crate::capacity::rate_by_disk_count(dataset),
+            dataset,
+        }
+    }
+
+    fn consolidation_bucket(level: f64) -> &'static str {
+        match level {
+            l if l < 1.5 => "1",
+            l if l < 3.0 => "2",
+            l if l < 6.0 => "4",
+            l if l < 12.0 => "8",
+            l if l < 24.0 => "16",
+            _ => "32",
+        }
+    }
+
+    fn onoff_bucket(rate: f64) -> &'static str {
+        match rate {
+            r if r < 1.0 => "0-1",
+            r if r < 2.0 => "1-2",
+            r if r < 4.0 => "2-4",
+            r if r < 8.0 => "4-8",
+            _ => "8+",
+        }
+    }
+
+    fn disk_bucket(disks: u32) -> String {
+        disks.clamp(1, 6).to_string()
+    }
+
+    /// The VM attribute relevant to `intervention`, before and after.
+    fn buckets_for(
+        &self,
+        machine: &Machine,
+        intervention: Intervention,
+    ) -> Option<(String, String)> {
+        let telemetry = self.dataset.telemetry();
+        match intervention {
+            Intervention::RaiseConsolidation { min_level } => {
+                let level = telemetry.mean_consolidation(machine.id())?;
+                let after = level.max(min_level);
+                Some((
+                    Self::consolidation_bucket(level).to_string(),
+                    Self::consolidation_bucket(after).to_string(),
+                ))
+            }
+            Intervention::LimitPowerCycling { max_per_month } => {
+                let rate = telemetry.onoff(machine.id())?.monthly_transition_rate();
+                let after = rate.min(max_per_month);
+                Some((
+                    Self::onoff_bucket(rate).to_string(),
+                    Self::onoff_bucket(after).to_string(),
+                ))
+            }
+            Intervention::ConsolidateDisks { max_disks } => {
+                let disks = machine.capacity().disks();
+                let after = disks.min(max_disks.max(1));
+                Some((Self::disk_bucket(disks), Self::disk_bucket(after)))
+            }
+        }
+    }
+
+    fn curve_for(&self, intervention: Intervention) -> &AttributeCurve {
+        match intervention {
+            Intervention::RaiseConsolidation { .. } => &self.consolidation,
+            Intervention::LimitPowerCycling { .. } => &self.onoff,
+            Intervention::ConsolidateDisks { .. } => &self.disks,
+        }
+    }
+
+    /// Predicted fleet VM weekly rate with no intervention, under the
+    /// consolidation-curve bucket model (a calibration reference: compare
+    /// against the actual Fig. 2 VM rate).
+    pub fn baseline_vm_rate(&self) -> f64 {
+        self.predict(Intervention::RaiseConsolidation { min_level: 0.0 })
+            .baseline
+    }
+
+    /// Evaluates an intervention.
+    pub fn predict(&self, intervention: Intervention) -> WhatIfOutcome {
+        let curve = self.curve_for(intervention);
+        let mut baseline_sum = 0.0;
+        let mut counterfactual_sum = 0.0;
+        let mut n = 0usize;
+        let mut moved = 0usize;
+        for m in self.dataset.machines_of_kind(MachineKind::Vm) {
+            let Some((before, after)) = self.buckets_for(m, intervention) else {
+                continue;
+            };
+            let Some(rate_before) = curve.mean_of(&before) else {
+                continue;
+            };
+            // If the target bucket was never observed, fall back to the
+            // machine's own bucket (no information → no predicted change).
+            let rate_after = curve.mean_of(&after).unwrap_or(rate_before);
+            baseline_sum += rate_before;
+            counterfactual_sum += rate_after;
+            n += 1;
+            if before != after {
+                moved += 1;
+            }
+        }
+        let n = n.max(1) as f64;
+        WhatIfOutcome {
+            baseline: baseline_sum / n,
+            counterfactual: counterfactual_sum / n,
+            vms_moved: moved,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn bucket_model_is_calibrated() {
+        let ds = testutil::dataset();
+        let w = WhatIf::from_dataset(ds);
+        let predicted = w.baseline_vm_rate();
+        let actual = crate::rates::weekly_failure_rates(ds).all_vm.mean;
+        // The bucket model must explain the fleet rate within 15%.
+        assert!(
+            (predicted - actual).abs() / actual < 0.15,
+            "predicted {predicted} vs actual {actual}"
+        );
+    }
+
+    #[test]
+    fn raising_consolidation_reduces_predicted_rate() {
+        let ds = testutil::dataset();
+        let w = WhatIf::from_dataset(ds);
+        let outcome = w.predict(Intervention::RaiseConsolidation { min_level: 16.0 });
+        assert!(outcome.vms_moved > 0);
+        assert!(
+            outcome.relative_change() < -0.10,
+            "change {}",
+            outcome.relative_change()
+        );
+        assert!(outcome.counterfactual < outcome.baseline);
+    }
+
+    #[test]
+    fn consolidating_disks_reduces_predicted_rate() {
+        let ds = testutil::dataset();
+        let w = WhatIf::from_dataset(ds);
+        let outcome = w.predict(Intervention::ConsolidateDisks { max_disks: 2 });
+        assert!(outcome.vms_moved > 0);
+        assert!(outcome.counterfactual < outcome.baseline);
+    }
+
+    #[test]
+    fn noop_interventions_change_nothing() {
+        let ds = testutil::dataset();
+        let w = WhatIf::from_dataset(ds);
+        for intervention in [
+            Intervention::RaiseConsolidation { min_level: 0.0 },
+            Intervention::LimitPowerCycling { max_per_month: 1e9 },
+            Intervention::ConsolidateDisks { max_disks: 32 },
+        ] {
+            let outcome = w.predict(intervention);
+            assert_eq!(outcome.vms_moved, 0, "{intervention:?}");
+            assert_eq!(outcome.baseline, outcome.counterfactual);
+            assert_eq!(outcome.relative_change(), 0.0);
+        }
+    }
+
+    #[test]
+    fn limiting_power_cycling_helps_a_little() {
+        let ds = testutil::dataset();
+        let w = WhatIf::from_dataset(ds);
+        let outcome = w.predict(Intervention::LimitPowerCycling { max_per_month: 1.0 });
+        assert!(outcome.vms_moved > 0);
+        // Fig. 10's effect is modest but real.
+        assert!(
+            outcome.counterfactual <= outcome.baseline,
+            "{} vs {}",
+            outcome.counterfactual,
+            outcome.baseline
+        );
+    }
+}

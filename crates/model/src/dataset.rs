@@ -1,0 +1,612 @@
+//! The assembled study input: machines, topology, incidents, tickets, crash
+//! events and telemetry over one observation window.
+
+use crate::failure::{FailureEvent, Incident};
+use crate::ids::{IncidentId, MachineId, SubsystemId, TicketId};
+use crate::machine::{Machine, MachineKind};
+use crate::telemetry::Telemetry;
+use crate::ticket::Ticket;
+use crate::time::Horizon;
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A complete failure study dataset.
+///
+/// This is the single input type of every analysis in `dcfail-core`. It can
+/// be produced by the simulator (`dcfail-synth`), assembled manually through
+/// [`DatasetBuilder`], or round-tripped through JSON so that analyses are
+/// re-runnable on saved traces — mirroring the paper's practice of mining
+/// several persistent databases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(from = "RawDataset", into = "RawDataset")]
+pub struct FailureDataset {
+    horizon: Horizon,
+    machines: Vec<Machine>,
+    topology: Topology,
+    incidents: Vec<Incident>,
+    tickets: Vec<Ticket>,
+    /// Crash events sorted by `(at, machine)`.
+    events: Vec<FailureEvent>,
+    telemetry: Telemetry,
+    /// machine → indexes into `events`, in time order (derived).
+    by_machine: BTreeMap<MachineId, Vec<usize>>,
+}
+
+/// Serializable mirror of [`FailureDataset`] without derived indexes.
+#[derive(Serialize, Deserialize)]
+struct RawDataset {
+    horizon: Horizon,
+    machines: Vec<Machine>,
+    topology: Topology,
+    incidents: Vec<Incident>,
+    tickets: Vec<Ticket>,
+    events: Vec<FailureEvent>,
+    telemetry: Telemetry,
+}
+
+impl From<RawDataset> for FailureDataset {
+    fn from(raw: RawDataset) -> Self {
+        let mut ds = FailureDataset {
+            horizon: raw.horizon,
+            machines: raw.machines,
+            topology: raw.topology,
+            incidents: raw.incidents,
+            tickets: raw.tickets,
+            events: raw.events,
+            telemetry: raw.telemetry,
+            by_machine: BTreeMap::new(),
+        };
+        ds.rebuild_index();
+        ds
+    }
+}
+
+impl From<FailureDataset> for RawDataset {
+    fn from(ds: FailureDataset) -> Self {
+        RawDataset {
+            horizon: ds.horizon,
+            machines: ds.machines,
+            topology: ds.topology,
+            incidents: ds.incidents,
+            tickets: ds.tickets,
+            events: ds.events,
+            telemetry: ds.telemetry,
+        }
+    }
+}
+
+impl FailureDataset {
+    fn rebuild_index(&mut self) {
+        self.events
+            .sort_by_key(|e| (e.at(), e.machine(), e.incident()));
+        self.by_machine.clear();
+        for (i, ev) in self.events.iter().enumerate() {
+            self.by_machine.entry(ev.machine()).or_default().push(i);
+        }
+    }
+
+    /// Observation window.
+    pub fn horizon(&self) -> Horizon {
+        self.horizon
+    }
+
+    /// All machines, dense by [`MachineId`].
+    pub fn machines(&self) -> &[Machine] {
+        &self.machines
+    }
+
+    /// Looks up a machine.
+    pub fn machine(&self, id: MachineId) -> &Machine {
+        &self.machines[id.index()]
+    }
+
+    /// Machines of one kind.
+    pub fn machines_of_kind(&self, kind: MachineKind) -> impl Iterator<Item = &Machine> {
+        self.machines.iter().filter(move |m| m.kind() == kind)
+    }
+
+    /// Number of machines of `kind` in `subsystem`.
+    pub fn population(&self, kind: MachineKind, subsystem: Option<SubsystemId>) -> usize {
+        self.machines
+            .iter()
+            .filter(|m| m.kind() == kind && subsystem.is_none_or(|s| m.subsystem() == s))
+            .count()
+    }
+
+    /// Datacenter topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// All incidents, dense by [`IncidentId`].
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    /// Looks up an incident.
+    pub fn incident(&self, id: IncidentId) -> &Incident {
+        &self.incidents[id.index()]
+    }
+
+    /// All tickets (crash and non-crash), dense by [`TicketId`].
+    pub fn tickets(&self) -> &[Ticket] {
+        &self.tickets
+    }
+
+    /// Looks up a ticket.
+    pub fn ticket(&self, id: TicketId) -> &Ticket {
+        &self.tickets[id.index()]
+    }
+
+    /// All crash events, sorted by time.
+    pub fn events(&self) -> &[FailureEvent] {
+        &self.events
+    }
+
+    /// Crash events of one machine, in time order.
+    pub fn events_for(&self, machine: MachineId) -> impl Iterator<Item = &FailureEvent> {
+        self.by_machine
+            .get(&machine)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.events[i])
+    }
+
+    /// Machines that failed at least once, with their event count.
+    pub fn failing_machines(&self) -> impl Iterator<Item = (MachineId, usize)> + '_ {
+        self.by_machine.iter().map(|(&m, v)| (m, v.len()))
+    }
+
+    /// Telemetry store.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Replaces every event's reported class using `f` (used after running a
+    /// fresh classification pipeline over the tickets).
+    pub fn relabel_events(
+        &mut self,
+        mut f: impl FnMut(&FailureEvent) -> crate::failure::FailureClass,
+    ) {
+        for ev in &mut self.events {
+            *ev = ev.with_reported_class(f(ev));
+        }
+    }
+
+    /// Per-subsystem dataset statistics (the paper's Table II).
+    pub fn subsystem_stats(&self) -> Vec<SubsystemStats> {
+        let num_sys = self.topology.subsystems().len();
+        let mut stats: Vec<SubsystemStats> = (0..num_sys)
+            .map(|i| SubsystemStats {
+                subsystem: SubsystemId::new(i as u32),
+                name: self.topology.subsystems()[i].name().to_string(),
+                pms: 0,
+                vms: 0,
+                all_tickets: 0,
+                crash_tickets: 0,
+                crash_tickets_pm: 0,
+                crash_tickets_vm: 0,
+            })
+            .collect();
+        for m in &self.machines {
+            let s = &mut stats[m.subsystem().index()];
+            match m.kind() {
+                MachineKind::Pm => s.pms += 1,
+                MachineKind::Vm => s.vms += 1,
+            }
+        }
+        for t in &self.tickets {
+            let m = self.machine(t.machine());
+            let s = &mut stats[m.subsystem().index()];
+            s.all_tickets += 1;
+            if t.is_crash() {
+                s.crash_tickets += 1;
+                match m.kind() {
+                    MachineKind::Pm => s.crash_tickets_pm += 1,
+                    MachineKind::Vm => s.crash_tickets_vm += 1,
+                }
+            }
+        }
+        stats
+    }
+}
+
+/// Per-subsystem dataset statistics (one row of the paper's Table II).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubsystemStats {
+    /// Subsystem id.
+    pub subsystem: SubsystemId,
+    /// Subsystem name ("Sys I" ... "Sys V").
+    pub name: String,
+    /// Number of physical machines.
+    pub pms: usize,
+    /// Number of virtual machines.
+    pub vms: usize,
+    /// Total problem tickets (crash + non-crash).
+    pub all_tickets: usize,
+    /// Crash tickets.
+    pub crash_tickets: usize,
+    /// Crash tickets filed against PMs.
+    pub crash_tickets_pm: usize,
+    /// Crash tickets filed against VMs.
+    pub crash_tickets_vm: usize,
+}
+
+impl SubsystemStats {
+    /// Crash tickets as a share of all tickets, in percent.
+    pub fn crash_pct(&self) -> f64 {
+        if self.all_tickets == 0 {
+            0.0
+        } else {
+            100.0 * self.crash_tickets as f64 / self.all_tickets as f64
+        }
+    }
+
+    /// PM share of crash tickets, in percent.
+    pub fn crash_pm_pct(&self) -> f64 {
+        if self.crash_tickets == 0 {
+            0.0
+        } else {
+            100.0 * self.crash_tickets_pm as f64 / self.crash_tickets as f64
+        }
+    }
+
+    /// VM share of crash tickets, in percent.
+    pub fn crash_vm_pct(&self) -> f64 {
+        if self.crash_tickets == 0 {
+            0.0
+        } else {
+            100.0 * self.crash_tickets_vm as f64 / self.crash_tickets as f64
+        }
+    }
+}
+
+/// Incremental builder for a [`FailureDataset`].
+///
+/// Validates cross-references at [`DatasetBuilder::build`] so that a dataset,
+/// once constructed, is internally consistent.
+#[derive(Debug, Default)]
+pub struct DatasetBuilder {
+    horizon: Option<Horizon>,
+    machines: Vec<Machine>,
+    topology: Topology,
+    incidents: Vec<Incident>,
+    tickets: Vec<Ticket>,
+    events: Vec<FailureEvent>,
+    telemetry: Telemetry,
+}
+
+impl DatasetBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the observation window (defaults to one year from `t = 0`).
+    pub fn horizon(&mut self, horizon: Horizon) -> &mut Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Sets the topology.
+    pub fn topology(&mut self, topology: Topology) -> &mut Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Adds a machine. Machines must be added in dense id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-order ids.
+    pub fn add_machine(&mut self, machine: Machine) -> &mut Self {
+        assert_eq!(
+            machine.id().index(),
+            self.machines.len(),
+            "machines must be added in dense id order"
+        );
+        self.machines.push(machine);
+        self
+    }
+
+    /// Adds an incident. Incidents must be added in dense id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-order ids.
+    pub fn add_incident(&mut self, incident: Incident) -> &mut Self {
+        assert_eq!(
+            incident.id().index(),
+            self.incidents.len(),
+            "incidents must be added in dense id order"
+        );
+        self.incidents.push(incident);
+        self
+    }
+
+    /// Adds a ticket. Tickets must be added in dense id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-order ids.
+    pub fn add_ticket(&mut self, ticket: Ticket) -> &mut Self {
+        assert_eq!(
+            ticket.id().index(),
+            self.tickets.len(),
+            "tickets must be added in dense id order"
+        );
+        self.tickets.push(ticket);
+        self
+    }
+
+    /// Adds a crash event.
+    pub fn add_event(&mut self, event: FailureEvent) -> &mut Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Sets the telemetry store.
+    pub fn telemetry(&mut self, telemetry: Telemetry) -> &mut Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Number of machines added so far.
+    pub fn num_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Number of incidents added so far.
+    pub fn num_incidents(&self) -> usize {
+        self.incidents.len()
+    }
+
+    /// Number of tickets added so far.
+    pub fn num_tickets(&self) -> usize {
+        self.tickets.len()
+    }
+
+    /// Finalizes the dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event or ticket references an unknown machine, incident
+    /// or subsystem — a dataset must be internally consistent.
+    pub fn build(self) -> FailureDataset {
+        let num_machines = self.machines.len();
+        let num_incidents = self.incidents.len();
+        let num_tickets = self.tickets.len();
+        let num_subsystems = self.topology.subsystems().len();
+        for m in &self.machines {
+            assert!(
+                m.subsystem().index() < num_subsystems,
+                "machine {} references unknown subsystem {}",
+                m.id(),
+                m.subsystem()
+            );
+        }
+        for ev in &self.events {
+            assert!(
+                ev.machine().index() < num_machines,
+                "event references unknown machine {}",
+                ev.machine()
+            );
+            assert!(
+                ev.incident().index() < num_incidents,
+                "event references unknown incident {}",
+                ev.incident()
+            );
+            assert!(
+                ev.ticket().index() < num_tickets,
+                "event references unknown ticket {}",
+                ev.ticket()
+            );
+        }
+        for t in &self.tickets {
+            assert!(
+                t.machine().index() < num_machines,
+                "ticket {} references unknown machine {}",
+                t.id(),
+                t.machine()
+            );
+        }
+        let raw = RawDataset {
+            horizon: self.horizon.unwrap_or_default(),
+            machines: self.machines,
+            topology: self.topology,
+            incidents: self.incidents,
+            tickets: self.tickets,
+            events: self.events,
+            telemetry: self.telemetry,
+        };
+        FailureDataset::from(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::FailureClass;
+    use crate::ids::PowerDomainId;
+    use crate::machine::ResourceCapacity;
+    use crate::time::{SimDuration, SimTime, HOUR};
+    use crate::topology::SubsystemMeta;
+
+    fn tiny_dataset() -> FailureDataset {
+        let mut topo = Topology::new();
+        topo.add_subsystem(SubsystemMeta::new(SubsystemId::new(0), "Sys I"));
+        let mut b = DatasetBuilder::new();
+        b.topology(topo);
+        b.add_machine(Machine::new_pm(
+            MachineId::new(0),
+            SubsystemId::new(0),
+            PowerDomainId::new(0),
+            ResourceCapacity::default(),
+            None,
+        ));
+        b.add_incident(Incident::new(
+            IncidentId::new(0),
+            FailureClass::Software,
+            SimTime::from_days(5),
+            vec![MachineId::new(0)],
+        ));
+        b.add_ticket(Ticket::new(
+            TicketId::new(0),
+            MachineId::new(0),
+            crate::ticket::TicketKind::Crash,
+            Some(IncidentId::new(0)),
+            SimTime::from_days(5),
+            SimTime::from_days(5) + HOUR * 3,
+            "service hang".into(),
+            "restarted agent".into(),
+            Some(FailureClass::Software),
+        ));
+        b.add_event(FailureEvent::new(
+            MachineId::new(0),
+            IncidentId::new(0),
+            TicketId::new(0),
+            SimTime::from_days(5),
+            FailureClass::Software,
+            FailureClass::Software,
+            HOUR * 3,
+        ));
+        // Out-of-order second event to exercise sorting.
+        b.add_incident(Incident::new(
+            IncidentId::new(1),
+            FailureClass::Reboot,
+            SimTime::from_days(2),
+            vec![MachineId::new(0)],
+        ));
+        b.add_ticket(Ticket::new(
+            TicketId::new(1),
+            MachineId::new(0),
+            crate::ticket::TicketKind::Crash,
+            Some(IncidentId::new(1)),
+            SimTime::from_days(2),
+            SimTime::from_days(2) + HOUR,
+            "unexpected reboot".into(),
+            "came back on its own".into(),
+            Some(FailureClass::Reboot),
+        ));
+        b.add_event(FailureEvent::new(
+            MachineId::new(0),
+            IncidentId::new(1),
+            TicketId::new(1),
+            SimTime::from_days(2),
+            FailureClass::Reboot,
+            FailureClass::Reboot,
+            HOUR,
+        ));
+        b.build()
+    }
+
+    #[test]
+    fn events_are_sorted_and_indexed() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.events().len(), 2);
+        assert!(ds.events()[0].at() < ds.events()[1].at());
+        let per_machine: Vec<_> = ds.events_for(MachineId::new(0)).collect();
+        assert_eq!(per_machine.len(), 2);
+        assert_eq!(per_machine[0].true_class(), FailureClass::Reboot);
+        let failing: Vec<_> = ds.failing_machines().collect();
+        assert_eq!(failing, vec![(MachineId::new(0), 2)]);
+    }
+
+    #[test]
+    fn population_counts() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.population(MachineKind::Pm, None), 1);
+        assert_eq!(ds.population(MachineKind::Vm, None), 0);
+        assert_eq!(ds.population(MachineKind::Pm, Some(SubsystemId::new(0))), 1);
+        assert_eq!(ds.machines_of_kind(MachineKind::Pm).count(), 1);
+    }
+
+    #[test]
+    fn subsystem_stats_table() {
+        let ds = tiny_dataset();
+        let stats = ds.subsystem_stats();
+        assert_eq!(stats.len(), 1);
+        let s = &stats[0];
+        assert_eq!(s.name, "Sys I");
+        assert_eq!(s.pms, 1);
+        assert_eq!(s.all_tickets, 2);
+        assert_eq!(s.crash_tickets, 2);
+        assert_eq!(s.crash_pct(), 100.0);
+        assert_eq!(s.crash_pm_pct(), 100.0);
+        assert_eq!(s.crash_vm_pct(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_index() {
+        let ds = tiny_dataset();
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: FailureDataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ds);
+        assert_eq!(back.events_for(MachineId::new(0)).count(), 2);
+    }
+
+    #[test]
+    fn relabel_events() {
+        let mut ds = tiny_dataset();
+        ds.relabel_events(|_| FailureClass::Other);
+        assert!(ds
+            .events()
+            .iter()
+            .all(|e| e.reported_class() == FailureClass::Other));
+        // True classes untouched.
+        assert!(ds
+            .events()
+            .iter()
+            .any(|e| e.true_class() != FailureClass::Other));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown machine")]
+    fn build_rejects_dangling_event() {
+        let mut topo = Topology::new();
+        topo.add_subsystem(SubsystemMeta::new(SubsystemId::new(0), "Sys I"));
+        let mut b = DatasetBuilder::new();
+        b.topology(topo);
+        b.add_incident(Incident::new(
+            IncidentId::new(0),
+            FailureClass::Hardware,
+            SimTime::ZERO,
+            vec![MachineId::new(7)],
+        ));
+        b.add_ticket(Ticket::new(
+            TicketId::new(0),
+            MachineId::new(0),
+            crate::ticket::TicketKind::Crash,
+            Some(IncidentId::new(0)),
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_hours(1),
+            String::new(),
+            String::new(),
+            None,
+        ));
+        b.add_event(FailureEvent::new(
+            MachineId::new(7),
+            IncidentId::new(0),
+            TicketId::new(0),
+            SimTime::ZERO,
+            FailureClass::Hardware,
+            FailureClass::Hardware,
+            SimDuration::from_hours(1),
+        ));
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "dense id order")]
+    fn out_of_order_machine_rejected() {
+        let mut b = DatasetBuilder::new();
+        b.add_machine(Machine::new_pm(
+            MachineId::new(5),
+            SubsystemId::new(0),
+            PowerDomainId::new(0),
+            ResourceCapacity::default(),
+            None,
+        ));
+    }
+}

@@ -1,0 +1,323 @@
+//! Failure classes, incidents and per-machine failure events.
+
+use crate::ids::{IncidentId, MachineId, TicketId};
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Root-cause class of a server failure.
+///
+/// The paper classifies crash tickets into six finer-grained classes based on
+/// their resolutions (Section III-A). `Other` collects tickets whose
+/// description/resolution text was too inaccurate to classify — 53% of the
+/// dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FailureClass {
+    /// Hardware malfunction requiring replacement or fix (faulty disk,
+    /// battery, broken power supply, ...).
+    Hardware,
+    /// Network issue requiring a network fix.
+    Network,
+    /// Power outage requiring an electrical fix (includes scheduled outages).
+    Power,
+    /// Unexpected reboot (for VMs, often a reboot of the hosting platform).
+    Reboot,
+    /// OS- or application-level issue requiring a software fix.
+    Software,
+    /// Unclassifiable due to low-quality ticket text.
+    Other,
+}
+
+impl FailureClass {
+    /// All six classes, in the paper's table order.
+    pub const ALL: [FailureClass; 6] = [
+        FailureClass::Hardware,
+        FailureClass::Network,
+        FailureClass::Power,
+        FailureClass::Reboot,
+        FailureClass::Software,
+        FailureClass::Other,
+    ];
+
+    /// The five *classified* classes (everything except [`FailureClass::Other`]).
+    pub const CLASSIFIED: [FailureClass; 5] = [
+        FailureClass::Hardware,
+        FailureClass::Network,
+        FailureClass::Power,
+        FailureClass::Reboot,
+        FailureClass::Software,
+    ];
+
+    /// Short label used in the paper's tables.
+    pub const fn label(self) -> &'static str {
+        match self {
+            FailureClass::Hardware => "HW",
+            FailureClass::Network => "Net",
+            FailureClass::Power => "Power",
+            FailureClass::Reboot => "Reboot",
+            FailureClass::Software => "SW",
+            FailureClass::Other => "Other",
+        }
+    }
+
+    /// Dense index (0..6) for array-backed per-class accumulators.
+    pub const fn index(self) -> usize {
+        match self {
+            FailureClass::Hardware => 0,
+            FailureClass::Network => 1,
+            FailureClass::Power => 2,
+            FailureClass::Reboot => 3,
+            FailureClass::Software => 4,
+            FailureClass::Other => 5,
+        }
+    }
+
+    /// Inverse of [`FailureClass::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 6`.
+    pub fn from_index(index: usize) -> Self {
+        Self::ALL[index]
+    }
+}
+
+impl fmt::Display for FailureClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A failure incident: one root cause striking at one instant, affecting one
+/// or more machines.
+///
+/// Incidents carry the spatial-dependency structure of the study: a power
+/// outage fails every machine in a power domain, a host-box crash reboots all
+/// hosted VMs, a distributed-software fault takes down an app cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Incident {
+    id: IncidentId,
+    class: FailureClass,
+    at: SimTime,
+    machines: Vec<MachineId>,
+}
+
+impl Incident {
+    /// Creates an incident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machines` is empty: an incident affects at least one server.
+    pub fn new(id: IncidentId, class: FailureClass, at: SimTime, machines: Vec<MachineId>) -> Self {
+        assert!(
+            !machines.is_empty(),
+            "an incident must affect at least one machine"
+        );
+        Self {
+            id,
+            class,
+            at,
+            machines,
+        }
+    }
+
+    /// Incident id.
+    pub const fn id(&self) -> IncidentId {
+        self.id
+    }
+
+    /// Root-cause class.
+    pub const fn class(&self) -> FailureClass {
+        self.class
+    }
+
+    /// Instant the incident struck.
+    pub const fn at(&self) -> SimTime {
+        self.at
+    }
+
+    /// Machines affected by this incident.
+    pub fn machines(&self) -> &[MachineId] {
+        &self.machines
+    }
+
+    /// Number of affected machines ("incident size" in Tables VI/VII).
+    pub fn size(&self) -> usize {
+        self.machines.len()
+    }
+}
+
+/// A single machine's failure, projected out of an incident.
+///
+/// This is the atom of every analysis in `dcfail-core`: machine, timestamp,
+/// class (ground-truth and as-reported-by-the-ticket-pipeline) and repair
+/// duration (ticket open → close).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureEvent {
+    machine: MachineId,
+    incident: IncidentId,
+    ticket: TicketId,
+    at: SimTime,
+    true_class: FailureClass,
+    reported_class: FailureClass,
+    repair: SimDuration,
+}
+
+impl FailureEvent {
+    /// Creates a failure event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repair` is negative.
+    pub fn new(
+        machine: MachineId,
+        incident: IncidentId,
+        ticket: TicketId,
+        at: SimTime,
+        true_class: FailureClass,
+        reported_class: FailureClass,
+        repair: SimDuration,
+    ) -> Self {
+        assert!(!repair.is_negative(), "repair duration must be nonnegative");
+        Self {
+            machine,
+            incident,
+            ticket,
+            at,
+            true_class,
+            reported_class,
+            repair,
+        }
+    }
+
+    /// The failed machine.
+    pub const fn machine(&self) -> MachineId {
+        self.machine
+    }
+
+    /// The incident this failure belongs to.
+    pub const fn incident(&self) -> IncidentId {
+        self.incident
+    }
+
+    /// The crash ticket recording this failure.
+    pub const fn ticket(&self) -> TicketId {
+        self.ticket
+    }
+
+    /// Failure instant (ticket issuing time).
+    pub const fn at(&self) -> SimTime {
+        self.at
+    }
+
+    /// Ground-truth root-cause class (known to the simulator).
+    pub const fn true_class(&self) -> FailureClass {
+        self.true_class
+    }
+
+    /// Class assigned by the ticket-classification pipeline.
+    pub const fn reported_class(&self) -> FailureClass {
+        self.reported_class
+    }
+
+    /// Repair duration (ticket open → close, includes queueing).
+    pub const fn repair(&self) -> SimDuration {
+        self.repair
+    }
+
+    /// Ticket closing time.
+    pub fn resolved_at(&self) -> SimTime {
+        self.at + self.repair
+    }
+
+    /// Returns a copy with a different reported class (used when re-running
+    /// the classification pipeline over a dataset).
+    pub fn with_reported_class(mut self, class: FailureClass) -> Self {
+        self.reported_class = class;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::HOUR;
+
+    #[test]
+    fn class_index_roundtrip() {
+        for class in FailureClass::ALL {
+            assert_eq!(FailureClass::from_index(class.index()), class);
+        }
+    }
+
+    #[test]
+    fn classified_excludes_other() {
+        assert_eq!(FailureClass::CLASSIFIED.len(), 5);
+        assert!(!FailureClass::CLASSIFIED.contains(&FailureClass::Other));
+    }
+
+    #[test]
+    fn class_labels_match_paper() {
+        assert_eq!(FailureClass::Hardware.label(), "HW");
+        assert_eq!(FailureClass::Network.label(), "Net");
+        assert_eq!(FailureClass::Software.to_string(), "SW");
+    }
+
+    #[test]
+    fn incident_accessors() {
+        let inc = Incident::new(
+            IncidentId::new(1),
+            FailureClass::Power,
+            SimTime::from_days(3),
+            vec![MachineId::new(1), MachineId::new(2), MachineId::new(3)],
+        );
+        assert_eq!(inc.size(), 3);
+        assert_eq!(inc.class(), FailureClass::Power);
+        assert_eq!(inc.at(), SimTime::from_days(3));
+        assert_eq!(inc.machines().len(), 3);
+        assert_eq!(inc.id(), IncidentId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn empty_incident_rejected() {
+        let _ = Incident::new(
+            IncidentId::new(0),
+            FailureClass::Hardware,
+            SimTime::ZERO,
+            vec![],
+        );
+    }
+
+    #[test]
+    fn event_resolution_time() {
+        let ev = FailureEvent::new(
+            MachineId::new(7),
+            IncidentId::new(1),
+            TicketId::new(2),
+            SimTime::from_days(1),
+            FailureClass::Software,
+            FailureClass::Other,
+            HOUR * 10,
+        );
+        assert_eq!(ev.resolved_at(), SimTime::from_days(1) + HOUR * 10);
+        assert_eq!(ev.true_class(), FailureClass::Software);
+        assert_eq!(ev.reported_class(), FailureClass::Other);
+        let re = ev.with_reported_class(FailureClass::Software);
+        assert_eq!(re.reported_class(), FailureClass::Software);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_repair_rejected() {
+        let _ = FailureEvent::new(
+            MachineId::new(0),
+            IncidentId::new(0),
+            TicketId::new(0),
+            SimTime::ZERO,
+            FailureClass::Hardware,
+            FailureClass::Hardware,
+            SimDuration::from_minutes(-1),
+        );
+    }
+}

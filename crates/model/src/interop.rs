@@ -1,0 +1,414 @@
+//! Plain-CSV interop for failure traces.
+//!
+//! JSON round-trips preserve a full [`FailureDataset`], but real-world
+//! failure records (in the spirit of the Failure Trace Archive) usually come
+//! as two flat files: a machine inventory and an event log. This module
+//! writes and reads that minimal format so external traces can be analyzed
+//! with the exact same toolkit — telemetry-dependent analyses simply find no
+//! telemetry and bow out.
+//!
+//! Machine CSV columns:
+//! `machine,kind,subsystem,power_domain,cpus,memory_mb,disks,disk_gb,created_minutes,host_box`
+//! (the last two may be empty).
+//!
+//! Event CSV columns:
+//! `machine,incident,at_minutes,class,repair_minutes`.
+
+use crate::dataset::{DatasetBuilder, FailureDataset};
+use crate::failure::{FailureClass, FailureEvent, Incident};
+use crate::ids::{BoxId, IncidentId, MachineId, PowerDomainId, SubsystemId, TicketId};
+use crate::machine::{Machine, MachineKind, ResourceCapacity};
+use crate::ticket::{Ticket, TicketKind};
+use crate::time::{Horizon, SimDuration, SimTime};
+use crate::topology::{HostBox, SubsystemMeta, Topology};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error produced while parsing trace CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number (0 = structural problem).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseTraceError {
+    ParseTraceError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Serializes the machine inventory as CSV.
+pub fn machines_to_csv(dataset: &FailureDataset) -> String {
+    let mut out = String::from(
+        "machine,kind,subsystem,power_domain,cpus,memory_mb,disks,disk_gb,created_minutes,host_box\n",
+    );
+    for m in dataset.machines() {
+        let cap = m.capacity();
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{}\n",
+            m.id().raw(),
+            m.kind().label(),
+            m.subsystem().raw(),
+            m.power_domain().raw(),
+            cap.cpus(),
+            cap.memory_mb(),
+            cap.disks(),
+            cap.disk_gb(),
+            m.created_at()
+                .map(|t| t.as_minutes().to_string())
+                .unwrap_or_default(),
+            m.host().map(|b| b.raw().to_string()).unwrap_or_default(),
+        ));
+    }
+    out
+}
+
+/// Serializes the crash-event log as CSV (true classes).
+pub fn events_to_csv(dataset: &FailureDataset) -> String {
+    let mut out = String::from("machine,incident,at_minutes,class,repair_minutes\n");
+    for ev in dataset.events() {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            ev.machine().raw(),
+            ev.incident().raw(),
+            ev.at().as_minutes(),
+            ev.true_class().label(),
+            ev.repair().as_minutes(),
+        ));
+    }
+    out
+}
+
+fn parse_class(s: &str, line: usize) -> Result<FailureClass, ParseTraceError> {
+    FailureClass::ALL
+        .into_iter()
+        .find(|c| c.label().eq_ignore_ascii_case(s))
+        .ok_or_else(|| err(line, format!("unknown failure class '{s}'")))
+}
+
+fn parse_field<T: std::str::FromStr>(
+    s: &str,
+    what: &str,
+    line: usize,
+) -> Result<T, ParseTraceError> {
+    s.trim()
+        .parse()
+        .map_err(|_| err(line, format!("bad {what} '{s}'")))
+}
+
+/// Builds a dataset from machine-inventory and event-log CSV.
+///
+/// The resulting dataset has synthetic topology metadata ("Sys N" names, one
+/// host box per referenced id), placeholder crash tickets (no text) and no
+/// telemetry: every analysis that only needs machines + events runs
+/// unchanged; telemetry-dependent ones find nothing to analyze.
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] on malformed input or dangling references.
+pub fn dataset_from_csv(
+    machines_csv: &str,
+    events_csv: &str,
+    horizon: Horizon,
+) -> Result<FailureDataset, ParseTraceError> {
+    // --- machines ---------------------------------------------------------
+    let mut machines: Vec<Machine> = Vec::new();
+    let mut max_sys = 0u32;
+    let mut boxes: BTreeMap<u32, Vec<MachineId>> = BTreeMap::new();
+    for (lineno, line) in machines_csv.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 10 {
+            return Err(err(
+                lineno + 1,
+                format!("expected 10 columns, got {}", cols.len()),
+            ));
+        }
+        let id: u32 = parse_field(cols[0], "machine id", lineno + 1)?;
+        if id as usize != machines.len() {
+            return Err(err(lineno + 1, "machine ids must be dense and ordered"));
+        }
+        let kind = match cols[1].trim() {
+            k if k.eq_ignore_ascii_case("PM") => MachineKind::Pm,
+            k if k.eq_ignore_ascii_case("VM") => MachineKind::Vm,
+            other => return Err(err(lineno + 1, format!("unknown kind '{other}'"))),
+        };
+        let sys: u32 = parse_field(cols[2], "subsystem", lineno + 1)?;
+        max_sys = max_sys.max(sys);
+        let pd: u32 = parse_field(cols[3], "power domain", lineno + 1)?;
+        let capacity = ResourceCapacity::new(
+            parse_field(cols[4], "cpus", lineno + 1)?,
+            parse_field(cols[5], "memory_mb", lineno + 1)?,
+            parse_field(cols[6], "disks", lineno + 1)?,
+            parse_field(cols[7], "disk_gb", lineno + 1)?,
+        );
+        let created = if cols[8].trim().is_empty() {
+            None
+        } else {
+            Some(SimTime::from_minutes(parse_field(
+                cols[8],
+                "created_minutes",
+                lineno + 1,
+            )?))
+        };
+        let machine_id = MachineId::new(id);
+        let machine = match kind {
+            MachineKind::Pm => {
+                if !cols[9].trim().is_empty() {
+                    return Err(err(lineno + 1, "PM must not have a host box"));
+                }
+                Machine::new_pm(
+                    machine_id,
+                    SubsystemId::new(sys),
+                    PowerDomainId::new(pd),
+                    capacity,
+                    created,
+                )
+            }
+            MachineKind::Vm => {
+                let host: u32 = parse_field(cols[9], "host_box", lineno + 1)?;
+                boxes.entry(host).or_default().push(machine_id);
+                Machine::new_vm(
+                    machine_id,
+                    SubsystemId::new(sys),
+                    PowerDomainId::new(pd),
+                    capacity,
+                    created,
+                    BoxId::new(host),
+                )
+            }
+        };
+        machines.push(machine);
+    }
+    if machines.is_empty() {
+        return Err(err(0, "no machines in inventory"));
+    }
+
+    // --- topology ----------------------------------------------------------
+    let mut topology = Topology::new();
+    for sys in 0..=max_sys {
+        topology.add_subsystem(SubsystemMeta::new(
+            SubsystemId::new(sys),
+            format!("Sys {}", sys + 1),
+        ));
+    }
+    let max_box = boxes.keys().next_back().copied();
+    if let Some(max_box) = max_box {
+        for b in 0..=max_box {
+            let sys = boxes
+                .get(&b)
+                .and_then(|vms| vms.first())
+                .map(|m| machines[m.index()].subsystem())
+                .unwrap_or(SubsystemId::new(0));
+            let pd = boxes
+                .get(&b)
+                .and_then(|vms| vms.first())
+                .map(|m| machines[m.index()].power_domain())
+                .unwrap_or(PowerDomainId::new(0));
+            topology.add_box(HostBox::new(BoxId::new(b), sys, pd, false));
+        }
+        for (&b, vms) in &boxes {
+            for &vm in vms {
+                topology.place_vm(BoxId::new(b), vm);
+            }
+        }
+    }
+    for m in &machines {
+        topology.assign_power_domain(m.power_domain(), m.id());
+    }
+
+    // --- events ------------------------------------------------------------
+    struct Row {
+        machine: MachineId,
+        incident: u32,
+        at: SimTime,
+        class: FailureClass,
+        repair: SimDuration,
+    }
+    let mut rows = Vec::new();
+    for (lineno, line) in events_csv.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 5 {
+            return Err(err(
+                lineno + 1,
+                format!("expected 5 columns, got {}", cols.len()),
+            ));
+        }
+        let machine: u32 = parse_field(cols[0], "machine id", lineno + 1)?;
+        if machine as usize >= machines.len() {
+            return Err(err(
+                lineno + 1,
+                format!("event references unknown machine {machine}"),
+            ));
+        }
+        rows.push(Row {
+            machine: MachineId::new(machine),
+            incident: parse_field(cols[1], "incident id", lineno + 1)?,
+            at: SimTime::from_minutes(parse_field(cols[2], "at_minutes", lineno + 1)?),
+            class: parse_class(cols[3].trim(), lineno + 1)?,
+            repair: SimDuration::from_minutes(parse_field(cols[4], "repair_minutes", lineno + 1)?),
+        });
+    }
+
+    // Re-map incident ids densely in first-appearance order.
+    let mut incident_map: BTreeMap<u32, u32> = BTreeMap::new();
+    for row in &rows {
+        let next = incident_map.len() as u32;
+        incident_map.entry(row.incident).or_insert(next);
+    }
+
+    let mut builder = DatasetBuilder::new();
+    builder.horizon(horizon).topology(topology);
+    for m in machines {
+        builder.add_machine(m);
+    }
+    // Incidents: gather members and earliest time.
+    let mut incident_members: Vec<(Option<SimTime>, FailureClass, Vec<MachineId>)> =
+        vec![(None, FailureClass::Other, Vec::new()); incident_map.len()];
+    for row in &rows {
+        let slot = &mut incident_members[incident_map[&row.incident] as usize];
+        slot.0 = Some(slot.0.map_or(row.at, |t: SimTime| t.min(row.at)));
+        slot.1 = row.class;
+        slot.2.push(row.machine);
+    }
+    for (i, (at, class, members)) in incident_members.into_iter().enumerate() {
+        builder.add_incident(Incident::new(
+            IncidentId::new(i as u32),
+            class,
+            at.expect("incident has at least one row"),
+            members,
+        ));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let ticket = TicketId::new(i as u32);
+        let incident = IncidentId::new(incident_map[&row.incident]);
+        builder.add_ticket(Ticket::new(
+            ticket,
+            row.machine,
+            TicketKind::Crash,
+            Some(incident),
+            row.at,
+            row.at + row.repair,
+            String::new(),
+            String::new(),
+            Some(row.class),
+        ));
+        builder.add_event(FailureEvent::new(
+            row.machine,
+            incident,
+            ticket,
+            row.at,
+            row.class,
+            row.class,
+            row.repair,
+        ));
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MACHINES: &str = "\
+machine,kind,subsystem,power_domain,cpus,memory_mb,disks,disk_gb,created_minutes,host_box
+0,PM,0,0,4,8192,2,512,,
+1,VM,0,0,2,2048,1,64,-1000,0
+2,VM,1,1,1,1024,2,32,500,0
+";
+
+    const EVENTS: &str = "\
+machine,incident,at_minutes,class,repair_minutes
+0,100,1440,HW,600
+1,100,1440,Reboot,60
+2,200,100000,SW,120
+";
+
+    #[test]
+    fn import_builds_consistent_dataset() {
+        let ds = dataset_from_csv(MACHINES, EVENTS, Horizon::observation_year()).unwrap();
+        assert_eq!(ds.machines().len(), 3);
+        assert_eq!(ds.events().len(), 3);
+        assert_eq!(ds.incidents().len(), 2);
+        assert_eq!(ds.incidents()[0].size(), 2);
+        assert_eq!(ds.topology().subsystems().len(), 2);
+        // Analyses run on the imported dataset.
+        assert_eq!(ds.population(MachineKind::Pm, None), 1);
+        assert_eq!(ds.population(MachineKind::Vm, None), 2);
+        let vm = ds.machine(MachineId::new(1));
+        assert_eq!(vm.host(), Some(BoxId::new(0)));
+        assert_eq!(vm.created_at(), Some(SimTime::from_minutes(-1000)));
+        let pm = ds.machine(MachineId::new(0));
+        assert_eq!(pm.created_at(), None);
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_events_and_machines() {
+        let ds = dataset_from_csv(MACHINES, EVENTS, Horizon::observation_year()).unwrap();
+        let machines_csv = machines_to_csv(&ds);
+        let events_csv = events_to_csv(&ds);
+        let back = dataset_from_csv(&machines_csv, &events_csv, ds.horizon()).unwrap();
+        assert_eq!(back.machines(), ds.machines());
+        assert_eq!(back.events().len(), ds.events().len());
+        for (a, b) in back.events().iter().zip(ds.events()) {
+            assert_eq!(a.machine(), b.machine());
+            assert_eq!(a.at(), b.at());
+            assert_eq!(a.true_class(), b.true_class());
+            assert_eq!(a.repair(), b.repair());
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad_machines = "header\n0,XX,0,0,1,1,1,1,,\n";
+        let e =
+            dataset_from_csv(bad_machines, "header\n", Horizon::observation_year()).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("unknown kind"));
+
+        let bad_events = "header\n0,1,100,NotAClass,5\n";
+        let e = dataset_from_csv(MACHINES, bad_events, Horizon::observation_year()).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown failure class"));
+
+        let dangling = "header\n9,1,100,HW,5\n";
+        let e = dataset_from_csv(MACHINES, dangling, Horizon::observation_year()).unwrap_err();
+        assert!(e.message.contains("unknown machine"));
+    }
+
+    #[test]
+    fn sparse_ids_rejected() {
+        let gap = "\
+machine,kind,subsystem,power_domain,cpus,memory_mb,disks,disk_gb,created_minutes,host_box
+5,PM,0,0,1,1,1,1,,
+";
+        let e = dataset_from_csv(gap, "header\n", Horizon::observation_year()).unwrap_err();
+        assert!(e.message.contains("dense"));
+    }
+
+    #[test]
+    fn empty_inventory_rejected() {
+        let e = dataset_from_csv("header\n", "header\n", Horizon::observation_year()).unwrap_err();
+        assert_eq!(e.line, 0);
+    }
+}

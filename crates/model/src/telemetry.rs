@@ -1,0 +1,342 @@
+//! Resource telemetry: weekly usage rollups, 15-minute on/off logs and
+//! consolidation series.
+//!
+//! The paper's monitoring database keeps two years of records at 15-min,
+//! hourly, daily, weekly and monthly granularity. The analyses only consume
+//! weekly usage averages, monthly consolidation levels and 15-minute power
+//! samples over a two-month window, so those are the rollups modelled here.
+
+use crate::ids::MachineId;
+use crate::time::{Horizon, SimTime, MINUTE};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The 15-minute telemetry sampling period.
+pub const SAMPLE_PERIOD_MINUTES: i64 = 15;
+
+/// Weekly average resource usage of one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WeeklyUsage {
+    /// CPU utilization in percent (0–100).
+    pub cpu_pct: f32,
+    /// Memory utilization in percent (0–100).
+    pub mem_pct: f32,
+    /// Disk-space utilization in percent (0–100).
+    pub disk_pct: f32,
+    /// Network traffic in Kbps (sent + received).
+    pub net_kbps: f32,
+}
+
+impl WeeklyUsage {
+    /// Creates a usage record, clamping percentages into `[0, 100]` and
+    /// network volume to be nonnegative.
+    pub fn new(cpu_pct: f32, mem_pct: f32, disk_pct: f32, net_kbps: f32) -> Self {
+        Self {
+            cpu_pct: cpu_pct.clamp(0.0, 100.0),
+            mem_pct: mem_pct.clamp(0.0, 100.0),
+            disk_pct: disk_pct.clamp(0.0, 100.0),
+            net_kbps: net_kbps.max(0.0),
+        }
+    }
+}
+
+/// Power-state log of a VM: an initial state plus toggle instants.
+///
+/// The log covers `window` (the paper's two-month March–April slice); the
+/// 15-minute sample view is derived, exactly like counting transitions in the
+/// monitoring database's 15-min data points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnOffLog {
+    window: Horizon,
+    initial_on: bool,
+    toggles: Vec<SimTime>,
+}
+
+impl OnOffLog {
+    /// Creates an on/off log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the toggles are not strictly increasing or fall outside the
+    /// window.
+    pub fn new(window: Horizon, initial_on: bool, toggles: Vec<SimTime>) -> Self {
+        for pair in toggles.windows(2) {
+            assert!(pair[0] < pair[1], "toggle instants must strictly increase");
+        }
+        if let (Some(first), Some(last)) = (toggles.first(), toggles.last()) {
+            assert!(
+                window.contains(*first) && window.contains(*last),
+                "toggles must fall inside the log window"
+            );
+        }
+        Self {
+            window,
+            initial_on,
+            toggles,
+        }
+    }
+
+    /// A log of a machine that stayed on for the whole window.
+    pub fn always_on(window: Horizon) -> Self {
+        Self::new(window, true, Vec::new())
+    }
+
+    /// The window the log covers.
+    pub const fn window(&self) -> Horizon {
+        self.window
+    }
+
+    /// Raw toggle instants.
+    pub fn toggles(&self) -> &[SimTime] {
+        &self.toggles
+    }
+
+    /// Power state at instant `t` (clamped to the log window).
+    pub fn is_on_at(&self, t: SimTime) -> bool {
+        let flips = self.toggles.iter().take_while(|&&x| x <= t).count();
+        self.initial_on ^ (flips % 2 == 1)
+    }
+
+    /// Samples the power state every 15 minutes across the log window,
+    /// mirroring the monitoring database's 15-min data points.
+    pub fn samples_15min(&self) -> Vec<bool> {
+        let step = MINUTE * SAMPLE_PERIOD_MINUTES;
+        let mut out = Vec::new();
+        let mut t = self.window.start();
+        while t < self.window.end() {
+            out.push(self.is_on_at(t));
+            t += step;
+        }
+        out
+    }
+
+    /// Number of observable on/off transitions in the 15-min sample view.
+    ///
+    /// A power cycle shorter than one sampling period is invisible, exactly
+    /// as it would be in the real monitoring data.
+    pub fn sampled_transitions(&self) -> usize {
+        let samples = self.samples_15min();
+        samples.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+
+    /// Exact number of toggles in the log (ground truth).
+    pub fn true_transitions(&self) -> usize {
+        self.toggles.len()
+    }
+
+    /// Average observable transitions per 28-day month over the log window.
+    pub fn monthly_transition_rate(&self) -> f64 {
+        let months = self.window.len().as_days() / 28.0;
+        if months <= 0.0 {
+            return 0.0;
+        }
+        self.sampled_transitions() as f64 / months
+    }
+}
+
+/// All telemetry for a dataset, keyed by machine.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Telemetry {
+    /// Weekly usage per machine, indexed by observation-week.
+    usage: BTreeMap<MachineId, Vec<WeeklyUsage>>,
+    /// On/off logs (VMs only; PMs are assumed always-on).
+    onoff: BTreeMap<MachineId, OnOffLog>,
+    /// Monthly consolidation level per VM (co-residents incl. itself).
+    consolidation: BTreeMap<MachineId, Vec<u16>>,
+}
+
+impl Telemetry {
+    /// Creates an empty telemetry store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores the weekly usage series of a machine.
+    pub fn set_usage(&mut self, machine: MachineId, weeks: Vec<WeeklyUsage>) {
+        self.usage.insert(machine, weeks);
+    }
+
+    /// Stores the on/off log of a VM.
+    pub fn set_onoff(&mut self, machine: MachineId, log: OnOffLog) {
+        self.onoff.insert(machine, log);
+    }
+
+    /// Stores the monthly consolidation series of a VM.
+    pub fn set_consolidation(&mut self, machine: MachineId, levels: Vec<u16>) {
+        self.consolidation.insert(machine, levels);
+    }
+
+    /// Weekly usage series of a machine.
+    pub fn usage(&self, machine: MachineId) -> Option<&[WeeklyUsage]> {
+        self.usage.get(&machine).map(Vec::as_slice)
+    }
+
+    /// Usage of a machine in a specific observation week.
+    pub fn usage_in_week(&self, machine: MachineId, week: usize) -> Option<WeeklyUsage> {
+        self.usage.get(&machine)?.get(week).copied()
+    }
+
+    /// Mean usage of a machine over all recorded weeks.
+    pub fn mean_usage(&self, machine: MachineId) -> Option<WeeklyUsage> {
+        let weeks = self.usage.get(&machine)?;
+        if weeks.is_empty() {
+            return None;
+        }
+        let n = weeks.len() as f32;
+        let mut acc = WeeklyUsage::default();
+        for w in weeks {
+            acc.cpu_pct += w.cpu_pct;
+            acc.mem_pct += w.mem_pct;
+            acc.disk_pct += w.disk_pct;
+            acc.net_kbps += w.net_kbps;
+        }
+        Some(WeeklyUsage {
+            cpu_pct: acc.cpu_pct / n,
+            mem_pct: acc.mem_pct / n,
+            disk_pct: acc.disk_pct / n,
+            net_kbps: acc.net_kbps / n,
+        })
+    }
+
+    /// On/off log of a machine.
+    pub fn onoff(&self, machine: MachineId) -> Option<&OnOffLog> {
+        self.onoff.get(&machine)
+    }
+
+    /// Monthly consolidation series of a VM.
+    pub fn consolidation(&self, machine: MachineId) -> Option<&[u16]> {
+        self.consolidation.get(&machine).map(Vec::as_slice)
+    }
+
+    /// Average monthly consolidation level of a VM over the year.
+    pub fn mean_consolidation(&self, machine: MachineId) -> Option<f64> {
+        let levels = self.consolidation.get(&machine)?;
+        if levels.is_empty() {
+            return None;
+        }
+        Some(levels.iter().map(|&l| l as f64).sum::<f64>() / levels.len() as f64)
+    }
+
+    /// Number of machines with usage records.
+    pub fn num_usage_series(&self) -> usize {
+        self.usage.len()
+    }
+
+    /// Number of machines with on/off logs.
+    pub fn num_onoff_logs(&self) -> usize {
+        self.onoff.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn window() -> Horizon {
+        // Two 28-day months.
+        Horizon::new(SimTime::ZERO, SimTime::ZERO + SimDuration::from_days(56))
+    }
+
+    #[test]
+    fn usage_clamps() {
+        let u = WeeklyUsage::new(120.0, -5.0, 50.0, -1.0);
+        assert_eq!(u.cpu_pct, 100.0);
+        assert_eq!(u.mem_pct, 0.0);
+        assert_eq!(u.disk_pct, 50.0);
+        assert_eq!(u.net_kbps, 0.0);
+    }
+
+    #[test]
+    fn onoff_state_tracks_toggles() {
+        let log = OnOffLog::new(
+            window(),
+            true,
+            vec![SimTime::from_days(1), SimTime::from_days(2)],
+        );
+        assert!(log.is_on_at(SimTime::ZERO));
+        assert!(!log.is_on_at(SimTime::from_days(1)));
+        assert!(log.is_on_at(SimTime::from_days(2)));
+        assert_eq!(log.true_transitions(), 2);
+        assert_eq!(log.window(), window());
+        assert_eq!(log.toggles().len(), 2);
+    }
+
+    #[test]
+    fn sampled_transitions_match_well_separated_toggles() {
+        let log = OnOffLog::new(
+            window(),
+            true,
+            vec![SimTime::from_days(10), SimTime::from_days(20)],
+        );
+        assert_eq!(log.sampled_transitions(), 2);
+        // 2 transitions over 2 months → 1/month.
+        assert!((log.monthly_transition_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_sample_power_cycle_is_invisible() {
+        // Off and back on within 10 minutes: both inside one 15-min sample.
+        let t = SimTime::from_days(5);
+        let log = OnOffLog::new(window(), true, vec![t + MINUTE * 2, t + MINUTE * 9]);
+        assert_eq!(log.true_transitions(), 2);
+        assert_eq!(log.sampled_transitions(), 0);
+    }
+
+    #[test]
+    fn always_on_has_no_transitions() {
+        let log = OnOffLog::always_on(window());
+        assert_eq!(log.sampled_transitions(), 0);
+        assert!(log.is_on_at(SimTime::from_days(30)));
+        let samples = log.samples_15min();
+        assert_eq!(samples.len(), 56 * 96);
+        assert!(samples.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn unsorted_toggles_rejected() {
+        let _ = OnOffLog::new(
+            window(),
+            true,
+            vec![SimTime::from_days(2), SimTime::from_days(1)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the log window")]
+    fn out_of_window_toggles_rejected() {
+        let _ = OnOffLog::new(window(), true, vec![SimTime::from_days(100)]);
+    }
+
+    #[test]
+    fn telemetry_store_roundtrip() {
+        let mut t = Telemetry::new();
+        let m = MachineId::new(0);
+        t.set_usage(
+            m,
+            vec![
+                WeeklyUsage::new(10.0, 20.0, 30.0, 64.0),
+                WeeklyUsage::new(30.0, 40.0, 50.0, 128.0),
+            ],
+        );
+        t.set_onoff(m, OnOffLog::always_on(window()));
+        t.set_consolidation(m, vec![4, 6]);
+
+        assert_eq!(t.num_usage_series(), 1);
+        assert_eq!(t.num_onoff_logs(), 1);
+        assert_eq!(t.usage_in_week(m, 1).unwrap().cpu_pct, 30.0);
+        assert_eq!(t.usage_in_week(m, 2), None);
+        let mean = t.mean_usage(m).unwrap();
+        assert!((mean.cpu_pct - 20.0).abs() < 1e-6);
+        assert!((mean.net_kbps - 96.0).abs() < 1e-6);
+        assert_eq!(t.mean_consolidation(m), Some(5.0));
+        assert_eq!(t.consolidation(m).unwrap(), &[4, 6]);
+        assert!(t.onoff(m).is_some());
+        // Missing machine.
+        let missing = MachineId::new(99);
+        assert!(t.usage(missing).is_none());
+        assert!(t.mean_usage(missing).is_none());
+        assert!(t.mean_consolidation(missing).is_none());
+    }
+}

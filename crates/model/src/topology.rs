@@ -1,0 +1,296 @@
+//! Datacenter topology: subsystems, power domains, host boxes, app clusters.
+//!
+//! The paper lacked physical-location data and could not compute precise
+//! spatial dependency; the simulator models the co-location structure the
+//! authors inferred indirectly (power outages hitting co-located subsets,
+//! host-platform reboots hitting all hosted VMs, distributed software taking
+//! down application tiers) so the spatial analyses have real structure to
+//! recover.
+
+use crate::ids::{BoxId, ClusterId, MachineId, PowerDomainId, SubsystemId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Metadata about one of the five datacenter subsystems.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubsystemMeta {
+    id: SubsystemId,
+    name: String,
+}
+
+impl SubsystemMeta {
+    /// Creates subsystem metadata.
+    pub fn new(id: SubsystemId, name: impl Into<String>) -> Self {
+        Self {
+            id,
+            name: name.into(),
+        }
+    }
+
+    /// Subsystem id.
+    pub const fn id(&self) -> SubsystemId {
+        self.id
+    }
+
+    /// Human-readable name ("Sys I" ... "Sys V").
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A virtualized host box (hypervisor platform) carrying VMs.
+///
+/// Boxes are not part of the analyzed machine population (matching the
+/// paper's exclusion) but their crashes drive VM reboot incidents and their
+/// occupancy defines consolidation levels.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostBox {
+    id: BoxId,
+    subsystem: SubsystemId,
+    power_domain: PowerDomainId,
+    /// VMs placed on this box (home placement; on/off state varies over time).
+    vms: Vec<MachineId>,
+    /// High-end boxes have more reliable components and built-in fault
+    /// tolerance (the paper's explanation for consolidation lowering rates).
+    high_end: bool,
+}
+
+impl HostBox {
+    /// Creates a host box.
+    pub fn new(
+        id: BoxId,
+        subsystem: SubsystemId,
+        power_domain: PowerDomainId,
+        high_end: bool,
+    ) -> Self {
+        Self {
+            id,
+            subsystem,
+            power_domain,
+            vms: Vec::new(),
+            high_end,
+        }
+    }
+
+    /// Box id.
+    pub const fn id(&self) -> BoxId {
+        self.id
+    }
+
+    /// Subsystem the box belongs to.
+    pub const fn subsystem(&self) -> SubsystemId {
+        self.subsystem
+    }
+
+    /// Power domain feeding the box.
+    pub const fn power_domain(&self) -> PowerDomainId {
+        self.power_domain
+    }
+
+    /// True for high-end, fault-tolerant platforms.
+    pub const fn is_high_end(&self) -> bool {
+        self.high_end
+    }
+
+    /// VMs homed on this box.
+    pub fn vms(&self) -> &[MachineId] {
+        &self.vms
+    }
+
+    /// Number of VMs homed on this box (the nominal consolidation level).
+    pub fn occupancy(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Places a VM on this box.
+    pub fn place_vm(&mut self, vm: MachineId) {
+        self.vms.push(vm);
+    }
+}
+
+/// The assembled datacenter topology.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    subsystems: Vec<SubsystemMeta>,
+    boxes: Vec<HostBox>,
+    /// Machines per power domain (PMs and VMs).
+    power_domains: BTreeMap<PowerDomainId, Vec<MachineId>>,
+    /// Machines per application cluster.
+    app_clusters: BTreeMap<ClusterId, Vec<MachineId>>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a subsystem. Ids must be added densely in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subsystem id does not match the insertion order.
+    pub fn add_subsystem(&mut self, meta: SubsystemMeta) {
+        assert_eq!(
+            meta.id().index(),
+            self.subsystems.len(),
+            "subsystems must be added in dense id order"
+        );
+        self.subsystems.push(meta);
+    }
+
+    /// Registers a host box. Ids must be added densely in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the box id does not match the insertion order.
+    pub fn add_box(&mut self, hbox: HostBox) {
+        assert_eq!(
+            hbox.id().index(),
+            self.boxes.len(),
+            "boxes must be added in dense id order"
+        );
+        self.boxes.push(hbox);
+    }
+
+    /// Records that `machine` is fed by `domain`.
+    pub fn assign_power_domain(&mut self, domain: PowerDomainId, machine: MachineId) {
+        self.power_domains.entry(domain).or_default().push(machine);
+    }
+
+    /// Records that `machine` belongs to application cluster `cluster`.
+    pub fn assign_app_cluster(&mut self, cluster: ClusterId, machine: MachineId) {
+        self.app_clusters.entry(cluster).or_default().push(machine);
+    }
+
+    /// Places a VM on a box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the box id is unknown.
+    pub fn place_vm(&mut self, hbox: BoxId, vm: MachineId) {
+        self.boxes
+            .get_mut(hbox.index())
+            .expect("unknown box id")
+            .place_vm(vm);
+    }
+
+    /// All subsystems.
+    pub fn subsystems(&self) -> &[SubsystemMeta] {
+        &self.subsystems
+    }
+
+    /// All host boxes.
+    pub fn boxes(&self) -> &[HostBox] {
+        &self.boxes
+    }
+
+    /// Looks up a box.
+    pub fn host_box(&self, id: BoxId) -> Option<&HostBox> {
+        self.boxes.get(id.index())
+    }
+
+    /// Machines in a power domain.
+    pub fn power_domain_members(&self, domain: PowerDomainId) -> &[MachineId] {
+        self.power_domains
+            .get(&domain)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Machines in an application cluster.
+    pub fn app_cluster_members(&self, cluster: ClusterId) -> &[MachineId] {
+        self.app_clusters
+            .get(&cluster)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates over all power-domain ids.
+    pub fn power_domain_ids(&self) -> impl Iterator<Item = PowerDomainId> + '_ {
+        self.power_domains.keys().copied()
+    }
+
+    /// Iterates over all application-cluster ids.
+    pub fn app_cluster_ids(&self) -> impl Iterator<Item = ClusterId> + '_ {
+        self.app_clusters.keys().copied()
+    }
+
+    /// Number of registered boxes.
+    pub fn num_boxes(&self) -> usize {
+        self.boxes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_topology() {
+        let mut topo = Topology::new();
+        topo.add_subsystem(SubsystemMeta::new(SubsystemId::new(0), "Sys I"));
+        topo.add_box(HostBox::new(
+            BoxId::new(0),
+            SubsystemId::new(0),
+            PowerDomainId::new(0),
+            true,
+        ));
+        topo.place_vm(BoxId::new(0), MachineId::new(5));
+        topo.place_vm(BoxId::new(0), MachineId::new(6));
+        topo.assign_power_domain(PowerDomainId::new(0), MachineId::new(5));
+        topo.assign_app_cluster(ClusterId::new(0), MachineId::new(6));
+
+        let hb = topo.host_box(BoxId::new(0)).unwrap();
+        assert_eq!(hb.occupancy(), 2);
+        assert!(hb.is_high_end());
+        assert_eq!(hb.subsystem(), SubsystemId::new(0));
+        assert_eq!(hb.power_domain(), PowerDomainId::new(0));
+        assert_eq!(
+            topo.power_domain_members(PowerDomainId::new(0)),
+            &[MachineId::new(5)]
+        );
+        assert_eq!(
+            topo.app_cluster_members(ClusterId::new(0)),
+            &[MachineId::new(6)]
+        );
+        assert_eq!(topo.subsystems()[0].name(), "Sys I");
+        assert_eq!(topo.num_boxes(), 1);
+        assert_eq!(topo.power_domain_ids().count(), 1);
+        assert_eq!(topo.app_cluster_ids().count(), 1);
+    }
+
+    #[test]
+    fn unknown_groups_are_empty() {
+        let topo = Topology::new();
+        assert!(topo.power_domain_members(PowerDomainId::new(9)).is_empty());
+        assert!(topo.app_cluster_members(ClusterId::new(9)).is_empty());
+        assert!(topo.host_box(BoxId::new(0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "dense id order")]
+    fn out_of_order_subsystem_rejected() {
+        let mut topo = Topology::new();
+        topo.add_subsystem(SubsystemMeta::new(SubsystemId::new(1), "Sys II"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense id order")]
+    fn out_of_order_box_rejected() {
+        let mut topo = Topology::new();
+        topo.add_box(HostBox::new(
+            BoxId::new(3),
+            SubsystemId::new(0),
+            PowerDomainId::new(0),
+            false,
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown box id")]
+    fn placing_on_unknown_box_rejected() {
+        let mut topo = Topology::new();
+        topo.place_vm(BoxId::new(0), MachineId::new(0));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the domain model.
+
+use dcfail_model::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// SimTime/SimDuration arithmetic satisfies the group laws.
+    #[test]
+    fn time_arithmetic_laws(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let t = SimTime::from_minutes(a);
+        let d = SimDuration::from_minutes(b);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!(t - t, SimDuration::ZERO);
+        prop_assert_eq!(d + SimDuration::ZERO, d);
+        prop_assert_eq!(d - d, SimDuration::ZERO);
+        // Unit conversions are consistent.
+        prop_assert!((d.as_days() * 24.0 - d.as_hours()).abs() < 1e-9);
+        prop_assert!((d.as_weeks() * 7.0 - d.as_days()).abs() < 1e-9);
+    }
+
+    /// Horizon bucketing maps instants into dense, ordered buckets.
+    #[test]
+    fn horizon_bucketing(offset_minutes in 0i64..(364 * 24 * 60 - 1)) {
+        let h = Horizon::observation_year();
+        let t = h.start() + SimDuration::from_minutes(offset_minutes);
+        let day = h.day_of(t).expect("inside window");
+        let week = h.week_of(t).expect("inside window");
+        let month = h.month_of(t).expect("inside window");
+        prop_assert!(day < h.num_days());
+        prop_assert!(week < h.num_weeks());
+        prop_assert!(month < h.num_months());
+        prop_assert_eq!(week, day / 7);
+        prop_assert_eq!(month, day / 28);
+        // Outside the window: no bucket.
+        prop_assert_eq!(h.day_of(h.end()), None);
+        prop_assert_eq!(h.day_of(h.start() - SimDuration::from_minutes(1)), None);
+    }
+
+    /// An on/off log's sampled transition count never exceeds the true
+    /// toggle count, and state queries are consistent with toggles.
+    #[test]
+    fn onoff_log_invariants(raw_toggles in prop::collection::btree_set(0i64..56 * 24 * 60, 0..25)) {
+        let window = Horizon::new(SimTime::ZERO, SimTime::from_days(56));
+        let toggles: Vec<SimTime> = raw_toggles
+            .iter()
+            .map(|&m| SimTime::from_minutes(m))
+            .collect();
+        let log = OnOffLog::new(window, true, toggles.clone());
+        prop_assert_eq!(log.true_transitions(), toggles.len());
+        prop_assert!(log.sampled_transitions() <= log.true_transitions());
+        // State at window start is the initial state.
+        prop_assert!(log.is_on_at(window.start() - SimDuration::from_minutes(1)));
+        // State parity at the end matches toggle count parity.
+        let end_state = log.is_on_at(window.end());
+        prop_assert_eq!(end_state, toggles.len().is_multiple_of(2));
+        prop_assert!(log.monthly_transition_rate() >= 0.0);
+    }
+
+    /// Resource capacity accessors round-trip construction.
+    #[test]
+    fn capacity_roundtrip(cpus in 1u32..128, mem in 1u64..1_000_000, disks in 0u32..32, gb in 0u64..100_000) {
+        let c = ResourceCapacity::new(cpus, mem, disks, gb);
+        prop_assert_eq!(c.cpus(), cpus);
+        prop_assert_eq!(c.memory_mb(), mem);
+        prop_assert_eq!(c.disks(), disks);
+        prop_assert_eq!(c.disk_gb(), gb);
+        prop_assert!((c.memory_gb() * 1024.0 - mem as f64).abs() < 1e-6);
+    }
+
+    /// Machine serde round-trips preserve everything.
+    #[test]
+    fn machine_serde_roundtrip(
+        id in 0u32..10_000,
+        sys in 0u32..5,
+        pd in 0u32..100,
+        created in prop::option::of(-500_000i64..500_000),
+        is_vm in any::<bool>(),
+    ) {
+        let cap = ResourceCapacity::new(2, 2048, 2, 64);
+        let created = created.map(SimTime::from_minutes);
+        let m = if is_vm {
+            Machine::new_vm(
+                MachineId::new(id),
+                SubsystemId::new(sys),
+                PowerDomainId::new(pd),
+                cap,
+                created,
+                BoxId::new(7),
+            )
+        } else {
+            Machine::new_pm(
+                MachineId::new(id),
+                SubsystemId::new(sys),
+                PowerDomainId::new(pd),
+                cap,
+                created,
+            )
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Machine = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    /// Failure-class index mapping is a bijection over the six classes.
+    #[test]
+    fn class_index_bijection(i in 0usize..6) {
+        let class = FailureClass::from_index(i);
+        prop_assert_eq!(class.index(), i);
+    }
+
+    /// Age is nonnegative and grows linearly after creation.
+    #[test]
+    fn age_monotone(created_day in -700i64..300, probe_day in 0i64..364) {
+        let m = Machine::new_pm(
+            MachineId::new(0),
+            SubsystemId::new(0),
+            PowerDomainId::new(0),
+            ResourceCapacity::new(1, 1024, 1, 10),
+            Some(SimTime::from_days(created_day)),
+        );
+        let t = SimTime::from_days(probe_day);
+        match m.age_days_at(t) {
+            Some(age) => {
+                prop_assert!(age >= 0.0);
+                prop_assert!((age - (probe_day - created_day) as f64).abs() < 1e-9);
+                // One day later, one day older.
+                let later = m.age_days_at(t + DAY).unwrap();
+                prop_assert!((later - age - 1.0).abs() < 1e-9);
+            }
+            None => prop_assert!(probe_day < created_day),
+        }
+    }
+}

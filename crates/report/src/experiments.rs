@@ -1,0 +1,189 @@
+//! Experiment registry: every table and figure of the paper, addressable by
+//! id, with a single dispatch entry point used by the `repro` harness.
+
+use crate::runners::{self, Rendered};
+use dcfail_model::dataset::FailureDataset;
+use std::fmt;
+use std::str::FromStr;
+
+/// Identifier of a reproducible paper artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExperimentId {
+    /// Table I — related-work scope comparison (static).
+    Table1,
+    /// Table II — dataset statistics.
+    Table2,
+    /// Table III — inter-failure times by class.
+    Table3,
+    /// Table IV — repair times by class.
+    Table4,
+    /// Table V — random vs recurrent failures.
+    Table5,
+    /// Table VI — incident footprint census.
+    Table6,
+    /// Table VII — incident footprint by class.
+    Table7,
+    /// Fig. 1 — ticket class distribution.
+    Fig1,
+    /// Fig. 2 — weekly failure rates.
+    Fig2,
+    /// Fig. 3 — inter-failure CDFs and fits.
+    Fig3,
+    /// Fig. 4 — repair-time CDFs and fits.
+    Fig4,
+    /// Fig. 5 — recurrence probabilities.
+    Fig5,
+    /// Fig. 6 — VM failures vs age.
+    Fig6,
+    /// Fig. 7 — rate vs capacity.
+    Fig7,
+    /// Fig. 8 — rate vs usage.
+    Fig8,
+    /// Fig. 9 — rate vs consolidation.
+    Fig9,
+    /// Fig. 10 — rate vs on/off frequency.
+    Fig10,
+}
+
+impl ExperimentId {
+    /// All artifacts in paper order.
+    pub const ALL: [ExperimentId; 17] = [
+        ExperimentId::Table1,
+        ExperimentId::Table2,
+        ExperimentId::Fig1,
+        ExperimentId::Fig2,
+        ExperimentId::Fig3,
+        ExperimentId::Table3,
+        ExperimentId::Fig4,
+        ExperimentId::Table4,
+        ExperimentId::Fig5,
+        ExperimentId::Table5,
+        ExperimentId::Table6,
+        ExperimentId::Table7,
+        ExperimentId::Fig6,
+        ExperimentId::Fig7,
+        ExperimentId::Fig8,
+        ExperimentId::Fig9,
+        ExperimentId::Fig10,
+    ];
+
+    /// Short id string (`"table5"`, `"fig7"`).
+    pub const fn key(self) -> &'static str {
+        match self {
+            ExperimentId::Table1 => "table1",
+            ExperimentId::Table2 => "table2",
+            ExperimentId::Table3 => "table3",
+            ExperimentId::Table4 => "table4",
+            ExperimentId::Table5 => "table5",
+            ExperimentId::Table6 => "table6",
+            ExperimentId::Table7 => "table7",
+            ExperimentId::Fig1 => "fig1",
+            ExperimentId::Fig2 => "fig2",
+            ExperimentId::Fig3 => "fig3",
+            ExperimentId::Fig4 => "fig4",
+            ExperimentId::Fig5 => "fig5",
+            ExperimentId::Fig6 => "fig6",
+            ExperimentId::Fig7 => "fig7",
+            ExperimentId::Fig8 => "fig8",
+            ExperimentId::Fig9 => "fig9",
+            ExperimentId::Fig10 => "fig10",
+        }
+    }
+}
+
+impl fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Error returned when parsing an unknown experiment id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseExperimentError(String);
+
+impl fmt::Display for ParseExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown experiment '{}' (expected one of: {})",
+            self.0,
+            ExperimentId::ALL
+                .iter()
+                .map(|e| e.key())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseExperimentError {}
+
+impl FromStr for ExperimentId {
+    type Err = ParseExperimentError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let needle = s.trim().to_lowercase();
+        ExperimentId::ALL
+            .into_iter()
+            .find(|e| e.key() == needle)
+            .ok_or_else(|| ParseExperimentError(s.to_string()))
+    }
+}
+
+/// Runs one experiment against a dataset.
+pub fn run(id: ExperimentId, dataset: &FailureDataset) -> Rendered {
+    match id {
+        ExperimentId::Table1 => runners::table1(),
+        ExperimentId::Table2 => runners::table2(dataset),
+        ExperimentId::Table3 => runners::table3(dataset),
+        ExperimentId::Table4 => runners::table4(dataset),
+        ExperimentId::Table5 => runners::table5(dataset),
+        ExperimentId::Table6 => runners::table6(dataset),
+        ExperimentId::Table7 => runners::table7(dataset),
+        ExperimentId::Fig1 => runners::fig1(dataset),
+        ExperimentId::Fig2 => runners::fig2(dataset),
+        ExperimentId::Fig3 => runners::fig3(dataset),
+        ExperimentId::Fig4 => runners::fig4(dataset),
+        ExperimentId::Fig5 => runners::fig5(dataset),
+        ExperimentId::Fig6 => runners::fig6(dataset),
+        ExperimentId::Fig7 => runners::fig7(dataset),
+        ExperimentId::Fig8 => runners::fig8(dataset),
+        ExperimentId::Fig9 => runners::fig9(dataset),
+        ExperimentId::Fig10 => runners::fig10(dataset),
+    }
+}
+
+/// Runs every experiment in paper order.
+pub fn run_all(dataset: &FailureDataset) -> Vec<(ExperimentId, Rendered)> {
+    ExperimentId::ALL
+        .into_iter()
+        .map(|id| (id, run(id, dataset)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcfail_synth::Scenario;
+
+    #[test]
+    fn ids_parse_roundtrip() {
+        for id in ExperimentId::ALL {
+            assert_eq!(id.key().parse::<ExperimentId>().unwrap(), id);
+            assert_eq!(id.to_string(), id.key());
+        }
+        assert!("fig99".parse::<ExperimentId>().is_err());
+        let err = "bogus".parse::<ExperimentId>().unwrap_err();
+        assert!(err.to_string().contains("unknown experiment"));
+    }
+
+    #[test]
+    fn run_all_covers_every_artifact() {
+        let ds = Scenario::paper().seed(3).scale(0.03).build().into_dataset();
+        let reports = run_all(&ds);
+        assert_eq!(reports.len(), 17);
+        for (id, r) in &reports {
+            assert!(!r.text.is_empty(), "{id}: empty report");
+        }
+    }
+}

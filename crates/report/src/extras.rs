@@ -1,0 +1,347 @@
+//! Extension reports beyond the paper's artifacts: availability ("nines"),
+//! censoring-corrected inter-failure times, bootstrap confidence intervals
+//! on the headline rates, and the week-ahead failure predictor.
+
+use crate::runners::Rendered;
+use crate::table::{fmt2, fmt_rate, TextTable};
+use dcfail_core::{
+    availability, followon, interfailure, prediction, rates, temporal, whatif, ClassSource,
+};
+use dcfail_model::prelude::*;
+use dcfail_stats::bootstrap::bootstrap_mean_ci;
+use dcfail_stats::rng::StreamRng;
+
+/// Availability and "nines" per machine kind.
+pub fn availability_report(dataset: &FailureDataset) -> Rendered {
+    let mut t = TextTable::new(vec![
+        "kind",
+        "machines",
+        "fully available",
+        "mean availability",
+        "mean downtime h/yr",
+        "fleet nines",
+    ]);
+    for kind in MachineKind::ALL {
+        if let Some(g) = availability::by_kind(dataset, kind) {
+            t.row(vec![
+                kind.label().to_string(),
+                g.machines.to_string(),
+                format!(
+                    "{} ({:.0}%)",
+                    g.fully_available,
+                    100.0 * g.fully_available as f64 / g.machines as f64
+                ),
+                format!("{:.5}", g.mean_availability),
+                fmt2(g.mean_downtime_hours),
+                fmt2(g.fleet_nines),
+            ]);
+        }
+    }
+    Rendered {
+        title: "Extra — server availability and nines".into(),
+        csv: Some(t.to_csv()),
+        text: format!(
+            "{}\nderived from the failure/repair record (repair windows merged, \
+             clipped to the observation year)\n",
+            t.render()
+        ),
+    }
+}
+
+/// Censoring-corrected inter-failure survival vs the paper's naive gaps.
+pub fn censored_interfailure_report(dataset: &FailureDataset) -> Rendered {
+    let mut t = TextTable::new(vec![
+        "kind",
+        "observations",
+        "censored share",
+        "naive median d",
+        "KM median d",
+        "S(30d)",
+        "S(100d)",
+    ]);
+    for kind in MachineKind::ALL {
+        if let Some(c) = interfailure::analyze_censored(dataset, kind) {
+            t.row(vec![
+                kind.label().to_string(),
+                c.km.n().to_string(),
+                format!("{:.0}%", 100.0 * c.censored_share),
+                c.naive_median_days.map(fmt2).unwrap_or_else(|| "-".into()),
+                c.km_median_days
+                    .map(fmt2)
+                    .unwrap_or_else(|| ">window".into()),
+                fmt2(c.km.survival_at(30.0)),
+                fmt2(c.km.survival_at(100.0)),
+            ]);
+        }
+    }
+    Rendered {
+        title: "Extra — censoring-corrected inter-failure times (Kaplan–Meier)".into(),
+        csv: Some(t.to_csv()),
+        text: format!(
+            "{}\nsingle-failure servers enter as right-censored spans; the paper \
+             drops them, biasing gaps downward\n",
+            t.render()
+        ),
+    }
+}
+
+/// Bootstrap confidence intervals on the Fig. 2 headline rates.
+pub fn rate_confidence_report(dataset: &FailureDataset, seed: u64) -> Rendered {
+    let mut rng = StreamRng::new(seed).fork("report.bootstrap");
+    let mut t = TextTable::new(vec!["group", "weekly rate", "95% CI lo", "95% CI hi"]);
+    for kind in MachineKind::ALL {
+        let series = rates::rate_series(dataset, kind, None, rates::Granularity::Week);
+        if let Ok(ci) = bootstrap_mean_ci(&series, 0.95, 800, &mut rng) {
+            t.row(vec![
+                kind.label().to_string(),
+                fmt_rate(ci.estimate),
+                fmt_rate(ci.lo),
+                fmt_rate(ci.hi),
+            ]);
+        }
+    }
+    Rendered {
+        title: "Extra — bootstrap CIs on weekly failure rates".into(),
+        csv: Some(t.to_csv()),
+        text: format!(
+            "{}\npercentile bootstrap over the 52 weekly rates (800 resamples)\n",
+            t.render()
+        ),
+    }
+}
+
+/// Week-ahead failure-prediction evaluation.
+pub fn prediction_report(dataset: &FailureDataset) -> Rendered {
+    let weights = prediction::PredictorWeights::default();
+    let Some(r) = prediction::evaluate(dataset, 8, &weights) else {
+        return Rendered {
+            title: "Extra — week-ahead failure prediction".into(),
+            text: "no failures in the evaluation span\n".into(),
+            csv: None,
+        };
+    };
+    let mut t = TextTable::new(vec!["metric", "value"]);
+    t.row(vec![
+        "machine-weeks scored".to_string(),
+        r.observations.to_string(),
+    ]);
+    t.row(vec![
+        "failing machine-weeks".to_string(),
+        r.positives.to_string(),
+    ]);
+    t.row(vec!["AUC".to_string(), format!("{:.3}", r.auc)]);
+    t.row(vec![
+        "recall@top-decile".to_string(),
+        format!("{:.1}%", 100.0 * r.recall_at_top_decile),
+    ]);
+    t.row(vec![
+        "lift@top-decile".to_string(),
+        format!("{:.1}x", r.lift_at_top_decile),
+    ]);
+    Rendered {
+        title: "Extra — week-ahead failure prediction".into(),
+        csv: Some(t.to_csv()),
+        text: format!(
+            "{}\nwalk-forward evaluation from week 8; features: failure recency, \
+             failure count, group base rate (no peeking ahead)\n",
+            t.render()
+        ),
+    }
+}
+
+/// Counterfactual evaluation of the paper's operational advice.
+pub fn whatif_report(dataset: &FailureDataset) -> Rendered {
+    let w = whatif::WhatIf::from_dataset(dataset);
+    let mut t = TextTable::new(vec![
+        "intervention",
+        "baseline rate",
+        "counterfactual",
+        "change",
+        "VMs moved",
+    ]);
+    let interventions: [(&str, whatif::Intervention); 3] = [
+        (
+            "raise consolidation to >=16",
+            whatif::Intervention::RaiseConsolidation { min_level: 16.0 },
+        ),
+        (
+            "cap power cycling at 1/month",
+            whatif::Intervention::LimitPowerCycling { max_per_month: 1.0 },
+        ),
+        (
+            "consolidate disks to <=2",
+            whatif::Intervention::ConsolidateDisks { max_disks: 2 },
+        ),
+    ];
+    for (label, intervention) in interventions {
+        let o = w.predict(intervention);
+        t.row(vec![
+            label.to_string(),
+            fmt_rate(o.baseline),
+            fmt_rate(o.counterfactual),
+            format!("{:+.1}%", 100.0 * o.relative_change()),
+            o.vms_moved.to_string(),
+        ]);
+    }
+    Rendered {
+        title: "Extra — what-if evaluation of the paper's advice".into(),
+        csv: Some(t.to_csv()),
+        text: format!(
+            "{}
+reweighting counterfactual over the measured Fig. 7d/9/10 curves              (assumes the curves are causal — the reading the paper's advice implies)
+",
+            t.render()
+        ),
+    }
+}
+
+/// Follow-on failure intensities per triggering root cause.
+pub fn followon_report(dataset: &FailureDataset) -> Rendered {
+    let per_class = followon::follow_on_by_class(dataset, WEEK, ClassSource::Truth);
+    let mut t = TextTable::new(vec![
+        "trigger class",
+        "triggers",
+        "P(follow-on in 7d)",
+        "x random",
+        "cross-class share",
+    ]);
+    for class in FailureClass::CLASSIFIED {
+        let Some(f) = per_class[class.index()] else {
+            continue;
+        };
+        let ratio = followon::follow_on_ratio(dataset, class, ClassSource::Truth);
+        t.row(vec![
+            class.label().to_string(),
+            f.triggers.to_string(),
+            fmt2(f.probability),
+            ratio
+                .map(|r| format!("{r:.0}x"))
+                .unwrap_or_else(|| "-".into()),
+            format!("{:.0}%", 100.0 * f.cross_class_share),
+        ]);
+    }
+    Rendered {
+        title: "Extra — follow-on failures by triggering root cause".into(),
+        csv: Some(t.to_csv()),
+        text: format!(
+            "{}
+the El-Sayed/Schroeder finding on our data: any failure class              induces follow-on failures of any kind at far-above-random intensity
+",
+            t.render()
+        ),
+    }
+}
+
+/// Temporal dependency: daily-count dispersion and the post-failure hazard.
+pub fn temporal_report(dataset: &FailureDataset) -> Rendered {
+    let mut text = String::new();
+    let mut t = TextTable::new(vec![
+        "kind",
+        "dispersion index",
+        "Ljung-Box Q (7)",
+        "lag-1 acf",
+        "active days",
+    ]);
+    for kind in MachineKind::ALL {
+        if let Some(a) = temporal::analyze(dataset, kind) {
+            t.row(vec![
+                kind.label().to_string(),
+                fmt2(a.dispersion_index),
+                fmt2(a.ljung_box_q),
+                format!("{:+.3}", a.acf[1]),
+                a.active_days.to_string(),
+            ]);
+        }
+    }
+    text.push_str(&t.render());
+    text.push_str(
+        "
+dispersion > 1 = same-day clustering beyond Poisson (5% threshold ≈ 1.13)
+
+",
+    );
+    let mut hz_table = TextTable::new(vec!["days since failure", "PM hazard", "VM hazard"]);
+    let pm = temporal::empirical_hazard(dataset, MachineKind::Pm, 14);
+    let vm = temporal::empirical_hazard(dataset, MachineKind::Vm, 14);
+    for day in 1..=14 {
+        let get = |hz: &[temporal::HazardStep]| {
+            hz.iter()
+                .find(|s| s.day == day)
+                .map(|s| format!("{:.4}", s.hazard))
+                .unwrap_or_else(|| "-".into())
+        };
+        hz_table.row(vec![day.to_string(), get(&pm), get(&vm)]);
+    }
+    text.push_str(&hz_table.render());
+    text.push_str(
+        "
+the post-failure hazard decays over ~a week — Table V's burst, resolved in time
+",
+    );
+    Rendered {
+        title: "Extra — temporal dependency (dispersion + post-failure hazard)".into(),
+        csv: Some(hz_table.to_csv()),
+        text,
+    }
+}
+
+/// Runs every extension report.
+pub fn run_all(dataset: &FailureDataset, seed: u64) -> Vec<Rendered> {
+    vec![
+        availability_report(dataset),
+        censored_interfailure_report(dataset),
+        rate_confidence_report(dataset, seed),
+        prediction_report(dataset),
+        whatif_report(dataset),
+        followon_report(dataset),
+        temporal_report(dataset),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcfail_synth::Scenario;
+    use std::sync::OnceLock;
+
+    fn dataset() -> &'static FailureDataset {
+        static DS: OnceLock<FailureDataset> = OnceLock::new();
+        DS.get_or_init(|| Scenario::paper().seed(6).scale(0.2).build().into_dataset())
+    }
+
+    #[test]
+    fn all_extras_render() {
+        for r in run_all(dataset(), 1) {
+            assert!(!r.title.is_empty());
+            assert!(r.text.len() > 40, "{}: too short", r.title);
+        }
+    }
+
+    #[test]
+    fn availability_mentions_both_kinds() {
+        let r = availability_report(dataset());
+        assert!(r.text.contains("PM"));
+        assert!(r.text.contains("VM"));
+        assert!(r.text.contains("nines"));
+    }
+
+    #[test]
+    fn censored_report_shows_correction() {
+        let r = censored_interfailure_report(dataset());
+        assert!(r.text.contains("censored"));
+        assert!(r.csv.is_some());
+    }
+
+    #[test]
+    fn prediction_report_has_auc() {
+        let r = prediction_report(dataset());
+        assert!(r.text.contains("AUC"));
+    }
+
+    #[test]
+    fn whatif_report_shows_improvements() {
+        let r = whatif_report(dataset());
+        assert!(r.text.contains("consolidation"));
+        assert!(r.text.contains('%'));
+    }
+}

@@ -1,0 +1,20 @@
+//! # dcfail-report
+//!
+//! Experiment runners and renderers: one runner per table and figure of
+//! Birke et al. (DSN 2014), producing aligned-text reports (with the paper's
+//! reference values inline) and machine-readable CSV series.
+//!
+//! ```
+//! use dcfail_report::experiments::{run, ExperimentId};
+//! use dcfail_synth::Scenario;
+//!
+//! let dataset = Scenario::paper().seed(1).scale(0.05).build().into_dataset();
+//! let report = run(ExperimentId::Fig2, &dataset);
+//! assert!(report.text.contains("weekly failure rate"));
+//! ```
+
+pub mod experiments;
+pub mod extras;
+pub mod runners;
+pub mod summary;
+pub mod table;

@@ -1,0 +1,662 @@
+//! One runner per paper artifact.
+//!
+//! Each runner computes the corresponding analysis from `dcfail-core`,
+//! renders an aligned-text report with the paper's reference values inline,
+//! and emits a CSV series for plotting.
+
+use crate::table::{fmt2, fmt_opt, fmt_pct, fmt_rate, TextTable};
+use dcfail_core::{
+    age, capacity, class_mix, consolidation, interfailure, onoff, rates, recurrence, repair,
+    spatial, usage, ClassSource,
+};
+use dcfail_model::prelude::*;
+use dcfail_stats::fit::Family;
+
+/// A rendered experiment report.
+#[derive(Debug, Clone)]
+pub struct Rendered {
+    /// Report title.
+    pub title: String,
+    /// Human-readable report text.
+    pub text: String,
+    /// Machine-readable CSV of the main series, when applicable.
+    pub csv: Option<String>,
+}
+
+/// Table I: scope comparison with related work (static, from the paper).
+pub fn table1() -> Rendered {
+    let mut t = TextTable::new(vec![
+        "Scope",
+        "[4] HPC",
+        "[5] HPC",
+        "[2] Laptops",
+        "[3] DC",
+        "Ours DC VM/PM",
+    ]);
+    t.row(vec!["Hardware failures", "yes", "yes", "yes", "yes", "yes"]);
+    t.row(vec!["Software failures", "yes", "yes", "no", "no", "yes"]);
+    t.row(vec!["Power failures", "yes", "yes", "no", "no", "yes"]);
+    t.row(vec!["Capacity factors", "no", "no", "yes", "yes", "yes"]);
+    t.row(vec!["Usage factors", "no", "no", "yes", "no", "yes"]);
+    t.row(vec!["Age factors", "yes", "no", "yes", "yes", "yes"]);
+    t.row(vec!["Repair time", "yes", "no", "no", "yes", "yes"]);
+    Rendered {
+        title: "Table I — study scope vs related work (static)".into(),
+        csv: Some(t.to_csv()),
+        text: t.render(),
+    }
+}
+
+/// Table II: dataset statistics per subsystem.
+pub fn table2(dataset: &FailureDataset) -> Rendered {
+    let stats = dataset.subsystem_stats();
+    let mut t = TextTable::new(vec![
+        "",
+        "PMs",
+        "VMs",
+        "All tickets",
+        "% crash",
+        "% crash (PMs)",
+        "% crash (VMs)",
+    ]);
+    for s in &stats {
+        t.row(vec![
+            s.name.clone(),
+            s.pms.to_string(),
+            s.vms.to_string(),
+            s.all_tickets.to_string(),
+            fmt_pct(s.crash_pct()),
+            fmt_pct(s.crash_pm_pct()),
+            fmt_pct(s.crash_vm_pct()),
+        ]);
+    }
+    let text = format!(
+        "{}\npaper reference (at scale 1.0): PMs 463/2025/1114/717/810, \
+         VMs 1320/52/1971/313/636, crash share 6.9/0.85/2/1.3/3.3 %\n",
+        t.render()
+    );
+    Rendered {
+        title: "Table II — dataset statistics".into(),
+        csv: Some(t.to_csv()),
+        text,
+    }
+}
+
+/// Fig. 1: crash-ticket distribution across failure classes per subsystem.
+pub fn fig1(dataset: &FailureDataset) -> Rendered {
+    let mix = class_mix::class_mix(dataset, ClassSource::Reported);
+    let mut t = TextTable::new(vec![
+        "",
+        "HW",
+        "Net",
+        "Power",
+        "Reboot",
+        "SW",
+        "other share",
+    ]);
+    for s in mix
+        .per_subsystem
+        .iter()
+        .chain(std::iter::once(&mix.overall))
+    {
+        let share = |c: FailureClass| fmt_pct(100.0 * s.classified_shares[c.index()]);
+        t.row(vec![
+            s.name.clone(),
+            share(FailureClass::Hardware),
+            share(FailureClass::Network),
+            share(FailureClass::Power),
+            share(FailureClass::Reboot),
+            share(FailureClass::Software),
+            fmt_pct(100.0 * s.other_share),
+        ]);
+    }
+    let text = format!(
+        "{}\npaper reference: software+reboot dominate classified tickets; \
+         Sys V power-heavy (29%), Sys III power-free; other = 53% overall\n",
+        t.render()
+    );
+    Rendered {
+        title: "Fig. 1 — ticket distribution across failure classes".into(),
+        csv: Some(t.to_csv()),
+        text,
+    }
+}
+
+/// Fig. 2: weekly failure rates of PMs and VMs.
+pub fn fig2(dataset: &FailureDataset) -> Rendered {
+    let f = rates::weekly_failure_rates(dataset);
+    let mut t = TextTable::new(vec!["group", "mean", "p25", "p75", "machines", "events"]);
+    let mut push = |label: String, s: Option<rates::RateSummary>| {
+        t.row(vec![
+            label,
+            fmt_opt(s, |s| fmt_rate(s.mean)),
+            fmt_opt(s, |s| fmt_rate(s.p25)),
+            fmt_opt(s, |s| fmt_rate(s.p75)),
+            fmt_opt(s, |s| s.n_machines.to_string()),
+            fmt_opt(s, |s| s.total_events.to_string()),
+        ]);
+    };
+    push("All PM".into(), Some(f.all_pm));
+    push("All VM".into(), Some(f.all_vm));
+    for sys in &f.per_subsystem {
+        push(format!("{} PM", sys.name), sys.pm);
+        push(format!("{} VM", sys.name), sys.vm);
+    }
+    let text = format!(
+        "{}\nmeasured weekly failure rate: PM {} vs VM {} (paper: 0.005 vs 0.003, PMs ≈ +40%)\n",
+        t.render(),
+        fmt_rate(f.all_pm.mean),
+        fmt_rate(f.all_vm.mean),
+    );
+    Rendered {
+        title: "Fig. 2 — weekly failure rates (PM vs VM)".into(),
+        csv: Some(t.to_csv()),
+        text,
+    }
+}
+
+fn fit_lines(fits: &dcfail_stats::fit::ModelSelection) -> String {
+    let mut s = String::new();
+    for r in &fits.ranked {
+        s.push_str(&format!(
+            "  {:<12} {}  loglik={:.1}  aic={:.1}\n",
+            r.dist.family().name(),
+            r.dist.params(),
+            r.log_likelihood,
+            r.aic
+        ));
+    }
+    s
+}
+
+/// Fig. 3: inter-failure time CDFs and fits.
+pub fn fig3(dataset: &FailureDataset) -> Rendered {
+    let mut text = String::new();
+    let mut t = TextTable::new(vec!["days", "PM cdf", "VM cdf"]);
+    let pm = interfailure::analyze(dataset, MachineKind::Pm);
+    let vm = interfailure::analyze(dataset, MachineKind::Vm);
+    if let (Some(pm), Some(vm)) = (&pm, &vm) {
+        for i in 0..=20 {
+            let d = 300.0 * i as f64 / 20.0;
+            t.row(vec![fmt2(d), fmt2(pm.ecdf.eval(d)), fmt2(vm.ecdf.eval(d))]);
+        }
+        text.push_str(&t.render());
+        text.push_str(&format!(
+            "\nPM: mean gap {:.1} d, {} gaps, single-failure share {:.0}%; fits:\n{}",
+            pm.mean_days,
+            pm.gaps_days.len(),
+            100.0 * pm.single_failure_fraction,
+            fit_lines(&pm.fits)
+        ));
+        text.push_str(&format!(
+            "VM: mean gap {:.1} d, {} gaps, single-failure share {:.0}%; fits:\n{}",
+            vm.mean_days,
+            vm.gaps_days.len(),
+            100.0 * vm.single_failure_fraction,
+            fit_lines(&vm.fits)
+        ));
+        text.push_str(
+            "paper reference: Gamma fits best, VM mean 37.22 d; ~60% of VMs fail only once\n",
+        );
+    } else {
+        text.push_str("not enough gaps to analyze\n");
+    }
+    Rendered {
+        title: "Fig. 3 — inter-failure time CDF and fits".into(),
+        csv: Some(t.to_csv()),
+        text,
+    }
+}
+
+/// Table III: inter-failure times per class, operator vs server view.
+pub fn table3(dataset: &FailureDataset) -> Rendered {
+    let t3 = interfailure::table3(dataset, ClassSource::Reported);
+    let mut t = TextTable::new(vec!["view", "HW", "Net", "Power", "Reboot", "SW", "Other"]);
+    let row = |view: &str, f: &dyn Fn(interfailure::ClassGapStats) -> Option<f64>| {
+        let mut cells = vec![view.to_string()];
+        for class in FailureClass::ALL {
+            cells.push(fmt_opt(f(t3[class.index()]), fmt2));
+        }
+        cells
+    };
+    t.row(row("operator mean", &|s| s.operator.map(|g| g.mean)));
+    t.row(row("operator median", &|s| s.operator.map(|g| g.median)));
+    t.row(row("server mean", &|s| s.server.map(|g| g.mean)));
+    t.row(row("server median", &|s| s.server.map(|g| g.median)));
+    let text = format!(
+        "{}\npaper reference (days): operator mean 9.21/10.27/7.6/3.63/2.84/1.12, \
+         server mean 59.46/65.68/57.60/54.59/21.58/30.01; software shortest\n",
+        t.render()
+    );
+    Rendered {
+        title: "Table III — inter-failure times by root cause (days)".into(),
+        csv: Some(t.to_csv()),
+        text,
+    }
+}
+
+/// Fig. 4: repair-time CDFs and fits.
+pub fn fig4(dataset: &FailureDataset) -> Rendered {
+    let mut text = String::new();
+    let mut t = TextTable::new(vec!["hours", "PM cdf", "VM cdf"]);
+    let pm = repair::analyze(dataset, MachineKind::Pm);
+    let vm = repair::analyze(dataset, MachineKind::Vm);
+    if let (Some(pm), Some(vm)) = (&pm, &vm) {
+        for &h in &[
+            0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 24.0, 48.0, 96.0, 168.0, 336.0,
+        ] {
+            t.row(vec![fmt2(h), fmt2(pm.ecdf.eval(h)), fmt2(vm.ecdf.eval(h))]);
+        }
+        text.push_str(&t.render());
+        text.push_str(&format!(
+            "\nPM: mean {:.1} h over {} repairs; fits:\n{}",
+            pm.mean_hours,
+            pm.hours.len(),
+            fit_lines(&pm.fits)
+        ));
+        text.push_str(&format!(
+            "VM: mean {:.1} h over {} repairs; fits:\n{}",
+            vm.mean_hours,
+            vm.hours.len(),
+            fit_lines(&vm.fits)
+        ));
+        text.push_str("paper reference: Log-normal fits best; means 38.5 h (PM) vs 19.6 h (VM)\n");
+    } else {
+        text.push_str("not enough repairs to analyze\n");
+    }
+    Rendered {
+        title: "Fig. 4 — repair-time CDF and fits".into(),
+        csv: Some(t.to_csv()),
+        text,
+    }
+}
+
+/// Table IV: repair times per class.
+pub fn table4(dataset: &FailureDataset) -> Rendered {
+    let t4 = repair::table4(dataset, ClassSource::Reported);
+    let mut t = TextTable::new(vec!["stat", "HW", "Net", "Power", "Reboot", "SW", "Other"]);
+    let row = |label: &str, f: &dyn Fn(repair::RepairStats) -> f64| {
+        let mut cells = vec![label.to_string()];
+        for class in FailureClass::ALL {
+            cells.push(fmt_opt(t4[class.index()], |s| fmt2(f(s))));
+        }
+        cells
+    };
+    t.row(row("mean", &|s| s.mean));
+    t.row(row("median", &|s| s.median));
+    t.row(row("cv", &|s| s.cv));
+    let text = format!(
+        "{}\npaper reference (hours): mean 80.1/67.6/12.17/18.03/30.0, \
+         median 8.28/8.97/0.83/2.27/22.37; software least variable\n",
+        t.render()
+    );
+    Rendered {
+        title: "Table IV — repair times by failure class (hours)".into(),
+        csv: Some(t.to_csv()),
+        text,
+    }
+}
+
+/// Fig. 5: recurrent failure probabilities.
+pub fn fig5(dataset: &FailureDataset) -> Rendered {
+    let mut t = TextTable::new(vec!["kind", "day", "week", "month"]);
+    for kind in MachineKind::ALL {
+        if let Some(w) = recurrence::fig5(dataset, kind) {
+            t.row(vec![
+                kind.label().to_string(),
+                fmt_rate(w.day),
+                fmt_rate(w.week),
+                fmt_rate(w.month),
+            ]);
+        }
+    }
+    let text = format!(
+        "{}\npaper reference: recurrence grows sublinearly with the window; \
+         PM above VM (week ≈ 0.22 vs 0.16)\n",
+        t.render()
+    );
+    Rendered {
+        title: "Fig. 5 — recurrent failure probabilities".into(),
+        csv: Some(t.to_csv()),
+        text,
+    }
+}
+
+/// Table V: random vs recurrent weekly failure probabilities.
+pub fn table5(dataset: &FailureDataset) -> Rendered {
+    let t5 = recurrence::table5(dataset);
+    let mut t = TextTable::new(
+        std::iter::once("row".to_string())
+            .chain(t5.columns.iter().cloned())
+            .collect::<Vec<_>>(),
+    );
+    for (kind, cells) in [("PM", &t5.pm), ("VM", &t5.vm)] {
+        let mut random = vec![format!("{kind} random")];
+        let mut recurrent = vec![format!("{kind} recurrent")];
+        let mut ratio = vec![format!("{kind} ratio")];
+        for cell in cells {
+            random.push(fmt_opt(*cell, |c| fmt_rate(c.random)));
+            recurrent.push(fmt_opt(*cell, |c| fmt2(c.recurrent)));
+            ratio.push(fmt_opt(cell.and_then(|c| c.ratio()), |r| {
+                format!("{r:.1}x")
+            }));
+        }
+        t.row(random);
+        t.row(recurrent);
+        t.row(ratio);
+    }
+    let text = format!(
+        "{}\npaper reference: All-ratio 35.5x (PM) and 42.1x (VM); \
+         VM ratios exceed PM ratios in every subsystem\n",
+        t.render()
+    );
+    Rendered {
+        title: "Table V — random vs recurrent weekly failures".into(),
+        csv: Some(t.to_csv()),
+        text,
+    }
+}
+
+/// Table VI: incident footprints by machine type.
+pub fn table6(dataset: &FailureDataset) -> Rendered {
+    let t6 = spatial::table6(dataset);
+    let mut t = TextTable::new(vec!["count scope", "0", "1", ">=2", "dependent share"]);
+    for (label, row) in [
+        ("PM and VM", t6.both),
+        ("PM only", t6.pm_only),
+        ("VM only", t6.vm_only),
+    ] {
+        t.row(vec![
+            label.to_string(),
+            fmt_pct(row.zero_pct),
+            fmt_pct(row.one_pct),
+            fmt_pct(row.two_plus_pct),
+            fmt_pct(100.0 * row.dependent_share()),
+        ]);
+    }
+    let text = format!(
+        "{}\npaper reference: 78% of incidents hit one server, 22% several; \
+         dependent share ≈ 26% (VM) vs ≈ 16% (PM)\n",
+        t.render()
+    );
+    Rendered {
+        title: "Table VI — incidents by number of affected servers".into(),
+        csv: Some(t.to_csv()),
+        text,
+    }
+}
+
+/// Table VII: incident footprint by failure class.
+pub fn table7(dataset: &FailureDataset) -> Rendered {
+    let t7 = spatial::table7(dataset, ClassSource::Reported);
+    let mut t = TextTable::new(vec!["stat", "HW", "Net", "Power", "Reboot", "SW", "Other"]);
+    let row = |label: &str, f: &dyn Fn(spatial::FootprintStats) -> String| {
+        let mut cells = vec![label.to_string()];
+        for class in FailureClass::ALL {
+            cells.push(fmt_opt(t7[class.index()], f));
+        }
+        cells
+    };
+    t.row(row("mean", &|s| fmt2(s.mean)));
+    t.row(row("max", &|s| s.max.to_string()));
+    t.row(row("incidents", &|s| s.incidents.to_string()));
+    let text = format!(
+        "{}\npaper reference: mean 1.2/1.5/2.7/1.1/1.7, max 10/9/21/15/10 — \
+         power has the largest footprint\n",
+        t.render()
+    );
+    Rendered {
+        title: "Table VII — servers involved per incident by class".into(),
+        csv: Some(t.to_csv()),
+        text,
+    }
+}
+
+/// Fig. 6: VM failures vs age.
+pub fn fig6(dataset: &FailureDataset) -> Rendered {
+    let Some(a) = age::analyze(dataset) else {
+        return Rendered {
+            title: "Fig. 6 — VM failures vs age".into(),
+            text: "not enough aged VM failures\n".into(),
+            csv: None,
+        };
+    };
+    let mut t = TextTable::new(vec!["age (days)", "cdf", "pdf"]);
+    for &(center, dens) in &a.density {
+        t.row(vec![
+            fmt2(center),
+            fmt2(a.ecdf.eval(center)),
+            format!("{dens:.6}"),
+        ]);
+    }
+    let text = format!(
+        "{}\nmax CDF deviation from diagonal: {:.3}; density trend slope {:+.2e}/day; \
+         KS-vs-uniform D = {:.3}; known-age failures {:.0}%\n\
+         paper reference: CDF close to diagonal (no bathtub), weak positive trend\n",
+        t.render(),
+        a.max_diagonal_gap,
+        a.trend_slope,
+        a.uniform_ks.statistic,
+        100.0 * a.known_age_fraction
+    );
+    Rendered {
+        title: "Fig. 6 — VM failures vs age".into(),
+        csv: Some(t.to_csv()),
+        text,
+    }
+}
+
+fn curve_table(curves: &[(&str, &dcfail_core::curve::AttributeCurve)]) -> String {
+    let mut out = String::new();
+    for (label, curve) in curves {
+        let mut t = TextTable::new(vec!["bucket", "mean", "p25", "p75", "mach-wks", "events"]);
+        for p in &curve.points {
+            t.row(vec![
+                p.label.clone(),
+                fmt_rate(p.mean),
+                fmt_rate(p.p25),
+                fmt_rate(p.p75),
+                p.machine_weeks.to_string(),
+                p.events.to_string(),
+            ]);
+        }
+        out.push_str(&format!("[{label}] ({})\n", curve.attribute));
+        out.push_str(&t.render());
+        if let Some(range) = curve.dynamic_range() {
+            out.push_str(&format!("dynamic range: {range:.1}x\n"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn curves_csv(curves: &[(&str, &dcfail_core::curve::AttributeCurve)]) -> String {
+    let mut t = TextTable::new(vec!["panel", "bucket", "mean", "p25", "p75"]);
+    for (label, curve) in curves {
+        for p in &curve.points {
+            t.row(vec![
+                label.to_string(),
+                p.label.clone(),
+                fmt_rate(p.mean),
+                fmt_rate(p.p25),
+                fmt_rate(p.p75),
+            ]);
+        }
+    }
+    t.to_csv()
+}
+
+/// Fig. 7: failure rate vs resource capacity (four panels).
+pub fn fig7(dataset: &FailureDataset) -> Rendered {
+    let pm_cpu = capacity::rate_by_cpu(dataset, MachineKind::Pm);
+    let vm_cpu = capacity::rate_by_cpu(dataset, MachineKind::Vm);
+    let pm_mem = capacity::rate_by_memory(dataset, MachineKind::Pm);
+    let vm_mem = capacity::rate_by_memory(dataset, MachineKind::Vm);
+    let disk_gb = capacity::rate_by_disk_capacity(dataset);
+    let disk_n = capacity::rate_by_disk_count(dataset);
+    let curves = [
+        ("7a PM cpu", &pm_cpu),
+        ("7a VM cpu", &vm_cpu),
+        ("7b PM mem", &pm_mem),
+        ("7b VM mem", &vm_mem),
+        ("7c VM disk GB", &disk_gb),
+        ("7d VM disk count", &disk_n),
+    ];
+    let text = format!(
+        "{}paper reference: PM cpu peaks at 24 (5.5x) then drops at 32/64; \
+         VM cpu 2.5x; memory bathtub; disk count 10x, disk capacity flat >= 32 GB\n",
+        curve_table(&curves)
+    );
+    Rendered {
+        title: "Fig. 7 — weekly failure rate vs resource capacity".into(),
+        csv: Some(curves_csv(&curves)),
+        text,
+    }
+}
+
+/// Fig. 8: failure rate vs resource usage (four panels).
+pub fn fig8(dataset: &FailureDataset) -> Rendered {
+    let pm_cpu = usage::rate_by_cpu_util(dataset, MachineKind::Pm);
+    let vm_cpu = usage::rate_by_cpu_util(dataset, MachineKind::Vm);
+    let pm_mem = usage::rate_by_mem_util(dataset, MachineKind::Pm);
+    let vm_mem = usage::rate_by_mem_util(dataset, MachineKind::Vm);
+    let disk = usage::rate_by_disk_util(dataset);
+    let net = usage::rate_by_network(dataset);
+    let curves = [
+        ("8a PM cpu util", &pm_cpu),
+        ("8a VM cpu util", &vm_cpu),
+        ("8b PM mem util", &pm_mem),
+        ("8b VM mem util", &vm_mem),
+        ("8c VM disk util", &disk),
+        ("8d VM net kbps", &net),
+    ];
+    let text = format!(
+        "{}paper reference: VM rate rises with cpu util, PM falls (0-30%); \
+         memory inverted bathtub (PM strongest); disk mild rise; network peaks at 64 Kbps\n",
+        curve_table(&curves)
+    );
+    Rendered {
+        title: "Fig. 8 — weekly failure rate vs resource usage".into(),
+        csv: Some(curves_csv(&curves)),
+        text,
+    }
+}
+
+/// Fig. 9: failure rate vs consolidation level.
+pub fn fig9(dataset: &FailureDataset) -> Rendered {
+    let curve = consolidation::rate_by_consolidation(dataset);
+    let shares = consolidation::vm_share_by_level(dataset);
+    let curves = [("9 consolidation", &curve)];
+    let mut text = curve_table(&curves);
+    text.push_str("VM share per level: ");
+    for (label, share) in &shares {
+        text.push_str(&format!("{label}: {:.1}%  ", 100.0 * share));
+    }
+    text.push_str(
+        "\npaper reference: rate decreases significantly with consolidation; \
+         population skews to levels 16-32\n",
+    );
+    Rendered {
+        title: "Fig. 9 — weekly failure rate vs VM consolidation".into(),
+        csv: Some(curves_csv(&curves)),
+        text,
+    }
+}
+
+/// Fig. 10: failure rate vs on/off frequency.
+pub fn fig10(dataset: &FailureDataset) -> Rendered {
+    let curve = onoff::rate_by_onoff(dataset);
+    let shares = onoff::vm_share_by_onoff(dataset);
+    let curves = [("10 on/off per month", &curve)];
+    let mut text = curve_table(&curves);
+    text.push_str("VM share per bucket: ");
+    for (label, share) in &shares {
+        text.push_str(&format!("{label}: {:.1}%  ", 100.0 * share));
+    }
+    text.push_str(
+        "\npaper reference: rate rises from 0 to ~2 cycles/month, no clear trend beyond; \
+         60% of VMs cycle at most once a month\n",
+    );
+    Rendered {
+        title: "Fig. 10 — weekly failure rate vs on/off frequency".into(),
+        csv: Some(curves_csv(&curves)),
+        text,
+    }
+}
+
+/// Convenience: the gamma/log-normal fit families a rendered fit line uses.
+pub fn paper_families() -> [Family; 3] {
+    Family::PAPER
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcfail_synth::Scenario;
+    use std::sync::OnceLock;
+
+    fn dataset() -> &'static FailureDataset {
+        static DS: OnceLock<FailureDataset> = OnceLock::new();
+        DS.get_or_init(|| Scenario::paper().seed(5).scale(0.2).build().into_dataset())
+    }
+
+    #[test]
+    fn every_runner_produces_text_and_csv() {
+        let ds = dataset();
+        let rendered = [
+            table1(),
+            table2(ds),
+            fig1(ds),
+            fig2(ds),
+            fig3(ds),
+            table3(ds),
+            fig4(ds),
+            table4(ds),
+            fig5(ds),
+            table5(ds),
+            table6(ds),
+            table7(ds),
+            fig6(ds),
+            fig7(ds),
+            fig8(ds),
+            fig9(ds),
+            fig10(ds),
+        ];
+        for r in &rendered {
+            assert!(!r.title.is_empty());
+            assert!(r.text.len() > 50, "{}: text too short", r.title);
+            if let Some(csv) = &r.csv {
+                assert!(csv.lines().count() >= 2, "{}: empty csv", r.title);
+            }
+        }
+    }
+
+    #[test]
+    fn fig2_report_mentions_rates() {
+        let r = fig2(dataset());
+        assert!(r.text.contains("All PM"));
+        assert!(r.text.contains("paper"));
+    }
+
+    #[test]
+    fn table5_report_has_ratios() {
+        let r = table5(dataset());
+        assert!(r.text.contains("PM ratio"));
+        assert!(r.text.contains('x'));
+    }
+
+    #[test]
+    fn fig7_reports_all_panels() {
+        let r = fig7(dataset());
+        for panel in [
+            "7a PM cpu",
+            "7a VM cpu",
+            "7b PM mem",
+            "7b VM mem",
+            "7c",
+            "7d",
+        ] {
+            assert!(r.text.contains(panel), "missing {panel}");
+        }
+    }
+}

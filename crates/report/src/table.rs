@@ -1,0 +1,201 @@
+//! Plain-text table and CSV rendering.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// An aligned plain-text table builder.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given headers; the first column is
+    /// left-aligned, the rest right-aligned.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = (0..headers.len())
+            .map(|i| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Self {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Overrides column alignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alignment count does not match the column count.
+    pub fn with_aligns(mut self, aligns: Vec<Align>) -> Self {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment count mismatch");
+        self.aligns = aligns;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the column count.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as aligned text with a header separator.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for i in 0..cols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let cell = &cells[i];
+                match self.aligns[i] {
+                    Align::Left => {
+                        let _ = write!(out, "{:<width$}", cell, width = widths[i]);
+                    }
+                    Align::Right => {
+                        let _ = write!(out, "{:>width$}", cell, width = widths[i]);
+                    }
+                }
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting of commas/quotes).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            let encoded: Vec<String> = cells.iter().map(|c| csv_escape(c)).collect();
+            out.push_str(&encoded.join(","));
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+fn csv_escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Formats a probability/rate with four significant decimals (`0.0051`).
+pub fn fmt_rate(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a float with two decimals.
+pub fn fmt2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a percentage with one decimal.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+/// Formats an optional value, rendering `None` as `-`.
+pub fn fmt_opt<T>(value: Option<T>, f: impl Fn(T) -> String) -> String {
+    value.map(f).unwrap_or_else(|| "-".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["alpha", "1"]);
+        t.row(vec!["b", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("alpha"));
+        // Right-aligned number column.
+        assert!(lines[3].ends_with("12345"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["x,y", "q\"q"]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n\"x,y\",\"q\"\"q\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn wrong_row_width_rejected() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_rate(0.00512), "0.0051");
+        assert_eq!(fmt2(38.456), "38.46");
+        assert_eq!(fmt_pct(53.04), "53.0%");
+        assert_eq!(fmt_opt(Some(1.5), fmt2), "1.50");
+        assert_eq!(fmt_opt(None::<f64>, fmt2), "-");
+    }
+
+    #[test]
+    fn custom_alignment() {
+        let mut t = TextTable::new(vec!["x", "y"]).with_aligns(vec![Align::Right, Align::Left]);
+        t.row(vec!["1", "abc"]);
+        let s = t.render();
+        assert!(s.contains("1  abc"));
+    }
+}

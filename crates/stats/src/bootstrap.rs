@@ -1,0 +1,166 @@
+//! Bootstrap confidence intervals.
+//!
+//! The study's headline numbers (weekly failure rates, recurrence ratios,
+//! mean repair times) are point estimates over one observed year; percentile
+//! bootstrap intervals quantify how much they could move under resampling.
+
+use crate::empirical::quantile;
+use crate::rng::StreamRng;
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// A two-sided confidence interval for a statistic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level, e.g. 0.95.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// True when `value` lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        (self.lo..=self.hi).contains(&value)
+    }
+}
+
+/// Percentile-bootstrap confidence interval for an arbitrary statistic.
+///
+/// # Errors
+///
+/// Returns an error for an empty sample, a bad confidence level, or zero
+/// resamples.
+pub fn bootstrap_ci(
+    data: &[f64],
+    level: f64,
+    resamples: usize,
+    rng: &mut StreamRng,
+    statistic: impl Fn(&[f64]) -> f64,
+) -> Result<ConfidenceInterval> {
+    if data.is_empty() {
+        return Err(StatsError::NotEnoughData {
+            what: "bootstrap",
+            needed: 1,
+            got: 0,
+        });
+    }
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "level",
+            value: level,
+        });
+    }
+    if resamples == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "resamples",
+            value: 0.0,
+        });
+    }
+    let estimate = statistic(data);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut resample = vec![0.0f64; data.len()];
+    for _ in 0..resamples {
+        for slot in &mut resample {
+            *slot = data[rng.below(data.len())];
+        }
+        stats.push(statistic(&resample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("statistics are finite"));
+    let alpha = (1.0 - level) / 2.0;
+    Ok(ConfidenceInterval {
+        estimate,
+        lo: quantile(&stats, alpha),
+        hi: quantile(&stats, 1.0 - alpha),
+        level,
+    })
+}
+
+/// Bootstrap CI for the sample mean.
+///
+/// # Errors
+///
+/// Same conditions as [`bootstrap_ci`].
+pub fn bootstrap_mean_ci(
+    data: &[f64],
+    level: f64,
+    resamples: usize,
+    rng: &mut StreamRng,
+) -> Result<ConfidenceInterval> {
+    bootstrap_ci(data, level, resamples, rng, |xs| {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{ContinuousDist, LogNormal};
+
+    #[test]
+    fn mean_ci_covers_true_mean() {
+        let dist = LogNormal::new(1.0, 0.8).unwrap();
+        let mut rng = StreamRng::new(1);
+        let mut covered = 0;
+        let trials = 40;
+        for _ in 0..trials {
+            let data: Vec<f64> = (0..400).map(|_| dist.sample(&mut rng)).collect();
+            let ci = bootstrap_mean_ci(&data, 0.95, 400, &mut rng).unwrap();
+            if ci.contains(dist.mean()) {
+                covered += 1;
+            }
+            assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        }
+        // ~95% nominal coverage; allow slack for 40 trials.
+        assert!(covered >= 33, "covered {covered}/{trials}");
+    }
+
+    #[test]
+    fn interval_narrows_with_sample_size() {
+        let dist = LogNormal::new(0.0, 1.0).unwrap();
+        let mut rng = StreamRng::new(2);
+        let small: Vec<f64> = (0..50).map(|_| dist.sample(&mut rng)).collect();
+        let large: Vec<f64> = (0..5000).map(|_| dist.sample(&mut rng)).collect();
+        let ci_small = bootstrap_mean_ci(&small, 0.95, 300, &mut rng).unwrap();
+        let ci_large = bootstrap_mean_ci(&large, 0.95, 300, &mut rng).unwrap();
+        assert!(ci_large.width() < ci_small.width());
+    }
+
+    #[test]
+    fn custom_statistic_median() {
+        let data: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let mut rng = StreamRng::new(3);
+        let ci = bootstrap_ci(&data, 0.9, 300, &mut rng, |xs| {
+            crate::empirical::quantile(xs, 0.5)
+        })
+        .unwrap();
+        assert_eq!(ci.estimate, 50.0);
+        assert!(ci.lo < 50.0 && ci.hi > 50.0);
+        assert_eq!(ci.level, 0.9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let a = bootstrap_mean_ci(&data, 0.95, 200, &mut StreamRng::new(9)).unwrap();
+        let b = bootstrap_mean_ci(&data, 0.95, 200, &mut StreamRng::new(9)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut rng = StreamRng::new(1);
+        assert!(bootstrap_mean_ci(&[], 0.95, 100, &mut rng).is_err());
+        assert!(bootstrap_mean_ci(&[1.0], 1.5, 100, &mut rng).is_err());
+        assert!(bootstrap_mean_ci(&[1.0], 0.95, 0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! Correlation coefficients.
+//!
+//! The paper reasons about positive/negative correlation between failure
+//! rates and resource attributes; Pearson (linear) and Spearman (rank)
+//! coefficients make those statements quantitative.
+
+use crate::{Result, StatsError};
+
+fn validate(what: &'static str, xs: &[f64], ys: &[f64]) -> Result<()> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            what,
+            needed: 2,
+            got: xs.len().min(ys.len()),
+        });
+    }
+    for &v in xs.iter().chain(ys) {
+        if !v.is_finite() {
+            return Err(StatsError::InvalidSample { what, value: v });
+        }
+    }
+    Ok(())
+}
+
+/// Pearson product-moment correlation of two equal-length samples.
+///
+/// # Errors
+///
+/// Returns an error for mismatched/short inputs, non-finite values or zero
+/// variance in either sample.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    validate("pearson", xs, ys)?;
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx).powi(2);
+        syy += (y - my).powi(2);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(StatsError::InvalidSample {
+            what: "pearson",
+            value: 0.0,
+        });
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Spearman rank correlation (Pearson on mid-ranks; ties averaged).
+///
+/// # Errors
+///
+/// Same conditions as [`pearson`].
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    validate("spearman", xs, ys)?;
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    pearson(&rx, &ry)
+}
+
+/// Sample autocorrelation function at lags `0..=max_lag`.
+///
+/// Uses the standard biased estimator (normalizing by `n`), which keeps the
+/// sequence positive semi-definite. `acf[0]` is always 1.
+///
+/// # Errors
+///
+/// Returns an error when the series is shorter than `max_lag + 2`, contains
+/// non-finite values, or has zero variance.
+pub fn autocorrelation(series: &[f64], max_lag: usize) -> Result<Vec<f64>> {
+    if series.len() < max_lag + 2 {
+        return Err(StatsError::NotEnoughData {
+            what: "autocorrelation",
+            needed: max_lag + 2,
+            got: series.len(),
+        });
+    }
+    for &v in series {
+        if !v.is_finite() {
+            return Err(StatsError::InvalidSample {
+                what: "autocorrelation",
+                value: v,
+            });
+        }
+    }
+    let n = series.len() as f64;
+    let mean = series.iter().sum::<f64>() / n;
+    let var: f64 = series.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    if var == 0.0 {
+        return Err(StatsError::InvalidSample {
+            what: "autocorrelation",
+            value: 0.0,
+        });
+    }
+    let mut acf = Vec::with_capacity(max_lag + 1);
+    for lag in 0..=max_lag {
+        let cov: f64 = series[lag..]
+            .iter()
+            .zip(series)
+            .map(|(&a, &b)| (a - mean) * (b - mean))
+            .sum::<f64>()
+            / n;
+        acf.push(cov / var);
+    }
+    Ok(acf)
+}
+
+/// Ljung–Box Q statistic over lags `1..=max_lag`; larger values indicate
+/// stronger serial correlation. Under the white-noise null, Q is
+/// approximately χ²(max_lag); a common rejection threshold at 5% for
+/// `max_lag = 7` is ≈ 14.1.
+///
+/// # Errors
+///
+/// Same conditions as [`autocorrelation`].
+pub fn ljung_box(series: &[f64], max_lag: usize) -> Result<f64> {
+    let acf = autocorrelation(series, max_lag)?;
+    let n = series.len() as f64;
+    Ok(n * (n + 2.0)
+        * acf[1..]
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| r * r / (n - (i + 1) as f64))
+            .sum::<f64>())
+}
+
+/// Mid-ranks of a sample (ties receive the average of their rank range).
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("ranks need non-NaN data"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Ranks i+1 ..= j+1 (1-based), averaged over the tie group.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_known_value() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.0, 1.0, 4.0, 3.0, 5.0];
+        // Hand-computed: cov = 1.5·... compute directly.
+        let r = pearson(&xs, &ys).unwrap();
+        assert!((r - 0.8).abs() < 1e-12, "r = {r}");
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|&x: &f64| x.exp()).collect();
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        // Pearson is below 1 for a convex curve.
+        assert!(pearson(&xs, &ys).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+        let r = ranks(&[5.0, 5.0, 5.0]);
+        assert_eq!(r, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn acf_of_white_noise_is_near_zero() {
+        use crate::rng::StreamRng;
+        let mut rng = StreamRng::new(3);
+        let series: Vec<f64> = (0..2000).map(|_| rng.standard_normal()).collect();
+        let acf = autocorrelation(&series, 10).unwrap();
+        assert_eq!(acf[0], 1.0);
+        for &r in &acf[1..] {
+            assert!(r.abs() < 0.08, "white-noise acf {r}");
+        }
+        // Ljung-Box stays below the χ²(10) 5% threshold (~18.3) most often;
+        // allow margin.
+        assert!(ljung_box(&series, 10).unwrap() < 25.0);
+    }
+
+    #[test]
+    fn acf_detects_persistence() {
+        // AR(1)-like series: x[t] = 0.8 x[t-1] + noise.
+        use crate::rng::StreamRng;
+        let mut rng = StreamRng::new(4);
+        let mut series = vec![0.0f64];
+        for _ in 1..2000 {
+            let prev = *series.last().expect("non-empty");
+            series.push(0.8 * prev + rng.standard_normal());
+        }
+        let acf = autocorrelation(&series, 5).unwrap();
+        assert!(acf[1] > 0.7, "lag-1 acf {}", acf[1]);
+        assert!(acf[2] > acf[3], "acf should decay");
+        assert!(ljung_box(&series, 7).unwrap() > 100.0);
+    }
+
+    #[test]
+    fn acf_rejects_bad_input() {
+        assert!(autocorrelation(&[1.0, 2.0], 5).is_err());
+        assert!(autocorrelation(&[1.0; 50], 5).is_err()); // zero variance
+        assert!(autocorrelation(&[1.0, f64::NAN, 2.0, 3.0], 1).is_err());
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(pearson(&[1.0], &[2.0]).is_err());
+        assert!(pearson(&[1.0, 2.0], &[2.0]).is_err());
+        assert!(pearson(&[1.0, f64::NAN], &[2.0, 3.0]).is_err());
+        assert!(pearson(&[1.0, 1.0], &[2.0, 3.0]).is_err()); // zero variance
+        assert!(spearman(&[], &[]).is_err());
+    }
+}

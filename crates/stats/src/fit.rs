@@ -1,0 +1,452 @@
+//! Maximum-likelihood fitting and model selection.
+//!
+//! The paper fits inter-failure and repair times "with several statistical
+//! distributions, i.e., Gamma, Log-normal and Weibull" and picks the winner
+//! "according to log likelihood of fitting". This module provides the MLE
+//! per family and a [`ModelSelection`] that ranks candidates by
+//! log-likelihood (and AIC, which is equivalent here since all families have
+//! two parameters).
+
+use crate::dist::{ContinuousDist, Exponential, Gamma, LogNormal, Weibull};
+use crate::special::{digamma, trigamma};
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+fn validate_positive(what: &'static str, data: &[f64], min_len: usize) -> Result<()> {
+    if data.len() < min_len {
+        return Err(StatsError::NotEnoughData {
+            what,
+            needed: min_len,
+            got: data.len(),
+        });
+    }
+    for &x in data {
+        if !(x.is_finite() && x > 0.0) {
+            return Err(StatsError::InvalidSample { what, value: x });
+        }
+    }
+    Ok(())
+}
+
+/// Fits an exponential distribution by MLE (rate = 1 / sample mean).
+///
+/// # Errors
+///
+/// Returns an error if `data` has fewer than 1 positive finite observation.
+pub fn fit_exponential(data: &[f64]) -> Result<Exponential> {
+    validate_positive("exponential fit", data, 1)?;
+    let mean = data.iter().sum::<f64>() / data.len() as f64;
+    Exponential::new(1.0 / mean)
+}
+
+/// Fits a log-normal distribution by MLE (moments of `ln x`).
+///
+/// # Errors
+///
+/// Returns an error if `data` has fewer than 2 positive finite observations
+/// or zero log-variance.
+pub fn fit_lognormal(data: &[f64]) -> Result<LogNormal> {
+    validate_positive("lognormal fit", data, 2)?;
+    let n = data.len() as f64;
+    let mu = data.iter().map(|x| x.ln()).sum::<f64>() / n;
+    let var = data.iter().map(|x| (x.ln() - mu).powi(2)).sum::<f64>() / n;
+    LogNormal::new(mu, var.sqrt())
+}
+
+/// Fits a gamma distribution by MLE.
+///
+/// Solves `ln k − ψ(k) = ln x̄ − (ln x)̄` with Newton's method from the
+/// standard closed-form starting point, then sets `θ = x̄ / k`.
+///
+/// # Errors
+///
+/// Returns an error on bad data, degenerate samples (all equal) or
+/// non-convergence.
+pub fn fit_gamma(data: &[f64]) -> Result<Gamma> {
+    validate_positive("gamma fit", data, 2)?;
+    let n = data.len() as f64;
+    let mean = data.iter().sum::<f64>() / n;
+    let mean_ln = data.iter().map(|x| x.ln()).sum::<f64>() / n;
+    let s = mean.ln() - mean_ln;
+    if s <= 0.0 {
+        // Jensen gap is zero ⇒ degenerate (constant) sample.
+        return Err(StatsError::InvalidSample {
+            what: "gamma fit",
+            value: s,
+        });
+    }
+    // Minka's closed-form initialization.
+    let mut k = (3.0 - s + ((s - 3.0).powi(2) + 24.0 * s).sqrt()) / (12.0 * s);
+    for _ in 0..100 {
+        let f = k.ln() - digamma(k) - s;
+        let fp = 1.0 / k - trigamma(k);
+        let step = f / fp;
+        let next = k - step;
+        let next = if next <= 0.0 { k / 2.0 } else { next };
+        if (next - k).abs() < 1e-10 * k.max(1.0) {
+            return Gamma::new(next, mean / next);
+        }
+        k = next;
+    }
+    Err(StatsError::NoConvergence { what: "gamma fit" })
+}
+
+/// Fits a Weibull distribution by MLE.
+///
+/// Solves the profile-likelihood shape equation
+/// `Σ x^k ln x / Σ x^k − 1/k − (ln x)̄ = 0` with a guarded Newton iteration,
+/// then `λ = (Σ x^k / n)^{1/k}`.
+///
+/// # Errors
+///
+/// Returns an error on bad data, degenerate samples or non-convergence.
+pub fn fit_weibull(data: &[f64]) -> Result<Weibull> {
+    validate_positive("weibull fit", data, 2)?;
+    let n = data.len() as f64;
+    let mean_ln = data.iter().map(|x| x.ln()).sum::<f64>() / n;
+    let ln_var = data.iter().map(|x| (x.ln() - mean_ln).powi(2)).sum::<f64>() / n;
+    if ln_var <= 0.0 {
+        return Err(StatsError::InvalidSample {
+            what: "weibull fit",
+            value: ln_var,
+        });
+    }
+    // Method-of-moments-on-logs start: Var[ln X] = π²/(6 k²).
+    let mut k = (std::f64::consts::PI / (6.0f64 * ln_var).sqrt()).max(0.05);
+
+    // Evaluate f(k) and f'(k) with the log-sum-exp trick for stability.
+    let eval = |k: f64| -> (f64, f64) {
+        let max_ln = data
+            .iter()
+            .map(|x| x.ln())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut s0 = 0.0; // Σ x^k (rescaled)
+        let mut s1 = 0.0; // Σ x^k ln x
+        let mut s2 = 0.0; // Σ x^k (ln x)²
+        for &x in data {
+            let lx = x.ln();
+            let w = (k * (lx - max_ln)).exp();
+            s0 += w;
+            s1 += w * lx;
+            s2 += w * lx * lx;
+        }
+        let r = s1 / s0;
+        let f = r - 1.0 / k - mean_ln;
+        let fp = (s2 / s0 - r * r) + 1.0 / (k * k);
+        (f, fp)
+    };
+
+    for _ in 0..200 {
+        let (f, fp) = eval(k);
+        let step = f / fp;
+        let mut next = k - step;
+        if next <= 0.0 {
+            next = k / 2.0;
+        }
+        if (next - k).abs() < 1e-10 * k.max(1.0) {
+            k = next;
+            let max_ln = data
+                .iter()
+                .map(|x| x.ln())
+                .fold(f64::NEG_INFINITY, f64::max);
+            let s0: f64 = data.iter().map(|x| (k * (x.ln() - max_ln)).exp()).sum();
+            let lambda = (max_ln + (s0 / n).ln() / k).exp();
+            return Weibull::new(k, lambda);
+        }
+        k = next;
+    }
+    Err(StatsError::NoConvergence {
+        what: "weibull fit",
+    })
+}
+
+/// The family of a fitted model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// Exponential (memoryless baseline).
+    Exponential,
+    /// Gamma.
+    Gamma,
+    /// Weibull.
+    Weibull,
+    /// Log-normal.
+    LogNormal,
+}
+
+impl Family {
+    /// The candidate set the paper considers, plus the exponential baseline.
+    pub const ALL: [Family; 4] = [
+        Family::Exponential,
+        Family::Gamma,
+        Family::Weibull,
+        Family::LogNormal,
+    ];
+
+    /// The paper's heavy-tail candidate set (Gamma, Weibull, Log-normal).
+    pub const PAPER: [Family; 3] = [Family::Gamma, Family::Weibull, Family::LogNormal];
+
+    /// Family name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Family::Exponential => "Exponential",
+            Family::Gamma => "Gamma",
+            Family::Weibull => "Weibull",
+            Family::LogNormal => "LogNormal",
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fitted distribution of any supported family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FittedDist {
+    /// Fitted exponential.
+    Exponential(Exponential),
+    /// Fitted gamma.
+    Gamma(Gamma),
+    /// Fitted Weibull.
+    Weibull(Weibull),
+    /// Fitted log-normal.
+    LogNormal(LogNormal),
+}
+
+impl FittedDist {
+    /// The family of this fit.
+    pub fn family(&self) -> Family {
+        match self {
+            FittedDist::Exponential(_) => Family::Exponential,
+            FittedDist::Gamma(_) => Family::Gamma,
+            FittedDist::Weibull(_) => Family::Weibull,
+            FittedDist::LogNormal(_) => Family::LogNormal,
+        }
+    }
+
+    /// Borrows the fit as a dynamic distribution.
+    pub fn as_dist(&self) -> &dyn ContinuousDist {
+        match self {
+            FittedDist::Exponential(d) => d,
+            FittedDist::Gamma(d) => d,
+            FittedDist::Weibull(d) => d,
+            FittedDist::LogNormal(d) => d,
+        }
+    }
+
+    /// Human-readable parameter string, e.g. `"shape=1.20 scale=31.00"`.
+    pub fn params(&self) -> String {
+        match self {
+            FittedDist::Exponential(d) => format!("rate={:.4}", d.rate()),
+            FittedDist::Gamma(d) => format!("shape={:.4} scale={:.4}", d.shape(), d.scale()),
+            FittedDist::Weibull(d) => format!("shape={:.4} scale={:.4}", d.shape(), d.scale()),
+            FittedDist::LogNormal(d) => format!("mu={:.4} sigma={:.4}", d.mu(), d.sigma()),
+        }
+    }
+}
+
+/// One candidate's fit result within a model selection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitResult {
+    /// The fitted distribution.
+    pub dist: FittedDist,
+    /// Total log-likelihood of the data under the fit.
+    pub log_likelihood: f64,
+    /// Akaike information criterion (2k − 2 ln L̂).
+    pub aic: f64,
+}
+
+/// Ranked model selection over a candidate family set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSelection {
+    /// Successful fits, best (highest log-likelihood) first.
+    pub ranked: Vec<FitResult>,
+    /// Number of observations fitted.
+    pub n: usize,
+}
+
+impl ModelSelection {
+    /// Fits every family in `candidates` to `data` and ranks by
+    /// log-likelihood. Families that fail to fit are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no candidate family could be fitted.
+    pub fn fit(data: &[f64], candidates: &[Family]) -> Result<Self> {
+        let mut ranked = Vec::new();
+        for &family in candidates {
+            let dist = match family {
+                Family::Exponential => fit_exponential(data).map(FittedDist::Exponential),
+                Family::Gamma => fit_gamma(data).map(FittedDist::Gamma),
+                Family::Weibull => fit_weibull(data).map(FittedDist::Weibull),
+                Family::LogNormal => fit_lognormal(data).map(FittedDist::LogNormal),
+            };
+            let Ok(dist) = dist else { continue };
+            let ll: f64 = data.iter().map(|&x| dist.as_dist().ln_pdf(x)).sum();
+            if !ll.is_finite() {
+                continue;
+            }
+            let k = match family {
+                Family::Exponential => 1.0,
+                _ => 2.0,
+            };
+            ranked.push(FitResult {
+                dist,
+                log_likelihood: ll,
+                aic: 2.0 * k - 2.0 * ll,
+            });
+        }
+        if ranked.is_empty() {
+            return Err(StatsError::NotEnoughData {
+                what: "model selection",
+                needed: 2,
+                got: data.len(),
+            });
+        }
+        ranked.sort_by(|a, b| {
+            b.log_likelihood
+                .partial_cmp(&a.log_likelihood)
+                .expect("log-likelihoods are finite")
+        });
+        Ok(Self {
+            ranked,
+            n: data.len(),
+        })
+    }
+
+    /// The winning fit.
+    pub fn best(&self) -> &FitResult {
+        &self.ranked[0]
+    }
+
+    /// The fit for a specific family, if it succeeded.
+    pub fn for_family(&self, family: Family) -> Option<&FitResult> {
+        self.ranked.iter().find(|r| r.dist.family() == family)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::StreamRng;
+
+    fn sample(dist: &dyn ContinuousDist, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StreamRng::new(seed);
+        (0..n).map(|_| dist.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn exponential_fit_recovers_rate() {
+        let d = Exponential::new(0.25).unwrap();
+        let xs = sample(&d, 50_000, 1);
+        let fit = fit_exponential(&xs).unwrap();
+        assert!((fit.rate() - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn gamma_fit_recovers_parameters() {
+        let d = Gamma::new(1.8, 20.0).unwrap();
+        let xs = sample(&d, 50_000, 2);
+        let fit = fit_gamma(&xs).unwrap();
+        assert!((fit.shape() - 1.8).abs() < 0.05, "shape {}", fit.shape());
+        assert!((fit.scale() - 20.0).abs() < 0.8, "scale {}", fit.scale());
+    }
+
+    #[test]
+    fn gamma_fit_small_shape() {
+        let d = Gamma::new(0.4, 5.0).unwrap();
+        let xs = sample(&d, 50_000, 3);
+        let fit = fit_gamma(&xs).unwrap();
+        assert!((fit.shape() - 0.4).abs() < 0.02, "shape {}", fit.shape());
+    }
+
+    #[test]
+    fn weibull_fit_recovers_parameters() {
+        let d = Weibull::new(1.4, 30.0).unwrap();
+        let xs = sample(&d, 50_000, 4);
+        let fit = fit_weibull(&xs).unwrap();
+        assert!((fit.shape() - 1.4).abs() < 0.03, "shape {}", fit.shape());
+        assert!((fit.scale() - 30.0).abs() < 0.6, "scale {}", fit.scale());
+    }
+
+    #[test]
+    fn weibull_fit_decreasing_hazard() {
+        let d = Weibull::new(0.7, 10.0).unwrap();
+        let xs = sample(&d, 50_000, 5);
+        let fit = fit_weibull(&xs).unwrap();
+        assert!((fit.shape() - 0.7).abs() < 0.02, "shape {}", fit.shape());
+    }
+
+    #[test]
+    fn lognormal_fit_recovers_parameters() {
+        let d = LogNormal::new(2.0, 1.3).unwrap();
+        let xs = sample(&d, 50_000, 6);
+        let fit = fit_lognormal(&xs).unwrap();
+        assert!((fit.mu() - 2.0).abs() < 0.02);
+        assert!((fit.sigma() - 1.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn model_selection_prefers_true_family() {
+        // Gamma data should be won by Gamma over LogNormal/Weibull...
+        let d = Gamma::new(2.0, 10.0).unwrap();
+        let xs = sample(&d, 20_000, 7);
+        let sel = ModelSelection::fit(&xs, &Family::ALL).unwrap();
+        assert_eq!(sel.best().dist.family(), Family::Gamma);
+        assert_eq!(sel.n, 20_000);
+        // ...and LogNormal data by LogNormal.
+        let d = LogNormal::new(1.0, 1.0).unwrap();
+        let xs = sample(&d, 20_000, 8);
+        let sel = ModelSelection::fit(&xs, &Family::ALL).unwrap();
+        assert_eq!(sel.best().dist.family(), Family::LogNormal);
+    }
+
+    #[test]
+    fn model_selection_ranks_by_loglik() {
+        let d = Weibull::new(0.9, 15.0).unwrap();
+        let xs = sample(&d, 10_000, 9);
+        let sel = ModelSelection::fit(&xs, &Family::ALL).unwrap();
+        for pair in sel.ranked.windows(2) {
+            assert!(pair[0].log_likelihood >= pair[1].log_likelihood);
+        }
+        // AIC orders the same way for equal parameter counts.
+        let g = sel.for_family(Family::Gamma).unwrap();
+        let w = sel.for_family(Family::Weibull).unwrap();
+        assert!(w.log_likelihood > g.log_likelihood);
+        assert!(w.aic < g.aic);
+    }
+
+    #[test]
+    fn fits_reject_bad_input() {
+        assert!(fit_gamma(&[]).is_err());
+        assert!(fit_gamma(&[1.0]).is_err());
+        assert!(fit_gamma(&[1.0, -2.0]).is_err());
+        assert!(fit_gamma(&[1.0, f64::NAN]).is_err());
+        assert!(fit_gamma(&[3.0, 3.0, 3.0]).is_err()); // degenerate
+        assert!(fit_weibull(&[2.0, 2.0]).is_err()); // degenerate
+        assert!(fit_lognormal(&[0.0, 1.0]).is_err());
+        assert!(fit_exponential(&[]).is_err());
+    }
+
+    #[test]
+    fn fitted_dist_accessors() {
+        let xs = sample(&Gamma::new(2.0, 5.0).unwrap(), 5_000, 10);
+        let sel = ModelSelection::fit(&xs, &Family::PAPER).unwrap();
+        let best = sel.best();
+        assert!(!best.dist.params().is_empty());
+        assert!(best.dist.as_dist().mean() > 0.0);
+        // PAPER set excludes exponential.
+        assert!(sel.for_family(Family::Exponential).is_none());
+    }
+
+    #[test]
+    fn family_display() {
+        assert_eq!(Family::Gamma.to_string(), "Gamma");
+        assert_eq!(Family::LogNormal.name(), "LogNormal");
+        assert_eq!(Family::ALL.len(), 4);
+        assert_eq!(Family::PAPER.len(), 3);
+    }
+}

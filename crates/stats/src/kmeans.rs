@@ -1,0 +1,297 @@
+//! K-means clustering (k-means++ initialization, Lloyd iterations,
+//! best-of-restarts), used by the ticket-classification pipeline.
+
+use crate::rng::StreamRng;
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a k-means run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations per restart.
+    pub max_iter: usize,
+    /// Independent restarts; the lowest-inertia run wins.
+    pub restarts: usize,
+    /// Convergence threshold on relative inertia improvement.
+    pub tol: f64,
+}
+
+impl KMeansConfig {
+    /// A reasonable default for `k` clusters: 50 iterations, 4 restarts.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iter: 50,
+            restarts: 4,
+            tol: 1e-6,
+        }
+    }
+}
+
+/// A fitted k-means model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeans {
+    centroids: Vec<Vec<f32>>,
+    assignments: Vec<usize>,
+    inertia: f64,
+    iterations: usize,
+}
+
+impl KMeans {
+    /// Fits k-means to `points` (all of equal dimension).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NotEnoughData`] if there are fewer points than
+    /// clusters, and [`StatsError::InvalidParameter`] if `k == 0`.
+    pub fn fit(points: &[Vec<f32>], config: KMeansConfig, rng: &mut StreamRng) -> Result<Self> {
+        if config.k == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "k",
+                value: 0.0,
+            });
+        }
+        if points.len() < config.k {
+            return Err(StatsError::NotEnoughData {
+                what: "k-means",
+                needed: config.k,
+                got: points.len(),
+            });
+        }
+        let mut best: Option<KMeans> = None;
+        for _ in 0..config.restarts.max(1) {
+            let run = Self::fit_once(points, config, rng);
+            if best.as_ref().is_none_or(|b| run.inertia < b.inertia) {
+                best = Some(run);
+            }
+        }
+        Ok(best.expect("at least one restart ran"))
+    }
+
+    fn fit_once(points: &[Vec<f32>], config: KMeansConfig, rng: &mut StreamRng) -> KMeans {
+        let mut centroids = kmeans_plus_plus(points, config.k, rng);
+        let mut assignments = vec![0usize; points.len()];
+        let mut inertia = f64::INFINITY;
+        let mut iterations = 0;
+        for iter in 0..config.max_iter {
+            iterations = iter + 1;
+            // Assignment step.
+            let mut new_inertia = 0.0;
+            for (i, p) in points.iter().enumerate() {
+                let (c, d2) = nearest(&centroids, p);
+                assignments[i] = c;
+                new_inertia += d2 as f64;
+            }
+            // Update step.
+            let dim = points[0].len();
+            let mut sums = vec![vec![0.0f64; dim]; config.k];
+            let mut counts = vec![0usize; config.k];
+            for (p, &a) in points.iter().zip(&assignments) {
+                counts[a] += 1;
+                for (s, &x) in sums[a].iter_mut().zip(p) {
+                    *s += x as f64;
+                }
+            }
+            for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if count > 0 {
+                    for (cc, &s) in c.iter_mut().zip(sum) {
+                        *cc = (s / count as f64) as f32;
+                    }
+                } else {
+                    // Re-seed an empty cluster at a random point.
+                    *c = points[rng.below(points.len())].clone();
+                }
+            }
+            let improved = inertia.is_infinite()
+                || (inertia - new_inertia) > config.tol * inertia.abs().max(1.0);
+            inertia = new_inertia;
+            if !improved {
+                break;
+            }
+        }
+        KMeans {
+            centroids,
+            assignments,
+            inertia,
+            iterations,
+        }
+    }
+
+    /// Cluster centroids.
+    pub fn centroids(&self) -> &[Vec<f32>] {
+        &self.centroids
+    }
+
+    /// Per-point cluster assignments, parallel to the training input.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Final within-cluster sum of squared distances.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Lloyd iterations performed in the winning restart.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Predicts the cluster of a new point.
+    pub fn predict(&self, point: &[f32]) -> usize {
+        nearest(&self.centroids, point).0
+    }
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+fn nearest(centroids: &[Vec<f32>], p: &[f32]) -> (usize, f32) {
+    let mut best = (0usize, f32::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = sq_dist(c, p);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+/// K-means++ seeding: first centroid uniform, subsequent ones D²-weighted.
+fn kmeans_plus_plus(points: &[Vec<f32>], k: usize, rng: &mut StreamRng) -> Vec<Vec<f32>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.below(points.len())].clone());
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| sq_dist(p, &centroids[0]) as f64)
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with existing centroids; pick uniformly.
+            points[rng.below(points.len())].clone()
+        } else {
+            let mut x = rng.uniform() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                x -= d;
+                if x < 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            points[chosen].clone()
+        };
+        for (d, p) in d2.iter_mut().zip(points) {
+            *d = d.min(sq_dist(p, &next) as f64);
+        }
+        centroids.push(next);
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f32>> {
+        // Three well-separated 2-D blobs, 30 points each.
+        let mut rng = StreamRng::new(10);
+        let centers = [(0.0f32, 0.0f32), (10.0, 10.0), (-10.0, 10.0)];
+        let mut pts = Vec::new();
+        for &(cx, cy) in &centers {
+            for _ in 0..30 {
+                pts.push(vec![
+                    cx + rng.standard_normal() as f32 * 0.5,
+                    cy + rng.standard_normal() as f32 * 0.5,
+                ]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let pts = blobs();
+        let mut rng = StreamRng::new(1);
+        let km = KMeans::fit(&pts, KMeansConfig::new(3), &mut rng).unwrap();
+        assert_eq!(km.k(), 3);
+        assert_eq!(km.assignments().len(), 90);
+        // Each blob should map to exactly one cluster.
+        for blob in 0..3 {
+            let slice = &km.assignments()[blob * 30..(blob + 1) * 30];
+            assert!(slice.iter().all(|&a| a == slice[0]), "blob {blob} split");
+        }
+        // And the three clusters are distinct.
+        let mut firsts: Vec<usize> = (0..3).map(|b| km.assignments()[b * 30]).collect();
+        firsts.sort_unstable();
+        firsts.dedup();
+        assert_eq!(firsts.len(), 3);
+        assert!(km.inertia() < 150.0, "inertia {}", km.inertia());
+        assert!(km.iterations() >= 1);
+    }
+
+    #[test]
+    fn predict_matches_assignment() {
+        let pts = blobs();
+        let mut rng = StreamRng::new(2);
+        let km = KMeans::fit(&pts, KMeansConfig::new(3), &mut rng).unwrap();
+        for (p, &a) in pts.iter().zip(km.assignments()) {
+            assert_eq!(km.predict(p), a);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = blobs();
+        let km1 = KMeans::fit(&pts, KMeansConfig::new(3), &mut StreamRng::new(3)).unwrap();
+        let km2 = KMeans::fit(&pts, KMeansConfig::new(3), &mut StreamRng::new(3)).unwrap();
+        assert_eq!(km1, km2);
+    }
+
+    #[test]
+    fn assignment_minimizes_distance_to_centroids() {
+        let pts = blobs();
+        let mut rng = StreamRng::new(4);
+        let km = KMeans::fit(&pts, KMeansConfig::new(3), &mut rng).unwrap();
+        for (p, &a) in pts.iter().zip(km.assignments()) {
+            let assigned = sq_dist(p, &km.centroids()[a]);
+            for c in km.centroids() {
+                assert!(assigned <= sq_dist(p, c) + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn handles_k_equal_points() {
+        let pts = vec![vec![1.0f32, 0.0], vec![0.0, 1.0]];
+        let mut rng = StreamRng::new(5);
+        let km = KMeans::fit(&pts, KMeansConfig::new(2), &mut rng).unwrap();
+        assert_eq!(km.k(), 2);
+        assert!(km.inertia() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_points_dont_crash() {
+        let pts = vec![vec![1.0f32, 1.0]; 10];
+        let mut rng = StreamRng::new(6);
+        let km = KMeans::fit(&pts, KMeansConfig::new(3), &mut rng).unwrap();
+        assert!(km.inertia() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let pts = vec![vec![0.0f32]];
+        let mut rng = StreamRng::new(7);
+        assert!(KMeans::fit(&pts, KMeansConfig::new(2), &mut rng).is_err());
+        assert!(KMeans::fit(&pts, KMeansConfig::new(0), &mut rng).is_err());
+    }
+}

@@ -1,0 +1,303 @@
+//! Survival analysis: the Kaplan–Meier estimator with right-censoring.
+//!
+//! The paper "collect[s] no inter-failure times for servers that only fail
+//! once" — those servers are *right-censored*: they survived from their last
+//! failure to the end of the observation window without failing again.
+//! Dropping them biases inter-failure times downward; the Kaplan–Meier
+//! estimator uses them correctly.
+
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// One subject's outcome: time observed, and whether the event occurred
+/// (`true`) or observation was censored (`false`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Time until the event or censoring.
+    pub time: f64,
+    /// `true` when the event occurred, `false` when censored.
+    pub event: bool,
+}
+
+impl Observation {
+    /// An observed event at `time`.
+    pub fn event(time: f64) -> Self {
+        Self { time, event: true }
+    }
+
+    /// A censored observation at `time`.
+    pub fn censored(time: f64) -> Self {
+        Self { time, event: false }
+    }
+}
+
+/// A Kaplan–Meier survival curve: step function S(t).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KaplanMeier {
+    /// Distinct event times, ascending.
+    times: Vec<f64>,
+    /// S(t) immediately after each event time.
+    survival: Vec<f64>,
+    /// Subjects at risk just before each event time.
+    at_risk: Vec<usize>,
+    /// Events at each event time.
+    events: Vec<usize>,
+    n: usize,
+    n_censored: usize,
+}
+
+impl KaplanMeier {
+    /// Fits the estimator.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `observations` is empty, contains non-finite or
+    /// negative times, or contains no events at all.
+    pub fn fit(observations: &[Observation]) -> Result<Self> {
+        if observations.is_empty() {
+            return Err(StatsError::NotEnoughData {
+                what: "Kaplan-Meier",
+                needed: 1,
+                got: 0,
+            });
+        }
+        for o in observations {
+            if !o.time.is_finite() || o.time < 0.0 {
+                return Err(StatsError::InvalidSample {
+                    what: "Kaplan-Meier",
+                    value: o.time,
+                });
+            }
+        }
+        if !observations.iter().any(|o| o.event) {
+            return Err(StatsError::NotEnoughData {
+                what: "Kaplan-Meier events",
+                needed: 1,
+                got: 0,
+            });
+        }
+        let mut sorted: Vec<Observation> = observations.to_vec();
+        sorted.sort_by(|a, b| {
+            a.time
+                .partial_cmp(&b.time)
+                .expect("times are finite")
+                // Events before censorings at ties (the standard convention).
+                .then(b.event.cmp(&a.event))
+        });
+
+        let n = sorted.len();
+        let mut times = Vec::new();
+        let mut survival = Vec::new();
+        let mut at_risk_v = Vec::new();
+        let mut events_v = Vec::new();
+        let mut s = 1.0f64;
+        let mut i = 0usize;
+        while i < n {
+            let t = sorted[i].time;
+            let at_risk = n - i;
+            let mut d = 0usize; // events at t
+            let mut j = i;
+            while j < n && sorted[j].time == t {
+                if sorted[j].event {
+                    d += 1;
+                }
+                j += 1;
+            }
+            if d > 0 {
+                s *= 1.0 - d as f64 / at_risk as f64;
+                times.push(t);
+                survival.push(s);
+                at_risk_v.push(at_risk);
+                events_v.push(d);
+            }
+            i = j;
+        }
+        Ok(Self {
+            times,
+            survival,
+            at_risk: at_risk_v,
+            events: events_v,
+            n,
+            n_censored: observations.iter().filter(|o| !o.event).count(),
+        })
+    }
+
+    /// Survival probability S(t).
+    pub fn survival_at(&self, t: f64) -> f64 {
+        // Last event time ≤ t.
+        let idx = self.times.partition_point(|&x| x <= t);
+        if idx == 0 {
+            1.0
+        } else {
+            self.survival[idx - 1]
+        }
+    }
+
+    /// Event-probability CDF: F(t) = 1 − S(t).
+    pub fn cdf(&self, t: f64) -> f64 {
+        1.0 - self.survival_at(t)
+    }
+
+    /// Median survival time: smallest event time with S(t) ≤ 0.5, if the
+    /// curve drops that far (heavily censored data may never reach 0.5).
+    pub fn median(&self) -> Option<f64> {
+        self.times
+            .iter()
+            .zip(&self.survival)
+            .find(|&(_, &s)| s <= 0.5)
+            .map(|(&t, _)| t)
+    }
+
+    /// Restricted mean survival time up to `horizon`: the area under S(t)
+    /// from 0 to `horizon`.
+    pub fn restricted_mean(&self, horizon: f64) -> f64 {
+        let mut area = 0.0;
+        let mut prev_t = 0.0;
+        let mut prev_s = 1.0;
+        for (&t, &s) in self.times.iter().zip(&self.survival) {
+            if t >= horizon {
+                break;
+            }
+            area += prev_s * (t - prev_t);
+            prev_t = t;
+            prev_s = s;
+        }
+        area + prev_s * (horizon - prev_t).max(0.0)
+    }
+
+    /// The curve as `(time, survival)` steps.
+    pub fn curve(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.times
+            .iter()
+            .copied()
+            .zip(self.survival.iter().copied())
+    }
+
+    /// Number of observations fitted.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of censored observations.
+    pub fn n_censored(&self) -> usize {
+        self.n_censored
+    }
+
+    /// Greenwood's formula: the variance of Ŝ(t).
+    pub fn variance_at(&self, t: f64) -> f64 {
+        let idx = self.times.partition_point(|&x| x <= t);
+        if idx == 0 {
+            return 0.0;
+        }
+        let s = self.survival[idx - 1];
+        let sum: f64 = (0..idx)
+            .map(|i| {
+                let d = self.events[i] as f64;
+                let r = self.at_risk[i] as f64;
+                d / (r * (r - d).max(f64::MIN_POSITIVE))
+            })
+            .sum();
+        s * s * sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncensored_km_equals_ecdf_complement() {
+        let obs: Vec<Observation> = [1.0, 2.0, 3.0, 4.0]
+            .iter()
+            .map(|&t| Observation::event(t))
+            .collect();
+        let km = KaplanMeier::fit(&obs).unwrap();
+        assert_eq!(km.survival_at(0.5), 1.0);
+        assert_eq!(km.survival_at(1.0), 0.75);
+        assert_eq!(km.survival_at(2.5), 0.5);
+        assert_eq!(km.survival_at(4.0), 0.0);
+        assert_eq!(km.cdf(2.5), 0.5);
+        assert_eq!(km.median(), Some(2.0));
+        assert_eq!(km.n(), 4);
+        assert_eq!(km.n_censored(), 0);
+    }
+
+    #[test]
+    fn textbook_censored_example() {
+        // Classic example: events at 6,6,6,7,10,13,16,22,23; censored at
+        // 6,9,10,11,17,19,20,25,32,32,34,35 (Freireich 6-MP arm).
+        let events = [6.0, 6.0, 6.0, 7.0, 10.0, 13.0, 16.0, 22.0, 23.0];
+        let censored = [
+            6.0, 9.0, 10.0, 11.0, 17.0, 19.0, 20.0, 25.0, 32.0, 32.0, 34.0, 35.0,
+        ];
+        let mut obs: Vec<Observation> = events.iter().map(|&t| Observation::event(t)).collect();
+        obs.extend(censored.iter().map(|&t| Observation::censored(t)));
+        let km = KaplanMeier::fit(&obs).unwrap();
+        // Known values: S(6) = 0.8571, S(10) = 0.7529, S(23) = 0.4482.
+        assert!((km.survival_at(6.0) - 0.8571).abs() < 1e-3);
+        assert!((km.survival_at(10.0) - 0.7529).abs() < 1e-3);
+        assert!((km.survival_at(23.0) - 0.4482).abs() < 1e-3);
+        assert_eq!(km.median(), Some(23.0));
+        assert_eq!(km.n_censored(), 12);
+    }
+
+    #[test]
+    fn censoring_raises_survival_vs_dropping() {
+        // Events at small times plus many long censored subjects: dropping
+        // the censored ones (the paper's approach) underestimates survival.
+        let mut obs: Vec<Observation> = (1..=10).map(|t| Observation::event(t as f64)).collect();
+        obs.extend((0..30).map(|_| Observation::censored(50.0)));
+        let km = KaplanMeier::fit(&obs).unwrap();
+        let naive_median = 5.5; // median of the uncensored events
+        let km_s_at_naive = km.survival_at(naive_median);
+        assert!(
+            km_s_at_naive > 0.8,
+            "S({naive_median}) = {km_s_at_naive}: censored mass must keep survival high"
+        );
+        assert_eq!(km.median(), None, "curve never reaches 0.5");
+    }
+
+    #[test]
+    fn restricted_mean_of_exponential_like_data() {
+        // S(t) for events at 1,2,...,100 approximates uniform: RMST to 100
+        // ≈ 50.
+        let obs: Vec<Observation> = (1..=100).map(|t| Observation::event(t as f64)).collect();
+        let km = KaplanMeier::fit(&obs).unwrap();
+        let rmst = km.restricted_mean(100.0);
+        assert!((rmst - 50.0).abs() < 1.5, "RMST {rmst}");
+    }
+
+    #[test]
+    fn greenwood_variance_grows_with_time() {
+        let obs: Vec<Observation> = (1..=20).map(|t| Observation::event(t as f64)).collect();
+        let km = KaplanMeier::fit(&obs).unwrap();
+        let early = km.variance_at(2.0);
+        let later = km.variance_at(10.0);
+        assert!(early >= 0.0);
+        assert!(later > early);
+        assert_eq!(km.variance_at(0.0), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(KaplanMeier::fit(&[]).is_err());
+        assert!(KaplanMeier::fit(&[Observation::censored(5.0)]).is_err());
+        assert!(KaplanMeier::fit(&[Observation::event(-1.0)]).is_err());
+        assert!(KaplanMeier::fit(&[Observation::event(f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn curve_is_monotone_decreasing() {
+        let mut obs: Vec<Observation> = (1..=50)
+            .map(|t| Observation::event((t % 13) as f64 + 1.0))
+            .collect();
+        obs.extend((0..10).map(|i| Observation::censored(i as f64 + 0.5)));
+        let km = KaplanMeier::fit(&obs).unwrap();
+        let mut prev = 1.0;
+        for (_, s) in km.curve() {
+            assert!(s <= prev + 1e-12);
+            assert!((0.0..=1.0).contains(&s));
+            prev = s;
+        }
+    }
+}

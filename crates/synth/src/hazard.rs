@@ -1,0 +1,449 @@
+//! The per-machine failure-intensity model.
+//!
+//! Each machine's daily hazard is a product of:
+//!
+//! * a **base rate** by kind (PM/VM) and subsystem (Table V skews),
+//! * **capacity multipliers** from the Fig. 7 curves (CPU count, memory
+//!   size, and for VMs disk count and disk capacity),
+//! * **usage multipliers** from the Fig. 8 curves (weekly CPU/memory
+//!   utilization, and for VMs disk utilization and network volume),
+//! * a **consolidation multiplier** (Fig. 9) and an **on/off multiplier**
+//!   (Fig. 10) for VMs,
+//! * a **VM age trend** (Fig. 6), and
+//! * a post-failure **burst multiplier** (self-exciting decay) producing the
+//!   recurrent-failure intensities of Table V and Fig. 5.
+//!
+//! Every multiplier family is normalized so its population mean is 1; the
+//! base rates therefore calibrate the aggregate weekly failure rates
+//! directly (Fig. 2) while the curves only *redistribute* risk.
+
+use crate::config::{curves, ScenarioConfig};
+use crate::population::Population;
+use dcfail_model::prelude::*;
+
+/// Precomputed hazard state for one scenario.
+#[derive(Debug, Clone)]
+pub struct HazardModel {
+    /// Per-machine base daily hazard (kind + subsystem calibrated).
+    base_daily: Vec<f64>,
+    /// Per-machine static multiplier (capacity × consolidation × on/off),
+    /// normalized to mean 1 per kind.
+    static_mult: Vec<f64>,
+    /// Per-machine per-week usage multiplier, normalized to mean 1 per kind.
+    usage_mult: Vec<Vec<f64>>,
+    /// Per-machine age multiplier at observation start, and its daily slope;
+    /// `(1.0, 0.0)` when age is unknown or the effect is disabled.
+    age_at_start: Vec<(f64, f64)>,
+    /// Recurrence parameters per kind: (peak daily probability, tau days).
+    pm_burst: (f64, f64),
+    vm_burst: (f64, f64),
+    recurrence_enabled: bool,
+}
+
+/// A machine's hazard loses the burst boost after this many days.
+pub const BURST_HORIZON_DAYS: f64 = 28.0;
+
+impl HazardModel {
+    /// Builds the hazard model for a generated population.
+    pub fn new(config: &ScenarioConfig, pop: &Population, telemetry: &Telemetry) -> Self {
+        let n = pop.machines.len();
+        let weeks = config.horizon.num_weeks();
+        let fx = config.effects;
+
+        // --- static multipliers -------------------------------------------
+        let mut static_mult = vec![1.0f64; n];
+        for (i, m) in pop.machines.iter().enumerate() {
+            let mut mult = 1.0;
+            if fx.capacity {
+                mult *= capacity_mult(m);
+            }
+            if m.is_vm() {
+                if fx.consolidation {
+                    let level = telemetry.mean_consolidation(m.id()).unwrap_or(1.0);
+                    mult *= curves::consolidation_mult(level);
+                }
+                if fx.onoff {
+                    let rate = telemetry
+                        .onoff(m.id())
+                        .map(OnOffLog::monthly_transition_rate)
+                        .unwrap_or(0.0);
+                    mult *= curves::onoff_mult(rate);
+                }
+            }
+            static_mult[i] = mult;
+        }
+        normalize_per_kind(&mut static_mult, pop);
+
+        // --- usage multipliers --------------------------------------------
+        let mut usage_mult: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for m in &pop.machines {
+            let series = telemetry.usage(m.id());
+            let mut per_week = Vec::with_capacity(weeks);
+            for w in 0..weeks {
+                let mult = if !fx.usage {
+                    1.0
+                } else if let Some(u) = series.and_then(|s| s.get(w)) {
+                    usage_week_mult(m.kind(), u)
+                } else {
+                    1.0
+                };
+                per_week.push(mult);
+            }
+            usage_mult.push(per_week);
+        }
+        normalize_usage_per_kind(&mut usage_mult, pop);
+
+        // --- age trend ------------------------------------------------------
+        let age_at_start: Vec<(f64, f64)> = pop
+            .machines
+            .iter()
+            .map(|m| {
+                if !fx.age || !m.is_vm() {
+                    return (1.0, 0.0);
+                }
+                match m.age_days_at(config.horizon.start()) {
+                    Some(age0) => {
+                        let at_start = curves::vm_age_mult(age0);
+                        // Linear in age ⇒ constant daily slope.
+                        let slope = curves::vm_age_mult(age0 + 1.0) - at_start;
+                        (at_start, slope)
+                    }
+                    None => (1.0, 0.0),
+                }
+            })
+            .collect();
+
+        // --- base rates ------------------------------------------------------
+        let base_daily: Vec<f64> = pop
+            .machines
+            .iter()
+            .map(|m| {
+                let sys = &config.subsystems[m.subsystem().index()];
+                match m.kind() {
+                    MachineKind::Pm => config.pm_base_weekly * sys.pm_rate_mult / 7.0,
+                    MachineKind::Vm => config.vm_base_weekly * sys.vm_rate_mult / 7.0,
+                }
+            })
+            .collect();
+
+        Self {
+            base_daily,
+            static_mult,
+            usage_mult,
+            age_at_start,
+            pm_burst: (config.pm_recur_daily, config.burst_tau_days),
+            vm_burst: (config.vm_recur_daily, config.burst_tau_days),
+            recurrence_enabled: fx.recurrence,
+        }
+    }
+
+    /// Daily failure probability of machine `idx` on observation day `day`
+    /// (without the recurrence burst).
+    pub fn daily_hazard(&self, idx: usize, day: usize) -> f64 {
+        let week = (day / 7).min(self.usage_mult[idx].len().saturating_sub(1));
+        let usage = self.usage_mult[idx].get(week).copied().unwrap_or(1.0);
+        let (age0, slope) = self.age_at_start[idx];
+        let age = age0 + slope * day as f64;
+        (self.base_daily[idx] * self.static_mult[idx] * usage * age).min(0.5)
+    }
+
+    /// Absolute additional daily failure probability of a machine of `kind`,
+    /// `days_since_failure` days after its last failure.
+    ///
+    /// The recurrence process is *additive* rather than multiplicative: the
+    /// paper's recurrent-failure probabilities are of the same order across
+    /// subsystems whose random rates differ by ~7×, so the post-failure
+    /// elevation cannot scale with the base rate (and a multiplicative burst
+    /// would drive high-rate subsystems into failure cascades).
+    pub fn recurrence_daily(&self, kind: MachineKind, days_since_failure: f64) -> f64 {
+        if !self.recurrence_enabled || !(1.0..=BURST_HORIZON_DAYS).contains(&days_since_failure) {
+            return 0.0;
+        }
+        let (peak, tau) = match kind {
+            MachineKind::Pm => self.pm_burst,
+            MachineKind::Vm => self.vm_burst,
+        };
+        peak * (-days_since_failure / tau).exp()
+    }
+
+    /// The static multiplier of machine `idx` (for inspection/tests).
+    pub fn static_mult(&self, idx: usize) -> f64 {
+        self.static_mult[idx]
+    }
+
+    /// The base daily hazard of machine `idx` (for inspection/tests).
+    pub fn base_daily(&self, idx: usize) -> f64 {
+        self.base_daily[idx]
+    }
+}
+
+/// Capacity multiplier from the Fig. 7 curves.
+fn capacity_mult(m: &Machine) -> f64 {
+    let cap = m.capacity();
+    match m.kind() {
+        MachineKind::Pm => {
+            lookup(
+                &curves::PM_CPU_COUNTS,
+                &curves::PM_CPU_MULT,
+                cap.cpus() as f64,
+            ) * lookup(&curves::PM_MEM_GB, &curves::PM_MEM_MULT, cap.memory_gb())
+        }
+        MachineKind::Vm => {
+            lookup(
+                &curves::VM_CPU_COUNTS,
+                &curves::VM_CPU_MULT,
+                cap.cpus() as f64,
+            ) * lookup(
+                &curves::VM_MEM_MB,
+                &curves::VM_MEM_MULT,
+                cap.memory_mb() as f64,
+            ) * lookup(
+                &curves::VM_DISK_COUNTS,
+                &curves::VM_DISK_COUNT_MULT,
+                cap.disks() as f64,
+            ) * lookup(
+                &curves::VM_DISK_GB,
+                &curves::VM_DISK_GB_MULT,
+                cap.disk_gb() as f64,
+            )
+        }
+    }
+}
+
+/// Usage multiplier for one week from the Fig. 8 curves.
+fn usage_week_mult(kind: MachineKind, u: &WeeklyUsage) -> f64 {
+    match kind {
+        MachineKind::Pm => {
+            curves::pm_cpu_util_mult(u.cpu_pct as f64) * curves::pm_mem_util_mult(u.mem_pct as f64)
+        }
+        MachineKind::Vm => {
+            curves::vm_cpu_util_mult(u.cpu_pct as f64)
+                * curves::vm_mem_util_mult(u.mem_pct as f64)
+                * curves::vm_disk_util_mult(u.disk_pct as f64)
+                * curves::vm_net_mult(u.net_kbps as f64)
+        }
+    }
+}
+
+/// Largest anchor ≤ `value` (clamped to the ends), returning its multiplier.
+fn lookup<const N: usize, T: Copy + Into<u64>>(
+    anchors: &[T; N],
+    mults: &[f64; N],
+    value: f64,
+) -> f64 {
+    let mut chosen = 0usize;
+    for (i, &a) in anchors.iter().enumerate() {
+        if a.into() as f64 <= value {
+            chosen = i;
+        } else {
+            break;
+        }
+    }
+    mults[chosen]
+}
+
+/// Rescales `mult` so the mean over each machine kind is exactly 1.
+fn normalize_per_kind(mult: &mut [f64], pop: &Population) {
+    for kind in MachineKind::ALL {
+        let (sum, count) = pop
+            .machines
+            .iter()
+            .filter(|m| m.kind() == kind)
+            .map(|m| mult[m.id().index()])
+            .fold((0.0, 0usize), |(s, c), v| (s + v, c + 1));
+        if count == 0 || sum <= 0.0 {
+            continue;
+        }
+        let mean = sum / count as f64;
+        for m in pop.machines.iter().filter(|m| m.kind() == kind) {
+            mult[m.id().index()] /= mean;
+        }
+    }
+}
+
+/// Rescales the per-week usage multipliers so the machine-week mean is 1 per
+/// kind.
+fn normalize_usage_per_kind(usage: &mut [Vec<f64>], pop: &Population) {
+    for kind in MachineKind::ALL {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for m in pop.machines.iter().filter(|m| m.kind() == kind) {
+            for &v in &usage[m.id().index()] {
+                sum += v;
+                count += 1;
+            }
+        }
+        if count == 0 || sum <= 0.0 {
+            continue;
+        }
+        let mean = sum / count as f64;
+        for m in pop.machines.iter().filter(|m| m.kind() == kind) {
+            for v in &mut usage[m.id().index()] {
+                *v /= mean;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EffectToggles;
+    use crate::{population, telemetry_gen};
+    use dcfail_stats::rng::StreamRng;
+
+    fn setup(effects: EffectToggles) -> (ScenarioConfig, Population, Telemetry, HazardModel) {
+        let mut config = ScenarioConfig::paper();
+        config.scale = 0.05;
+        config.effects = effects;
+        let rng = StreamRng::new(3);
+        let pop = population::build(&config, &rng);
+        let telemetry = telemetry_gen::generate(&config, &pop, &rng);
+        let hazard = HazardModel::new(&config, &pop, &telemetry);
+        (config, pop, telemetry, hazard)
+    }
+
+    #[test]
+    fn population_mean_hazard_matches_base_rates() {
+        let (config, pop, _, hazard) = setup(EffectToggles::all());
+        for kind in MachineKind::ALL {
+            let machines: Vec<_> = pop.machines.iter().filter(|m| m.kind() == kind).collect();
+            // Mean weekly hazard across the population and the year.
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for m in &machines {
+                for day in [10usize, 100, 200, 300] {
+                    sum += hazard.daily_hazard(m.id().index(), day) * 7.0;
+                    n += 1;
+                }
+            }
+            let mean_weekly = sum / n as f64;
+            // Expected: base × population-weighted subsystem multiplier.
+            let expected: f64 = machines
+                .iter()
+                .map(|m| {
+                    let sys = &config.subsystems[m.subsystem().index()];
+                    match kind {
+                        MachineKind::Pm => config.pm_base_weekly * sys.pm_rate_mult,
+                        MachineKind::Vm => config.vm_base_weekly * sys.vm_rate_mult,
+                    }
+                })
+                .sum::<f64>()
+                / machines.len() as f64;
+            assert!(
+                (mean_weekly - expected).abs() / expected < 0.25,
+                "{kind}: mean weekly {mean_weekly} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn static_mult_is_normalized() {
+        let (_, pop, _, hazard) = setup(EffectToggles::all());
+        for kind in MachineKind::ALL {
+            let vals: Vec<f64> = pop
+                .machines
+                .iter()
+                .filter(|m| m.kind() == kind)
+                .map(|m| hazard.static_mult(m.id().index()))
+                .collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            assert!((mean - 1.0).abs() < 1e-9, "{kind}: mean {mean}");
+            assert!(vals.iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn disabled_effects_flatten_multipliers() {
+        let (_, pop, _, hazard) = setup(EffectToggles::none());
+        for m in &pop.machines {
+            assert!((hazard.static_mult(m.id().index()) - 1.0).abs() < 1e-9);
+            let h10 = hazard.daily_hazard(m.id().index(), 10);
+            let h300 = hazard.daily_hazard(m.id().index(), 300);
+            assert!((h10 - h300).abs() < 1e-12, "hazard should be flat in time");
+        }
+    }
+
+    #[test]
+    fn recurrence_decays_and_respects_toggle() {
+        let (_, _, _, hazard) = setup(EffectToggles::all());
+        let r1 = hazard.recurrence_daily(MachineKind::Pm, 1.0);
+        let r3 = hazard.recurrence_daily(MachineKind::Pm, 3.0);
+        let r30 = hazard.recurrence_daily(MachineKind::Pm, 30.0);
+        assert!(r1 > 0.03, "recurrence at t=1 is {r1}");
+        assert!(r3 < r1 && r3 > 0.0);
+        assert_eq!(r30, 0.0);
+        // Same-day recurrence is not double-counted.
+        assert_eq!(hazard.recurrence_daily(MachineKind::Pm, 0.0), 0.0);
+        // The weekly recurrence integral lands near the paper's 0.22 (PM)
+        // and 0.16 (VM), before the base hazard's own contribution.
+        let weekly = |kind| -> f64 {
+            (1..=7)
+                .map(|d| hazard.recurrence_daily(kind, d as f64))
+                .sum()
+        };
+        let pm = weekly(MachineKind::Pm);
+        let vm = weekly(MachineKind::Vm);
+        assert!((pm - 0.22).abs() < 0.05, "PM weekly recurrence {pm}");
+        assert!((vm - 0.16).abs() < 0.05, "VM weekly recurrence {vm}");
+        assert!(pm > vm);
+
+        let (_, _, _, no_rec) = setup(EffectToggles::none());
+        assert_eq!(no_rec.recurrence_daily(MachineKind::Pm, 1.0), 0.0);
+    }
+
+    #[test]
+    fn capacity_effect_orders_pm_hazards() {
+        let (_, pop, _, hazard) = setup(EffectToggles::all());
+        // Among PMs, 24-CPU machines should carry more static risk than
+        // 1-CPU machines on average.
+        let mean_static = |pred: &dyn Fn(&Machine) -> bool| {
+            let vals: Vec<f64> = pop
+                .machines
+                .iter()
+                .filter(|m| m.is_pm() && pred(m))
+                .map(|m| hazard.static_mult(m.id().index()))
+                .collect();
+            vals.iter().sum::<f64>() / vals.len().max(1) as f64
+        };
+        let small = mean_static(&|m| m.capacity().cpus() <= 2);
+        let big = mean_static(&|m| m.capacity().cpus() >= 16 && m.capacity().cpus() <= 24);
+        assert!(big > small, "big {big} vs small {small}");
+    }
+
+    #[test]
+    fn consolidation_lowers_vm_hazard() {
+        let (_, pop, telemetry, hazard) = setup(EffectToggles::all());
+        let mut lo = Vec::new();
+        let mut hi = Vec::new();
+        for m in pop.machines.iter().filter(|m| m.is_vm()) {
+            let level = telemetry.mean_consolidation(m.id()).unwrap();
+            let s = hazard.static_mult(m.id().index());
+            if level <= 2.0 {
+                lo.push(s);
+            } else if level >= 16.0 {
+                hi.push(s);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(!lo.is_empty() && !hi.is_empty());
+        assert!(mean(&lo) > mean(&hi), "lo {} hi {}", mean(&lo), mean(&hi));
+    }
+
+    #[test]
+    fn sys2_vms_never_fail() {
+        let (_, pop, _, hazard) = setup(EffectToggles::all());
+        for m in &pop.machines {
+            if m.is_vm() && m.subsystem().index() == 1 {
+                assert_eq!(hazard.base_daily(m.id().index()), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_clamps_to_ends() {
+        assert_eq!(lookup(&[1u32, 2, 4], &[0.1, 0.2, 0.4], 0.5), 0.1);
+        assert_eq!(lookup(&[1u32, 2, 4], &[0.1, 0.2, 0.4], 3.0), 0.2);
+        assert_eq!(lookup(&[1u32, 2, 4], &[0.1, 0.2, 0.4], 100.0), 0.4);
+    }
+}

@@ -1,0 +1,52 @@
+//! # dcfail-synth
+//!
+//! Datacenter failure-trace simulator calibrated to Birke et al. (DSN 2014).
+//!
+//! The paper's dataset — one year of problem tickets and resource telemetry
+//! from five commercial datacenter subsystems — is proprietary. This crate is
+//! the substitution: a generative model whose **ground truth encodes the
+//! paper's reported effects**, so that the analysis toolkit in `dcfail-core`
+//! must *recover* them from raw tickets the same way the authors did.
+//!
+//! The generator is layered:
+//!
+//! * [`population`] — machine populations and topology per subsystem, with
+//!   the paper's capacity mixes (72% of PMs ≤ 4 CPUs, 1–2 vCPU / 1–2 GB VM
+//!   modes, box occupancies up to 32).
+//! * [`lifecycle`] — VM creation batches over two years and 15-minute on/off
+//!   logs over a two-month window.
+//! * [`telemetry_gen`] — weekly usage rollups and monthly consolidation
+//!   series.
+//! * [`hazard`] — the per-machine failure intensity: base rate by kind and
+//!   subsystem × capacity curves (Fig. 7) × usage curves (Fig. 8) × age
+//!   trend (Fig. 6) × consolidation (Fig. 9) × on/off (Fig. 10), with a
+//!   self-exciting post-failure burst that produces the paper's ~35–42×
+//!   recurrent-to-random ratios (Table V).
+//! * [`incidents`] — correlated multi-machine incidents: power-domain
+//!   outages, host-box crashes, app-cluster software failures and network
+//!   faults (Tables VI, VII).
+//! * [`tickets_gen`] — free-text ticket synthesis per root cause, with the
+//!   paper's 53% low-quality-text degradation, plus the non-crash ticket
+//!   haystack and per-class log-normal repair times (Table IV).
+//! * [`scenario`] — presets; [`Scenario::paper`] is the calibrated setup.
+//!
+//! ```
+//! use dcfail_synth::Scenario;
+//!
+//! let output = Scenario::paper().seed(1).scale(0.02).build();
+//! let dataset = output.dataset();
+//! assert!(dataset.events().len() > 0);
+//! assert!(dataset.machines().len() > 100);
+//! ```
+
+pub mod config;
+pub mod hazard;
+pub mod incidents;
+pub mod lifecycle;
+pub mod population;
+pub mod scenario;
+pub mod telemetry_gen;
+pub mod tickets_gen;
+
+pub use config::{EffectToggles, ScenarioConfig, SubsystemConfig};
+pub use scenario::{Scenario, SynthOutput};

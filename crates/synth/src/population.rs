@@ -1,0 +1,277 @@
+//! Machine population and topology generation.
+//!
+//! Builds the five subsystems with the paper's population sizes (Table II),
+//! capacity mixes (Section V-A) and consolidation structure (Fig. 9: the VM
+//! population skews toward high consolidation levels, up to 32 per box).
+
+use crate::config::{curves, ScenarioConfig};
+use crate::lifecycle;
+use dcfail_model::prelude::*;
+use dcfail_stats::rng::StreamRng;
+
+/// Generated population: machines plus the topology they live in.
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// All machines, dense by id (PMs and VMs interleaved by subsystem).
+    pub machines: Vec<Machine>,
+    /// Subsystem, box, power-domain and app-cluster structure.
+    pub topology: Topology,
+}
+
+/// Machines (PMs + boxes) fed by one power-distribution domain.
+const POWER_DOMAIN_SIZE: usize = 40;
+/// Fraction of machines participating in distributed app clusters.
+const APP_CLUSTER_FRACTION: f64 = 0.4;
+
+/// Box-occupancy classes and the probability that a *box* has that nominal
+/// size. Derived from the paper's VM-share-per-consolidation-level numbers
+/// (0.6% of VMs at level 1 ... 32% at level 32).
+const BOX_SIZES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+const BOX_SIZE_WEIGHTS: [f64; 6] = [0.055, 0.138, 0.229, 0.312, 0.174, 0.092];
+
+/// Builds the full population for `config`.
+pub fn build(config: &ScenarioConfig, rng: &StreamRng) -> Population {
+    let mut machines = Vec::new();
+    let mut topology = Topology::new();
+    let mut next_pd = 0u32;
+    let mut next_cluster = 0u32;
+
+    for (sys_idx, sys) in config.subsystems.iter().enumerate() {
+        let sys_id = SubsystemId::new(sys_idx as u32);
+        topology.add_subsystem(SubsystemMeta::new(sys_id, sys.name.clone()));
+        let mut rng = rng.fork_index("population", sys_idx as u64);
+
+        let pm_count = config.scaled(sys.pms, 1);
+        let vm_count = config.scaled(sys.vms, usize::from(sys.vms > 0));
+
+        // Power domains for this subsystem, shared by PMs and boxes.
+        let domain_count = ((pm_count + vm_count) / POWER_DOMAIN_SIZE).max(1);
+        let first_pd = next_pd;
+        next_pd += domain_count as u32;
+        let mut pd_cursor = 0usize;
+        let next_domain = |cursor: &mut usize| {
+            let pd = PowerDomainId::new(first_pd + (*cursor % domain_count) as u32);
+            *cursor += 1;
+            pd
+        };
+
+        // Physical machines.
+        let mut sys_members = Vec::new();
+        for _ in 0..pm_count {
+            let id = MachineId::new(machines.len() as u32);
+            let pd = next_domain(&mut pd_cursor);
+            let m = Machine::new_pm(id, sys_id, pd, sample_pm_capacity(&mut rng), None);
+            topology.assign_power_domain(pd, id);
+            sys_members.push(id);
+            machines.push(m);
+        }
+
+        // Host boxes and VMs: draw box sizes until the VM budget is spent.
+        let mut remaining = vm_count;
+        while remaining > 0 {
+            let size_class = rng.weighted(&BOX_SIZE_WEIGHTS);
+            let size = BOX_SIZES[size_class].min(remaining);
+            let pd = next_domain(&mut pd_cursor);
+            let box_id = BoxId::new(topology.num_boxes() as u32);
+            let high_end = BOX_SIZES[size_class] >= 8;
+            topology.add_box(HostBox::new(box_id, sys_id, pd, high_end));
+            for _ in 0..size {
+                let id = MachineId::new(machines.len() as u32);
+                let created = lifecycle::sample_creation_date(&mut rng, config.horizon);
+                let m = Machine::new_vm(
+                    id,
+                    sys_id,
+                    pd,
+                    sample_vm_capacity(&mut rng),
+                    created,
+                    box_id,
+                );
+                topology.assign_power_domain(pd, id);
+                topology.place_vm(box_id, id);
+                sys_members.push(id);
+                machines.push(m);
+            }
+            remaining -= size;
+        }
+
+        // Distributed application clusters within the subsystem.
+        let mut pool: Vec<MachineId> = sys_members.clone();
+        rng.shuffle(&mut pool);
+        let mut clustered = (pool.len() as f64 * APP_CLUSTER_FRACTION) as usize;
+        let mut cursor = 0;
+        while clustered >= 2 && cursor + 2 <= pool.len() {
+            let size = (2 + rng.below(7)).min(clustered).min(pool.len() - cursor);
+            if size < 2 {
+                break;
+            }
+            let cluster = ClusterId::new(next_cluster);
+            next_cluster += 1;
+            for &member in &pool[cursor..cursor + size] {
+                topology.assign_app_cluster(cluster, member);
+                let idx = member.index();
+                machines[idx] = machines[idx].clone().with_app_cluster(cluster);
+            }
+            cursor += size;
+            clustered = clustered.saturating_sub(size);
+        }
+    }
+
+    Population { machines, topology }
+}
+
+fn sample_pm_capacity(rng: &mut StreamRng) -> ResourceCapacity {
+    let cpus = curves::PM_CPU_COUNTS[rng.weighted(&curves::PM_CPU_WEIGHTS)];
+    let mem_gb = curves::PM_MEM_GB[rng.weighted(&curves::PM_MEM_WEIGHTS)];
+    // PM disk info is absent from the paper's dataset; generate plausible
+    // values anyway (the analyses only use VM disk attributes).
+    let disks = 1 + rng.below(8) as u32;
+    let disk_gb = 100 * (1 + rng.below(40)) as u64;
+    ResourceCapacity::new(cpus, mem_gb * 1024, disks, disk_gb)
+}
+
+fn sample_vm_capacity(rng: &mut StreamRng) -> ResourceCapacity {
+    let cpus = curves::VM_CPU_COUNTS[rng.weighted(&curves::VM_CPU_WEIGHTS)];
+    let mem_mb = curves::VM_MEM_MB[rng.weighted(&curves::VM_MEM_WEIGHTS)];
+    let disks = curves::VM_DISK_COUNTS[rng.weighted(&curves::VM_DISK_COUNT_WEIGHTS)];
+    let disk_gb = curves::VM_DISK_GB[rng.weighted(&curves::VM_DISK_GB_WEIGHTS)];
+    ResourceCapacity::new(cpus, mem_mb, disks, disk_gb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> ScenarioConfig {
+        let mut c = ScenarioConfig::paper();
+        c.scale = 0.05;
+        c
+    }
+
+    #[test]
+    fn population_matches_scaled_table2() {
+        let config = small_config();
+        let pop = build(&config, &StreamRng::new(1));
+        let pms = pop.machines.iter().filter(|m| m.is_pm()).count();
+        let vms = pop.machines.iter().filter(|m| m.is_vm()).count();
+        assert_eq!(pms, config.total_pms());
+        assert_eq!(vms, config.total_vms());
+        assert_eq!(pop.topology.subsystems().len(), 5);
+    }
+
+    #[test]
+    fn machine_ids_are_dense() {
+        let pop = build(&small_config(), &StreamRng::new(1));
+        for (i, m) in pop.machines.iter().enumerate() {
+            assert_eq!(m.id().index(), i);
+        }
+    }
+
+    #[test]
+    fn vms_have_hosts_and_pms_do_not() {
+        let pop = build(&small_config(), &StreamRng::new(1));
+        for m in &pop.machines {
+            if m.is_vm() {
+                let host = m.host().expect("VM must have a host box");
+                let hb = pop.topology.host_box(host).expect("host box exists");
+                assert_eq!(hb.subsystem(), m.subsystem());
+                assert!(hb.vms().contains(&m.id()));
+            } else {
+                assert!(m.host().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn box_occupancy_is_bounded_and_varied() {
+        let pop = build(&small_config(), &StreamRng::new(1));
+        let occ: Vec<usize> = pop.topology.boxes().iter().map(|b| b.occupancy()).collect();
+        assert!(!occ.is_empty());
+        assert!(occ.iter().all(|&o| (1..=32).contains(&o)));
+        // High-end boxes are the large ones.
+        for b in pop.topology.boxes() {
+            if b.occupancy() > 8 {
+                assert!(b.is_high_end());
+            }
+        }
+        // There must be both small and large boxes in a paper-shaped pop.
+        assert!(occ.iter().any(|&o| o >= 16));
+        assert!(occ.iter().any(|&o| o <= 4));
+    }
+
+    #[test]
+    fn pm_cpu_mix_matches_paper_skew() {
+        let mut c = ScenarioConfig::paper();
+        c.scale = 0.5;
+        let pop = build(&c, &StreamRng::new(2));
+        let pms: Vec<_> = pop.machines.iter().filter(|m| m.is_pm()).collect();
+        let small = pms.iter().filter(|m| m.capacity().cpus() <= 4).count();
+        let frac = small as f64 / pms.len() as f64;
+        // Paper: 72% of servers have at most 4 processors.
+        assert!((frac - 0.72).abs() < 0.06, "≤4-cpu fraction {frac}");
+    }
+
+    #[test]
+    fn vm_mix_is_dominated_by_small_vms() {
+        let mut c = ScenarioConfig::paper();
+        c.scale = 0.5;
+        let pop = build(&c, &StreamRng::new(3));
+        let vms: Vec<_> = pop.machines.iter().filter(|m| m.is_vm()).collect();
+        let small_cpu = vms.iter().filter(|m| m.capacity().cpus() <= 2).count();
+        assert!(small_cpu as f64 / vms.len() as f64 > 0.6);
+        let two_disks = vms.iter().filter(|m| m.capacity().disks() <= 2).count();
+        assert!(two_disks as f64 / vms.len() as f64 > 0.6);
+        let big_disk = vms.iter().filter(|m| m.capacity().disk_gb() >= 32).count();
+        // Paper: ~85% of VMs have ≥ 32 GB total disk.
+        assert!((big_disk as f64 / vms.len() as f64 - 0.85).abs() < 0.06);
+    }
+
+    #[test]
+    fn power_domains_group_machines() {
+        let pop = build(&small_config(), &StreamRng::new(1));
+        let domains: Vec<_> = pop.topology.power_domain_ids().collect();
+        assert!(!domains.is_empty());
+        for pd in domains {
+            let members = pop.topology.power_domain_members(pd);
+            assert!(!members.is_empty());
+            // All members of a domain share the subsystem.
+            let sys = pop.machines[members[0].index()].subsystem();
+            assert!(members
+                .iter()
+                .all(|m| pop.machines[m.index()].subsystem() == sys));
+        }
+    }
+
+    #[test]
+    fn app_clusters_cover_a_substantial_fraction() {
+        let pop = build(&small_config(), &StreamRng::new(1));
+        let clustered = pop
+            .machines
+            .iter()
+            .filter(|m| m.app_cluster().is_some())
+            .count();
+        let frac = clustered as f64 / pop.machines.len() as f64;
+        assert!(frac > 0.25 && frac < 0.55, "clustered fraction {frac}");
+        for cluster in pop.topology.app_cluster_ids() {
+            assert!(pop.topology.app_cluster_members(cluster).len() >= 2);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = small_config();
+        let a = build(&c, &StreamRng::new(9));
+        let b = build(&c, &StreamRng::new(9));
+        assert_eq!(a.machines, b.machines);
+        assert_eq!(a.topology, b.topology);
+    }
+
+    #[test]
+    fn some_vms_have_unknown_creation() {
+        let pop = build(&small_config(), &StreamRng::new(1));
+        let vms: Vec<_> = pop.machines.iter().filter(|m| m.is_vm()).collect();
+        let unknown = vms.iter().filter(|m| m.created_at().is_none()).count();
+        let frac = unknown as f64 / vms.len() as f64;
+        // Paper: ~25% of VMs predate the telemetry window.
+        assert!((frac - 0.25).abs() < 0.08, "unknown-age fraction {frac}");
+    }
+}

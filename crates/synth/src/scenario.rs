@@ -1,0 +1,320 @@
+//! Scenario assembly: populations → telemetry → incidents → tickets →
+//! [`FailureDataset`].
+
+use crate::config::{EffectToggles, ScenarioConfig};
+use crate::incidents::{self, IncidentSpec};
+use crate::population::{self, Population};
+use crate::telemetry_gen;
+use crate::tickets_gen;
+use dcfail_model::prelude::*;
+use dcfail_stats::dist::{ContinuousDist, LogNormal};
+use dcfail_stats::rng::StreamRng;
+
+/// Builder for a simulated failure study.
+///
+/// ```
+/// use dcfail_synth::Scenario;
+///
+/// let output = Scenario::paper().seed(3).scale(0.02).build();
+/// assert_eq!(output.dataset().topology().subsystems().len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    config: ScenarioConfig,
+}
+
+impl Scenario {
+    /// The paper-calibrated scenario at full scale.
+    pub fn paper() -> Self {
+        Self {
+            config: ScenarioConfig::paper(),
+        }
+    }
+
+    /// A scenario from an explicit configuration.
+    pub fn from_config(config: ScenarioConfig) -> Self {
+        Self { config }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the population scale factor in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not in `(0, 1]`.
+    pub fn scale(mut self, scale: f64) -> Self {
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "scale must be in (0, 1], got {scale}"
+        );
+        self.config.scale = scale;
+        self
+    }
+
+    /// Sets the ground-truth effect toggles (ablations).
+    pub fn effects(mut self, effects: EffectToggles) -> Self {
+        self.config.effects = effects;
+        self
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// Runs the simulator and assembles the dataset.
+    pub fn build(&self) -> SynthOutput {
+        let config = &self.config;
+        let rng = StreamRng::new(config.seed);
+        let pop = population::build(config, &rng);
+        let telemetry = telemetry_gen::generate(config, &pop, &rng);
+        let specs = incidents::simulate(config, &pop, &telemetry, &rng);
+        let dataset = assemble(config, pop, telemetry, specs, &rng);
+        SynthOutput {
+            config: config.clone(),
+            dataset,
+        }
+    }
+}
+
+/// The result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SynthOutput {
+    config: ScenarioConfig,
+    dataset: FailureDataset,
+}
+
+impl SynthOutput {
+    /// The assembled dataset.
+    pub fn dataset(&self) -> &FailureDataset {
+        &self.dataset
+    }
+
+    /// Consumes the output, returning the dataset.
+    pub fn into_dataset(self) -> FailureDataset {
+        self.dataset
+    }
+
+    /// The configuration the dataset was generated from.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+}
+
+fn assemble(
+    config: &ScenarioConfig,
+    pop: Population,
+    telemetry: Telemetry,
+    specs: Vec<IncidentSpec>,
+    rng: &StreamRng,
+) -> FailureDataset {
+    let mut builder = DatasetBuilder::new();
+    builder.horizon(config.horizon);
+
+    // Lookup tables needed after the machines move into the builder.
+    let num_sys = pop.topology.subsystems().len();
+    let mut sys_members: Vec<Vec<MachineId>> = vec![Vec::new(); num_sys];
+    let mut kinds: Vec<MachineKind> = Vec::with_capacity(pop.machines.len());
+    let mut sys_of: Vec<usize> = Vec::with_capacity(pop.machines.len());
+    for m in &pop.machines {
+        sys_members[m.subsystem().index()].push(m.id());
+        kinds.push(m.kind());
+        sys_of.push(m.subsystem().index());
+    }
+    builder.topology(pop.topology);
+    for m in pop.machines {
+        builder.add_machine(m);
+    }
+
+    // Crash tickets + events from incident specs.
+    let mut crash_per_sys = vec![0usize; num_sys];
+    let mut rng_text = rng.fork("tickets.text");
+    let mut rng_repair = rng.fork("tickets.repair");
+    for (inc_idx, spec) in specs.iter().enumerate() {
+        let incident_id = IncidentId::new(inc_idx as u32);
+        builder.add_incident(Incident::new(
+            incident_id,
+            spec.class,
+            spec.at,
+            spec.machines.clone(),
+        ));
+        for &machine_id in &spec.machines {
+            let ticket_id = TicketId::new(builder.num_tickets() as u32);
+            crash_per_sys[sys_of[machine_id.index()]] += 1;
+            let machine_kind = kinds[machine_id.index()];
+            let repair = tickets_gen::sample_repair(&mut rng_repair, spec.class, machine_kind);
+            let text =
+                tickets_gen::crash_text(&mut rng_text, spec.class, config.degraded_text_fraction);
+            builder.add_ticket(Ticket::new(
+                ticket_id,
+                machine_id,
+                TicketKind::Crash,
+                Some(incident_id),
+                spec.at,
+                spec.at + repair,
+                text.description,
+                text.resolution,
+                Some(spec.class),
+            ));
+            builder.add_event(FailureEvent::new(
+                machine_id,
+                incident_id,
+                ticket_id,
+                spec.at,
+                spec.class,
+                text.reported_class,
+                repair,
+            ));
+        }
+    }
+
+    // Non-crash haystack per subsystem, topping tickets up to Table II.
+    let mut rng_noise = rng.fork("tickets.noncrash");
+    let noncrash_repair = LogNormal::new(1.2, 1.0).expect("static params are valid");
+    for (sys_idx, members) in sys_members.iter().enumerate() {
+        if members.is_empty() {
+            continue;
+        }
+        let target = config.scaled(config.subsystems[sys_idx].all_tickets, 1);
+        let existing = crash_per_sys[sys_idx];
+        for _ in existing..target {
+            let ticket_id = TicketId::new(builder.num_tickets() as u32);
+            let machine = members[rng_noise.below(members.len())];
+            let opened = config.horizon.start()
+                + SimDuration::from_minutes(
+                    rng_noise.below(config.horizon.len().as_minutes() as usize) as i64,
+                );
+            let hours = noncrash_repair.sample(&mut rng_noise).min(500.0);
+            let (description, resolution) = tickets_gen::non_crash_text(&mut rng_noise);
+            builder.add_ticket(Ticket::new(
+                ticket_id,
+                machine,
+                TicketKind::NonCrash,
+                None,
+                opened,
+                opened + SimDuration::from_hours_f64(hours),
+                description,
+                resolution,
+                None,
+            ));
+        }
+    }
+
+    builder.telemetry(telemetry);
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SynthOutput {
+        Scenario::paper().seed(1).scale(0.05).build()
+    }
+
+    #[test]
+    fn build_small_scenario() {
+        let out = small();
+        let ds = out.dataset();
+        assert_eq!(ds.topology().subsystems().len(), 5);
+        assert!(!ds.events().is_empty());
+        assert!(ds.tickets().len() > ds.events().len());
+        assert_eq!(out.config().scale, 0.05);
+    }
+
+    #[test]
+    fn table2_ticket_volumes_match_scaled_targets() {
+        let out = small();
+        let stats = out.dataset().subsystem_stats();
+        for (row, sys) in stats.iter().zip(&out.config().subsystems) {
+            let target = out.config().scaled(sys.all_tickets, 1);
+            // Crash tickets can overflow the target slightly; non-crash
+            // top-up otherwise hits it exactly.
+            assert!(
+                row.all_tickets >= target,
+                "{}: {} < {}",
+                row.name,
+                row.all_tickets,
+                target
+            );
+            assert!(row.all_tickets <= target + row.crash_tickets);
+            // Crash tickets are a small share of all tickets (paper: 0.85–6.9%).
+            assert!(
+                row.crash_pct() < 15.0,
+                "{}: crash share {}%",
+                row.name,
+                row.crash_pct()
+            );
+        }
+    }
+
+    #[test]
+    fn events_tickets_and_incidents_are_consistent() {
+        let out = small();
+        let ds = out.dataset();
+        // One event per (incident, machine) pair.
+        let incident_pairs: usize = ds.incidents().iter().map(Incident::size).sum();
+        assert_eq!(ds.events().len(), incident_pairs);
+        // Every event's ticket is a crash ticket for the same machine.
+        for ev in ds.events() {
+            let t = ds.ticket(ev.ticket());
+            assert!(t.is_crash());
+            assert_eq!(t.machine(), ev.machine());
+            assert_eq!(t.incident(), Some(ev.incident()));
+            assert_eq!(t.opened_at(), ev.at());
+            assert_eq!(t.repair_time(), ev.repair());
+            assert_eq!(t.true_class(), Some(ev.true_class()));
+        }
+    }
+
+    #[test]
+    fn sys2_vms_have_no_crash_tickets() {
+        let out = small();
+        let stats = out.dataset().subsystem_stats();
+        assert_eq!(stats[1].crash_tickets_vm, 0, "Sys II VMs must not crash");
+    }
+
+    #[test]
+    fn reported_other_share_is_roughly_half() {
+        let out = small();
+        let other = out
+            .dataset()
+            .events()
+            .iter()
+            .filter(|e| e.reported_class() == FailureClass::Other)
+            .count();
+        let frac = other as f64 / out.dataset().events().len() as f64;
+        assert!((frac - 0.53).abs() < 0.08, "other share {frac}");
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let a = Scenario::paper().seed(4).scale(0.03).build();
+        let b = Scenario::paper().seed(4).scale(0.03).build();
+        assert_eq!(a.dataset(), b.dataset());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Scenario::paper().seed(4).scale(0.03).build();
+        let b = Scenario::paper().seed(5).scale(0.03).build();
+        assert_ne!(a.dataset(), b.dataset());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in (0, 1]")]
+    fn zero_scale_rejected() {
+        let _ = Scenario::paper().scale(0.0);
+    }
+
+    #[test]
+    fn effects_builder_passthrough() {
+        let s = Scenario::paper().effects(EffectToggles::none());
+        assert_eq!(s.config().effects, EffectToggles::none());
+    }
+}

@@ -1,0 +1,214 @@
+//! Telemetry generation: weekly usage rollups, on/off logs and consolidation
+//! series.
+//!
+//! Usage mixes follow the paper's observations: more than half of both VMs
+//! and PMs run at ≤ 10% CPU; VM memory utilization is mostly ≤ 10% while the
+//! PM population *increases* with memory utilization; 45% of VMs move 2–64
+//! Kbps, 34% 128–512 Kbps and 21% 1–8 Mbps.
+
+use crate::config::ScenarioConfig;
+use crate::lifecycle;
+use crate::population::Population;
+use dcfail_model::prelude::*;
+use dcfail_stats::rng::StreamRng;
+
+/// Generates all telemetry for a population.
+pub fn generate(config: &ScenarioConfig, pop: &Population, rng: &StreamRng) -> Telemetry {
+    let mut telemetry = Telemetry::new();
+    let weeks = config.horizon.num_weeks();
+    let months = config.horizon.num_months();
+    let onoff_window = config.onoff_window();
+
+    for machine in &pop.machines {
+        let mut rng = rng.fork_index("telemetry", machine.id().raw() as u64);
+        let base = sample_base_usage(&mut rng, machine.kind());
+        let series: Vec<WeeklyUsage> = (0..weeks).map(|_| jitter_week(&mut rng, base)).collect();
+        telemetry.set_usage(machine.id(), series);
+
+        if machine.is_vm() {
+            telemetry.set_onoff(
+                machine.id(),
+                lifecycle::sample_onoff_log(&mut rng, onoff_window),
+            );
+            let occupancy = machine
+                .host()
+                .and_then(|b| pop.topology.host_box(b))
+                .map(HostBox::occupancy)
+                .unwrap_or(1);
+            telemetry.set_consolidation(
+                machine.id(),
+                consolidation_series(&mut rng, occupancy, months),
+            );
+        }
+    }
+    telemetry
+}
+
+/// Per-machine long-run usage levels, sampled once and jittered weekly.
+fn sample_base_usage(rng: &mut StreamRng, kind: MachineKind) -> WeeklyUsage {
+    let cpu = 100.0 * rng.uniform().powi(4); // >50% of machines ≤ ~10%
+    let mem = match kind {
+        // VM memory usage skews low...
+        MachineKind::Vm => 100.0 * rng.uniform().powi(4),
+        // ...while the PM population grows with memory utilization.
+        MachineKind::Pm => 100.0 * rng.uniform().powf(0.7),
+    };
+    let disk = 100.0 * rng.uniform();
+    let net = sample_net_kbps(rng);
+    WeeklyUsage::new(cpu as f32, mem as f32, disk as f32, net as f32)
+}
+
+/// Network volume mixture: 45% in 2–64 Kbps, 34% in 128–512, 21% in
+/// 1024–8192 (log-uniform within each band).
+fn sample_net_kbps(rng: &mut StreamRng) -> f64 {
+    let (lo, hi) = match rng.weighted(&[0.45, 0.34, 0.21]) {
+        0 => (2.0f64, 64.0f64),
+        1 => (128.0, 512.0),
+        _ => (1024.0, 8192.0),
+    };
+    (lo.ln() + (hi.ln() - lo.ln()) * rng.uniform()).exp()
+}
+
+/// Adds bounded multiplicative weekly noise around the base levels.
+fn jitter_week(rng: &mut StreamRng, base: WeeklyUsage) -> WeeklyUsage {
+    let mut noise = || 1.0 + 0.25 * (rng.uniform() - 0.5) as f32;
+    WeeklyUsage::new(
+        base.cpu_pct * noise(),
+        base.mem_pct * noise(),
+        base.disk_pct * noise(),
+        base.net_kbps * noise(),
+    )
+}
+
+/// Monthly consolidation levels: home occupancy modulated by co-residents'
+/// power states (85–100% of them on in any month).
+fn consolidation_series(rng: &mut StreamRng, occupancy: usize, months: usize) -> Vec<u16> {
+    (0..months)
+        .map(|_| {
+            let co_resident_on =
+                ((occupancy - 1) as f64 * rng.uniform_in(0.85, 1.0)).round() as u16;
+            1 + co_resident_on
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population;
+
+    fn setup() -> (ScenarioConfig, Population, Telemetry) {
+        let mut config = ScenarioConfig::paper();
+        config.scale = 0.05;
+        let rng = StreamRng::new(7);
+        let pop = population::build(&config, &rng);
+        let telemetry = generate(&config, &pop, &rng);
+        (config, pop, telemetry)
+    }
+
+    #[test]
+    fn every_machine_has_52_weeks_of_usage() {
+        let (config, pop, telemetry) = setup();
+        for m in &pop.machines {
+            let usage = telemetry.usage(m.id()).expect("usage series exists");
+            assert_eq!(usage.len(), config.horizon.num_weeks());
+            for w in usage {
+                assert!((0.0..=100.0).contains(&w.cpu_pct));
+                assert!((0.0..=100.0).contains(&w.mem_pct));
+                assert!((0.0..=100.0).contains(&w.disk_pct));
+                assert!(w.net_kbps >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn only_vms_have_onoff_and_consolidation() {
+        let (config, pop, telemetry) = setup();
+        for m in &pop.machines {
+            if m.is_vm() {
+                let log = telemetry.onoff(m.id()).expect("VM has on/off log");
+                assert_eq!(log.window(), config.onoff_window());
+                let cons = telemetry
+                    .consolidation(m.id())
+                    .expect("VM has consolidation");
+                assert_eq!(cons.len(), config.horizon.num_months());
+                assert!(cons.iter().all(|&l| l >= 1));
+            } else {
+                assert!(telemetry.onoff(m.id()).is_none());
+                assert!(telemetry.consolidation(m.id()).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_usage_skews_low() {
+        let (_, pop, telemetry) = setup();
+        let mut low = 0usize;
+        let mut total = 0usize;
+        for m in &pop.machines {
+            let mean = telemetry.mean_usage(m.id()).unwrap();
+            total += 1;
+            if mean.cpu_pct <= 10.0 {
+                low += 1;
+            }
+        }
+        // Paper: "more than half of VMs and PMs is utilized at most 10%".
+        assert!(low as f64 / total as f64 > 0.5);
+    }
+
+    #[test]
+    fn pm_memory_skews_higher_than_vm_memory() {
+        let (_, pop, telemetry) = setup();
+        let mean_of = |kind: MachineKind| {
+            let (sum, n) = pop
+                .machines
+                .iter()
+                .filter(|m| m.kind() == kind)
+                .map(|m| telemetry.mean_usage(m.id()).unwrap().mem_pct as f64)
+                .fold((0.0, 0usize), |(s, n), v| (s + v, n + 1));
+            sum / n as f64
+        };
+        assert!(mean_of(MachineKind::Pm) > mean_of(MachineKind::Vm) + 10.0);
+    }
+
+    #[test]
+    fn network_mixture_bands() {
+        let (_, pop, telemetry) = setup();
+        let nets: Vec<f64> = pop
+            .machines
+            .iter()
+            .filter(|m| m.is_vm())
+            .map(|m| telemetry.mean_usage(m.id()).unwrap().net_kbps as f64)
+            .collect();
+        let low = nets.iter().filter(|&&k| k <= 100.0).count() as f64 / nets.len() as f64;
+        let high = nets.iter().filter(|&&k| k >= 800.0).count() as f64 / nets.len() as f64;
+        assert!((low - 0.45).abs() < 0.15, "low band {low}");
+        assert!((high - 0.21).abs() < 0.12, "high band {high}");
+    }
+
+    #[test]
+    fn consolidation_tracks_occupancy() {
+        let (_, pop, telemetry) = setup();
+        for m in pop.machines.iter().filter(|m| m.is_vm()) {
+            let occupancy = pop
+                .topology
+                .host_box(m.host().unwrap())
+                .unwrap()
+                .occupancy() as f64;
+            let mean = telemetry.mean_consolidation(m.id()).unwrap();
+            assert!(mean <= occupancy + 1e-9);
+            assert!(mean >= 0.8 * occupancy);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut config = ScenarioConfig::paper();
+        config.scale = 0.02;
+        let rng = StreamRng::new(11);
+        let pop = population::build(&config, &rng);
+        let t1 = generate(&config, &pop, &rng);
+        let t2 = generate(&config, &pop, &rng);
+        assert_eq!(t1, t2);
+    }
+}

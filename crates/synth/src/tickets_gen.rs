@@ -1,0 +1,367 @@
+//! Ticket synthesis: free text, repair times and the non-crash haystack.
+//!
+//! Every affected machine of every incident yields one crash ticket. Ticket
+//! text is templated per root cause with shared filler vocabulary, and 53%
+//! of crash tickets get *degraded* text — the paper's unclassifiable "other"
+//! share. Repair times are log-normal per class, calibrated to Table IV
+//! (power fixes are fastest, hardware/network slowest, software the least
+//! variable), with PM repairs slower than VM repairs overall.
+
+use dcfail_model::prelude::*;
+use dcfail_stats::dist::{ContinuousDist, LogNormal};
+use dcfail_stats::rng::StreamRng;
+
+/// Log-normal repair-time parameters (μ, σ) in hours per failure class,
+/// matched to Table IV's mean/median pairs.
+const REPAIR_PARAMS: [(f64, f64); 6] = [
+    (2.114, 2.13),  // Hardware: mean 80.1 h, median 8.28 h
+    (2.194, 2.01),  // Network: mean 67.6 h, median 8.97 h
+    (-0.186, 2.32), // Power: mean 12.2 h, median 0.83 h
+    (0.820, 2.04),  // Reboot: mean 18.0 h, median 2.27 h
+    (3.108, 0.766), // Software: mean 30.0 h, median 22.4 h
+    (1.609, 1.79),  // Other (true class unknown in real data; unused here)
+];
+
+/// PM repairs are slower overall (mean 38.5 h vs 19.6 h in the paper):
+/// physical access and part purchases add delay.
+const PM_REPAIR_MULT: f64 = 1.20;
+/// VM repairs are faster: no physical intervention.
+const VM_REPAIR_MULT: f64 = 0.75;
+
+/// Probability that a well-described crash ticket is still mislabelled by
+/// the reporting pipeline (the paper's k-means is 87% accurate; some error
+/// budget lands on confusions rather than "other").
+const CONFUSION_PROB: f64 = 0.05;
+
+/// Samples a repair duration for a crash of `class` on a machine of `kind`.
+pub fn sample_repair(rng: &mut StreamRng, class: FailureClass, kind: MachineKind) -> SimDuration {
+    let (mu, sigma) = REPAIR_PARAMS[class.index()];
+    let kind_mult = match kind {
+        MachineKind::Pm => PM_REPAIR_MULT,
+        MachineKind::Vm => VM_REPAIR_MULT,
+    };
+    let dist = LogNormal::new(mu + kind_mult.ln(), sigma).expect("static params are valid");
+    let hours = dist.sample(rng).clamp(0.05, 2000.0);
+    SimDuration::from_hours_f64(hours)
+}
+
+/// Generated ticket text plus the label the reporting pipeline would emit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TicketText {
+    /// Problem description (user- or monitoring-generated).
+    pub description: String,
+    /// Resolution entered by support staff.
+    pub resolution: String,
+    /// Label as reported by the (imperfect) classification pipeline.
+    pub reported_class: FailureClass,
+}
+
+/// Synthesizes crash-ticket text for a failure of `class`.
+///
+/// With probability `degraded_fraction` the text is vague boilerplate that
+/// no classifier can place, and the reported label is
+/// [`FailureClass::Other`]; otherwise class-specific templates are used and
+/// the reported label is correct up to a small confusion probability.
+pub fn crash_text(rng: &mut StreamRng, class: FailureClass, degraded_fraction: f64) -> TicketText {
+    if rng.bernoulli(degraded_fraction) {
+        let (description, resolution) = degraded_templates(rng);
+        return TicketText {
+            description,
+            resolution,
+            reported_class: FailureClass::Other,
+        };
+    }
+    let (description, resolution) = class_templates(rng, class);
+    let reported_class = if rng.bernoulli(CONFUSION_PROB) {
+        // Confuse with a random *other* classified class.
+        let others: Vec<FailureClass> = FailureClass::CLASSIFIED
+            .into_iter()
+            .filter(|&c| c != class)
+            .collect();
+        others[rng.below(others.len())]
+    } else {
+        class
+    };
+    TicketText {
+        description,
+        resolution,
+        reported_class,
+    }
+}
+
+/// Synthesizes a non-crash ticket's text (requests, alerts, routine work).
+pub fn non_crash_text(rng: &mut StreamRng) -> (String, String) {
+    const DESCRIPTIONS: [&str; 10] = [
+        "disk space threshold warning on filesystem var",
+        "cpu utilization alert sustained above threshold",
+        "user access request for application account",
+        "password reset request for service account",
+        "backup job failed needs rerun",
+        "certificate expiring renewal needed",
+        "monitoring agent heartbeat missed once",
+        "scheduled patching window confirmation",
+        "capacity request additional storage volume",
+        "log rotation misconfigured filling disk",
+    ];
+    const RESOLUTIONS: [&str; 10] = [
+        "cleaned old files space reclaimed",
+        "threshold adjusted after review workload expected",
+        "access granted per approval",
+        "password reset completed user notified",
+        "backup rerun completed successfully",
+        "certificate renewed and deployed",
+        "agent restarted heartbeat restored",
+        "patching confirmed scheduled",
+        "storage volume extended",
+        "logrotate configuration fixed",
+    ];
+    let d = DESCRIPTIONS[rng.below(DESCRIPTIONS.len())];
+    let r = RESOLUTIONS[rng.below(RESOLUTIONS.len())];
+    (decorate(rng, d), decorate(rng, r))
+}
+
+fn class_templates(rng: &mut StreamRng, class: FailureClass) -> (String, String) {
+    let (descriptions, resolutions): (&[&str], &[&str]) = match class {
+        FailureClass::Hardware => (
+            &[
+                "server down disk drive fault raid degraded",
+                "host unresponsive memory dimm ecc errors",
+                "server crashed power supply unit failure detected",
+                "machine unreachable raid controller battery fault",
+                "server offline motherboard component failure",
+                "host down cpu hardware machine check exception",
+            ],
+            &[
+                "replaced faulty disk rebuilt raid array",
+                "replaced memory dimm module server restored",
+                "swapped power supply unit hardware fix",
+                "replaced raid controller battery restored",
+                "motherboard replaced by field engineer",
+                "cpu replaced hardware vendor dispatched",
+            ],
+        ),
+        FailureClass::Network => (
+            &[
+                "server unreachable ping timeout switch port down",
+                "host lost connectivity vlan misconfiguration",
+                "network interface card errors server isolated",
+                "server unreachable uplink failure on access switch",
+                "dns resolution failure host unreachable remotely",
+                "packet loss server connectivity degraded port flapping",
+            ],
+            &[
+                "switch port reset network fix applied",
+                "vlan configuration corrected connectivity restored",
+                "replaced network interface card cabling checked",
+                "uplink failover network team fixed routing",
+                "dns record corrected resolution restored",
+                "port stabilized transceiver replaced network fix",
+            ],
+        ),
+        FailureClass::Power => (
+            &[
+                "power outage rack lost utility feed servers down",
+                "pdu breaker tripped multiple servers powered off",
+                "ups failure during transfer servers dropped",
+                "scheduled electrical maintenance outage powered down",
+                "datacenter feed fluctuation servers power cycled",
+                "branch circuit overload power lost to rack",
+            ],
+            &[
+                "utility feed restored electrical fix breakers reset",
+                "pdu breaker reset electrician verified load",
+                "ups battery replaced transfer tested",
+                "maintenance completed power restored on schedule",
+                "power conditioned feed stabilized electrical fix",
+                "load rebalanced circuit restored",
+            ],
+        ),
+        FailureClass::Reboot => (
+            &[
+                "unexpected reboot server restarted without request",
+                "host spontaneously rebooted uptime reset detected",
+                "server rebooted unexpectedly during business hours",
+                "hypervisor restart caused guest reboot unexpected",
+                "machine cycled unexpected restart watchdog fired",
+                "unexplained reboot server came back by itself",
+            ],
+            &[
+                "server back online after reboot monitoring confirmed",
+                "no action needed system recovered after restart",
+                "reboot traced to host platform restart",
+                "guest stabilized after hypervisor restart",
+                "watchdog settings reviewed server stable",
+                "uptime monitoring confirmed recovery after reboot",
+            ],
+        ),
+        FailureClass::Software => (
+            &[
+                "operating system hang kernel panic console frozen",
+                "critical service agent hung server unresponsive",
+                "application memory leak exhausted server resources",
+                "os crash blue screen bugcheck recorded",
+                "filesystem corruption os unable to boot services down",
+                "runaway process cpu pegged server frozen software",
+            ],
+            &[
+                "kernel patch applied software fix os restarted",
+                "service agent restarted configuration corrected",
+                "application fix deployed memory leak patched",
+                "os updated driver rollback software fix",
+                "filesystem repaired os restored from software issue",
+                "process limits configured software remediation applied",
+            ],
+        ),
+        FailureClass::Other => (&["server issue"], &["resolved"]),
+    };
+    let d = descriptions[rng.below(descriptions.len())];
+    let r = resolutions[rng.below(resolutions.len())];
+    (decorate(rng, d), decorate(rng, r))
+}
+
+fn degraded_templates(rng: &mut StreamRng) -> (String, String) {
+    const DESCRIPTIONS: [&str; 8] = [
+        "server issue reported by user",
+        "system problem see attached",
+        "host alert raised ticket opened",
+        "server not working as expected",
+        "issue with machine reported",
+        "problem on server escalated",
+        "server incident logged",
+        "user reported outage on system",
+    ];
+    const RESOLUTIONS: [&str; 8] = [
+        "issue resolved",
+        "problem fixed closed",
+        "restored service user confirmed ok",
+        "closed after verification",
+        "no further information resolved",
+        "fixed per standard procedure",
+        "resolved duplicate of earlier ticket",
+        "service restored details unavailable",
+    ];
+    let d = DESCRIPTIONS[rng.below(DESCRIPTIONS.len())];
+    let r = RESOLUTIONS[rng.below(RESOLUTIONS.len())];
+    let mut rng2 = rng.fork("degraded-decorate");
+    (decorate(&mut rng2, d), decorate(&mut rng2, r))
+}
+
+/// Adds low-information filler so documents are not byte-identical.
+fn decorate(rng: &mut StreamRng, base: &str) -> String {
+    const FILLER: [&str; 8] = [
+        "ticket", "priority", "team", "checked", "updated", "notes", "contact", "queue",
+    ];
+    let mut s = String::from(base);
+    for _ in 0..rng.below(3) {
+        s.push(' ');
+        s.push_str(FILLER[rng.below(FILLER.len())]);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcfail_stats::empirical::Summary;
+
+    #[test]
+    fn repair_times_match_table4_shape() {
+        let mut rng = StreamRng::new(1);
+        let mut sample = |class: FailureClass| {
+            let xs: Vec<f64> = (0..20_000)
+                .map(|_| sample_repair(&mut rng, class, MachineKind::Pm).as_hours())
+                .collect();
+            Summary::of(&xs).unwrap()
+        };
+        let hw = sample(FailureClass::Hardware);
+        let net = sample(FailureClass::Network);
+        let power = sample(FailureClass::Power);
+        let reboot = sample(FailureClass::Reboot);
+        let sw = sample(FailureClass::Software);
+
+        // Ordering of means: HW > Net > SW > Reboot > Power.
+        assert!(hw.mean > net.mean);
+        assert!(net.mean > sw.mean);
+        assert!(sw.mean > reboot.mean);
+        assert!(reboot.mean > power.mean);
+        // Power has the shortest median (paper: 0.83 h).
+        assert!(power.median < reboot.median);
+        assert!(power.median < 2.0);
+        // Software mean ≈ median (low variability).
+        assert!(sw.mean / sw.median < 2.0);
+        // Hardware is wildly variable (mean ≫ median).
+        assert!(hw.mean / hw.median > 4.0);
+    }
+
+    #[test]
+    fn pm_repairs_slower_than_vm() {
+        let mut rng = StreamRng::new(2);
+        let mut mean = |kind: MachineKind| {
+            let xs: Vec<f64> = (0..20_000)
+                .map(|_| sample_repair(&mut rng, FailureClass::Reboot, kind).as_hours())
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(mean(MachineKind::Pm) > 1.3 * mean(MachineKind::Vm));
+    }
+
+    #[test]
+    fn repairs_are_positive_and_bounded() {
+        let mut rng = StreamRng::new(3);
+        for class in FailureClass::ALL {
+            for _ in 0..1000 {
+                let r = sample_repair(&mut rng, class, MachineKind::Vm);
+                assert!(!r.is_negative());
+                assert!(r.as_hours() <= 2000.0);
+                assert!(r.as_hours() >= 0.05);
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_fraction_drives_other_labels() {
+        let mut rng = StreamRng::new(4);
+        let n = 10_000;
+        let other = (0..n)
+            .filter(|_| {
+                crash_text(&mut rng, FailureClass::Software, 0.53).reported_class
+                    == FailureClass::Other
+            })
+            .count();
+        let frac = other as f64 / n as f64;
+        assert!((frac - 0.53).abs() < 0.03, "other fraction {frac}");
+    }
+
+    #[test]
+    fn clean_text_is_mostly_correctly_labelled() {
+        let mut rng = StreamRng::new(5);
+        let n = 10_000;
+        let correct = (0..n)
+            .filter(|_| {
+                crash_text(&mut rng, FailureClass::Network, 0.0).reported_class
+                    == FailureClass::Network
+            })
+            .count();
+        let acc = correct as f64 / n as f64;
+        assert!((acc - 0.95).abs() < 0.02, "accuracy {acc}");
+    }
+
+    #[test]
+    fn class_texts_use_distinct_vocabulary() {
+        let mut rng = StreamRng::new(6);
+        let hw = crash_text(&mut rng, FailureClass::Hardware, 0.0);
+        let sw = crash_text(&mut rng, FailureClass::Software, 0.0);
+        assert_ne!(hw.description, sw.description);
+        assert!(!hw.description.is_empty() && !hw.resolution.is_empty());
+    }
+
+    #[test]
+    fn non_crash_text_is_nonempty() {
+        let mut rng = StreamRng::new(7);
+        for _ in 0..100 {
+            let (d, r) = non_crash_text(&mut rng);
+            assert!(!d.is_empty());
+            assert!(!r.is_empty());
+        }
+    }
+}

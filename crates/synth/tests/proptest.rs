@@ -1,0 +1,75 @@
+//! Property tests for the simulator's structural invariants.
+
+use dcfail_model::prelude::*;
+use dcfail_synth::{EffectToggles, Scenario};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Population structure is invariant over seeds: Table II counts,
+    /// VM/box containment, dense ids.
+    #[test]
+    fn population_structure(seed in 0u64..10_000) {
+        let ds = Scenario::paper().seed(seed).scale(0.03).build().into_dataset();
+        // Scaled Table II populations are seed-independent.
+        let stats = ds.subsystem_stats();
+        prop_assert_eq!(stats.len(), 5);
+        let pms: Vec<usize> = stats.iter().map(|s| s.pms).collect();
+        prop_assert_eq!(pms, vec![14, 61, 33, 22, 24]);
+        // Every VM sits on a box of its own subsystem; boxes hold 1..=32.
+        for m in ds.machines() {
+            if let Some(host) = m.host() {
+                let hb = ds.topology().host_box(host).expect("host exists");
+                prop_assert_eq!(hb.subsystem(), m.subsystem());
+                prop_assert!(hb.vms().contains(&m.id()));
+                prop_assert!((1..=32).contains(&hb.occupancy()));
+            }
+        }
+    }
+
+    /// Tickets and events agree for any seed and effect combination.
+    #[test]
+    fn ticket_event_agreement(
+        seed in 0u64..10_000,
+        recurrence in any::<bool>(),
+        spatial in any::<bool>(),
+    ) {
+        let mut effects = EffectToggles::all();
+        effects.recurrence = recurrence;
+        effects.spatial = spatial;
+        let ds = Scenario::paper()
+            .seed(seed)
+            .scale(0.02)
+            .effects(effects)
+            .build()
+            .into_dataset();
+        let crash_tickets = ds.tickets().iter().filter(|t| t.is_crash()).count();
+        prop_assert_eq!(crash_tickets, ds.events().len());
+        for ev in ds.events() {
+            let t = ds.ticket(ev.ticket());
+            prop_assert_eq!(t.closed_at(), ev.resolved_at());
+            prop_assert!(ds.horizon().contains(ev.at()));
+        }
+        // Without spatial incidents every incident is a singleton.
+        if !spatial {
+            prop_assert!(ds.incidents().iter().all(|i| i.size() == 1));
+        }
+        // Sys II VMs never fail under any toggle combination.
+        for ev in ds.events() {
+            let m = ds.machine(ev.machine());
+            prop_assert!(!(m.is_vm() && m.subsystem().index() == 1));
+        }
+    }
+
+    /// Telemetry exists for exactly the right machines at any seed.
+    #[test]
+    fn telemetry_coverage(seed in 0u64..10_000) {
+        let ds = Scenario::paper().seed(seed).scale(0.02).build().into_dataset();
+        for m in ds.machines() {
+            prop_assert!(ds.telemetry().usage(m.id()).is_some());
+            prop_assert_eq!(ds.telemetry().onoff(m.id()).is_some(), m.is_vm());
+            prop_assert_eq!(ds.telemetry().consolidation(m.id()).is_some(), m.is_vm());
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # dcfail-tickets
+//!
+//! The ticketing subsystem: storage and indexing of problem tickets, the
+//! paper's classification pipeline (manual labeling + k-means clustering on
+//! description and resolution text, 87% accuracy), crash-ticket extraction
+//! and incident reconstruction.
+//!
+//! The pipeline mirrors Section III-A of Birke et al.:
+//!
+//! 1. Identify crash tickets among all problem tickets
+//!    ([`extract::extract_crash_tickets`]).
+//! 2. Classify crash tickets into six classes based on description and
+//!    resolution text ([`classify::classify`]), combining rule-based
+//!    "manual" labels ([`classify::manual_label`]) with k-means clustering
+//!    over TF-IDF vectors.
+//! 3. Group co-occurring crash tickets back into failure incidents
+//!    ([`extract::reconstruct_incidents`]).
+//!
+//! ```
+//! use dcfail_tickets::classify::manual_label;
+//!
+//! let label = manual_label("power outage rack lost utility feed", "breaker reset electrical fix");
+//! assert_eq!(label, dcfail_model::failure::FailureClass::Power);
+//! ```
+
+pub mod classify;
+pub mod extract;
+pub mod store;

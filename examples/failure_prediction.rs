@@ -1,0 +1,85 @@
+//! Week-ahead failure prediction: turn the paper's findings (failures recur,
+//! lemons exist, subsystems differ) into an operational early-warning score
+//! and evaluate it honestly with a walk-forward protocol.
+//!
+//! ```text
+//! cargo run --example failure_prediction --release
+//! ```
+
+use dcfail::analysis::prediction::{evaluate, score_week, PredictorWeights};
+use dcfail::synth::Scenario;
+
+fn main() {
+    let dataset = Scenario::paper().seed(21).scale(0.5).build().into_dataset();
+    println!(
+        "history: {} machines, {} failures over one year\n",
+        dataset.machines().len(),
+        dataset.events().len()
+    );
+
+    // Evaluate the default predictor, walking forward from week 8.
+    let weights = PredictorWeights::default();
+    let report = evaluate(&dataset, 8, &weights).expect("failures exist");
+    println!("walk-forward evaluation (weeks 8..52):");
+    println!("  machine-weeks scored : {}", report.observations);
+    println!("  failing machine-weeks: {}", report.positives);
+    println!("  AUC                  : {:.3}", report.auc);
+    println!(
+        "  top-decile watchlist catches {:.0}% of next-week failures ({:.1}x random)",
+        100.0 * report.recall_at_top_decile,
+        report.lift_at_top_decile
+    );
+
+    // Ablate each feature to see where the signal lives.
+    println!("\nfeature ablations (AUC):");
+    let variants: [(&str, PredictorWeights); 3] = [
+        (
+            "recency only",
+            PredictorWeights {
+                per_prior_failure: 0.0,
+                base_rate: 0.0,
+                ..weights
+            },
+        ),
+        (
+            "failure count only",
+            PredictorWeights {
+                recency_1w: 0.0,
+                recency_4w: 0.0,
+                base_rate: 0.0,
+                ..weights
+            },
+        ),
+        (
+            "base rate only",
+            PredictorWeights {
+                recency_1w: 0.0,
+                recency_4w: 0.0,
+                per_prior_failure: 0.0,
+                ..weights
+            },
+        ),
+    ];
+    for (name, w) in variants {
+        if let Some(r) = evaluate(&dataset, 8, &w) {
+            println!("  {name:<20} {:.3}", r.auc);
+        }
+    }
+
+    // Show this week's top-5 watchlist.
+    let mut scores = score_week(&dataset, 40, &weights);
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
+    println!("\nweek-40 watchlist (top 5):");
+    for (machine, score) in scores.iter().take(5) {
+        let m = dataset.machine(*machine);
+        let history = dataset.events_for(*machine).count();
+        println!(
+            "  {} [{} {}]: score {:.3}, {} failures so far",
+            machine,
+            m.kind(),
+            dataset.topology().subsystems()[m.subsystem().index()].name(),
+            score,
+            history
+        );
+    }
+}

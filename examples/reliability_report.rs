@@ -1,0 +1,43 @@
+//! Full reliability report: regenerates every table and figure of the paper
+//! from a fresh simulation and prints them in order.
+//!
+//! ```text
+//! cargo run --example reliability_report --release -- [scale] [seed]
+//! ```
+//!
+//! Defaults: scale 0.25, seed 42 (scale 1.0 reproduces the paper's full
+//! ~10K-host estate; use the `repro` binary in `dcfail-bench` for CSV
+//! export and classifier re-runs).
+
+use dcfail::report::experiments::run_all;
+use dcfail::synth::Scenario;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("scale must be a number in (0, 1]"))
+        .unwrap_or(0.25);
+    let seed: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seed must be an integer"))
+        .unwrap_or(42);
+
+    eprintln!("simulating paper scenario at scale {scale} (seed {seed}) ...");
+    let dataset = Scenario::paper()
+        .seed(seed)
+        .scale(scale)
+        .build()
+        .into_dataset();
+    eprintln!(
+        "dataset: {} machines, {} crash events, {} tickets\n",
+        dataset.machines().len(),
+        dataset.events().len(),
+        dataset.tickets().len()
+    );
+
+    for (id, rendered) in run_all(&dataset) {
+        println!("==== [{id}] {} ====", rendered.title);
+        println!("{}", rendered.text);
+    }
+}

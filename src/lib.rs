@@ -1,0 +1,21 @@
+//! # dcfail
+//!
+//! Facade crate re-exporting the dcfail workspace: a datacenter failure-trace
+//! simulator and analysis toolkit reproducing Birke et al., *"Failure Analysis
+//! of Virtual and Physical Machines"* (DSN 2014).
+//!
+//! See [`model`], [`stats`], [`synth`], [`tickets`], [`analysis`] and
+//! [`report`] for the individual subsystems.
+//!
+//! ```
+//! use dcfail::synth::Scenario;
+//! let dataset = Scenario::paper().seed(7).scale(0.05).build().into_dataset();
+//! let rates = dcfail::analysis::rates::weekly_failure_rates(&dataset);
+//! assert!(rates.all_pm.mean > 0.0);
+//! ```
+pub use dcfail_core as analysis;
+pub use dcfail_model as model;
+pub use dcfail_report as report;
+pub use dcfail_stats as stats;
+pub use dcfail_synth as synth;
+pub use dcfail_tickets as tickets;

@@ -1,0 +1,146 @@
+//! Property-based tests over the cross-crate invariants.
+
+use dcfail::analysis::{rates, recurrence, spatial};
+use dcfail::model::prelude::*;
+use dcfail::stats::dist::{ContinuousDist, Gamma, LogNormal, Weibull};
+use dcfail::stats::empirical::{quantile, Ecdf};
+use dcfail::stats::fit::{fit_gamma, fit_lognormal, fit_weibull};
+use dcfail::stats::rng::StreamRng;
+use dcfail::synth::Scenario;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any seed/scale combination yields an internally consistent dataset.
+    #[test]
+    fn simulated_datasets_are_consistent(seed in 0u64..1000, scale in 0.01f64..0.06) {
+        let ds = Scenario::paper().seed(seed).scale(scale).build().into_dataset();
+        // Events sorted by time and inside the horizon.
+        for pair in ds.events().windows(2) {
+            prop_assert!(pair[0].at() <= pair[1].at());
+        }
+        for ev in ds.events() {
+            prop_assert!(ds.horizon().contains(ev.at()));
+            prop_assert!(!ev.repair().is_negative());
+            // Every event's ticket agrees on machine and timestamps.
+            let t = ds.ticket(ev.ticket());
+            prop_assert_eq!(t.machine(), ev.machine());
+            prop_assert_eq!(t.opened_at(), ev.at());
+        }
+        // Incident sizes equal the per-incident event counts.
+        let mut per_incident = vec![0usize; ds.incidents().len()];
+        for ev in ds.events() {
+            per_incident[ev.incident().index()] += 1;
+        }
+        for inc in ds.incidents() {
+            prop_assert_eq!(per_incident[inc.id().index()], inc.size());
+        }
+        // Probabilities are probabilities.
+        for kind in MachineKind::ALL {
+            if let Some(p) = recurrence::random_weekly_probability(&ds, kind, None) {
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+            if let Some(p) = recurrence::recurrent_probability(&ds, kind, WEEK, None) {
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+        }
+        // Table VI rows each sum to 100%.
+        let t6 = spatial::table6(&ds);
+        for row in [t6.both, t6.pm_only, t6.vm_only] {
+            prop_assert!((row.zero_pct + row.one_pct + row.two_plus_pct - 100.0).abs() < 1e-6);
+        }
+        // Rate series always sum back to the event totals.
+        for kind in MachineKind::ALL {
+            let series = rates::rate_series(&ds, kind, None, rates::Granularity::Week);
+            let pop = ds.population(kind, None);
+            let reconstructed: f64 = series.iter().sum::<f64>() * pop as f64;
+            let expected = ds
+                .events()
+                .iter()
+                .filter(|e| ds.machine(e.machine()).kind() == kind)
+                .count() as f64;
+            prop_assert!((reconstructed - expected).abs() < 1e-6);
+        }
+    }
+
+    /// MLE fitting approximately inverts sampling for every family.
+    #[test]
+    fn fits_recover_parameters(
+        shape in 0.5f64..3.0,
+        scale in 0.5f64..50.0,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StreamRng::new(seed);
+        let n = 4000;
+
+        let gamma = Gamma::new(shape, scale).unwrap();
+        let xs: Vec<f64> = (0..n).map(|_| gamma.sample(&mut rng)).collect();
+        let fit = fit_gamma(&xs).unwrap();
+        prop_assert!((fit.shape() - shape).abs() / shape < 0.25);
+
+        let weibull = Weibull::new(shape, scale).unwrap();
+        let xs: Vec<f64> = (0..n).map(|_| weibull.sample(&mut rng)).collect();
+        let fit = fit_weibull(&xs).unwrap();
+        prop_assert!((fit.shape() - shape).abs() / shape < 0.25);
+
+        let sigma = shape.min(2.0);
+        let ln = LogNormal::new(scale.ln(), sigma).unwrap();
+        let xs: Vec<f64> = (0..n).map(|_| ln.sample(&mut rng)).collect();
+        let fit = fit_lognormal(&xs).unwrap();
+        prop_assert!((fit.sigma() - sigma).abs() / sigma < 0.25);
+    }
+
+    /// ECDFs are monotone, bounded and consistent with quantiles.
+    #[test]
+    fn ecdf_invariants(values in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let e = Ecdf::new(&values);
+        let mut prev = 0.0;
+        for i in 0..=50 {
+            let x = 1e6 * i as f64 / 50.0;
+            let p = e.eval(x);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p >= prev);
+            prev = p;
+        }
+        // Quantile of the max is the max; of level 0 is the min.
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        let min = values.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assert!((e.quantile(1.0) - max).abs() < 1e-9);
+        prop_assert!((e.quantile(0.0) - min).abs() < 1e-9);
+        prop_assert!((quantile(&values, 0.5) - e.quantile(0.5)).abs() < 1e-9);
+    }
+
+    /// CDF values of all distributions are proper probabilities and agree
+    /// with sampled frequencies.
+    #[test]
+    fn distribution_cdf_bounds(
+        a in 0.3f64..4.0,
+        b in 0.3f64..40.0,
+        x in 0.0f64..200.0,
+    ) {
+        let dists: Vec<Box<dyn ContinuousDist>> = vec![
+            Box::new(Gamma::new(a, b).unwrap()),
+            Box::new(Weibull::new(a, b).unwrap()),
+            Box::new(LogNormal::new(b.ln(), a).unwrap()),
+        ];
+        for d in &dists {
+            let c = d.cdf(x);
+            prop_assert!((0.0..=1.0).contains(&c), "{}: cdf({x}) = {c}", d.family());
+            prop_assert!(d.pdf(x) >= 0.0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Dataset JSON serialization roundtrips for arbitrary seeds.
+    #[test]
+    fn serde_roundtrip(seed in 0u64..100) {
+        let ds = Scenario::paper().seed(seed).scale(0.015).build().into_dataset();
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: dcfail::model::dataset::FailureDataset = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, ds);
+    }
+}

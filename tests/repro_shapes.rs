@@ -1,0 +1,288 @@
+//! End-to-end reproduction test: every table and figure of Birke et al.
+//! (DSN 2014) must come out of the full pipeline with the paper's *shape* —
+//! who wins, by roughly what factor, where the crossovers fall.
+//!
+//! This is the contract DESIGN.md §3 commits to. The pipeline under test is
+//! the real one: simulate the estate at full scale, re-label every event
+//! with the TF-IDF + k-means ticket classifier (not the simulator's labels),
+//! then run each analysis.
+
+use dcfail::analysis::{
+    age, capacity, class_mix, consolidation, interfailure, onoff, rates, recurrence, repair,
+    spatial, usage, ClassSource,
+};
+use dcfail::model::prelude::*;
+use dcfail::stats::fit::Family;
+use dcfail::stats::rng::StreamRng;
+use dcfail::synth::Scenario;
+use dcfail::tickets::classify::{apply_to_dataset, PipelineConfig};
+use std::sync::OnceLock;
+
+/// Full-scale dataset with events labelled by the real classifier.
+fn dataset() -> &'static FailureDataset {
+    static DS: OnceLock<FailureDataset> = OnceLock::new();
+    DS.get_or_init(|| {
+        let mut ds = Scenario::paper()
+            .seed(20140623)
+            .scale(1.0)
+            .build()
+            .into_dataset();
+        let mut rng = StreamRng::new(87).fork("repro.pipeline");
+        let classification = apply_to_dataset(&mut ds, PipelineConfig::default(), &mut rng);
+        // The pipeline itself must hit the paper's accuracy band.
+        assert!(
+            classification.accuracy_vs_manual() > 0.80,
+            "pipeline accuracy {}",
+            classification.accuracy_vs_manual()
+        );
+        ds
+    })
+}
+
+#[test]
+fn table2_dataset_statistics() {
+    let stats = dataset().subsystem_stats();
+    assert_eq!(stats.len(), 5);
+    // Populations match Table II exactly (scale 1.0).
+    assert_eq!(
+        stats.iter().map(|s| s.pms).collect::<Vec<_>>(),
+        vec![463, 2025, 1114, 717, 810]
+    );
+    assert_eq!(
+        stats.iter().map(|s| s.vms).collect::<Vec<_>>(),
+        vec![1320, 52, 1971, 313, 636]
+    );
+    // Ticket volumes are within the crash-overflow tolerance of Table II.
+    let targets = [7079usize, 27577, 50157, 8382, 25940];
+    for (s, &target) in stats.iter().zip(&targets) {
+        assert!(s.all_tickets >= target);
+        assert!(s.all_tickets <= target + s.crash_tickets);
+        // Crash tickets are a small share everywhere (paper: 0.85–6.9%).
+        assert!(s.crash_pct() < 12.0, "{}: {}%", s.name, s.crash_pct());
+    }
+    // Sys II: all crash tickets on PMs (no VM crashes all year).
+    assert_eq!(stats[1].crash_tickets_vm, 0);
+    assert!(stats[1].crash_pm_pct() == 100.0 || stats[1].crash_tickets == 0);
+}
+
+#[test]
+fn fig1_class_mix_structure() {
+    let mix = class_mix::class_mix(dataset(), ClassSource::Reported);
+    // "Other" is roughly half of everything (paper: 53%).
+    assert!((mix.overall.other_share - 0.53).abs() < 0.10);
+    // Software and reboot dominate the classified tickets.
+    let shares = mix.overall.classified_shares;
+    assert!(shares[FailureClass::Software.index()] > 0.2);
+    assert!(shares[FailureClass::Reboot.index()] > 0.2);
+    // Sys III has no power failures; Sys V is the power-heavy outlier.
+    let power = |i: usize| mix.per_subsystem[i].classified_shares[FailureClass::Power.index()];
+    assert!(power(2) < 0.02, "Sys III power share {}", power(2));
+    for other in [0, 1, 3] {
+        assert!(power(4) > power(other));
+    }
+}
+
+#[test]
+fn fig2_pm_rate_beats_vm_rate_by_forty_percent() {
+    let f = rates::weekly_failure_rates(dataset());
+    assert!(
+        f.all_pm.mean > 0.003 && f.all_pm.mean < 0.008,
+        "PM {}",
+        f.all_pm.mean
+    );
+    assert!(
+        f.all_vm.mean > 0.0015 && f.all_vm.mean < 0.0055,
+        "VM {}",
+        f.all_vm.mean
+    );
+    let ratio = f.all_pm.mean / f.all_vm.mean;
+    assert!(ratio > 1.15 && ratio < 2.5, "PM/VM {ratio}");
+    // Sys II VMs never fail; Sys IV VMs out-fail its PMs.
+    assert!(f.per_subsystem[1].vm.is_none());
+    let s4 = &f.per_subsystem[3];
+    assert!(s4.vm.unwrap().mean > s4.pm.unwrap().mean);
+}
+
+#[test]
+fn fig3_interfailure_heavy_tailed_not_memoryless() {
+    for kind in MachineKind::ALL {
+        let a = interfailure::analyze(dataset(), kind).expect("enough gaps");
+        assert_ne!(a.fits.best().dist.family(), Family::Exponential);
+        let gamma = a.fits.for_family(Family::Gamma).unwrap();
+        let expo = a.fits.for_family(Family::Exponential).unwrap();
+        assert!(gamma.log_likelihood > expo.log_likelihood, "{kind}");
+        // VM mean gap lands in tens of days (paper: 37.22 d).
+        if kind == MachineKind::Vm {
+            assert!(
+                a.mean_days > 15.0 && a.mean_days < 90.0,
+                "VM mean {}",
+                a.mean_days
+            );
+            // The majority of failing VMs fail exactly once (paper: ~60%).
+            assert!(
+                a.single_failure_fraction > 0.40,
+                "{}",
+                a.single_failure_fraction
+            );
+        }
+    }
+}
+
+#[test]
+fn table3_software_gaps_shortest() {
+    let t3 = interfailure::table3(dataset(), ClassSource::Truth);
+    let op = |c: FailureClass| t3[c.index()].operator.unwrap().mean;
+    assert!(op(FailureClass::Software) < op(FailureClass::Hardware));
+    assert!(op(FailureClass::Software) < op(FailureClass::Network));
+    assert!(op(FailureClass::Software) < op(FailureClass::Power));
+}
+
+#[test]
+fn fig4_repair_lognormal_and_pm_twice_vm() {
+    let pm = repair::analyze(dataset(), MachineKind::Pm).unwrap();
+    let vm = repair::analyze(dataset(), MachineKind::Vm).unwrap();
+    let ratio = pm.mean_hours / vm.mean_hours;
+    assert!(ratio > 1.3 && ratio < 3.5, "repair ratio {ratio}");
+    // Log-normal beats Gamma for both kinds (paper's winner).
+    for a in [&pm, &vm] {
+        let ln = a.fits.for_family(Family::LogNormal).unwrap();
+        let gamma = a.fits.for_family(Family::Gamma).unwrap();
+        assert!(ln.log_likelihood > gamma.log_likelihood);
+    }
+}
+
+#[test]
+fn table4_power_fast_hardware_slow() {
+    let t4 = repair::table4(dataset(), ClassSource::Reported);
+    let get = |c: FailureClass| t4[c.index()].unwrap();
+    assert!(get(FailureClass::Hardware).mean > get(FailureClass::Reboot).mean);
+    assert!(get(FailureClass::Network).mean > get(FailureClass::Power).mean);
+    assert!(get(FailureClass::Power).median < get(FailureClass::Reboot).median);
+    // Software least variable.
+    assert!(get(FailureClass::Software).cv < get(FailureClass::Hardware).cv);
+}
+
+#[test]
+fn fig5_and_table5_recurrence_ratios() {
+    let ds = dataset();
+    let pm = recurrence::fig5(ds, MachineKind::Pm).unwrap();
+    let vm = recurrence::fig5(ds, MachineKind::Vm).unwrap();
+    // Windows grow sublinearly and PM sits above VM.
+    for w in [&pm, &vm] {
+        assert!(w.day < w.week && w.week < w.month);
+        assert!(w.week > 0.5 * w.month);
+    }
+    assert!(pm.week > vm.week);
+    assert!((pm.week - 0.22).abs() < 0.10, "PM weekly {}", pm.week);
+    assert!((vm.week - 0.16).abs() < 0.10, "VM weekly {}", vm.week);
+
+    let t5 = recurrence::table5(ds);
+    let pm_all = t5.pm[0].unwrap();
+    let vm_all = t5.vm[0].unwrap();
+    assert!(pm_all.ratio().unwrap() > 10.0);
+    assert!(vm_all.ratio().unwrap() > pm_all.ratio().unwrap());
+}
+
+#[test]
+fn tables_6_and_7_spatial_dependency() {
+    let ds = dataset();
+    let t6 = spatial::table6(ds);
+    assert_eq!(t6.both.zero_pct, 0.0);
+    assert!(t6.both.one_pct > 60.0);
+    assert!(t6.both.two_plus_pct > 4.0);
+    // VMs show the stronger spatial dependency.
+    assert!(t6.vm_only.dependent_share() > t6.pm_only.dependent_share());
+
+    let t7 = spatial::table7(ds, ClassSource::Truth);
+    let power = t7[FailureClass::Power.index()].unwrap();
+    for class in [
+        FailureClass::Hardware,
+        FailureClass::Network,
+        FailureClass::Reboot,
+        FailureClass::Software,
+    ] {
+        assert!(power.mean > t7[class.index()].unwrap().mean);
+    }
+    assert!(power.mean > 1.5 && power.max >= 5);
+}
+
+#[test]
+fn fig6_no_bathtub() {
+    let a = age::analyze(dataset()).unwrap();
+    assert!(
+        a.max_diagonal_gap < 0.2,
+        "diagonal gap {}",
+        a.max_diagonal_gap
+    );
+    assert!(a.known_age_fraction > 0.55);
+}
+
+#[test]
+fn fig7_capacity_effects() {
+    let ds = dataset();
+    // PM CPU: rises toward 16–24, drops at 32/64.
+    let pm_cpu = capacity::rate_by_cpu(ds, MachineKind::Pm);
+    let low = pm_cpu.mean_of("1").unwrap();
+    let peak = pm_cpu.mean_of("24").or(pm_cpu.mean_of("16")).unwrap();
+    assert!(peak > 2.0 * low);
+    if let Some(big) = pm_cpu.mean_of("32") {
+        assert!(big < peak);
+    }
+    // VM disk count is the strongest VM capacity factor.
+    let disks = capacity::rate_by_disk_count(ds);
+    let one = disks.mean_of("1").unwrap();
+    let many = disks.mean_of("6").or(disks.mean_of("5")).unwrap();
+    // Paper reports ~10x; class-blind correlated incidents (box crashes,
+    // power) dilute the observable contrast in our reproduction to ~3x.
+    assert!(many > 2.5 * one, "disks {many} vs {one}");
+    let disk_cap = capacity::rate_by_disk_capacity(ds);
+    assert!(disks.dynamic_range().unwrap() > disk_cap.dynamic_range().unwrap());
+}
+
+#[test]
+fn fig8_usage_effects() {
+    let ds = dataset();
+    // VM CPU utilization increases the rate; PM decreases over 0–30%.
+    let vm = usage::rate_by_cpu_util(ds, MachineKind::Vm);
+    let pm = usage::rate_by_cpu_util(ds, MachineKind::Pm);
+    let vm_low = vm.mean_of("0-10").unwrap();
+    let vm_mid = vm.mean_of("20-30").or(vm.mean_of("10-20")).unwrap();
+    assert!(vm_mid > vm_low, "VM {vm_mid} vs {vm_low}");
+    let pm_low = pm.mean_of("0-10").unwrap();
+    let pm_mid = pm.mean_of("20-30").or(pm.mean_of("10-20")).unwrap();
+    assert!(pm_low > pm_mid, "PM {pm_low} vs {pm_mid}");
+    // Memory: inverted bathtub for both kinds, PM strongest usage factor.
+    for kind in MachineKind::ALL {
+        let mem = usage::rate_by_mem_util(ds, kind);
+        let low = mem.mean_of("0-10").unwrap();
+        let mid = mem.mean_of("30-40").or(mem.mean_of("40-50")).unwrap();
+        assert!(mid > low, "{kind} memory {mid} vs {low}");
+    }
+}
+
+#[test]
+fn fig9_consolidation_decreases_rate() {
+    let curve = consolidation::rate_by_consolidation(dataset());
+    let lone = curve.mean_of("1").or(curve.mean_of("2")).unwrap();
+    let packed = curve.mean_of("32").or(curve.mean_of("16")).unwrap();
+    assert!(lone > 1.5 * packed, "lone {lone} vs packed {packed}");
+    // Population skews to high consolidation.
+    let shares = consolidation::vm_share_by_level(dataset());
+    let high: f64 = shares
+        .iter()
+        .filter(|(l, _)| l == "16" || l == "32")
+        .map(|&(_, s)| s)
+        .sum();
+    assert!(high > 0.35, "high-consolidation share {high}");
+}
+
+#[test]
+fn fig10_onoff_rises_then_flattens() {
+    let curve = onoff::rate_by_onoff(dataset());
+    let stable = curve.mean_of("0-1").unwrap();
+    let cycled = curve.mean_of("1-2").or(curve.mean_of("2-4")).unwrap();
+    assert!(cycled > stable, "cycled {cycled} vs stable {stable}");
+    let shares = onoff::vm_share_by_onoff(dataset());
+    let low = shares.iter().find(|(l, _)| l == "0-1").unwrap().1;
+    assert!((low - 0.60).abs() < 0.15, "stable share {low}");
+}
