@@ -1,0 +1,93 @@
+//! Audited trace import: load, lint, and reject on Error-level findings.
+//!
+//! These wrappers put the audit pass directly on the untrusted-input
+//! boundary. The CSV path parses through `dcfail_model::interop` and then
+//! audits the assembled dataset; the JSON path first deserializes into
+//! [`RawDatasetParts`] (which accepts anything shape-valid) so the audit sees
+//! the file exactly as written, and only then converts to a validated
+//! [`FailureDataset`]. Either way, a trace with Error-level findings is
+//! refused and the full [`AuditReport`] is returned as the error — callers
+//! get every defect at once instead of the first one a strict parser hits.
+
+use crate::{audit_dataset, audit_raw, AuditReport, RawDatasetParts};
+use dcfail_model::prelude::*;
+use std::fmt;
+
+/// Why an audited import refused a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImportError {
+    /// The input could not be parsed at all (malformed CSV or JSON).
+    Parse(String),
+    /// The input parsed but carries Error-level audit findings.
+    Rejected(AuditReport),
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::Parse(msg) => write!(f, "trace does not parse: {msg}"),
+            ImportError::Rejected(report) => {
+                write!(
+                    f,
+                    "trace rejected with {} error-level audit finding(s):\n{}",
+                    report.error_count(),
+                    report.render_text()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// Imports a machine-inventory + event-log CSV pair and audits the result.
+///
+/// On success the returned report still carries any Warn/Info findings so
+/// callers can surface data-quality concerns that are not fatal.
+///
+/// # Errors
+///
+/// Returns [`ImportError::Parse`] on malformed CSV and
+/// [`ImportError::Rejected`] when the assembled dataset has Error-level
+/// audit findings.
+pub fn dataset_from_csv(
+    machines_csv: &str,
+    events_csv: &str,
+    horizon: Horizon,
+) -> Result<(FailureDataset, AuditReport), ImportError> {
+    let dataset = dcfail_model::interop::dataset_from_csv(machines_csv, events_csv, horizon)
+        .map_err(|e| ImportError::Parse(e.to_string()))?;
+    let report = audit_dataset(&dataset);
+    if report.is_clean() {
+        Ok((dataset, report))
+    } else {
+        Err(ImportError::Rejected(report))
+    }
+}
+
+/// Imports a JSON trace and audits it *before* validation.
+///
+/// The file is first read as [`RawDatasetParts`] so the audit evaluates the
+/// input exactly as written (unsorted events, dangling ids and reversed
+/// windows all stay visible); only a clean trace is then converted into a
+/// canonical [`FailureDataset`].
+///
+/// # Errors
+///
+/// Returns [`ImportError::Parse`] on malformed JSON and
+/// [`ImportError::Rejected`] when the raw parts have Error-level audit
+/// findings.
+pub fn dataset_from_json(json: &str) -> Result<(FailureDataset, AuditReport), ImportError> {
+    let raw: RawDatasetParts =
+        serde_json::from_str(json).map_err(|e| ImportError::Parse(e.to_string()))?;
+    let report = audit_raw(&raw);
+    if !report.is_clean() {
+        return Err(ImportError::Rejected(report));
+    }
+    // A clean raw trace satisfies a superset of the dataset invariants, so
+    // the strict parse cannot fail on validation — only on a shape defect
+    // the lenient mirror tolerated.
+    let dataset: FailureDataset =
+        serde_json::from_str(json).map_err(|e| ImportError::Parse(e.to_string()))?;
+    Ok((dataset, report))
+}

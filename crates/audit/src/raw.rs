@@ -1,0 +1,45 @@
+//! An unvalidated mirror of the dataset's serialized form.
+
+use dcfail_model::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The parts of a [`FailureDataset`], without validation or canonicalization.
+///
+/// `FailureDataset`'s own serde path *rejects* structurally broken input with
+/// a typed error, which is the right behavior for analyses but useless for
+/// diagnosis: the file is refused before anything can be reported about it.
+/// `RawDatasetParts` deserializes from the exact same JSON shape but keeps
+/// whatever the file says — unsorted events, dangling ids, reversed windows —
+/// so [`audit_raw`](crate::audit_raw) can evaluate the full rule catalog
+/// against the input as written and name every defect at once.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RawDatasetParts {
+    /// Observation window.
+    pub horizon: Horizon,
+    /// Machine records, nominally dense by id.
+    pub machines: Vec<Machine>,
+    /// Datacenter topology.
+    pub topology: Topology,
+    /// Incident records, nominally dense by id.
+    pub incidents: Vec<Incident>,
+    /// Ticket records, nominally dense by id.
+    pub tickets: Vec<Ticket>,
+    /// Crash events, nominally sorted by `(at, machine, incident)`.
+    pub events: Vec<FailureEvent>,
+    /// Telemetry store.
+    pub telemetry: Telemetry,
+}
+
+impl From<&FailureDataset> for RawDatasetParts {
+    fn from(ds: &FailureDataset) -> Self {
+        Self {
+            horizon: ds.horizon(),
+            machines: ds.machines().to_vec(),
+            topology: ds.topology().clone(),
+            incidents: ds.incidents().to_vec(),
+            tickets: ds.tickets().to_vec(),
+            events: ds.events().to_vec(),
+            telemetry: ds.telemetry().clone(),
+        }
+    }
+}

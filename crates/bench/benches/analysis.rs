@@ -1,6 +1,8 @@
 //! Benchmarks for the analysis toolkit: one bench per paper table/figure,
 //! timing the analysis that regenerates it on a fixed mid-size dataset.
 
+#![allow(clippy::unwrap_used, clippy::semicolon_if_nothing_returned)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use dcfail_bench::bench_dataset;
 use dcfail_core::{

@@ -1,6 +1,8 @@
 //! Benchmarks for the statistics substrate: sampling, MLE fitting, model
 //! selection, ECDF construction and k-means clustering.
 
+#![allow(clippy::unwrap_used, clippy::semicolon_if_nothing_returned)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcfail_stats::dist::{ContinuousDist, Gamma, LogNormal, Weibull};
 use dcfail_stats::empirical::Ecdf;

@@ -1,6 +1,8 @@
 //! Benchmarks for the trace simulator: population building, telemetry
 //! generation and full scenario assembly at several scales.
 
+#![allow(clippy::unwrap_used, clippy::semicolon_if_nothing_returned)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcfail_stats::rng::StreamRng;
 use dcfail_synth::{population, telemetry_gen, Scenario, ScenarioConfig};
@@ -24,7 +26,7 @@ fn bench_telemetry(c: &mut Criterion) {
     let rng = StreamRng::new(1);
     let pop = population::build(&config, &rng);
     c.bench_function("synth/telemetry@0.1", |b| {
-        b.iter(|| telemetry_gen::generate(&config, &pop, &rng))
+        b.iter(|| telemetry_gen::generate(&config, &pop, &rng));
     });
 }
 
@@ -33,7 +35,7 @@ fn bench_full_scenario(c: &mut Criterion) {
     group.sample_size(10);
     for scale in [0.05, 0.2] {
         group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &scale| {
-            b.iter(|| Scenario::paper().seed(1).scale(scale).build())
+            b.iter(|| Scenario::paper().seed(1).scale(scale).build());
         });
     }
     group.finish();

@@ -1,6 +1,8 @@
 //! Benchmarks for the ticketing pipeline: crash extraction, manual labeling
 //! and the full TF-IDF + k-means classification.
 
+#![allow(clippy::unwrap_used, clippy::semicolon_if_nothing_returned)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use dcfail_bench::bench_dataset;
 use dcfail_model::ticket::Ticket;
@@ -17,7 +19,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("tickets");
     g.sample_size(10);
     g.bench_function("extract_crash", |b| {
-        b.iter(|| extract_crash_tickets(&store))
+        b.iter(|| extract_crash_tickets(&store));
     });
     g.bench_function("manual_label_all", |b| {
         b.iter(|| -> usize {
@@ -25,16 +27,16 @@ fn bench_pipeline(c: &mut Criterion) {
                 .iter()
                 .map(|t| manual_label(t.description(), t.resolution()).index())
                 .sum()
-        })
+        });
     });
     g.bench_function("kmeans_classify", |b| {
         b.iter(|| {
             let mut rng = StreamRng::new(4);
             classify(&crash, PipelineConfig::default(), &mut rng)
-        })
+        });
     });
     g.bench_function("reconstruct_incidents", |b| {
-        b.iter(|| reconstruct_incidents(&store, dcfail_model::time::MINUTE * 30))
+        b.iter(|| reconstruct_incidents(&store, dcfail_model::time::MINUTE * 30));
     });
     g.finish();
 }

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! repro [--scale S] [--seed N] [--classify] [--csv DIR] [all | ablate | <id>...]
+//! repro audit [--json] [--dataset FILE.json | --machines M.csv --events E.csv]
 //! ```
 //!
 //! * `all` (default) — run every artifact in paper order.
@@ -10,6 +11,12 @@
 //!   inter-failure times, bootstrap CIs, failure prediction, what-ifs).
 //! * `summary` — re-derive the paper's §VII findings with verdicts.
 //! * `ablate` — run the ablation suite instead.
+//! * `audit` — lint a trace against the `dcfail-audit` rule catalog and exit
+//!   nonzero on Error-level findings. Audits a JSON trace (`--dataset`,
+//!   evaluated *before* validation so broken files are still diagnosable), a
+//!   CSV pair (`--machines` + `--events`), or — with neither — a freshly
+//!   generated synth scenario as a self-check. `--json` emits the report as
+//!   JSON instead of text.
 //! * `<id>` — one or more of `table1..table7`, `fig1..fig10`.
 //! * `--classify` — re-label events with a freshly trained k-means pipeline
 //!   (instead of the simulator's monitor labels) before analyzing.
@@ -28,6 +35,10 @@ struct Options {
     seed: u64,
     classify: bool,
     csv_dir: Option<PathBuf>,
+    json: bool,
+    dataset_json: Option<PathBuf>,
+    machines_csv: Option<PathBuf>,
+    events_csv: Option<PathBuf>,
     targets: Vec<String>,
 }
 
@@ -37,6 +48,10 @@ fn parse_args() -> Result<Options, String> {
         seed: 42,
         classify: false,
         csv_dir: None,
+        json: false,
+        dataset_json: None,
+        machines_csv: None,
+        events_csv: None,
         targets: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -55,10 +70,25 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--csv needs a directory")?;
                 opts.csv_dir = Some(PathBuf::from(v));
             }
+            "--json" => opts.json = true,
+            "--dataset" => {
+                let v = args.next().ok_or("--dataset needs a file")?;
+                opts.dataset_json = Some(PathBuf::from(v));
+            }
+            "--machines" => {
+                let v = args.next().ok_or("--machines needs a file")?;
+                opts.machines_csv = Some(PathBuf::from(v));
+            }
+            "--events" => {
+                let v = args.next().ok_or("--events needs a file")?;
+                opts.events_csv = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: repro [--scale S] [--seed N] [--classify] [--csv DIR] \
-                            [all | ablate | <id>...]"
+                            [all | ablate | <id>...]\n       \
+                     repro audit [--json] [--dataset FILE.json | \
+                            --machines M.csv --events E.csv]"
                         .into(),
                 )
             }
@@ -71,6 +101,77 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
+/// Runs the `audit` subcommand: lint a trace, print the report, exit nonzero
+/// on Error-level findings.
+fn run_audit(opts: &Options) -> ExitCode {
+    if opts.machines_csv.is_some() != opts.events_csv.is_some() {
+        eprintln!("--machines and --events must be given together");
+        return ExitCode::FAILURE;
+    }
+    let report = if let Some(path) = &opts.dataset_json {
+        // Audit the file as written: the raw mirror accepts what the strict
+        // parser would reject, so every defect gets named.
+        let json = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match serde_json::from_str::<dcfail_audit::RawDatasetParts>(&json) {
+            Ok(raw) => dcfail_audit::audit_raw(&raw),
+            Err(e) => {
+                eprintln!("{} does not parse as a trace: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if let (Some(machines), Some(events)) = (&opts.machines_csv, &opts.events_csv) {
+        let read = |p: &PathBuf| {
+            std::fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))
+        };
+        let (machines_csv, events_csv) = match (read(machines), read(events)) {
+            (Ok(m), Ok(e)) => (m, e),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let horizon = dcfail_model::prelude::Horizon::observation_year();
+        match dcfail_model::interop::dataset_from_csv(&machines_csv, &events_csv, horizon) {
+            Ok(ds) => dcfail_audit::audit_dataset(&ds),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        // Self-check mode: audit a freshly generated scenario.
+        eprintln!(
+            "auditing generated paper scenario (seed {}, scale {}) ...",
+            opts.seed, opts.scale
+        );
+        let out = Scenario::paper().seed(opts.seed).scale(opts.scale).build();
+        dcfail_audit::audit_dataset(out.dataset())
+    };
+
+    if opts.json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("cannot serialize report: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -79,6 +180,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if opts.targets.iter().any(|t| t == "audit") {
+        return run_audit(&opts);
+    }
 
     if opts.targets.iter().any(|t| t == "ablate") {
         // Ablations run several full simulations; cap the scale for speed.
@@ -92,8 +197,7 @@ fn main() -> ExitCode {
                 a.with_effect,
                 a.without_effect,
                 a.impact()
-                    .map(|i| format!("{i:.1}x"))
-                    .unwrap_or_else(|| "inf".into())
+                    .map_or_else(|| "inf".into(), |i| format!("{i:.1}x"))
             );
         }
         return ExitCode::SUCCESS;

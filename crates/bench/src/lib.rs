@@ -11,6 +11,9 @@
 //! * [`ablation`] quantifies how each ground-truth effect family carries its
 //!   paper artifact (switch the effect off → the artifact collapses).
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod ablation;
 
 use dcfail_model::dataset::FailureDataset;

@@ -98,7 +98,7 @@ pub fn analyze(dataset: &FailureDataset) -> Option<AgeAnalysis> {
         .filter(|ev| dataset.machine(ev.machine()).is_vm())
         .count();
 
-    let max_age = ages.iter().cloned().fold(0.0f64, f64::max).max(1.0);
+    let max_age = ages.iter().copied().fold(0.0f64, f64::max).max(1.0);
     let uniform = Uniform::new(0.0, max_age + 1e-9).expect("valid range");
     let uniform_ks = ks_test(&ages, &uniform).ok()?;
 

@@ -130,8 +130,8 @@ mod tests {
             .iter()
             .filter_map(|l| by_cap.mean_of(l))
             .collect();
-        let lo = flat.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = flat.iter().cloned().fold(0.0f64, f64::max);
+        let lo = flat.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = flat.iter().copied().fold(0.0f64, f64::max);
         assert!(hi / lo < 2.5, "flat region spread {}", hi / lo);
 
         // Count impact beats capacity impact (paper's conclusion).

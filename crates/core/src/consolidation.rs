@@ -78,8 +78,7 @@ mod tests {
         let lone = shares
             .iter()
             .find(|(l, _)| l == "1")
-            .map(|&(_, s)| s)
-            .unwrap_or(0.0);
+            .map_or(0.0, |&(_, s)| s);
         let high: f64 = shares
             .iter()
             .filter(|(l, _)| l == "16" || l == "32")

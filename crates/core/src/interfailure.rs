@@ -155,7 +155,7 @@ pub fn analyze_censored(
         if dataset.machine(machine).kind() != kind {
             continue;
         }
-        let times: Vec<SimTime> = dataset.events_for(machine).map(|e| e.at()).collect();
+        let times: Vec<SimTime> = dataset.events_for(machine).map(FailureEvent::at).collect();
         for pair in times.windows(2) {
             let gap = (pair[1] - pair[0]).as_days();
             if gap > 0.0 {

@@ -38,6 +38,9 @@
 //! assert!(fig2.all_pm.mean > fig2.all_vm.mean, "PMs fail more than VMs");
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod age;
 pub mod availability;
 pub mod capacity;

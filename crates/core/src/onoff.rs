@@ -30,7 +30,7 @@ pub fn rate_by_onoff(dataset: &FailureDataset) -> AttributeCurve {
             dataset
                 .telemetry()
                 .onoff(m.id())
-                .map(|log| log.monthly_transition_rate())
+                .map(OnOffLog::monthly_transition_rate)
         },
     )
 }
@@ -88,8 +88,7 @@ mod tests {
         let heavy = shares
             .iter()
             .find(|(l, _)| l == "8+")
-            .map(|&(_, s)| s)
-            .unwrap_or(0.0);
+            .map_or(0.0, |&(_, s)| s);
         // Paper: 60% ≤ 1/month, 14% ≥ 8/month.
         assert!((stable - 0.60).abs() < 0.15, "stable share {stable}");
         assert!(heavy > 0.03 && heavy < 0.30, "heavy share {heavy}");

@@ -217,7 +217,7 @@ mod tests {
             .events()
             .iter()
             .find(|ev| ds.horizon().week_of(ev.at()) == Some(19))
-            .map(|ev| ev.machine())
+            .map(FailureEvent::machine)
             .expect("some failure in week 19");
         let scores: BTreeMap<MachineId, f64> = score_week(ds, 20, &weights).into_iter().collect();
         let failed_score = scores[&failed_machine];

@@ -27,7 +27,7 @@ pub fn recurrent_probability(
         if m.kind() != kind || subsystem.is_some_and(|s| m.subsystem() != s) {
             continue;
         }
-        let times: Vec<SimTime> = dataset.events_for(machine).map(|e| e.at()).collect();
+        let times: Vec<SimTime> = dataset.events_for(machine).map(FailureEvent::at).collect();
         for (i, &t) in times.iter().enumerate() {
             if t + window >= dataset.horizon().end() {
                 continue; // censored

@@ -87,18 +87,15 @@ pub fn empirical_hazard(
         if dataset.machine(machine).kind() != kind {
             continue;
         }
-        let times: Vec<SimTime> = dataset.events_for(machine).map(|e| e.at()).collect();
+        let times: Vec<SimTime> = dataset.events_for(machine).map(FailureEvent::at).collect();
         for (i, &t) in times.iter().enumerate() {
-            match times.get(i + 1) {
-                Some(&next) => {
-                    let days = ((next - t).as_days().ceil() as usize).max(1);
-                    spells.push((days, true));
-                }
-                None => {
-                    let days = (end - t).as_days().floor() as usize;
-                    if days >= 1 {
-                        spells.push((days, false));
-                    }
+            if let Some(&next) = times.get(i + 1) {
+                let days = ((next - t).as_days().ceil() as usize).max(1);
+                spells.push((days, true));
+            } else {
+                let days = (end - t).as_days().floor() as usize;
+                if days >= 1 {
+                    spells.push((days, false));
                 }
             }
         }

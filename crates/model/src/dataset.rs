@@ -6,10 +6,11 @@ use crate::ids::{IncidentId, MachineId, SubsystemId, TicketId};
 use crate::machine::{Machine, MachineKind};
 use crate::telemetry::Telemetry;
 use crate::ticket::Ticket;
-use crate::time::Horizon;
+use crate::time::{Horizon, SimTime};
 use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// A complete failure study dataset.
 ///
@@ -19,7 +20,7 @@ use std::collections::BTreeMap;
 /// re-runnable on saved traces — mirroring the paper's practice of mining
 /// several persistent databases.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(from = "RawDataset", into = "RawDataset")]
+#[serde(try_from = "RawDataset", into = "RawDataset")]
 pub struct FailureDataset {
     horizon: Horizon,
     machines: Vec<Machine>,
@@ -45,8 +46,248 @@ struct RawDataset {
     telemetry: Telemetry,
 }
 
-impl From<RawDataset> for FailureDataset {
-    fn from(raw: RawDataset) -> Self {
+/// Why a deserialized or assembled dataset was rejected.
+///
+/// [`FailureDataset`]'s serde path canonicalizes event order but *rejects*
+/// structurally broken input: dangling cross-references, events outside the
+/// observation window, reversed repair windows. This is the typed error that
+/// rejection produces; `dcfail-audit` reports the same defects (and more) as
+/// structured diagnostics without rejecting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// The observation window is empty or reversed (`end <= start`).
+    EmptyHorizon,
+    /// Machine records are not dense `0..n` by id.
+    NonDenseMachineIds {
+        /// Position in the machine list where density breaks.
+        index: usize,
+    },
+    /// Incident records are not dense `0..n` by id.
+    NonDenseIncidentIds {
+        /// Position in the incident list where density breaks.
+        index: usize,
+    },
+    /// Ticket records are not dense `0..n` by id.
+    NonDenseTicketIds {
+        /// Position in the ticket list where density breaks.
+        index: usize,
+    },
+    /// A machine references a subsystem the topology does not define.
+    UnknownSubsystem {
+        /// The referencing machine.
+        machine: MachineId,
+        /// The unresolved subsystem id.
+        subsystem: SubsystemId,
+    },
+    /// An incident affects no machines.
+    EmptyIncident {
+        /// The offending incident.
+        incident: IncidentId,
+    },
+    /// An incident member references an unknown machine.
+    UnknownIncidentMember {
+        /// The referencing incident.
+        incident: IncidentId,
+        /// The unresolved machine id.
+        machine: MachineId,
+    },
+    /// A ticket references an unknown machine.
+    UnknownTicketMachine {
+        /// The referencing ticket.
+        ticket: TicketId,
+        /// The unresolved machine id.
+        machine: MachineId,
+    },
+    /// A ticket closes before it opens.
+    ReversedTicketWindow {
+        /// The offending ticket.
+        ticket: TicketId,
+    },
+    /// An event references an unknown machine.
+    UnknownEventMachine {
+        /// The unresolved machine id.
+        machine: MachineId,
+    },
+    /// An event references an unknown incident.
+    UnknownEventIncident {
+        /// The unresolved incident id.
+        incident: IncidentId,
+    },
+    /// An event references an unknown ticket.
+    UnknownEventTicket {
+        /// The unresolved ticket id.
+        ticket: TicketId,
+    },
+    /// An event lies outside the observation window.
+    EventOutsideHorizon {
+        /// The failed machine.
+        machine: MachineId,
+        /// The out-of-window failure instant.
+        at: SimTime,
+    },
+    /// An event carries a negative repair duration.
+    NegativeRepair {
+        /// The failed machine.
+        machine: MachineId,
+        /// The failure instant.
+        at: SimTime,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::EmptyHorizon => write!(f, "observation window is empty or reversed"),
+            DatasetError::NonDenseMachineIds { index } => {
+                write!(f, "machine ids are not dense at position {index}")
+            }
+            DatasetError::NonDenseIncidentIds { index } => {
+                write!(f, "incident ids are not dense at position {index}")
+            }
+            DatasetError::NonDenseTicketIds { index } => {
+                write!(f, "ticket ids are not dense at position {index}")
+            }
+            DatasetError::UnknownSubsystem { machine, subsystem } => {
+                write!(
+                    f,
+                    "machine {machine} references unknown subsystem {subsystem}"
+                )
+            }
+            DatasetError::EmptyIncident { incident } => {
+                write!(f, "incident {incident} affects no machines")
+            }
+            DatasetError::UnknownIncidentMember { incident, machine } => {
+                write!(
+                    f,
+                    "incident {incident} references unknown machine {machine}"
+                )
+            }
+            DatasetError::UnknownTicketMachine { ticket, machine } => {
+                write!(f, "ticket {ticket} references unknown machine {machine}")
+            }
+            DatasetError::ReversedTicketWindow { ticket } => {
+                write!(f, "ticket {ticket} closes before it opens")
+            }
+            DatasetError::UnknownEventMachine { machine } => {
+                write!(f, "event references unknown machine {machine}")
+            }
+            DatasetError::UnknownEventIncident { incident } => {
+                write!(f, "event references unknown incident {incident}")
+            }
+            DatasetError::UnknownEventTicket { ticket } => {
+                write!(f, "event references unknown ticket {ticket}")
+            }
+            DatasetError::EventOutsideHorizon { machine, at } => {
+                write!(
+                    f,
+                    "event on {machine} at {at} lies outside the observation window"
+                )
+            }
+            DatasetError::NegativeRepair { machine, at } => {
+                write!(
+                    f,
+                    "event on {machine} at {at} has a negative repair duration"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl RawDataset {
+    /// Checks the structural invariants every [`FailureDataset`] must hold.
+    fn validate(&self) -> Result<(), DatasetError> {
+        if self.horizon.end() <= self.horizon.start() {
+            return Err(DatasetError::EmptyHorizon);
+        }
+        let num_machines = self.machines.len();
+        let num_incidents = self.incidents.len();
+        let num_tickets = self.tickets.len();
+        let num_subsystems = self.topology.subsystems().len();
+        for (i, m) in self.machines.iter().enumerate() {
+            if m.id().index() != i {
+                return Err(DatasetError::NonDenseMachineIds { index: i });
+            }
+            if m.subsystem().index() >= num_subsystems {
+                return Err(DatasetError::UnknownSubsystem {
+                    machine: m.id(),
+                    subsystem: m.subsystem(),
+                });
+            }
+        }
+        for (i, inc) in self.incidents.iter().enumerate() {
+            if inc.id().index() != i {
+                return Err(DatasetError::NonDenseIncidentIds { index: i });
+            }
+            if inc.machines().is_empty() {
+                return Err(DatasetError::EmptyIncident { incident: inc.id() });
+            }
+            if let Some(&m) = inc.machines().iter().find(|m| m.index() >= num_machines) {
+                return Err(DatasetError::UnknownIncidentMember {
+                    incident: inc.id(),
+                    machine: m,
+                });
+            }
+        }
+        for (i, t) in self.tickets.iter().enumerate() {
+            if t.id().index() != i {
+                return Err(DatasetError::NonDenseTicketIds { index: i });
+            }
+            if t.machine().index() >= num_machines {
+                return Err(DatasetError::UnknownTicketMachine {
+                    ticket: t.id(),
+                    machine: t.machine(),
+                });
+            }
+            if t.closed_at() < t.opened_at() {
+                return Err(DatasetError::ReversedTicketWindow { ticket: t.id() });
+            }
+        }
+        for ev in &self.events {
+            if ev.machine().index() >= num_machines {
+                return Err(DatasetError::UnknownEventMachine {
+                    machine: ev.machine(),
+                });
+            }
+            if ev.incident().index() >= num_incidents {
+                return Err(DatasetError::UnknownEventIncident {
+                    incident: ev.incident(),
+                });
+            }
+            if ev.ticket().index() >= num_tickets {
+                return Err(DatasetError::UnknownEventTicket {
+                    ticket: ev.ticket(),
+                });
+            }
+            if !self.horizon.contains(ev.at()) {
+                return Err(DatasetError::EventOutsideHorizon {
+                    machine: ev.machine(),
+                    at: ev.at(),
+                });
+            }
+            if ev.repair().is_negative() {
+                return Err(DatasetError::NegativeRepair {
+                    machine: ev.machine(),
+                    at: ev.at(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl TryFrom<RawDataset> for FailureDataset {
+    type Error = DatasetError;
+
+    /// Validates the raw parts, then canonicalizes: events are sorted by
+    /// `(at, machine, incident)` and the per-machine index is rebuilt.
+    /// Unsorted input is accepted (and sorted); structurally broken input —
+    /// dangling references, out-of-horizon events, reversed repair windows —
+    /// is rejected with a typed error.
+    fn try_from(raw: RawDataset) -> Result<Self, DatasetError> {
+        raw.validate()?;
         let mut ds = FailureDataset {
             horizon: raw.horizon,
             machines: raw.machines,
@@ -58,7 +299,7 @@ impl From<RawDataset> for FailureDataset {
             by_machine: BTreeMap::new(),
         };
         ds.rebuild_index();
-        ds
+        Ok(ds)
     }
 }
 
@@ -367,50 +608,31 @@ impl DatasetBuilder {
         self.tickets.len()
     }
 
-    /// Finalizes the dataset.
+    /// Finalizes the dataset, validating every cross-reference.
+    ///
+    /// Infallible construction is the builder's contract, so validation
+    /// failures panic; use [`DatasetBuilder::try_build`] to get the typed
+    /// [`DatasetError`] instead.
     ///
     /// # Panics
     ///
     /// Panics if any event or ticket references an unknown machine, incident
-    /// or subsystem — a dataset must be internally consistent.
+    /// or subsystem, if an event falls outside the horizon or carries a
+    /// negative repair, or if a ticket closes before opening — a dataset must
+    /// be internally consistent.
     pub fn build(self) -> FailureDataset {
-        let num_machines = self.machines.len();
-        let num_incidents = self.incidents.len();
-        let num_tickets = self.tickets.len();
-        let num_subsystems = self.topology.subsystems().len();
-        for m in &self.machines {
-            assert!(
-                m.subsystem().index() < num_subsystems,
-                "machine {} references unknown subsystem {}",
-                m.id(),
-                m.subsystem()
-            );
+        match self.try_build() {
+            Ok(ds) => ds,
+            Err(e) => panic!("invalid dataset: {e}"),
         }
-        for ev in &self.events {
-            assert!(
-                ev.machine().index() < num_machines,
-                "event references unknown machine {}",
-                ev.machine()
-            );
-            assert!(
-                ev.incident().index() < num_incidents,
-                "event references unknown incident {}",
-                ev.incident()
-            );
-            assert!(
-                ev.ticket().index() < num_tickets,
-                "event references unknown ticket {}",
-                ev.ticket()
-            );
-        }
-        for t in &self.tickets {
-            assert!(
-                t.machine().index() < num_machines,
-                "ticket {} references unknown machine {}",
-                t.id(),
-                t.machine()
-            );
-        }
+    }
+
+    /// Finalizes the dataset, returning a typed error on broken invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DatasetError`] describing the first violated invariant.
+    pub fn try_build(self) -> Result<FailureDataset, DatasetError> {
         let raw = RawDataset {
             horizon: self.horizon.unwrap_or_default(),
             machines: self.machines,
@@ -420,7 +642,7 @@ impl DatasetBuilder {
             events: self.events,
             telemetry: self.telemetry,
         };
-        FailureDataset::from(raw)
+        FailureDataset::try_from(raw)
     }
 }
 
@@ -559,6 +781,66 @@ mod tests {
             .events()
             .iter()
             .any(|e| e.true_class() != FailureClass::Other));
+    }
+
+    #[test]
+    fn serde_rejects_out_of_horizon_event() {
+        let ds = tiny_dataset();
+        let json = serde_json::to_string(&ds).unwrap();
+        // Push one event timestamp past the horizon end (400 days).
+        let bad = json.replace(
+            &format!("\"at\":{}", SimTime::from_days(5).as_minutes()),
+            &format!("\"at\":{}", SimTime::from_days(400).as_minutes()),
+        );
+        assert_ne!(bad, json);
+        let err = serde_json::from_str::<FailureDataset>(&bad).unwrap_err();
+        assert!(
+            err.to_string().contains("outside the observation window"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn serde_rejects_dangling_event_machine() {
+        let ds = tiny_dataset();
+        let json = serde_json::to_string(&ds).unwrap();
+        // The dataset has a single machine m0; retarget one event to m99.
+        let bad = json.replace(
+            "\"machine\":0,\"incident\":1",
+            "\"machine\":99,\"incident\":1",
+        );
+        assert_ne!(bad, json);
+        let err = serde_json::from_str::<FailureDataset>(&bad).unwrap_err();
+        assert!(err.to_string().contains("unknown machine"), "{err}");
+    }
+
+    #[test]
+    fn serde_accepts_unsorted_events_and_canonicalizes() {
+        // tiny_dataset adds its events out of order; serializing preserves
+        // the canonical order, so swap them back to unsorted JSON manually.
+        let ds = tiny_dataset();
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: FailureDataset = serde_json::from_str(&json).unwrap();
+        assert!(back.events()[0].at() < back.events()[1].at());
+    }
+
+    #[test]
+    fn try_build_reports_typed_error() {
+        let mut b = DatasetBuilder::new();
+        b.add_incident(Incident::new(
+            IncidentId::new(0),
+            FailureClass::Hardware,
+            SimTime::ZERO,
+            vec![MachineId::new(7)],
+        ));
+        let err = b.try_build().unwrap_err();
+        assert_eq!(
+            err,
+            DatasetError::UnknownIncidentMember {
+                incident: IncidentId::new(0),
+                machine: MachineId::new(7),
+            }
+        );
     }
 
     #[test]

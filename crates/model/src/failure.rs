@@ -232,6 +232,7 @@ impl FailureEvent {
 
     /// Returns a copy with a different reported class (used when re-running
     /// the classification pipeline over a dataset).
+    #[must_use]
     pub fn with_reported_class(mut self, class: FailureClass) -> Self {
         self.reported_class = class;
         self

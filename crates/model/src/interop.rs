@@ -23,6 +23,7 @@ use crate::time::{Horizon, SimDuration, SimTime};
 use crate::topology::{HostBox, SubsystemMeta, Topology};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// Error produced while parsing trace CSV.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,8 +60,9 @@ pub fn machines_to_csv(dataset: &FailureDataset) -> String {
     );
     for m in dataset.machines() {
         let cap = m.capacity();
-        out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{}\n",
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{}",
             m.id().raw(),
             m.kind().label(),
             m.subsystem().raw(),
@@ -73,7 +75,7 @@ pub fn machines_to_csv(dataset: &FailureDataset) -> String {
                 .map(|t| t.as_minutes().to_string())
                 .unwrap_or_default(),
             m.host().map(|b| b.raw().to_string()).unwrap_or_default(),
-        ));
+        );
     }
     out
 }
@@ -82,14 +84,15 @@ pub fn machines_to_csv(dataset: &FailureDataset) -> String {
 pub fn events_to_csv(dataset: &FailureDataset) -> String {
     let mut out = String::from("machine,incident,at_minutes,class,repair_minutes\n");
     for ev in dataset.events() {
-        out.push_str(&format!(
-            "{},{},{},{},{}\n",
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
             ev.machine().raw(),
             ev.incident().raw(),
             ev.at().as_minutes(),
             ev.true_class().label(),
             ev.repair().as_minutes(),
-        ));
+        );
     }
     out
 }
@@ -121,6 +124,7 @@ fn parse_field<T: std::str::FromStr>(
 /// # Errors
 ///
 /// Returns a [`ParseTraceError`] on malformed input or dangling references.
+#[allow(clippy::too_many_lines)]
 pub fn dataset_from_csv(
     machines_csv: &str,
     events_csv: &str,
@@ -215,13 +219,13 @@ pub fn dataset_from_csv(
             let sys = boxes
                 .get(&b)
                 .and_then(|vms| vms.first())
-                .map(|m| machines[m.index()].subsystem())
-                .unwrap_or(SubsystemId::new(0));
+                .map_or(SubsystemId::new(0), |m| machines[m.index()].subsystem());
             let pd = boxes
                 .get(&b)
                 .and_then(|vms| vms.first())
-                .map(|m| machines[m.index()].power_domain())
-                .unwrap_or(PowerDomainId::new(0));
+                .map_or(PowerDomainId::new(0), |m| {
+                    machines[m.index()].power_domain()
+                });
             topology.add_box(HostBox::new(BoxId::new(b), sys, pd, false));
         }
         for (&b, vms) in &boxes {

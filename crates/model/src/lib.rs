@@ -32,6 +32,9 @@
 //! assert_eq!(cap.memory_gb(), 8.0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod dataset;
 pub mod failure;
 pub mod ids;
@@ -44,7 +47,7 @@ pub mod topology;
 
 /// Convenient glob import of the most frequently used model types.
 pub mod prelude {
-    pub use crate::dataset::{DatasetBuilder, FailureDataset, SubsystemStats};
+    pub use crate::dataset::{DatasetBuilder, DatasetError, FailureDataset, SubsystemStats};
     pub use crate::failure::{FailureClass, FailureEvent, Incident};
     pub use crate::ids::{
         BoxId, ClusterId, IncidentId, MachineId, PowerDomainId, SubsystemId, TicketId,

@@ -171,6 +171,7 @@ impl Machine {
     }
 
     /// Assigns the machine to a distributed application cluster.
+    #[must_use]
     pub fn with_app_cluster(mut self, cluster: ClusterId) -> Self {
         self.app_cluster = Some(cluster);
         self

@@ -217,6 +217,21 @@ impl Telemetry {
         Some(levels.iter().map(|&l| l as f64).sum::<f64>() / levels.len() as f64)
     }
 
+    /// Iterates over every stored usage series, keyed by machine.
+    pub fn usage_series(&self) -> impl Iterator<Item = (MachineId, &[WeeklyUsage])> {
+        self.usage.iter().map(|(&m, v)| (m, v.as_slice()))
+    }
+
+    /// Iterates over every stored on/off log, keyed by machine.
+    pub fn onoff_logs(&self) -> impl Iterator<Item = (MachineId, &OnOffLog)> {
+        self.onoff.iter().map(|(&m, log)| (m, log))
+    }
+
+    /// Iterates over every stored consolidation series, keyed by machine.
+    pub fn consolidation_series(&self) -> impl Iterator<Item = (MachineId, &[u16])> {
+        self.consolidation.iter().map(|(&m, v)| (m, v.as_slice()))
+    }
+
     /// Number of machines with usage records.
     pub fn num_usage_series(&self) -> usize {
         self.usage.len()

@@ -192,18 +192,12 @@ impl Topology {
 
     /// Machines in a power domain.
     pub fn power_domain_members(&self, domain: PowerDomainId) -> &[MachineId] {
-        self.power_domains
-            .get(&domain)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.power_domains.get(&domain).map_or(&[], Vec::as_slice)
     }
 
     /// Machines in an application cluster.
     pub fn app_cluster_members(&self, cluster: ClusterId) -> &[MachineId] {
-        self.app_clusters
-            .get(&cluster)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.app_clusters.get(&cluster).map_or(&[], Vec::as_slice)
     }
 
     /// Iterates over all power-domain ids.

@@ -1,5 +1,7 @@
 //! Property tests for the domain model.
 
+#![allow(clippy::unwrap_used)]
+
 use dcfail_model::prelude::*;
 use proptest::prelude::*;
 

@@ -65,10 +65,8 @@ pub fn censored_interfailure_report(dataset: &FailureDataset) -> Rendered {
                 kind.label().to_string(),
                 c.km.n().to_string(),
                 format!("{:.0}%", 100.0 * c.censored_share),
-                c.naive_median_days.map(fmt2).unwrap_or_else(|| "-".into()),
-                c.km_median_days
-                    .map(fmt2)
-                    .unwrap_or_else(|| ">window".into()),
+                c.naive_median_days.map_or_else(|| "-".into(), fmt2),
+                c.km_median_days.map_or_else(|| ">window".into(), fmt2),
                 fmt2(c.km.survival_at(30.0)),
                 fmt2(c.km.survival_at(100.0)),
             ]);
@@ -214,9 +212,7 @@ pub fn followon_report(dataset: &FailureDataset) -> Rendered {
             class.label().to_string(),
             f.triggers.to_string(),
             fmt2(f.probability),
-            ratio
-                .map(|r| format!("{r:.0}x"))
-                .unwrap_or_else(|| "-".into()),
+            ratio.map_or_else(|| "-".into(), |r| format!("{r:.0}x")),
             format!("{:.0}%", 100.0 * f.cross_class_share),
         ]);
     }
@@ -267,8 +263,7 @@ dispersion > 1 = same-day clustering beyond Poisson (5% threshold ≈ 1.13)
         let get = |hz: &[temporal::HazardStep]| {
             hz.iter()
                 .find(|s| s.day == day)
-                .map(|s| format!("{:.4}", s.hazard))
-                .unwrap_or_else(|| "-".into())
+                .map_or_else(|| "-".into(), |s| format!("{:.4}", s.hazard))
         };
         hz_table.row(vec![day.to_string(), get(&pm), get(&vm)]);
     }

@@ -13,6 +13,9 @@
 //! assert!(report.text.contains("weekly failure rate"));
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod experiments;
 pub mod extras;
 pub mod runners;

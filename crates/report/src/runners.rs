@@ -11,6 +11,7 @@ use dcfail_core::{
 };
 use dcfail_model::prelude::*;
 use dcfail_stats::fit::Family;
+use std::fmt::Write as _;
 
 /// A rendered experiment report.
 #[derive(Debug, Clone)]
@@ -158,13 +159,14 @@ pub fn fig2(dataset: &FailureDataset) -> Rendered {
 fn fit_lines(fits: &dcfail_stats::fit::ModelSelection) -> String {
     let mut s = String::new();
     for r in &fits.ranked {
-        s.push_str(&format!(
-            "  {:<12} {}  loglik={:.1}  aic={:.1}\n",
+        let _ = writeln!(
+            s,
+            "  {:<12} {}  loglik={:.1}  aic={:.1}",
             r.dist.family().name(),
             r.dist.params(),
             r.log_likelihood,
             r.aic
-        ));
+        );
     }
     s
 }
@@ -181,20 +183,22 @@ pub fn fig3(dataset: &FailureDataset) -> Rendered {
             t.row(vec![fmt2(d), fmt2(pm.ecdf.eval(d)), fmt2(vm.ecdf.eval(d))]);
         }
         text.push_str(&t.render());
-        text.push_str(&format!(
+        let _ = write!(
+            text,
             "\nPM: mean gap {:.1} d, {} gaps, single-failure share {:.0}%; fits:\n{}",
             pm.mean_days,
             pm.gaps_days.len(),
             100.0 * pm.single_failure_fraction,
             fit_lines(&pm.fits)
-        ));
-        text.push_str(&format!(
+        );
+        let _ = write!(
+            text,
             "VM: mean gap {:.1} d, {} gaps, single-failure share {:.0}%; fits:\n{}",
             vm.mean_days,
             vm.gaps_days.len(),
             100.0 * vm.single_failure_fraction,
             fit_lines(&vm.fits)
-        ));
+        );
         text.push_str(
             "paper reference: Gamma fits best, VM mean 37.22 d; ~60% of VMs fail only once\n",
         );
@@ -248,18 +252,20 @@ pub fn fig4(dataset: &FailureDataset) -> Rendered {
             t.row(vec![fmt2(h), fmt2(pm.ecdf.eval(h)), fmt2(vm.ecdf.eval(h))]);
         }
         text.push_str(&t.render());
-        text.push_str(&format!(
+        let _ = write!(
+            text,
             "\nPM: mean {:.1} h over {} repairs; fits:\n{}",
             pm.mean_hours,
             pm.hours.len(),
             fit_lines(&pm.fits)
-        ));
-        text.push_str(&format!(
+        );
+        let _ = write!(
+            text,
             "VM: mean {:.1} h over {} repairs; fits:\n{}",
             vm.mean_hours,
             vm.hours.len(),
             fit_lines(&vm.fits)
-        ));
+        );
         text.push_str("paper reference: Log-normal fits best; means 38.5 h (PM) vs 19.6 h (VM)\n");
     } else {
         text.push_str("not enough repairs to analyze\n");
@@ -460,10 +466,10 @@ fn curve_table(curves: &[(&str, &dcfail_core::curve::AttributeCurve)]) -> String
                 p.events.to_string(),
             ]);
         }
-        out.push_str(&format!("[{label}] ({})\n", curve.attribute));
+        let _ = writeln!(out, "[{label}] ({})", curve.attribute);
         out.push_str(&t.render());
         if let Some(range) = curve.dynamic_range() {
-            out.push_str(&format!("dynamic range: {range:.1}x\n"));
+            let _ = writeln!(out, "dynamic range: {range:.1}x");
         }
         out.push('\n');
     }
@@ -550,7 +556,7 @@ pub fn fig9(dataset: &FailureDataset) -> Rendered {
     let mut text = curve_table(&curves);
     text.push_str("VM share per level: ");
     for (label, share) in &shares {
-        text.push_str(&format!("{label}: {:.1}%  ", 100.0 * share));
+        let _ = write!(text, "{label}: {:.1}%  ", 100.0 * share);
     }
     text.push_str(
         "\npaper reference: rate decreases significantly with consolidation; \
@@ -571,7 +577,7 @@ pub fn fig10(dataset: &FailureDataset) -> Rendered {
     let mut text = curve_table(&curves);
     text.push_str("VM share per bucket: ");
     for (label, share) in &shares {
-        text.push_str(&format!("{label}: {:.1}%  ", 100.0 * share));
+        let _ = write!(text, "{label}: {:.1}%  ", 100.0 * share);
     }
     text.push_str(
         "\npaper reference: rate rises from 0 to ~2 cycles/month, no clear trend beyond; \

@@ -28,6 +28,7 @@ fn verdict(holds: bool) -> &'static str {
 }
 
 /// Re-derives the paper's §VII summary findings from `dataset`.
+#[allow(clippy::too_many_lines)]
 pub fn findings(dataset: &FailureDataset) -> Rendered {
     let mut out: Vec<Finding> = Vec::new();
 
@@ -156,8 +157,8 @@ pub fn findings(dataset: &FailureDataset) -> Rendered {
             .filter(|p| p.machine_weeks >= floor.max(1))
             .map(|p| p.mean)
             .collect();
-        let lo = kept.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = kept.iter().cloned().fold(0.0f64, f64::max);
+        let lo = kept.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = kept.iter().copied().fold(0.0f64, f64::max);
         (lo > 0.0).then(|| hi / lo)
     };
     if let (Some(count_range), Some(cap_range)) =

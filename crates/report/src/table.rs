@@ -39,6 +39,7 @@ impl TextTable {
     /// # Panics
     ///
     /// Panics if the alignment count does not match the column count.
+    #[must_use]
     pub fn with_aligns(mut self, aligns: Vec<Align>) -> Self {
         assert_eq!(aligns.len(), self.headers.len(), "alignment count mismatch");
         self.aligns = aligns;
@@ -144,7 +145,7 @@ pub fn fmt_pct(x: f64) -> String {
 
 /// Formats an optional value, rendering `None` as `-`.
 pub fn fmt_opt<T>(value: Option<T>, f: impl Fn(T) -> String) -> String {
-    value.map(f).unwrap_or_else(|| "-".to_string())
+    value.map_or_else(|| "-".to_string(), f)
 }
 
 #[cfg(test)]

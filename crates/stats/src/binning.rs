@@ -132,6 +132,7 @@ impl Bins {
     /// # Panics
     ///
     /// Panics if the label count does not match the bin count.
+    #[must_use]
     pub fn with_labels(mut self, labels: Vec<String>) -> Self {
         assert_eq!(labels.len(), self.len(), "label count must match bin count");
         self.labels = labels;

@@ -392,7 +392,7 @@ impl ContinuousDist for Uniform {
     }
 
     fn mean(&self) -> f64 {
-        (self.lo + self.hi) / 2.0
+        f64::midpoint(self.lo, self.hi)
     }
 
     fn variance(&self) -> f64 {

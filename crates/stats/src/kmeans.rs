@@ -101,7 +101,7 @@ impl KMeans {
                     }
                 } else {
                     // Re-seed an empty cluster at a random point.
-                    *c = points[rng.below(points.len())].clone();
+                    c.clone_from(&points[rng.below(points.len())]);
                 }
             }
             let improved = inertia.is_infinite()

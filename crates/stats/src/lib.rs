@@ -38,6 +38,9 @@
 //! # Ok::<(), dcfail_stats::StatsError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod binning;
 pub mod bootstrap;
 pub mod corr;

@@ -32,6 +32,7 @@ impl StreamRng {
     ///
     /// Forking is pure: it depends only on the parent seed and the label,
     /// never on how much the parent has been consumed.
+    #[must_use]
     pub fn fork(&self, label: &str) -> StreamRng {
         let child_seed = splitmix(self.seed ^ fnv1a(label.as_bytes()));
         StreamRng {
@@ -42,6 +43,7 @@ impl StreamRng {
 
     /// Derives an independent child stream from an integer index, for
     /// per-entity streams (e.g. one per machine).
+    #[must_use]
     pub fn fork_index(&self, label: &str, index: u64) -> StreamRng {
         let child_seed = splitmix(self.seed ^ fnv1a(label.as_bytes()) ^ splitmix(index));
         StreamRng {
@@ -144,7 +146,7 @@ impl RngCore for StreamRng {
     }
 
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
+        self.inner.fill_bytes(dest);
     }
 
     fn try_fill_bytes(&mut self, dest: &mut [u8]) -> std::result::Result<(), rand::Error> {

@@ -1,5 +1,7 @@
 //! Property tests for the statistics substrate.
 
+#![allow(clippy::unwrap_used)]
+
 use dcfail_stats::binning::Bins;
 use dcfail_stats::dist::{ContinuousDist, Exponential, Gamma, LogNormal, Pareto, Uniform, Weibull};
 use dcfail_stats::empirical::{quantile, Ecdf, Summary};

@@ -35,6 +35,7 @@ pub struct SubsystemConfig {
 /// Disabling one collapses the corresponding paper artifact, which the
 /// ablation benches demonstrate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(clippy::struct_excessive_bools)] // ablation switches are genuinely independent flags
 pub struct EffectToggles {
     /// Post-failure self-exciting burst (Table V ratios, Fig. 5).
     pub recurrence: bool,

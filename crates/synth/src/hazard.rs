@@ -65,8 +65,7 @@ impl HazardModel {
                 if fx.onoff {
                     let rate = telemetry
                         .onoff(m.id())
-                        .map(OnOffLog::monthly_transition_rate)
-                        .unwrap_or(0.0);
+                        .map_or(0.0, OnOffLog::monthly_transition_rate);
                     mult *= curves::onoff_mult(rate);
                 }
             }

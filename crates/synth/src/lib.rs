@@ -39,7 +39,11 @@
 //! assert!(dataset.machines().len() > 100);
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod config;
+pub mod config_audit;
 pub mod hazard;
 pub mod incidents;
 pub mod lifecycle;

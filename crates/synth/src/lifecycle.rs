@@ -117,7 +117,7 @@ mod tests {
         let horizon = Horizon::observation_year();
         let dates: Vec<f64> = (0..5_000)
             .filter_map(|_| sample_creation_date(&mut rng, horizon))
-            .map(|t| t.as_days())
+            .map(SimTime::as_days)
             .collect();
         let before = dates.iter().filter(|&&d| d < 0.0).count();
         // More than half of known creations predate the observation window.

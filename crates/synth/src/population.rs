@@ -184,7 +184,12 @@ mod tests {
     #[test]
     fn box_occupancy_is_bounded_and_varied() {
         let pop = build(&small_config(), &StreamRng::new(1));
-        let occ: Vec<usize> = pop.topology.boxes().iter().map(|b| b.occupancy()).collect();
+        let occ: Vec<usize> = pop
+            .topology
+            .boxes()
+            .iter()
+            .map(HostBox::occupancy)
+            .collect();
         assert!(!occ.is_empty());
         assert!(occ.iter().all(|&o| (1..=32).contains(&o)));
         // High-end boxes are the large ones.

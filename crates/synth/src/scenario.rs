@@ -37,6 +37,7 @@ impl Scenario {
     }
 
     /// Sets the RNG seed.
+    #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
         self
@@ -47,6 +48,7 @@ impl Scenario {
     /// # Panics
     ///
     /// Panics if `scale` is not in `(0, 1]`.
+    #[must_use]
     pub fn scale(mut self, scale: f64) -> Self {
         assert!(
             scale > 0.0 && scale <= 1.0,
@@ -57,6 +59,7 @@ impl Scenario {
     }
 
     /// Sets the ground-truth effect toggles (ablations).
+    #[must_use]
     pub fn effects(mut self, effects: EffectToggles) -> Self {
         self.config.effects = effects;
         self
@@ -68,13 +71,33 @@ impl Scenario {
     }
 
     /// Runs the simulator and assembles the dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration has Error-level audit findings (see
+    /// [`config_audit::audit_config`](crate::config_audit::audit_config)).
+    /// In debug builds the assembled dataset is additionally debug-asserted
+    /// to be audit-clean, so generator regressions surface at the source.
     pub fn build(&self) -> SynthOutput {
         let config = &self.config;
+        let config_report = crate::config_audit::audit_config(config);
+        assert!(
+            config_report.is_clean(),
+            "scenario configuration failed audit:\n{config_report}"
+        );
         let rng = StreamRng::new(config.seed);
         let pop = population::build(config, &rng);
         let telemetry = telemetry_gen::generate(config, &pop, &rng);
         let specs = incidents::simulate(config, &pop, &telemetry, &rng);
-        let dataset = assemble(config, pop, telemetry, specs, &rng);
+        let dataset = assemble(config, pop, telemetry, &specs, &rng);
+        #[cfg(debug_assertions)]
+        {
+            let report = dcfail_audit::audit_dataset(&dataset);
+            debug_assert!(
+                report.is_clean(),
+                "generated dataset failed audit:\n{report}"
+            );
+        }
         SynthOutput {
             config: config.clone(),
             dataset,
@@ -110,7 +133,7 @@ fn assemble(
     config: &ScenarioConfig,
     pop: Population,
     telemetry: Telemetry,
-    specs: Vec<IncidentSpec>,
+    specs: &[IncidentSpec],
     rng: &StreamRng,
 ) -> FailureDataset {
     let mut builder = DatasetBuilder::new();

@@ -33,8 +33,7 @@ pub fn generate(config: &ScenarioConfig, pop: &Population, rng: &StreamRng) -> T
             let occupancy = machine
                 .host()
                 .and_then(|b| pop.topology.host_box(b))
-                .map(HostBox::occupancy)
-                .unwrap_or(1);
+                .map_or(1, HostBox::occupancy);
             telemetry.set_consolidation(
                 machine.id(),
                 consolidation_series(&mut rng, occupancy, months),

@@ -1,6 +1,5 @@
 //! Property tests for the simulator's structural invariants.
 
-use dcfail_model::prelude::*;
 use dcfail_synth::{EffectToggles, Scenario};
 use proptest::prelude::*;
 
@@ -71,5 +70,31 @@ proptest! {
             prop_assert_eq!(ds.telemetry().onoff(m.id()).is_some(), m.is_vm());
             prop_assert_eq!(ds.telemetry().consolidation(m.id()).is_some(), m.is_vm());
         }
+    }
+
+    /// Every generated dataset passes the full `dcfail-audit` rule catalog
+    /// with zero Error-level findings, at any seed, scale, and effect
+    /// combination. (Debug builds also assert this inside `build()`; this
+    /// property keeps release builds honest.)
+    #[test]
+    fn generated_datasets_are_audit_clean(
+        seed in 0u64..10_000,
+        scale_idx in 0usize..3,
+        effects_on in any::<bool>(),
+    ) {
+        let scale = [0.01, 0.02, 0.05][scale_idx];
+        let effects = if effects_on {
+            EffectToggles::all()
+        } else {
+            EffectToggles::none()
+        };
+        let ds = Scenario::paper()
+            .seed(seed)
+            .scale(scale)
+            .effects(effects)
+            .build()
+            .into_dataset();
+        let report = dcfail_audit::audit_dataset(&ds);
+        prop_assert!(report.is_clean(), "audit rejected seed {}:\n{}", seed, report.render_text());
     }
 }

@@ -23,6 +23,9 @@
 //! assert_eq!(label, dcfail_model::failure::FailureClass::Power);
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod classify;
 pub mod extract;
 pub mod store;

@@ -37,7 +37,7 @@ proptest! {
         let tokens = tokenize(&text);
         for t in &tokens {
             prop_assert!(t.len() > 1);
-            prop_assert!(t.chars().all(|c| c.is_alphanumeric()));
+            prop_assert!(t.chars().all(char::is_alphanumeric));
             prop_assert_eq!(t.to_lowercase(), t.clone());
         }
         // Tokenizing the joined tokens yields the same tokens.
@@ -76,7 +76,7 @@ proptest! {
         let store = TicketStore::from_tickets(tickets.clone());
         prop_assert_eq!(store.len(), tickets.len());
         // Time iteration is sorted and complete.
-        let times: Vec<SimTime> = store.iter_by_time().map(|t| t.opened_at()).collect();
+        let times: Vec<SimTime> = store.iter_by_time().map(Ticket::opened_at).collect();
         prop_assert_eq!(times.len(), tickets.len());
         for pair in times.windows(2) {
             prop_assert!(pair[0] <= pair[1]);

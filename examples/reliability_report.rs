@@ -14,14 +14,12 @@ use dcfail::synth::Scenario;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let scale: f64 = args
-        .next()
-        .map(|s| s.parse().expect("scale must be a number in (0, 1]"))
-        .unwrap_or(0.25);
+    let scale: f64 = args.next().map_or(0.25, |s| {
+        s.parse().expect("scale must be a number in (0, 1]")
+    });
     let seed: u64 = args
         .next()
-        .map(|s| s.parse().expect("seed must be an integer"))
-        .unwrap_or(42);
+        .map_or(42, |s| s.parse().expect("seed must be an integer"));
 
     eprintln!("simulating paper scenario at scale {scale} (seed {seed}) ...");
     let dataset = Scenario::paper()

@@ -71,9 +71,8 @@ fn main() {
             manual_label(t.description(), t.resolution()).label(),
             classification
                 .label(t.id())
-                .map(|c| c.label())
-                .unwrap_or("-"),
-            t.true_class().map(|c| c.label()).unwrap_or("-"),
+                .map_or("-", FailureClass::label),
+            t.true_class().map_or("-", FailureClass::label),
         );
     }
 

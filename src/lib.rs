@@ -13,6 +13,9 @@
 //! let rates = dcfail::analysis::rates::weekly_failure_rates(&dataset);
 //! assert!(rates.all_pm.mean > 0.0);
 //! ```
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub use dcfail_core as analysis;
 pub use dcfail_model as model;
 pub use dcfail_report as report;

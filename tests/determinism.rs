@@ -2,6 +2,8 @@
 //! reproducible bit-for-bit from `(seed, scale)` and every dataset survives
 //! a JSON roundtrip.
 
+#![allow(clippy::unwrap_used)]
+
 use dcfail::analysis::rates;
 use dcfail::model::dataset::FailureDataset;
 use dcfail::report::experiments::{run, ExperimentId};

@@ -1,6 +1,8 @@
 //! Cross-crate pipeline tests: the full route from raw tickets to analyses,
 //! exercising the crate boundaries the way a downstream user would.
 
+#![allow(clippy::unwrap_used)]
+
 use dcfail::analysis::{class_mix, ClassSource};
 use dcfail::model::prelude::*;
 use dcfail::stats::rng::StreamRng;
@@ -44,12 +46,18 @@ fn extraction_then_classification_then_analysis() {
 #[test]
 fn classifier_differs_from_monitor_labels_but_not_wildly() {
     let mut ds = small_dataset(3);
-    let monitor_labels: Vec<FailureClass> =
-        ds.events().iter().map(|e| e.reported_class()).collect();
+    let monitor_labels: Vec<FailureClass> = ds
+        .events()
+        .iter()
+        .map(FailureEvent::reported_class)
+        .collect();
     let mut rng = StreamRng::new(4);
     apply_to_dataset(&mut ds, PipelineConfig::default(), &mut rng);
-    let pipeline_labels: Vec<FailureClass> =
-        ds.events().iter().map(|e| e.reported_class()).collect();
+    let pipeline_labels: Vec<FailureClass> = ds
+        .events()
+        .iter()
+        .map(FailureEvent::reported_class)
+        .collect();
     let agree = monitor_labels
         .iter()
         .zip(&pipeline_labels)

@@ -1,5 +1,7 @@
 //! Property-based tests over the cross-crate invariants.
 
+#![allow(clippy::unwrap_used)]
+
 use dcfail::analysis::{rates, recurrence, spatial};
 use dcfail::model::prelude::*;
 use dcfail::stats::dist::{ContinuousDist, Gamma, LogNormal, Weibull};
@@ -104,8 +106,8 @@ proptest! {
             prev = p;
         }
         // Quantile of the max is the max; of level 0 is the min.
-        let max = values.iter().cloned().fold(f64::MIN, f64::max);
-        let min = values.iter().cloned().fold(f64::MAX, f64::min);
+        let max = values.iter().copied().fold(f64::MIN, f64::max);
+        let min = values.iter().copied().fold(f64::MAX, f64::min);
         prop_assert!((e.quantile(1.0) - max).abs() < 1e-9);
         prop_assert!((e.quantile(0.0) - min).abs() < 1e-9);
         prop_assert!((quantile(&values, 0.5) - e.quantile(0.5)).abs() < 1e-9);

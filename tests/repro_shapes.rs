@@ -7,6 +7,8 @@
 //! with the TF-IDF + k-means ticket classifier (not the simulator's labels),
 //! then run each analysis.
 
+#![allow(clippy::unwrap_used)]
+
 use dcfail::analysis::{
     age, capacity, class_mix, consolidation, interfailure, onoff, rates, recurrence, repair,
     spatial, usage, ClassSource,
