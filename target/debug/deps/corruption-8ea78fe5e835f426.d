@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/corruption-8ea78fe5e835f426.d: crates/audit/tests/corruption.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorruption-8ea78fe5e835f426.rmeta: crates/audit/tests/corruption.rs Cargo.toml
+
+crates/audit/tests/corruption.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

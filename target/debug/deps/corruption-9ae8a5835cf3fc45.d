@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corruption-9ae8a5835cf3fc45.d: crates/audit/tests/corruption.rs
+
+/root/repo/target/debug/deps/corruption-9ae8a5835cf3fc45: crates/audit/tests/corruption.rs
+
+crates/audit/tests/corruption.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-d2052b76c9a87c10.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-d2052b76c9a87c10: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-f6a937de02037c66.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f6a937de02037c66.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f6a937de02037c66.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

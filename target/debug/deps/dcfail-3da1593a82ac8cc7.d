@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcfail-3da1593a82ac8cc7.d: src/lib.rs
+
+/root/repo/target/debug/deps/dcfail-3da1593a82ac8cc7: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcfail-4b524077398451e9.d: src/lib.rs
+
+/root/repo/target/debug/deps/dcfail-4b524077398451e9: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcfail-562f0e010ece45a4.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcfail-562f0e010ece45a4.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcfail-e0b98a1b81412731.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdcfail-e0b98a1b81412731.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdcfail-e0b98a1b81412731.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcfail-f4e8c36ead494b1e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdcfail-f4e8c36ead494b1e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdcfail-f4e8c36ead494b1e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dcfail_audit-18531eb1e3e9ed7b.d: crates/audit/src/lib.rs crates/audit/src/import.rs crates/audit/src/raw.rs crates/audit/src/report.rs crates/audit/src/rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcfail_audit-18531eb1e3e9ed7b.rmeta: crates/audit/src/lib.rs crates/audit/src/import.rs crates/audit/src/raw.rs crates/audit/src/report.rs crates/audit/src/rules.rs Cargo.toml
+
+crates/audit/src/lib.rs:
+crates/audit/src/import.rs:
+crates/audit/src/raw.rs:
+crates/audit/src/report.rs:
+crates/audit/src/rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

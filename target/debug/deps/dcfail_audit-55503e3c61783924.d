@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcfail_audit-55503e3c61783924.d: crates/audit/src/lib.rs crates/audit/src/import.rs crates/audit/src/raw.rs crates/audit/src/report.rs crates/audit/src/rules.rs
+
+/root/repo/target/debug/deps/libdcfail_audit-55503e3c61783924.rlib: crates/audit/src/lib.rs crates/audit/src/import.rs crates/audit/src/raw.rs crates/audit/src/report.rs crates/audit/src/rules.rs
+
+/root/repo/target/debug/deps/libdcfail_audit-55503e3c61783924.rmeta: crates/audit/src/lib.rs crates/audit/src/import.rs crates/audit/src/raw.rs crates/audit/src/report.rs crates/audit/src/rules.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/import.rs:
+crates/audit/src/raw.rs:
+crates/audit/src/report.rs:
+crates/audit/src/rules.rs:

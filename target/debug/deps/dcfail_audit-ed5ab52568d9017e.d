@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcfail_audit-ed5ab52568d9017e.d: crates/audit/src/lib.rs crates/audit/src/import.rs crates/audit/src/raw.rs crates/audit/src/report.rs crates/audit/src/rules.rs
+
+/root/repo/target/debug/deps/dcfail_audit-ed5ab52568d9017e: crates/audit/src/lib.rs crates/audit/src/import.rs crates/audit/src/raw.rs crates/audit/src/report.rs crates/audit/src/rules.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/import.rs:
+crates/audit/src/raw.rs:
+crates/audit/src/report.rs:
+crates/audit/src/rules.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dcfail_bench-538342183115bd5a.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+/root/repo/target/debug/deps/dcfail_bench-538342183115bd5a: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dcfail_bench-b34fa144e20adaff.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcfail_bench-b34fa144e20adaff.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dcfail_bench-c3fd68858a75c43c.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+/root/repo/target/debug/deps/libdcfail_bench-c3fd68858a75c43c.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+/root/repo/target/debug/deps/libdcfail_bench-c3fd68858a75c43c.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:

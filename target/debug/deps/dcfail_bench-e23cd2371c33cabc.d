@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dcfail_bench-e23cd2371c33cabc.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+/root/repo/target/debug/deps/dcfail_bench-e23cd2371c33cabc: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:

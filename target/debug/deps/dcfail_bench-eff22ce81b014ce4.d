@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dcfail_bench-eff22ce81b014ce4.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+/root/repo/target/debug/deps/libdcfail_bench-eff22ce81b014ce4.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+/root/repo/target/debug/deps/libdcfail_bench-eff22ce81b014ce4.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/dcfail_core-1cd138abe2eda6a1.d: crates/core/src/lib.rs crates/core/src/age.rs crates/core/src/availability.rs crates/core/src/capacity.rs crates/core/src/class_mix.rs crates/core/src/consolidation.rs crates/core/src/curve.rs crates/core/src/followon.rs crates/core/src/interfailure.rs crates/core/src/onoff.rs crates/core/src/prediction.rs crates/core/src/rates.rs crates/core/src/recurrence.rs crates/core/src/repair.rs crates/core/src/spatial.rs crates/core/src/temporal.rs crates/core/src/usage.rs crates/core/src/whatif.rs
+
+/root/repo/target/debug/deps/libdcfail_core-1cd138abe2eda6a1.rlib: crates/core/src/lib.rs crates/core/src/age.rs crates/core/src/availability.rs crates/core/src/capacity.rs crates/core/src/class_mix.rs crates/core/src/consolidation.rs crates/core/src/curve.rs crates/core/src/followon.rs crates/core/src/interfailure.rs crates/core/src/onoff.rs crates/core/src/prediction.rs crates/core/src/rates.rs crates/core/src/recurrence.rs crates/core/src/repair.rs crates/core/src/spatial.rs crates/core/src/temporal.rs crates/core/src/usage.rs crates/core/src/whatif.rs
+
+/root/repo/target/debug/deps/libdcfail_core-1cd138abe2eda6a1.rmeta: crates/core/src/lib.rs crates/core/src/age.rs crates/core/src/availability.rs crates/core/src/capacity.rs crates/core/src/class_mix.rs crates/core/src/consolidation.rs crates/core/src/curve.rs crates/core/src/followon.rs crates/core/src/interfailure.rs crates/core/src/onoff.rs crates/core/src/prediction.rs crates/core/src/rates.rs crates/core/src/recurrence.rs crates/core/src/repair.rs crates/core/src/spatial.rs crates/core/src/temporal.rs crates/core/src/usage.rs crates/core/src/whatif.rs
+
+crates/core/src/lib.rs:
+crates/core/src/age.rs:
+crates/core/src/availability.rs:
+crates/core/src/capacity.rs:
+crates/core/src/class_mix.rs:
+crates/core/src/consolidation.rs:
+crates/core/src/curve.rs:
+crates/core/src/followon.rs:
+crates/core/src/interfailure.rs:
+crates/core/src/onoff.rs:
+crates/core/src/prediction.rs:
+crates/core/src/rates.rs:
+crates/core/src/recurrence.rs:
+crates/core/src/repair.rs:
+crates/core/src/spatial.rs:
+crates/core/src/temporal.rs:
+crates/core/src/usage.rs:
+crates/core/src/whatif.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dcfail_model-2a63fa7639a41aaf.d: crates/model/src/lib.rs crates/model/src/dataset.rs crates/model/src/failure.rs crates/model/src/ids.rs crates/model/src/interop.rs crates/model/src/machine.rs crates/model/src/telemetry.rs crates/model/src/ticket.rs crates/model/src/time.rs crates/model/src/topology.rs
+
+/root/repo/target/debug/deps/libdcfail_model-2a63fa7639a41aaf.rlib: crates/model/src/lib.rs crates/model/src/dataset.rs crates/model/src/failure.rs crates/model/src/ids.rs crates/model/src/interop.rs crates/model/src/machine.rs crates/model/src/telemetry.rs crates/model/src/ticket.rs crates/model/src/time.rs crates/model/src/topology.rs
+
+/root/repo/target/debug/deps/libdcfail_model-2a63fa7639a41aaf.rmeta: crates/model/src/lib.rs crates/model/src/dataset.rs crates/model/src/failure.rs crates/model/src/ids.rs crates/model/src/interop.rs crates/model/src/machine.rs crates/model/src/telemetry.rs crates/model/src/ticket.rs crates/model/src/time.rs crates/model/src/topology.rs
+
+crates/model/src/lib.rs:
+crates/model/src/dataset.rs:
+crates/model/src/failure.rs:
+crates/model/src/ids.rs:
+crates/model/src/interop.rs:
+crates/model/src/machine.rs:
+crates/model/src/telemetry.rs:
+crates/model/src/ticket.rs:
+crates/model/src/time.rs:
+crates/model/src/topology.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dcfail_model-372ef6bdb80491c3.d: crates/model/src/lib.rs crates/model/src/dataset.rs crates/model/src/failure.rs crates/model/src/ids.rs crates/model/src/interop.rs crates/model/src/machine.rs crates/model/src/telemetry.rs crates/model/src/ticket.rs crates/model/src/time.rs crates/model/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcfail_model-372ef6bdb80491c3.rmeta: crates/model/src/lib.rs crates/model/src/dataset.rs crates/model/src/failure.rs crates/model/src/ids.rs crates/model/src/interop.rs crates/model/src/machine.rs crates/model/src/telemetry.rs crates/model/src/ticket.rs crates/model/src/time.rs crates/model/src/topology.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/dataset.rs:
+crates/model/src/failure.rs:
+crates/model/src/ids.rs:
+crates/model/src/interop.rs:
+crates/model/src/machine.rs:
+crates/model/src/telemetry.rs:
+crates/model/src/ticket.rs:
+crates/model/src/time.rs:
+crates/model/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

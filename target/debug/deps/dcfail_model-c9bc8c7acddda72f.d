@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dcfail_model-c9bc8c7acddda72f.d: crates/model/src/lib.rs crates/model/src/dataset.rs crates/model/src/failure.rs crates/model/src/ids.rs crates/model/src/interop.rs crates/model/src/machine.rs crates/model/src/telemetry.rs crates/model/src/ticket.rs crates/model/src/time.rs crates/model/src/topology.rs
+
+/root/repo/target/debug/deps/dcfail_model-c9bc8c7acddda72f: crates/model/src/lib.rs crates/model/src/dataset.rs crates/model/src/failure.rs crates/model/src/ids.rs crates/model/src/interop.rs crates/model/src/machine.rs crates/model/src/telemetry.rs crates/model/src/ticket.rs crates/model/src/time.rs crates/model/src/topology.rs
+
+crates/model/src/lib.rs:
+crates/model/src/dataset.rs:
+crates/model/src/failure.rs:
+crates/model/src/ids.rs:
+crates/model/src/interop.rs:
+crates/model/src/machine.rs:
+crates/model/src/telemetry.rs:
+crates/model/src/ticket.rs:
+crates/model/src/time.rs:
+crates/model/src/topology.rs:

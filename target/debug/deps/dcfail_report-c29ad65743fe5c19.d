@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dcfail_report-c29ad65743fe5c19.d: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/extras.rs crates/report/src/runners.rs crates/report/src/summary.rs crates/report/src/table.rs
+
+/root/repo/target/debug/deps/libdcfail_report-c29ad65743fe5c19.rlib: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/extras.rs crates/report/src/runners.rs crates/report/src/summary.rs crates/report/src/table.rs
+
+/root/repo/target/debug/deps/libdcfail_report-c29ad65743fe5c19.rmeta: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/extras.rs crates/report/src/runners.rs crates/report/src/summary.rs crates/report/src/table.rs
+
+crates/report/src/lib.rs:
+crates/report/src/experiments.rs:
+crates/report/src/extras.rs:
+crates/report/src/runners.rs:
+crates/report/src/summary.rs:
+crates/report/src/table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dcfail_report-dc2d2be647bff876.d: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/extras.rs crates/report/src/runners.rs crates/report/src/summary.rs crates/report/src/table.rs
+
+/root/repo/target/debug/deps/dcfail_report-dc2d2be647bff876: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/extras.rs crates/report/src/runners.rs crates/report/src/summary.rs crates/report/src/table.rs
+
+crates/report/src/lib.rs:
+crates/report/src/experiments.rs:
+crates/report/src/extras.rs:
+crates/report/src/runners.rs:
+crates/report/src/summary.rs:
+crates/report/src/table.rs:

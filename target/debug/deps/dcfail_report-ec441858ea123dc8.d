@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dcfail_report-ec441858ea123dc8.d: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/extras.rs crates/report/src/runners.rs crates/report/src/summary.rs crates/report/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcfail_report-ec441858ea123dc8.rmeta: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/extras.rs crates/report/src/runners.rs crates/report/src/summary.rs crates/report/src/table.rs Cargo.toml
+
+crates/report/src/lib.rs:
+crates/report/src/experiments.rs:
+crates/report/src/extras.rs:
+crates/report/src/runners.rs:
+crates/report/src/summary.rs:
+crates/report/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dcfail_stats-aeebd0b33a96c769.d: crates/stats/src/lib.rs crates/stats/src/binning.rs crates/stats/src/bootstrap.rs crates/stats/src/corr.rs crates/stats/src/dist.rs crates/stats/src/empirical.rs crates/stats/src/fit.rs crates/stats/src/gof.rs crates/stats/src/kmeans.rs crates/stats/src/rng.rs crates/stats/src/special.rs crates/stats/src/survival.rs crates/stats/src/text.rs
+
+/root/repo/target/debug/deps/libdcfail_stats-aeebd0b33a96c769.rlib: crates/stats/src/lib.rs crates/stats/src/binning.rs crates/stats/src/bootstrap.rs crates/stats/src/corr.rs crates/stats/src/dist.rs crates/stats/src/empirical.rs crates/stats/src/fit.rs crates/stats/src/gof.rs crates/stats/src/kmeans.rs crates/stats/src/rng.rs crates/stats/src/special.rs crates/stats/src/survival.rs crates/stats/src/text.rs
+
+/root/repo/target/debug/deps/libdcfail_stats-aeebd0b33a96c769.rmeta: crates/stats/src/lib.rs crates/stats/src/binning.rs crates/stats/src/bootstrap.rs crates/stats/src/corr.rs crates/stats/src/dist.rs crates/stats/src/empirical.rs crates/stats/src/fit.rs crates/stats/src/gof.rs crates/stats/src/kmeans.rs crates/stats/src/rng.rs crates/stats/src/special.rs crates/stats/src/survival.rs crates/stats/src/text.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/binning.rs:
+crates/stats/src/bootstrap.rs:
+crates/stats/src/corr.rs:
+crates/stats/src/dist.rs:
+crates/stats/src/empirical.rs:
+crates/stats/src/fit.rs:
+crates/stats/src/gof.rs:
+crates/stats/src/kmeans.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/special.rs:
+crates/stats/src/survival.rs:
+crates/stats/src/text.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/dcfail_stats-e6af74951ac448bb.d: crates/stats/src/lib.rs crates/stats/src/binning.rs crates/stats/src/bootstrap.rs crates/stats/src/corr.rs crates/stats/src/dist.rs crates/stats/src/empirical.rs crates/stats/src/fit.rs crates/stats/src/gof.rs crates/stats/src/kmeans.rs crates/stats/src/rng.rs crates/stats/src/special.rs crates/stats/src/survival.rs crates/stats/src/text.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcfail_stats-e6af74951ac448bb.rmeta: crates/stats/src/lib.rs crates/stats/src/binning.rs crates/stats/src/bootstrap.rs crates/stats/src/corr.rs crates/stats/src/dist.rs crates/stats/src/empirical.rs crates/stats/src/fit.rs crates/stats/src/gof.rs crates/stats/src/kmeans.rs crates/stats/src/rng.rs crates/stats/src/special.rs crates/stats/src/survival.rs crates/stats/src/text.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/binning.rs:
+crates/stats/src/bootstrap.rs:
+crates/stats/src/corr.rs:
+crates/stats/src/dist.rs:
+crates/stats/src/empirical.rs:
+crates/stats/src/fit.rs:
+crates/stats/src/gof.rs:
+crates/stats/src/kmeans.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/special.rs:
+crates/stats/src/survival.rs:
+crates/stats/src/text.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dcfail_synth-2dc4a026ee50ed64.d: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/hazard.rs crates/synth/src/incidents.rs crates/synth/src/lifecycle.rs crates/synth/src/population.rs crates/synth/src/scenario.rs crates/synth/src/telemetry_gen.rs crates/synth/src/tickets_gen.rs
+
+/root/repo/target/debug/deps/dcfail_synth-2dc4a026ee50ed64: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/hazard.rs crates/synth/src/incidents.rs crates/synth/src/lifecycle.rs crates/synth/src/population.rs crates/synth/src/scenario.rs crates/synth/src/telemetry_gen.rs crates/synth/src/tickets_gen.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/config.rs:
+crates/synth/src/hazard.rs:
+crates/synth/src/incidents.rs:
+crates/synth/src/lifecycle.rs:
+crates/synth/src/population.rs:
+crates/synth/src/scenario.rs:
+crates/synth/src/telemetry_gen.rs:
+crates/synth/src/tickets_gen.rs:

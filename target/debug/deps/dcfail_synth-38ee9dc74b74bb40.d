@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dcfail_synth-38ee9dc74b74bb40.d: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/config_audit.rs crates/synth/src/hazard.rs crates/synth/src/incidents.rs crates/synth/src/lifecycle.rs crates/synth/src/population.rs crates/synth/src/scenario.rs crates/synth/src/telemetry_gen.rs crates/synth/src/tickets_gen.rs
+
+/root/repo/target/debug/deps/libdcfail_synth-38ee9dc74b74bb40.rlib: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/config_audit.rs crates/synth/src/hazard.rs crates/synth/src/incidents.rs crates/synth/src/lifecycle.rs crates/synth/src/population.rs crates/synth/src/scenario.rs crates/synth/src/telemetry_gen.rs crates/synth/src/tickets_gen.rs
+
+/root/repo/target/debug/deps/libdcfail_synth-38ee9dc74b74bb40.rmeta: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/config_audit.rs crates/synth/src/hazard.rs crates/synth/src/incidents.rs crates/synth/src/lifecycle.rs crates/synth/src/population.rs crates/synth/src/scenario.rs crates/synth/src/telemetry_gen.rs crates/synth/src/tickets_gen.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/config.rs:
+crates/synth/src/config_audit.rs:
+crates/synth/src/hazard.rs:
+crates/synth/src/incidents.rs:
+crates/synth/src/lifecycle.rs:
+crates/synth/src/population.rs:
+crates/synth/src/scenario.rs:
+crates/synth/src/telemetry_gen.rs:
+crates/synth/src/tickets_gen.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dcfail_synth-62e6b857241603da.d: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/config_audit.rs crates/synth/src/hazard.rs crates/synth/src/incidents.rs crates/synth/src/lifecycle.rs crates/synth/src/population.rs crates/synth/src/scenario.rs crates/synth/src/telemetry_gen.rs crates/synth/src/tickets_gen.rs
+
+/root/repo/target/debug/deps/dcfail_synth-62e6b857241603da: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/config_audit.rs crates/synth/src/hazard.rs crates/synth/src/incidents.rs crates/synth/src/lifecycle.rs crates/synth/src/population.rs crates/synth/src/scenario.rs crates/synth/src/telemetry_gen.rs crates/synth/src/tickets_gen.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/config.rs:
+crates/synth/src/config_audit.rs:
+crates/synth/src/hazard.rs:
+crates/synth/src/incidents.rs:
+crates/synth/src/lifecycle.rs:
+crates/synth/src/population.rs:
+crates/synth/src/scenario.rs:
+crates/synth/src/telemetry_gen.rs:
+crates/synth/src/tickets_gen.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dcfail_synth-9f28d61fa1a9ae05.d: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/config_audit.rs crates/synth/src/hazard.rs crates/synth/src/incidents.rs crates/synth/src/lifecycle.rs crates/synth/src/population.rs crates/synth/src/scenario.rs crates/synth/src/telemetry_gen.rs crates/synth/src/tickets_gen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcfail_synth-9f28d61fa1a9ae05.rmeta: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/config_audit.rs crates/synth/src/hazard.rs crates/synth/src/incidents.rs crates/synth/src/lifecycle.rs crates/synth/src/population.rs crates/synth/src/scenario.rs crates/synth/src/telemetry_gen.rs crates/synth/src/tickets_gen.rs Cargo.toml
+
+crates/synth/src/lib.rs:
+crates/synth/src/config.rs:
+crates/synth/src/config_audit.rs:
+crates/synth/src/hazard.rs:
+crates/synth/src/incidents.rs:
+crates/synth/src/lifecycle.rs:
+crates/synth/src/population.rs:
+crates/synth/src/scenario.rs:
+crates/synth/src/telemetry_gen.rs:
+crates/synth/src/tickets_gen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dcfail_synth-f0f0b00c935dbbc0.d: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/hazard.rs crates/synth/src/incidents.rs crates/synth/src/lifecycle.rs crates/synth/src/population.rs crates/synth/src/scenario.rs crates/synth/src/telemetry_gen.rs crates/synth/src/tickets_gen.rs
+
+/root/repo/target/debug/deps/libdcfail_synth-f0f0b00c935dbbc0.rlib: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/hazard.rs crates/synth/src/incidents.rs crates/synth/src/lifecycle.rs crates/synth/src/population.rs crates/synth/src/scenario.rs crates/synth/src/telemetry_gen.rs crates/synth/src/tickets_gen.rs
+
+/root/repo/target/debug/deps/libdcfail_synth-f0f0b00c935dbbc0.rmeta: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/hazard.rs crates/synth/src/incidents.rs crates/synth/src/lifecycle.rs crates/synth/src/population.rs crates/synth/src/scenario.rs crates/synth/src/telemetry_gen.rs crates/synth/src/tickets_gen.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/config.rs:
+crates/synth/src/hazard.rs:
+crates/synth/src/incidents.rs:
+crates/synth/src/lifecycle.rs:
+crates/synth/src/population.rs:
+crates/synth/src/scenario.rs:
+crates/synth/src/telemetry_gen.rs:
+crates/synth/src/tickets_gen.rs:

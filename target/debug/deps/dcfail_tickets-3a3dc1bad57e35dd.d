@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dcfail_tickets-3a3dc1bad57e35dd.d: crates/tickets/src/lib.rs crates/tickets/src/classify.rs crates/tickets/src/extract.rs crates/tickets/src/store.rs
+
+/root/repo/target/debug/deps/dcfail_tickets-3a3dc1bad57e35dd: crates/tickets/src/lib.rs crates/tickets/src/classify.rs crates/tickets/src/extract.rs crates/tickets/src/store.rs
+
+crates/tickets/src/lib.rs:
+crates/tickets/src/classify.rs:
+crates/tickets/src/extract.rs:
+crates/tickets/src/store.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dcfail_tickets-43c1351347ea6720.d: crates/tickets/src/lib.rs crates/tickets/src/classify.rs crates/tickets/src/extract.rs crates/tickets/src/store.rs
+
+/root/repo/target/debug/deps/dcfail_tickets-43c1351347ea6720: crates/tickets/src/lib.rs crates/tickets/src/classify.rs crates/tickets/src/extract.rs crates/tickets/src/store.rs
+
+crates/tickets/src/lib.rs:
+crates/tickets/src/classify.rs:
+crates/tickets/src/extract.rs:
+crates/tickets/src/store.rs:

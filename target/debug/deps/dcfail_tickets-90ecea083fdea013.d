@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dcfail_tickets-90ecea083fdea013.d: crates/tickets/src/lib.rs crates/tickets/src/classify.rs crates/tickets/src/extract.rs crates/tickets/src/store.rs
+
+/root/repo/target/debug/deps/libdcfail_tickets-90ecea083fdea013.rlib: crates/tickets/src/lib.rs crates/tickets/src/classify.rs crates/tickets/src/extract.rs crates/tickets/src/store.rs
+
+/root/repo/target/debug/deps/libdcfail_tickets-90ecea083fdea013.rmeta: crates/tickets/src/lib.rs crates/tickets/src/classify.rs crates/tickets/src/extract.rs crates/tickets/src/store.rs
+
+crates/tickets/src/lib.rs:
+crates/tickets/src/classify.rs:
+crates/tickets/src/extract.rs:
+crates/tickets/src/store.rs:

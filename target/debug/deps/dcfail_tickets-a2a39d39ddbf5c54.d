@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dcfail_tickets-a2a39d39ddbf5c54.d: crates/tickets/src/lib.rs crates/tickets/src/classify.rs crates/tickets/src/extract.rs crates/tickets/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcfail_tickets-a2a39d39ddbf5c54.rmeta: crates/tickets/src/lib.rs crates/tickets/src/classify.rs crates/tickets/src/extract.rs crates/tickets/src/store.rs Cargo.toml
+
+crates/tickets/src/lib.rs:
+crates/tickets/src/classify.rs:
+crates/tickets/src/extract.rs:
+crates/tickets/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

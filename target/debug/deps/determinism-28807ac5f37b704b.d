@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-28807ac5f37b704b.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-28807ac5f37b704b: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-6eb36baf0023cac8.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-6eb36baf0023cac8: tests/determinism.rs
+
+tests/determinism.rs:

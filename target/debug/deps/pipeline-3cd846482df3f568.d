@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-3cd846482df3f568.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-3cd846482df3f568: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-55587dbbca2e5a0d.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-55587dbbca2e5a0d: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-0c68bf7e5a13d5be.d: crates/synth/tests/proptest.rs
+
+/root/repo/target/debug/deps/proptest-0c68bf7e5a13d5be: crates/synth/tests/proptest.rs
+
+crates/synth/tests/proptest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-29827d0ef660cfe2.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-29827d0ef660cfe2: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-2b3205b2f104081a.d: crates/model/tests/proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-2b3205b2f104081a.rmeta: crates/model/tests/proptest.rs Cargo.toml
+
+crates/model/tests/proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-2d99eb5017306fbf.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-2d99eb5017306fbf.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-2d99eb5017306fbf.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-3e17c5c1ce12baee.d: crates/synth/tests/proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-3e17c5c1ce12baee.rmeta: crates/synth/tests/proptest.rs Cargo.toml
+
+crates/synth/tests/proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-469cc52b868d39b7.d: crates/stats/tests/proptest.rs
+
+/root/repo/target/debug/deps/proptest-469cc52b868d39b7: crates/stats/tests/proptest.rs
+
+crates/stats/tests/proptest.rs:

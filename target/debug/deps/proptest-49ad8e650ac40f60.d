@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-49ad8e650ac40f60.d: crates/model/tests/proptest.rs
+
+/root/repo/target/debug/deps/proptest-49ad8e650ac40f60: crates/model/tests/proptest.rs
+
+crates/model/tests/proptest.rs:

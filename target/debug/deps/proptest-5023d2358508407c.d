@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-5023d2358508407c.d: crates/synth/tests/proptest.rs
+
+/root/repo/target/debug/deps/proptest-5023d2358508407c: crates/synth/tests/proptest.rs
+
+crates/synth/tests/proptest.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-54b7ca07f154ae1f.d: crates/stats/tests/proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-54b7ca07f154ae1f.rmeta: crates/stats/tests/proptest.rs Cargo.toml
+
+crates/stats/tests/proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-79bcddbf29e0aadc.d: crates/tickets/tests/proptest.rs
+
+/root/repo/target/debug/deps/proptest-79bcddbf29e0aadc: crates/tickets/tests/proptest.rs
+
+crates/tickets/tests/proptest.rs:

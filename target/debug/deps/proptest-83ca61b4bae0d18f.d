@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-83ca61b4bae0d18f.d: crates/tickets/tests/proptest.rs
+
+/root/repo/target/debug/deps/proptest-83ca61b4bae0d18f: crates/tickets/tests/proptest.rs
+
+crates/tickets/tests/proptest.rs:

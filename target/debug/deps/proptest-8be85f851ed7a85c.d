@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-8be85f851ed7a85c.d: crates/tickets/tests/proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-8be85f851ed7a85c.rmeta: crates/tickets/tests/proptest.rs Cargo.toml
+
+crates/tickets/tests/proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

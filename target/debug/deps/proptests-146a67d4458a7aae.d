@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-146a67d4458a7aae.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-146a67d4458a7aae: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-564f4d1da64113fc.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-564f4d1da64113fc: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-db5988da669b54eb.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-db5988da669b54eb: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

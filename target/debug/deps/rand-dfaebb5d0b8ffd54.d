@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-dfaebb5d0b8ffd54.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-dfaebb5d0b8ffd54.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-dfaebb5d0b8ffd54.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

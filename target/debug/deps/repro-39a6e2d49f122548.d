@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-39a6e2d49f122548.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-39a6e2d49f122548: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

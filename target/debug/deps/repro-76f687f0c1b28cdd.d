@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-76f687f0c1b28cdd.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-76f687f0c1b28cdd: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-fcb1901e35ac7883.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-fcb1901e35ac7883: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_shapes-939582f4086a672c.d: tests/repro_shapes.rs
+
+/root/repo/target/debug/deps/repro_shapes-939582f4086a672c: tests/repro_shapes.rs
+
+tests/repro_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_shapes-be6f58c7c23afea3.d: tests/repro_shapes.rs
+
+/root/repo/target/debug/deps/repro_shapes-be6f58c7c23afea3: tests/repro_shapes.rs
+
+tests/repro_shapes.rs:

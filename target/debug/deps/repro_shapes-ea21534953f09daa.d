@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_shapes-ea21534953f09daa.d: tests/repro_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_shapes-ea21534953f09daa.rmeta: tests/repro_shapes.rs Cargo.toml
+
+tests/repro_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

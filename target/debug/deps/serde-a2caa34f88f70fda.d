@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-a2caa34f88f70fda.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a2caa34f88f70fda.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a2caa34f88f70fda.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

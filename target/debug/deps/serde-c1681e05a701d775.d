@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-c1681e05a701d775.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-c1681e05a701d775: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-7d4665c8e15c3661.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-7d4665c8e15c3661: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

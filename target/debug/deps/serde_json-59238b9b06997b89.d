@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-59238b9b06997b89.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-59238b9b06997b89: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

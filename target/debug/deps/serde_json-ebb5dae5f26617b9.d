@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-ebb5dae5f26617b9.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-ebb5dae5f26617b9.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-ebb5dae5f26617b9.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stats-571a9528a81ff5a7.d: crates/bench/benches/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstats-571a9528a81ff5a7.rmeta: crates/bench/benches/stats.rs Cargo.toml
+
+crates/bench/benches/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/synth-3bb6981fe362e9de.d: crates/bench/benches/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsynth-3bb6981fe362e9de.rmeta: crates/bench/benches/synth.rs Cargo.toml
+
+crates/bench/benches/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tickets-6d89bd4b68bb86a6.d: crates/bench/benches/tickets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtickets-6d89bd4b68bb86a6.rmeta: crates/bench/benches/tickets.rs Cargo.toml
+
+crates/bench/benches/tickets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

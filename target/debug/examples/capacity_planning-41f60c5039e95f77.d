@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-41f60c5039e95f77.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-41f60c5039e95f77: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

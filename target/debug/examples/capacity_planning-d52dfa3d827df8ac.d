@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-d52dfa3d827df8ac.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-d52dfa3d827df8ac: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

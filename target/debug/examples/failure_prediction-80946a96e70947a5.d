@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_prediction-80946a96e70947a5.d: examples/failure_prediction.rs
+
+/root/repo/target/debug/examples/failure_prediction-80946a96e70947a5: examples/failure_prediction.rs
+
+examples/failure_prediction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_prediction-913ee9119c337992.d: examples/failure_prediction.rs
+
+/root/repo/target/debug/examples/failure_prediction-913ee9119c337992: examples/failure_prediction.rs
+
+examples/failure_prediction.rs:

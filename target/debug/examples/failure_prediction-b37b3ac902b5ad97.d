@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/failure_prediction-b37b3ac902b5ad97.d: examples/failure_prediction.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfailure_prediction-b37b3ac902b5ad97.rmeta: examples/failure_prediction.rs Cargo.toml
+
+examples/failure_prediction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

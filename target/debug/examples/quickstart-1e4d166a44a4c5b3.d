@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1e4d166a44a4c5b3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1e4d166a44a4c5b3: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c54288ea715e4bc5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c54288ea715e4bc5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/reliability_report-3a006763ec3d84cf.d: examples/reliability_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreliability_report-3a006763ec3d84cf.rmeta: examples/reliability_report.rs Cargo.toml
+
+examples/reliability_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

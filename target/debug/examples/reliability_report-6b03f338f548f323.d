@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reliability_report-6b03f338f548f323.d: examples/reliability_report.rs
+
+/root/repo/target/debug/examples/reliability_report-6b03f338f548f323: examples/reliability_report.rs
+
+examples/reliability_report.rs:

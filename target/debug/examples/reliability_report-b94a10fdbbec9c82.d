@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reliability_report-b94a10fdbbec9c82.d: examples/reliability_report.rs
+
+/root/repo/target/debug/examples/reliability_report-b94a10fdbbec9c82: examples/reliability_report.rs
+
+examples/reliability_report.rs:

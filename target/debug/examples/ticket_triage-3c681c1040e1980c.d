@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ticket_triage-3c681c1040e1980c.d: examples/ticket_triage.rs
+
+/root/repo/target/debug/examples/ticket_triage-3c681c1040e1980c: examples/ticket_triage.rs
+
+examples/ticket_triage.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ticket_triage-c094ac112ef636c1.d: examples/ticket_triage.rs Cargo.toml
+
+/root/repo/target/debug/examples/libticket_triage-c094ac112ef636c1.rmeta: examples/ticket_triage.rs Cargo.toml
+
+examples/ticket_triage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ticket_triage-e577dc6251c19c57.d: examples/ticket_triage.rs
+
+/root/repo/target/debug/examples/ticket_triage-e577dc6251c19c57: examples/ticket_triage.rs
+
+examples/ticket_triage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_export-033504d9543ee700.d: examples/trace_export.rs
+
+/root/repo/target/debug/examples/trace_export-033504d9543ee700: examples/trace_export.rs
+
+examples/trace_export.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_export-5310ede2488b4d08.d: examples/trace_export.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_export-5310ede2488b4d08.rmeta: examples/trace_export.rs Cargo.toml
+
+examples/trace_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_export-d689d2cdf4afbf06.d: examples/trace_export.rs
+
+/root/repo/target/debug/examples/trace_export-d689d2cdf4afbf06: examples/trace_export.rs
+
+examples/trace_export.rs:

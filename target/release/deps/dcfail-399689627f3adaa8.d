@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dcfail-399689627f3adaa8.d: src/lib.rs
+
+/root/repo/target/release/deps/libdcfail-399689627f3adaa8.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdcfail-399689627f3adaa8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dcfail-4a28dd06a3d4731e.d: src/lib.rs
+
+/root/repo/target/release/deps/libdcfail-4a28dd06a3d4731e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdcfail-4a28dd06a3d4731e.rmeta: src/lib.rs
+
+src/lib.rs:

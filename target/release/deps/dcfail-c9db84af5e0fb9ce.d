@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dcfail-c9db84af5e0fb9ce.d: src/lib.rs
+
+/root/repo/target/release/deps/dcfail-c9db84af5e0fb9ce: src/lib.rs
+
+src/lib.rs:

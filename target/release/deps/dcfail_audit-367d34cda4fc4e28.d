@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dcfail_audit-367d34cda4fc4e28.d: crates/audit/src/lib.rs crates/audit/src/import.rs crates/audit/src/raw.rs crates/audit/src/report.rs crates/audit/src/rules.rs
+
+/root/repo/target/release/deps/libdcfail_audit-367d34cda4fc4e28.rlib: crates/audit/src/lib.rs crates/audit/src/import.rs crates/audit/src/raw.rs crates/audit/src/report.rs crates/audit/src/rules.rs
+
+/root/repo/target/release/deps/libdcfail_audit-367d34cda4fc4e28.rmeta: crates/audit/src/lib.rs crates/audit/src/import.rs crates/audit/src/raw.rs crates/audit/src/report.rs crates/audit/src/rules.rs
+
+crates/audit/src/lib.rs:
+crates/audit/src/import.rs:
+crates/audit/src/raw.rs:
+crates/audit/src/report.rs:
+crates/audit/src/rules.rs:

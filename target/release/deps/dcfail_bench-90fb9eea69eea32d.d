@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dcfail_bench-90fb9eea69eea32d.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+/root/repo/target/release/deps/libdcfail_bench-90fb9eea69eea32d.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+/root/repo/target/release/deps/libdcfail_bench-90fb9eea69eea32d.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dcfail_model-b3388ac1e6498367.d: crates/model/src/lib.rs crates/model/src/dataset.rs crates/model/src/failure.rs crates/model/src/ids.rs crates/model/src/interop.rs crates/model/src/machine.rs crates/model/src/telemetry.rs crates/model/src/ticket.rs crates/model/src/time.rs crates/model/src/topology.rs
+
+/root/repo/target/release/deps/libdcfail_model-b3388ac1e6498367.rlib: crates/model/src/lib.rs crates/model/src/dataset.rs crates/model/src/failure.rs crates/model/src/ids.rs crates/model/src/interop.rs crates/model/src/machine.rs crates/model/src/telemetry.rs crates/model/src/ticket.rs crates/model/src/time.rs crates/model/src/topology.rs
+
+/root/repo/target/release/deps/libdcfail_model-b3388ac1e6498367.rmeta: crates/model/src/lib.rs crates/model/src/dataset.rs crates/model/src/failure.rs crates/model/src/ids.rs crates/model/src/interop.rs crates/model/src/machine.rs crates/model/src/telemetry.rs crates/model/src/ticket.rs crates/model/src/time.rs crates/model/src/topology.rs
+
+crates/model/src/lib.rs:
+crates/model/src/dataset.rs:
+crates/model/src/failure.rs:
+crates/model/src/ids.rs:
+crates/model/src/interop.rs:
+crates/model/src/machine.rs:
+crates/model/src/telemetry.rs:
+crates/model/src/ticket.rs:
+crates/model/src/time.rs:
+crates/model/src/topology.rs:

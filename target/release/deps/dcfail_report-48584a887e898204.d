@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dcfail_report-48584a887e898204.d: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/extras.rs crates/report/src/runners.rs crates/report/src/summary.rs crates/report/src/table.rs
+
+/root/repo/target/release/deps/libdcfail_report-48584a887e898204.rlib: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/extras.rs crates/report/src/runners.rs crates/report/src/summary.rs crates/report/src/table.rs
+
+/root/repo/target/release/deps/libdcfail_report-48584a887e898204.rmeta: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/extras.rs crates/report/src/runners.rs crates/report/src/summary.rs crates/report/src/table.rs
+
+crates/report/src/lib.rs:
+crates/report/src/experiments.rs:
+crates/report/src/extras.rs:
+crates/report/src/runners.rs:
+crates/report/src/summary.rs:
+crates/report/src/table.rs:

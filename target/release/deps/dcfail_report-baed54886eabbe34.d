@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dcfail_report-baed54886eabbe34.d: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/extras.rs crates/report/src/runners.rs crates/report/src/summary.rs crates/report/src/table.rs
+
+/root/repo/target/release/deps/libdcfail_report-baed54886eabbe34.rlib: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/extras.rs crates/report/src/runners.rs crates/report/src/summary.rs crates/report/src/table.rs
+
+/root/repo/target/release/deps/libdcfail_report-baed54886eabbe34.rmeta: crates/report/src/lib.rs crates/report/src/experiments.rs crates/report/src/extras.rs crates/report/src/runners.rs crates/report/src/summary.rs crates/report/src/table.rs
+
+crates/report/src/lib.rs:
+crates/report/src/experiments.rs:
+crates/report/src/extras.rs:
+crates/report/src/runners.rs:
+crates/report/src/summary.rs:
+crates/report/src/table.rs:

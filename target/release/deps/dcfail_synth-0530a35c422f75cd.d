@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dcfail_synth-0530a35c422f75cd.d: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/hazard.rs crates/synth/src/incidents.rs crates/synth/src/lifecycle.rs crates/synth/src/population.rs crates/synth/src/scenario.rs crates/synth/src/telemetry_gen.rs crates/synth/src/tickets_gen.rs
+
+/root/repo/target/release/deps/libdcfail_synth-0530a35c422f75cd.rlib: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/hazard.rs crates/synth/src/incidents.rs crates/synth/src/lifecycle.rs crates/synth/src/population.rs crates/synth/src/scenario.rs crates/synth/src/telemetry_gen.rs crates/synth/src/tickets_gen.rs
+
+/root/repo/target/release/deps/libdcfail_synth-0530a35c422f75cd.rmeta: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/hazard.rs crates/synth/src/incidents.rs crates/synth/src/lifecycle.rs crates/synth/src/population.rs crates/synth/src/scenario.rs crates/synth/src/telemetry_gen.rs crates/synth/src/tickets_gen.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/config.rs:
+crates/synth/src/hazard.rs:
+crates/synth/src/incidents.rs:
+crates/synth/src/lifecycle.rs:
+crates/synth/src/population.rs:
+crates/synth/src/scenario.rs:
+crates/synth/src/telemetry_gen.rs:
+crates/synth/src/tickets_gen.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dcfail_synth-9ecf0bb23e5180d3.d: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/config_audit.rs crates/synth/src/hazard.rs crates/synth/src/incidents.rs crates/synth/src/lifecycle.rs crates/synth/src/population.rs crates/synth/src/scenario.rs crates/synth/src/telemetry_gen.rs crates/synth/src/tickets_gen.rs
+
+/root/repo/target/release/deps/libdcfail_synth-9ecf0bb23e5180d3.rlib: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/config_audit.rs crates/synth/src/hazard.rs crates/synth/src/incidents.rs crates/synth/src/lifecycle.rs crates/synth/src/population.rs crates/synth/src/scenario.rs crates/synth/src/telemetry_gen.rs crates/synth/src/tickets_gen.rs
+
+/root/repo/target/release/deps/libdcfail_synth-9ecf0bb23e5180d3.rmeta: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/config_audit.rs crates/synth/src/hazard.rs crates/synth/src/incidents.rs crates/synth/src/lifecycle.rs crates/synth/src/population.rs crates/synth/src/scenario.rs crates/synth/src/telemetry_gen.rs crates/synth/src/tickets_gen.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/config.rs:
+crates/synth/src/config_audit.rs:
+crates/synth/src/hazard.rs:
+crates/synth/src/incidents.rs:
+crates/synth/src/lifecycle.rs:
+crates/synth/src/population.rs:
+crates/synth/src/scenario.rs:
+crates/synth/src/telemetry_gen.rs:
+crates/synth/src/tickets_gen.rs:

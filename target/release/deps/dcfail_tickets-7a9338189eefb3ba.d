@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dcfail_tickets-7a9338189eefb3ba.d: crates/tickets/src/lib.rs crates/tickets/src/classify.rs crates/tickets/src/extract.rs crates/tickets/src/store.rs
+
+/root/repo/target/release/deps/libdcfail_tickets-7a9338189eefb3ba.rlib: crates/tickets/src/lib.rs crates/tickets/src/classify.rs crates/tickets/src/extract.rs crates/tickets/src/store.rs
+
+/root/repo/target/release/deps/libdcfail_tickets-7a9338189eefb3ba.rmeta: crates/tickets/src/lib.rs crates/tickets/src/classify.rs crates/tickets/src/extract.rs crates/tickets/src/store.rs
+
+crates/tickets/src/lib.rs:
+crates/tickets/src/classify.rs:
+crates/tickets/src/extract.rs:
+crates/tickets/src/store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-7d82c5c07c6e30c2.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-7d82c5c07c6e30c2: tests/determinism.rs
+
+tests/determinism.rs:

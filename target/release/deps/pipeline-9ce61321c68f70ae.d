@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-9ce61321c68f70ae.d: tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-9ce61321c68f70ae: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-cda69e6969230cb1.d: tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-cda69e6969230cb1: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-68ae049d8b063049.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-68ae049d8b063049: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

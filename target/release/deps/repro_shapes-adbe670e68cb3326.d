@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_shapes-adbe670e68cb3326.d: tests/repro_shapes.rs
+
+/root/repo/target/release/deps/repro_shapes-adbe670e68cb3326: tests/repro_shapes.rs
+
+tests/repro_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/capacity_planning-df6121696f82b248.d: examples/capacity_planning.rs
+
+/root/repo/target/release/examples/capacity_planning-df6121696f82b248: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

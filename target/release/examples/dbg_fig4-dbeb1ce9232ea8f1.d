@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dbg_fig4-dbeb1ce9232ea8f1.d: examples/dbg_fig4.rs
+
+/root/repo/target/release/examples/dbg_fig4-dbeb1ce9232ea8f1: examples/dbg_fig4.rs
+
+examples/dbg_fig4.rs:

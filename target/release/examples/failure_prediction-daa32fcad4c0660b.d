@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/failure_prediction-daa32fcad4c0660b.d: examples/failure_prediction.rs
+
+/root/repo/target/release/examples/failure_prediction-daa32fcad4c0660b: examples/failure_prediction.rs
+
+examples/failure_prediction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-881b574f7178321a.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-881b574f7178321a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/reliability_report-9e9a9358d135ce0a.d: examples/reliability_report.rs
+
+/root/repo/target/release/examples/reliability_report-9e9a9358d135ce0a: examples/reliability_report.rs
+
+examples/reliability_report.rs:

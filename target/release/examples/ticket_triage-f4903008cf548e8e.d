@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ticket_triage-f4903008cf548e8e.d: examples/ticket_triage.rs
+
+/root/repo/target/release/examples/ticket_triage-f4903008cf548e8e: examples/ticket_triage.rs
+
+examples/ticket_triage.rs:

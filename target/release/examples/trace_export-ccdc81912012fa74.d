@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_export-ccdc81912012fa74.d: examples/trace_export.rs
+
+/root/repo/target/release/examples/trace_export-ccdc81912012fa74: examples/trace_export.rs
+
+examples/trace_export.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_export-db14dce41c8f2513.d: examples/trace_export.rs
+
+/root/repo/target/release/examples/trace_export-db14dce41c8f2513: examples/trace_export.rs
+
+examples/trace_export.rs:

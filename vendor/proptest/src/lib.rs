@@ -1,0 +1,602 @@
+//! Minimal vendored stand-in for the `proptest` crate.
+//!
+//! Provides the subset this workspace's property tests use: the `proptest!`
+//! macro family (`prop_assert!`, `prop_assert_eq!`, `prop_assume!`), a
+//! [`strategy::Strategy`] trait with range / collection / option / regex-string
+//! strategies, `any::<bool>()`, and [`test_runner::ProptestConfig`].
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure seeds:
+//! each test function derives a deterministic RNG seed from its own name, so
+//! failures reproduce exactly on re-run.
+
+#![forbid(unsafe_code)]
+
+/// Test harness configuration and deterministic RNG.
+pub mod test_runner {
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test function.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Creates a config running `cases` random cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 32 }
+        }
+    }
+
+    /// Deterministic test RNG (xoshiro256++ seeded from the test name).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Creates an RNG seeded deterministically from a test name.
+        #[must_use]
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the test name, then SplitMix64 expansion.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut state = [0_u64; 4];
+            for word in &mut state {
+                hash = hash.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = hash;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *word = z ^ (z >> 31);
+            }
+            Self { state }
+        }
+
+        /// Returns the next random `u64`.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.state[0]
+                .wrapping_add(self.state[3])
+                .rotate_left(23)
+                .wrapping_add(self.state[0]);
+            let t = self.state[1] << 17;
+            self.state[2] ^= self.state[0];
+            self.state[3] ^= self.state[1];
+            self.state[1] ^= self.state[2];
+            self.state[0] ^= self.state[3];
+            self.state[2] ^= t;
+            self.state[3] = self.state[3].rotate_left(45);
+            result
+        }
+
+        /// Returns a uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1_u64 << 53) as f64)
+        }
+
+        /// Returns a uniform integer in `[0, bound)`; 0 when `bound` is 0.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                0
+            } else {
+                self.next_u64() % bound
+            }
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of one type.
+    ///
+    /// Real proptest strategies produce shrinkable value trees; this vendored
+    /// version generates plain values with no shrinking.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (start as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    impl Strategy for ::std::ops::Range<f32> {
+        type Value = f32;
+
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            self.start + (self.end - self.start) * rng.unit_f64() as f32
+        }
+    }
+
+    /// Strategy producing a constant value, mirroring `proptest::strategy::Just`.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// `Arbitrary` types and the `any` entry point.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical generation strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy generating values via [`Arbitrary`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyStrategy<T> {
+        _marker: ::std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns the canonical strategy for `T`, mirroring `proptest::prelude::any`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: ::std::marker::PhantomData,
+        }
+    }
+}
+
+/// Collection strategies (`vec`, `btree_set`).
+pub mod collection {
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec<T>` with a length sampled from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.len.end.saturating_sub(self.len.start).max(1) as u64;
+            let len = self.len.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// is drawn uniformly from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy for `BTreeSet<T>` with a target size sampled from a range.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.end.saturating_sub(self.size.start).max(1) as u64;
+            let target = self.size.start + rng.below(span) as usize;
+            let mut set = BTreeSet::new();
+            // Duplicates don't grow the set, so retry with a generous cap.
+            let mut attempts = 0_usize;
+            while set.len() < target && attempts < target * 1000 + 1000 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+
+    /// Generates sets whose elements come from `element` and whose size is
+    /// drawn uniformly from `size` (best effort when the element domain is
+    /// too small to reach the target).
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<T>`.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            // Bias toward Some, like real proptest's default weight.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// Generates `Option` values, mostly `Some`, from the inner strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// String strategies driven by a small regex subset.
+pub mod string {
+    use std::fmt;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Error from parsing an unsupported or malformed pattern.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        message: String,
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    #[derive(Debug, Clone)]
+    struct Atom {
+        choices: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy generating strings matching a simple regex.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let span = (atom.max - atom.min + 1) as u64;
+                let count = atom.min + rng.below(span) as usize;
+                for _ in 0..count {
+                    let idx = rng.below(atom.choices.len() as u64) as usize;
+                    out.push(atom.choices[idx]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Builds a string strategy from a regex-like pattern.
+    ///
+    /// Supports a pragmatic subset: literal characters, character classes
+    /// `[a-z0-9_-]` (ranges plus literals; `-` literal when first or last),
+    /// and quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] for malformed classes/quantifiers or characters
+    /// outside the supported subset.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let choices = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1)?;
+                    i = next;
+                    set
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars.get(i).ok_or_else(|| Error {
+                        message: "trailing backslash in pattern".to_string(),
+                    })?;
+                    i += 1;
+                    vec![c]
+                }
+                '(' | ')' | '|' | '.' | '^' | '$' => {
+                    return Err(Error {
+                        message: format!("unsupported regex construct `{}`", chars[i]),
+                    })
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max, next) = parse_quantifier(&chars, i)?;
+            i = next;
+            atoms.push(Atom { choices, min, max });
+        }
+        Ok(RegexGeneratorStrategy { atoms })
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> Result<(Vec<char>, usize), Error> {
+        let mut set = Vec::new();
+        let mut first = true;
+        while i < chars.len() {
+            match chars[i] {
+                ']' if !first => return Ok((set, i + 1)),
+                '\\' => {
+                    let c = *chars.get(i + 1).ok_or_else(|| Error {
+                        message: "trailing backslash in class".to_string(),
+                    })?;
+                    set.push(c);
+                    i += 2;
+                }
+                c => {
+                    // `a-z` range form, unless `-` is the last class char.
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&e| e != ']')
+                    {
+                        let end = chars[i + 2];
+                        if end < c {
+                            return Err(Error {
+                                message: format!("invalid class range `{c}-{end}`"),
+                            });
+                        }
+                        set.extend(c..=end);
+                        i += 3;
+                    } else {
+                        set.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            first = false;
+        }
+        Err(Error {
+            message: "unterminated character class".to_string(),
+        })
+    }
+
+    fn parse_quantifier(chars: &[char], i: usize) -> Result<(usize, usize, usize), Error> {
+        match chars.get(i) {
+            Some('?') => Ok((0, 1, i + 1)),
+            Some('*') => Ok((0, 8, i + 1)),
+            Some('+') => Ok((1, 8, i + 1)),
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|off| i + off)
+                    .ok_or_else(|| Error {
+                        message: "unterminated quantifier".to_string(),
+                    })?;
+                let body: String = chars[i + 1..close].iter().collect();
+                let parse = |s: &str| {
+                    s.trim().parse::<usize>().map_err(|_| Error {
+                        message: format!("invalid quantifier `{{{body}}}`"),
+                    })
+                };
+                let (min, max) = match body.split_once(',') {
+                    Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                    None => {
+                        let n = parse(&body)?;
+                        (n, n)
+                    }
+                };
+                if max < min {
+                    return Err(Error {
+                        message: format!("invalid quantifier `{{{body}}}`"),
+                    });
+                }
+                Ok((min, max, close + 1))
+            }
+            _ => Ok((1, 1, i)),
+        }
+    }
+}
+
+/// Short aliases matching `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::string;
+}
+
+/// The common imports property tests pull in with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Runs each contained test function over many randomly generated cases.
+///
+/// Supports an optional leading `#![proptest_config(expr)]` and any number of
+/// `fn name(arg in strategy, ...) { body }` items (doc comments and outer
+/// attributes allowed).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        );
+    };
+}
+
+/// Internal recursive muncher for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr);) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )*
+                $body
+            }
+        }
+        $crate::__proptest_items!(($config); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => { assert_eq!($lhs, $rhs) };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => { assert_eq!($lhs, $rhs, $($fmt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => { assert_ne!($lhs, $rhs) };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => { assert_ne!($lhs, $rhs, $($fmt)*) };
+}
+
+/// Skips the current random case when a precondition does not hold.
+///
+/// Expands to `continue` targeting the per-case loop, so it may only appear
+/// directly inside a `proptest!` test body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}

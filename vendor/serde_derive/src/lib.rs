@@ -1,0 +1,500 @@
+//! Derive macros for the vendored offline `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! Value-based data model in the sibling `serde` crate, without depending on
+//! `syn`/`quote` (which are equally unavailable offline). The derive input is
+//! parsed directly from the raw `proc_macro::TokenStream` and the generated
+//! impls are assembled as source strings.
+//!
+//! Supported shapes: non-generic named structs, tuple structs, and enums with
+//! unit / tuple / struct variants (externally tagged, matching `serde_json`).
+//! Supported container attributes: `#[serde(transparent)]`,
+//! `#[serde(from = "T")]`, `#[serde(try_from = "T")]`, `#[serde(into = "T")]`.
+//! Anything else is ignored, mirroring how this workspace uses real serde.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    from: Option<String>,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum ItemKind {
+    Struct(Vec<String>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    kind: ItemKind,
+}
+
+/// Derives `serde::Serialize` (vendored Value model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("vendored serde_derive generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (vendored Value model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("vendored serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let mut attrs = ContainerAttrs::default();
+
+    // Leading container attributes (doc comments, derives, serde config).
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        if let Some(TokenTree::Group(group)) = iter.next() {
+            parse_container_attr(group.stream(), &mut attrs);
+        }
+    }
+
+    // Skip visibility and find the `struct` / `enum` keyword.
+    let mut is_enum = false;
+    loop {
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "struct" {
+                    break;
+                }
+                if word == "enum" {
+                    is_enum = true;
+                    break;
+                }
+            }
+            Some(_) => {}
+            None => panic!("vendored serde_derive: expected `struct` or `enum`"),
+        }
+    }
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("vendored serde_derive: expected item name"),
+    };
+
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                if is_enum {
+                    break ItemKind::Enum(parse_variants(group.stream()));
+                }
+                break ItemKind::Struct(parse_named_fields(group.stream()));
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                break ItemKind::Tuple(count_tuple_fields(group.stream()));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("vendored serde_derive does not support generic types")
+            }
+            Some(_) => {}
+            None => panic!("vendored serde_derive: expected item body"),
+        }
+    };
+
+    Item { name, attrs, kind }
+}
+
+fn parse_container_attr(stream: TokenStream, attrs: &mut ContainerAttrs) {
+    let mut iter = stream.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(group)) = iter.next() else {
+        return;
+    };
+    let mut inner = group.stream().into_iter().peekable();
+    while let Some(token) = inner.next() {
+        let TokenTree::Ident(key) = token else {
+            continue;
+        };
+        let key = key.to_string();
+        let value = match inner.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                inner.next();
+                match inner.next() {
+                    Some(TokenTree::Literal(lit)) => Some(unquote(&lit.to_string())),
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        match (key.as_str(), value) {
+            ("transparent", _) => attrs.transparent = true,
+            ("from", Some(path)) => attrs.from = Some(path),
+            ("try_from", Some(path)) => attrs.try_from = Some(path),
+            ("into", Some(path)) => attrs.into = Some(path),
+            _ => {}
+        }
+    }
+}
+
+fn unquote(literal: &str) -> String {
+    literal.trim_matches('"').to_string()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Field attributes.
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        // Visibility.
+        while matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(
+                iter.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                iter.next();
+            }
+        }
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            break;
+        };
+        fields.push(name.to_string());
+        skip_past_type(&mut iter);
+    }
+    fields
+}
+
+/// Skips the `: Type` part of a field declaration up to (and including) the
+/// separating comma. Commas nested inside `<...>` generics are not
+/// separators, so angle-bracket depth is tracked; `->` is disambiguated from
+/// a closing `>`.
+fn skip_past_type(iter: &mut impl Iterator<Item = TokenTree>) {
+    let mut depth = 0_i32;
+    let mut prev_dash = false;
+    for token in iter {
+        let mut this_dash = false;
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' if !prev_dash => depth -= 1,
+                ',' if depth == 0 => return,
+                '-' => this_dash = true,
+                _ => {}
+            }
+        }
+        prev_dash = this_dash;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut depth = 0_i32;
+    let mut segment_has_tokens = false;
+    let mut prev_dash = false;
+    for token in stream {
+        let mut this_dash = false;
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' if !prev_dash => depth -= 1,
+                ',' if depth == 0 => {
+                    if segment_has_tokens {
+                        count += 1;
+                    }
+                    segment_has_tokens = false;
+                    prev_dash = false;
+                    continue;
+                }
+                '-' => this_dash = true,
+                _ => {}
+            }
+        }
+        prev_dash = this_dash;
+        segment_has_tokens = true;
+    }
+    if segment_has_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Variant attributes (e.g. `#[default]`, doc comments).
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            break;
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let kind = VariantKind::Tuple(count_tuple_fields(g.stream()));
+                iter.next();
+                kind
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let kind = VariantKind::Struct(parse_named_fields(g.stream()));
+                iter.next();
+                kind
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+        // Skip discriminants etc. up to the separating comma.
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+const IMPL_ATTRS: &str =
+    "#[automatically_derived]\n#[allow(unused_variables, clippy::all, clippy::pedantic, clippy::unwrap_used)]\n";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into) = &item.attrs.into {
+        format!(
+            "let proxy: {into} = <{into} as ::core::convert::From<{name}>>::from(::core::clone::Clone::clone(self)); \
+             ::serde::Serialize::to_value(&proxy)"
+        )
+    } else {
+        match &item.kind {
+            ItemKind::Struct(fields) if item.attrs.transparent && fields.len() == 1 => {
+                format!("::serde::Serialize::to_value(&self.{})", fields[0])
+            }
+            ItemKind::Struct(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "::serde::Value::Object(::std::vec![{}])",
+                    entries.join(", ")
+                )
+            }
+            ItemKind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            ItemKind::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            }
+            ItemKind::Enum(variants) => gen_enum_serialize(variants),
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+fn gen_enum_serialize(variants: &[Variant]) -> String {
+    let mut arms = Vec::new();
+    for variant in variants {
+        let v = &variant.name;
+        let arm = match &variant.kind {
+            VariantKind::Unit => format!(
+                "Self::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+            ),
+            VariantKind::Tuple(1) => format!(
+                "Self::{v}(f0) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(f0))])"
+            ),
+            VariantKind::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                    .collect();
+                format!(
+                    "Self::{v}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Array(::std::vec![{}]))])",
+                    binders.join(", "),
+                    items.join(", ")
+                )
+            }
+            VariantKind::Struct(fields) => {
+                let binders = fields.join(", ");
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "Self::{v} {{ {binders} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Object(::std::vec![{}]))])",
+                    entries.join(", ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!("match self {{ {} }}", arms.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(from) = &item.attrs.from {
+        format!(
+            "let proxy: {from} = ::serde::Deserialize::from_value(value)?; \
+             ::core::result::Result::Ok(<Self as ::core::convert::From<{from}>>::from(proxy))"
+        )
+    } else if let Some(try_from) = &item.attrs.try_from {
+        format!(
+            "let proxy: {try_from} = ::serde::Deserialize::from_value(value)?; \
+             <Self as ::core::convert::TryFrom<{try_from}>>::try_from(proxy)\
+             .map_err(|e| ::serde::Error::custom(::std::string::ToString::to_string(&e)))"
+        )
+    } else {
+        match &item.kind {
+            ItemKind::Struct(fields) if item.attrs.transparent && fields.len() == 1 => {
+                format!(
+                    "::core::result::Result::Ok(Self {{ {}: ::serde::Deserialize::from_value(value)? }})",
+                    fields[0]
+                )
+            }
+            ItemKind::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::__private::field(value, \"{name}\", \"{f}\")?"))
+                    .collect();
+                format!(
+                    "let _ = ::serde::__private::as_object(value, \"{name}\")?; \
+                     ::core::result::Result::Ok(Self {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+            ItemKind::Tuple(1) => {
+                "::core::result::Result::Ok(Self(::serde::Deserialize::from_value(value)?))"
+                    .to_string()
+            }
+            ItemKind::Tuple(n) => gen_tuple_deserialize(name, *n, "value", "Self"),
+            ItemKind::Enum(variants) => gen_enum_deserialize(name, variants),
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n    fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+fn gen_tuple_deserialize(name: &str, arity: usize, value_expr: &str, ctor: &str) -> String {
+    let items: Vec<String> = (0..arity)
+        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+        .collect();
+    format!(
+        "match {value_expr} {{ \
+           ::serde::Value::Array(items) if items.len() == {arity} => \
+             ::core::result::Result::Ok({ctor}({})), \
+           other => ::core::result::Result::Err(::serde::Error::custom(::std::format!(\
+             \"expected {arity}-element array for `{name}`, found {{}}\", other.kind()))), \
+         }}",
+        items.join(", ")
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut tagged_arms = Vec::new();
+    for variant in variants {
+        let v = &variant.name;
+        match &variant.kind {
+            VariantKind::Unit => {
+                unit_arms.push(format!("\"{v}\" => ::core::result::Result::Ok(Self::{v})"));
+            }
+            VariantKind::Tuple(1) => {
+                tagged_arms.push(format!(
+                    "\"{v}\" => ::core::result::Result::Ok(Self::{v}(::serde::Deserialize::from_value(body)?))"
+                ));
+            }
+            VariantKind::Tuple(n) => {
+                let inner = gen_tuple_deserialize(
+                    &format!("{name}::{v}"),
+                    *n,
+                    "body",
+                    &format!("Self::{v}"),
+                );
+                tagged_arms.push(format!("\"{v}\" => {inner}"));
+            }
+            VariantKind::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!("{f}: ::serde::__private::field(body, \"{name}::{v}\", \"{f}\")?")
+                    })
+                    .collect();
+                tagged_arms.push(format!(
+                    "\"{v}\" => {{ let _ = ::serde::__private::as_object(body, \"{name}::{v}\")?; \
+                     ::core::result::Result::Ok(Self::{v} {{ {} }}) }}",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    unit_arms.push(format!(
+        "other => ::core::result::Result::Err(::serde::Error::custom(::std::format!(\
+         \"unknown unit variant `{{}}` of `{name}`\", other)))"
+    ));
+    tagged_arms.push(format!(
+        "other => ::core::result::Result::Err(::serde::Error::custom(::std::format!(\
+         \"unknown variant `{{}}` of `{name}`\", other)))"
+    ));
+    format!(
+        "match value {{ \
+           ::serde::Value::Str(tag) => match tag.as_str() {{ {} }}, \
+           ::serde::Value::Object(entries) if entries.len() == 1 => {{ \
+             let (tag, body) = &entries[0]; \
+             match tag.as_str() {{ {} }} \
+           }}, \
+           other => ::core::result::Result::Err(::serde::Error::custom(::std::format!(\
+             \"expected enum `{name}`, found {{}}\", other.kind()))), \
+         }}",
+        unit_arms.join(", "),
+        tagged_arms.join(", ")
+    )
+}
