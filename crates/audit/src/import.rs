@@ -9,7 +9,9 @@
 //! refused and the full [`AuditReport`] is returned as the error — callers
 //! get every defect at once instead of the first one a strict parser hits.
 
+use crate::recover::{recover_raw, DegradationReport, RecoveryMode, RepairRule};
 use crate::{audit_dataset, audit_raw, AuditReport, RawDatasetParts};
+use dcfail_model::interop::CsvRecovery;
 use dcfail_model::prelude::*;
 use std::fmt;
 
@@ -90,4 +92,95 @@ pub fn dataset_from_json(json: &str) -> Result<(FailureDataset, AuditReport), Im
     let dataset: FailureDataset =
         serde_json::from_str(json).map_err(|e| ImportError::Parse(e.to_string()))?;
     Ok((dataset, report))
+}
+
+/// Folds the CSV parser's row/field-level recovery counts into a
+/// [`DegradationReport`] so both ingest layers report through one channel.
+fn fold_csv_recovery(report: &mut DegradationReport, csv: &CsvRecovery) {
+    report.record(RepairRule::CsvRowSkipped, csv.rows_skipped);
+    report.record(RepairRule::CsvFieldClamped, csv.fields_clamped);
+    report.record(RepairRule::CsvIdRemapped, csv.ids_remapped);
+    report.machines_seen += csv.machine_rows_seen;
+    report.machines_kept += csv.machine_rows_kept;
+    report.events_seen += csv.event_rows_seen;
+    report.events_kept += csv.event_rows_kept;
+}
+
+/// Imports a JSON trace under the given [`RecoveryMode`].
+///
+/// `Strict` behaves exactly like [`dataset_from_json`] (with an empty
+/// [`DegradationReport`]); `Lenient` quarantines unrepairable records,
+/// repairs the rest and returns the best-effort dataset together with the
+/// degradation account. The lenient path never rejects a shape-valid trace:
+/// the recovered dataset re-audits with zero Error-level findings.
+///
+/// # Errors
+///
+/// Returns [`ImportError::Parse`] on malformed JSON; under `Strict` also
+/// [`ImportError::Rejected`] on Error-level audit findings.
+pub fn dataset_from_json_with(
+    json: &str,
+    mode: RecoveryMode,
+) -> Result<(FailureDataset, AuditReport, DegradationReport), ImportError> {
+    match mode {
+        RecoveryMode::Strict => {
+            let (dataset, report) = dataset_from_json(json)?;
+            Ok((dataset, report, DegradationReport::default()))
+        }
+        RecoveryMode::Lenient => {
+            let raw: RawDatasetParts =
+                serde_json::from_str(json).map_err(|e| ImportError::Parse(e.to_string()))?;
+            let recovered = recover_raw(&raw).map_err(|e| ImportError::Parse(e.to_string()))?;
+            let report = audit_dataset(&recovered.dataset);
+            Ok((recovered.dataset, report, recovered.report))
+        }
+    }
+}
+
+/// Imports a CSV trace pair under the given [`RecoveryMode`].
+///
+/// `Strict` behaves exactly like [`dataset_from_csv`]; `Lenient` skips
+/// unsalvageable rows, clamps fixable field values, re-maps sparse ids and —
+/// should the salvaged dataset still carry Error-level findings — runs the
+/// full quarantine-and-recover pass over it, so the returned dataset always
+/// re-audits clean.
+///
+/// # Errors
+///
+/// Returns [`ImportError::Parse`] when even lenient parsing cannot salvage a
+/// dataset; under `Strict` also [`ImportError::Rejected`] on Error-level
+/// audit findings.
+pub fn dataset_from_csv_with(
+    machines_csv: &str,
+    events_csv: &str,
+    horizon: Horizon,
+    mode: RecoveryMode,
+) -> Result<(FailureDataset, AuditReport, DegradationReport), ImportError> {
+    match mode {
+        RecoveryMode::Strict => {
+            let (dataset, report) = dataset_from_csv(machines_csv, events_csv, horizon)?;
+            Ok((dataset, report, DegradationReport::default()))
+        }
+        RecoveryMode::Lenient => {
+            let (dataset, csv_recovery) =
+                dcfail_model::interop::dataset_from_csv_lenient(machines_csv, events_csv, horizon)
+                    .map_err(|e| ImportError::Parse(e.to_string()))?;
+            let report = audit_dataset(&dataset);
+            if report.is_clean() {
+                let mut degradation = DegradationReport::default();
+                fold_csv_recovery(&mut degradation, &csv_recovery);
+                Ok((dataset, report, degradation))
+            } else {
+                // Belt and braces: the lenient parser is designed to produce
+                // audit-clean datasets, but if a defect slips through, the
+                // recovery pass neutralizes it.
+                let recovered = recover_raw(&RawDatasetParts::from(&dataset))
+                    .map_err(|e| ImportError::Parse(e.to_string()))?;
+                let mut degradation = recovered.report;
+                fold_csv_recovery(&mut degradation, &csv_recovery);
+                let report = audit_dataset(&recovered.dataset);
+                Ok((recovered.dataset, report, degradation))
+            }
+        }
+    }
 }

@@ -53,10 +53,12 @@
 
 pub mod import;
 mod raw;
+pub mod recover;
 mod report;
 mod rules;
 
 pub use raw::RawDatasetParts;
+pub use recover::{DegradationReport, RecoverError, Recovered, RecoveryMode, RepairRule};
 pub use report::{AuditReport, Diagnostic, RuleId, Severity};
 
 use dcfail_model::prelude::FailureDataset;

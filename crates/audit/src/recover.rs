@@ -1,0 +1,951 @@
+//! Quarantine-and-recover: turn dirty raw parts into a best-effort dataset.
+//!
+//! [`audit_raw`](crate::audit_raw) can *name* every defect in a dirty trace,
+//! but the strict import path then refuses the file wholesale. This module is
+//! the other half of a production ingest pipeline: it repairs what has an
+//! unambiguous fix (re-densified ids, re-sorted events, clamped windows,
+//! re-homed placements, re-synced tickets), quarantines what does not (records
+//! whose cross-references cannot be resolved), and reports exactly what it did
+//! as a [`DegradationReport`] so the caller can judge whether the surviving
+//! data is still worth analyzing.
+//!
+//! The pass is total: for *any* input parts it either returns a dataset that
+//! re-audits with zero Error-level findings, or a [`RecoverError`] naming the
+//! residual defect (which the robustness suite treats as a bug in this
+//! module, not in the input).
+
+use crate::RawDatasetParts;
+use dcfail_model::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// How an ingest boundary treats defective input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryMode {
+    /// Reject the trace on any Error-level audit finding (the PR-1 behavior).
+    #[default]
+    Strict,
+    /// Quarantine unrepairable records, repair the rest, report degradation.
+    Lenient,
+}
+
+/// One repair or quarantine rule the recovery pass can apply.
+///
+/// Mirrors the audit catalog from the fixing side: most variants correspond
+/// directly to the Error-level [`RuleId`](crate::RuleId) they neutralize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum RepairRule {
+    /// Empty/reversed observation window replaced with the standard year.
+    HorizonRebuilt,
+    /// Machine record re-numbered onto the dense id sequence.
+    MachineReindexed,
+    /// Second record claiming an already-seen machine id was dropped.
+    MachineDuplicateDropped,
+    /// PM carried a host link; the link was removed.
+    PlacementStripped,
+    /// VM with a missing or dangling host was re-homed onto a real box.
+    PlacementReattached,
+    /// VM with no box to re-home onto was quarantined.
+    VmQuarantined,
+    /// Missing subsystem metadata synthesized to cover referenced ids.
+    SubsystemSynthesized,
+    /// Ticket whose machine cannot be resolved was quarantined.
+    TicketQuarantined,
+    /// Ticket closing before opening had its close clamped to the open.
+    TicketWindowClamped,
+    /// Ticket duplicated so each event owns exactly one crash ticket.
+    TicketCloned,
+    /// Ticket fields rewritten to agree with its crash event.
+    TicketResynced,
+    /// Ticket's incident reference could not be resolved and was cleared.
+    TicketIncidentPruned,
+    /// Event with an unresolvable machine/incident/ticket was quarantined.
+    EventQuarantined,
+    /// Event timestamp/repair restored from its agreeing crash ticket's
+    /// window (the ticketing system's record survives event-log corruption).
+    EventResyncedFromTicket,
+    /// Event timestamp clamped into the observation window.
+    EventClampedToHorizon,
+    /// Negative repair duration clamped to zero.
+    RepairClampedNonNegative,
+    /// Duplicate `(machine, instant)` event dropped.
+    EventDeduped,
+    /// Event list re-sorted into chronological order.
+    EventsResorted,
+    /// Incident with no surviving members was quarantined.
+    IncidentQuarantined,
+    /// Incident member referencing an unknown machine was pruned.
+    IncidentMemberPruned,
+    /// Incident timestamp recomputed from its earliest surviving event.
+    IncidentTimeRecomputed,
+    /// Telemetry series with an unresolvable or mismatched machine dropped.
+    TelemetryQuarantined,
+    /// Usage series longer than the observation window cut to fit.
+    UsageTruncated,
+    /// On/off toggles filtered, sorted and deduplicated.
+    OnOffSanitized,
+    /// Zero consolidation level raised to one (a VM co-resides with itself).
+    ConsolidationClamped,
+    /// Malformed CSV row skipped by the lenient parser.
+    CsvRowSkipped,
+    /// CSV field value clamped into its valid range by the lenient parser.
+    CsvFieldClamped,
+    /// Non-dense CSV machine/host ids remapped onto dense sequences.
+    CsvIdRemapped,
+}
+
+/// Whether a rule salvages a record or discards it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairAction {
+    /// The record survives, modified.
+    Repaired,
+    /// The record is removed from the dataset.
+    Dropped,
+}
+
+impl RepairRule {
+    /// Every rule, in catalog order.
+    pub const ALL: [RepairRule; 28] = [
+        RepairRule::HorizonRebuilt,
+        RepairRule::MachineReindexed,
+        RepairRule::MachineDuplicateDropped,
+        RepairRule::PlacementStripped,
+        RepairRule::PlacementReattached,
+        RepairRule::VmQuarantined,
+        RepairRule::SubsystemSynthesized,
+        RepairRule::TicketQuarantined,
+        RepairRule::TicketWindowClamped,
+        RepairRule::TicketCloned,
+        RepairRule::TicketResynced,
+        RepairRule::TicketIncidentPruned,
+        RepairRule::EventQuarantined,
+        RepairRule::EventResyncedFromTicket,
+        RepairRule::EventClampedToHorizon,
+        RepairRule::RepairClampedNonNegative,
+        RepairRule::EventDeduped,
+        RepairRule::EventsResorted,
+        RepairRule::IncidentQuarantined,
+        RepairRule::IncidentMemberPruned,
+        RepairRule::IncidentTimeRecomputed,
+        RepairRule::TelemetryQuarantined,
+        RepairRule::UsageTruncated,
+        RepairRule::OnOffSanitized,
+        RepairRule::ConsolidationClamped,
+        RepairRule::CsvRowSkipped,
+        RepairRule::CsvFieldClamped,
+        RepairRule::CsvIdRemapped,
+    ];
+
+    /// Stable machine-readable code.
+    pub const fn code(self) -> &'static str {
+        match self {
+            RepairRule::HorizonRebuilt => "horizon-rebuilt",
+            RepairRule::MachineReindexed => "machine-reindexed",
+            RepairRule::MachineDuplicateDropped => "machine-duplicate-dropped",
+            RepairRule::PlacementStripped => "placement-stripped",
+            RepairRule::PlacementReattached => "placement-reattached",
+            RepairRule::VmQuarantined => "vm-quarantined",
+            RepairRule::SubsystemSynthesized => "subsystem-synthesized",
+            RepairRule::TicketQuarantined => "ticket-quarantined",
+            RepairRule::TicketWindowClamped => "ticket-window-clamped",
+            RepairRule::TicketCloned => "ticket-cloned",
+            RepairRule::TicketResynced => "ticket-resynced",
+            RepairRule::TicketIncidentPruned => "ticket-incident-pruned",
+            RepairRule::EventQuarantined => "event-quarantined",
+            RepairRule::EventResyncedFromTicket => "event-resynced-from-ticket",
+            RepairRule::EventClampedToHorizon => "event-clamped-to-horizon",
+            RepairRule::RepairClampedNonNegative => "repair-clamped-nonnegative",
+            RepairRule::EventDeduped => "event-deduped",
+            RepairRule::EventsResorted => "events-resorted",
+            RepairRule::IncidentQuarantined => "incident-quarantined",
+            RepairRule::IncidentMemberPruned => "incident-member-pruned",
+            RepairRule::IncidentTimeRecomputed => "incident-time-recomputed",
+            RepairRule::TelemetryQuarantined => "telemetry-quarantined",
+            RepairRule::UsageTruncated => "usage-truncated",
+            RepairRule::OnOffSanitized => "onoff-sanitized",
+            RepairRule::ConsolidationClamped => "consolidation-clamped",
+            RepairRule::CsvRowSkipped => "csv-row-skipped",
+            RepairRule::CsvFieldClamped => "csv-field-clamped",
+            RepairRule::CsvIdRemapped => "csv-id-remapped",
+        }
+    }
+
+    /// Whether the rule repairs the record in place or drops it.
+    pub const fn action(self) -> RepairAction {
+        match self {
+            RepairRule::MachineDuplicateDropped
+            | RepairRule::VmQuarantined
+            | RepairRule::TicketQuarantined
+            | RepairRule::EventQuarantined
+            | RepairRule::EventDeduped
+            | RepairRule::IncidentQuarantined
+            | RepairRule::IncidentMemberPruned
+            | RepairRule::TelemetryQuarantined
+            | RepairRule::CsvRowSkipped => RepairAction::Dropped,
+            _ => RepairAction::Repaired,
+        }
+    }
+}
+
+impl fmt::Display for RepairRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+impl Serialize for RepairRule {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.code().to_string())
+    }
+}
+
+impl Deserialize for RepairRule {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let serde::Value::Str(code) = value else {
+            return Err(serde::Error::custom("expected a repair rule code string"));
+        };
+        RepairRule::ALL
+            .into_iter()
+            .find(|r| r.code() == code)
+            .ok_or_else(|| serde::Error::custom(format!("unknown repair rule '{code}'")))
+    }
+}
+
+/// How many records one rule touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleCount {
+    /// The rule applied.
+    pub rule: RepairRule,
+    /// Number of records it touched.
+    pub count: usize,
+}
+
+/// What a lenient recovery actually did to a trace.
+///
+/// This is the ingest-side analogue of an [`AuditReport`](crate::AuditReport):
+/// one count per applied [`RepairRule`], plus seen/kept record totals, so the
+/// caller can quantify how much signal the surviving dataset still carries.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// Nonzero rule counts, in catalog order.
+    pub actions: Vec<RuleCount>,
+    /// Machine records in the input.
+    pub machines_seen: usize,
+    /// Machine records in the recovered dataset.
+    pub machines_kept: usize,
+    /// Incident records in the input.
+    pub incidents_seen: usize,
+    /// Incident records in the recovered dataset.
+    pub incidents_kept: usize,
+    /// Ticket records in the input.
+    pub tickets_seen: usize,
+    /// Ticket records in the recovered dataset (clones included).
+    pub tickets_kept: usize,
+    /// Crash events in the input.
+    pub events_seen: usize,
+    /// Crash events in the recovered dataset.
+    pub events_kept: usize,
+    /// Telemetry series (usage + on/off + consolidation) in the input.
+    pub telemetry_seen: usize,
+    /// Telemetry series in the recovered dataset.
+    pub telemetry_kept: usize,
+}
+
+impl DegradationReport {
+    /// Count recorded for one rule (zero when the rule never fired).
+    pub fn count(&self, rule: RepairRule) -> usize {
+        self.actions
+            .iter()
+            .find(|rc| rc.rule == rule)
+            .map_or(0, |rc| rc.count)
+    }
+
+    /// Adds `n` applications of `rule` (merging with an existing count).
+    pub fn record(&mut self, rule: RepairRule, n: usize) {
+        if n == 0 {
+            return;
+        }
+        if let Some(rc) = self.actions.iter_mut().find(|rc| rc.rule == rule) {
+            rc.count += n;
+        } else {
+            self.actions.push(RuleCount { rule, count: n });
+            self.actions.sort_by_key(|rc| rc.rule);
+        }
+    }
+
+    /// Total records repaired in place.
+    pub fn records_repaired(&self) -> usize {
+        self.actions
+            .iter()
+            .filter(|rc| rc.rule.action() == RepairAction::Repaired)
+            .map(|rc| rc.count)
+            .sum()
+    }
+
+    /// Total records dropped.
+    pub fn records_dropped(&self) -> usize {
+        self.actions
+            .iter()
+            .filter(|rc| rc.rule.action() == RepairAction::Dropped)
+            .map(|rc| rc.count)
+            .sum()
+    }
+
+    /// True when the recovery changed nothing (the input was already clean).
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Fraction of input crash events surviving recovery (1.0 when the input
+    /// had none).
+    pub fn event_completeness(&self) -> f64 {
+        if self.events_seen == 0 {
+            1.0
+        } else {
+            self.events_kept as f64 / self.events_seen as f64
+        }
+    }
+
+    /// Fraction of input machine records surviving recovery.
+    pub fn machine_completeness(&self) -> f64 {
+        if self.machines_seen == 0 {
+            1.0
+        } else {
+            self.machines_kept as f64 / self.machines_seen as f64
+        }
+    }
+
+    /// Renders the report as indented text (one line per applied rule).
+    pub fn render_text(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "recovery: {} repaired, {} dropped \
+             (events {}/{}, machines {}/{}, incidents {}/{}, tickets {}/{}, telemetry {}/{})",
+            self.records_repaired(),
+            self.records_dropped(),
+            self.events_kept,
+            self.events_seen,
+            self.machines_kept,
+            self.machines_seen,
+            self.incidents_kept,
+            self.incidents_seen,
+            self.tickets_kept,
+            self.tickets_seen,
+            self.telemetry_kept,
+            self.telemetry_seen,
+        )?;
+        for rc in &self.actions {
+            let verb = match rc.rule.action() {
+                RepairAction::Repaired => "repaired",
+                RepairAction::Dropped => "dropped",
+            };
+            writeln!(f, "  {:>6}  {verb}  {}", rc.count, rc.rule)?;
+        }
+        Ok(())
+    }
+}
+
+/// A best-effort dataset plus the account of how it was obtained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovered {
+    /// The recovered, fully validated dataset.
+    pub dataset: FailureDataset,
+    /// What was repaired, dropped and kept.
+    pub report: DegradationReport,
+}
+
+/// The recovery pass itself produced an invalid dataset.
+///
+/// This is a should-never-happen residual: the robustness suite asserts the
+/// pass is total over arbitrary corruptions. It is surfaced as a typed error
+/// rather than a panic so ingest pipelines stay crash-free regardless.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoverError(pub DatasetError);
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "recovery produced an invalid dataset: {}", self.0)
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+/// Working form of a ticket while references are being rewritten.
+#[derive(Clone)]
+struct RecTicket {
+    machine: MachineId,
+    kind: TicketKind,
+    incident_old: Option<u32>,
+    incident: Option<IncidentId>,
+    opened: SimTime,
+    closed: SimTime,
+    description: String,
+    resolution: String,
+    true_class: Option<FailureClass>,
+    /// The window itself was repaired, so it is not a trustworthy source for
+    /// restoring a disagreeing event.
+    window_clamped: bool,
+}
+
+/// Working form of an event while references are being rewritten.
+struct RecEvent {
+    machine: MachineId,
+    incident_old: usize,
+    incident: IncidentId,
+    ticket: usize,
+    at: SimTime,
+    true_class: FailureClass,
+    reported_class: FailureClass,
+    repair: SimDuration,
+}
+
+/// Recovers a best-effort [`FailureDataset`] from arbitrary raw parts.
+///
+/// Records whose cross-references cannot be resolved are quarantined
+/// (dropped); everything else is repaired deterministically. The result
+/// re-audits with zero Error-level findings.
+///
+/// # Errors
+///
+/// Returns [`RecoverError`] if the recovered parts still fail dataset
+/// validation — which the robustness suite treats as a bug in this pass.
+pub fn recover_raw(parts: &RawDatasetParts) -> Result<Recovered, RecoverError> {
+    let mut report = DegradationReport {
+        machines_seen: parts.machines.len(),
+        incidents_seen: parts.incidents.len(),
+        tickets_seen: parts.tickets.len(),
+        events_seen: parts.events.len(),
+        telemetry_seen: parts.telemetry.usage_series().count()
+            + parts.telemetry.onoff_logs().count()
+            + parts.telemetry.consolidation_series().count(),
+        ..DegradationReport::default()
+    };
+
+    let horizon = recover_horizon(parts, &mut report);
+    let (machines, remap) = recover_machines(parts, &mut report);
+    let topology = rebuild_topology(parts, &machines, &remap, &mut report);
+    let (mut tickets, ticket_pos) = recover_tickets(parts, &remap, &mut report);
+    let mut events = recover_events(
+        parts,
+        horizon,
+        &remap,
+        &mut tickets,
+        &ticket_pos,
+        &mut report,
+    );
+    let incidents = recover_incidents(parts, &remap, &mut events, &mut report);
+    sort_events(&mut events, &mut report);
+    resync_tickets(&mut tickets, &events, &incidents, &mut report);
+    let telemetry = recover_telemetry(parts, horizon, &machines, &remap, &mut report);
+
+    report.machines_kept = machines.len();
+    report.incidents_kept = incidents.len();
+    report.tickets_kept = tickets.len();
+    report.events_kept = events.len();
+
+    let mut builder = DatasetBuilder::new();
+    builder.horizon(horizon).topology(topology);
+    for m in machines {
+        builder.add_machine(m);
+    }
+    for (i, (class, at, members)) in incidents.into_iter().enumerate() {
+        builder.add_incident(Incident::new(IncidentId::new(i as u32), class, at, members));
+    }
+    for (i, t) in tickets.into_iter().enumerate() {
+        builder.add_ticket(Ticket::new(
+            TicketId::new(i as u32),
+            t.machine,
+            t.kind,
+            t.incident,
+            t.opened,
+            t.closed,
+            t.description,
+            t.resolution,
+            t.true_class,
+        ));
+    }
+    for e in events {
+        builder.add_event(FailureEvent::new(
+            e.machine,
+            e.incident,
+            TicketId::new(e.ticket as u32),
+            e.at,
+            e.true_class,
+            e.reported_class,
+            e.repair,
+        ));
+    }
+    builder.telemetry(telemetry);
+
+    let dataset = builder.try_build().map_err(RecoverError)?;
+    Ok(Recovered { dataset, report })
+}
+
+/// Replaces an empty/reversed observation window with the standard year.
+fn recover_horizon(parts: &RawDatasetParts, report: &mut DegradationReport) -> Horizon {
+    if parts.horizon.end() > parts.horizon.start() {
+        parts.horizon
+    } else {
+        report.record(RepairRule::HorizonRebuilt, 1);
+        Horizon::observation_year()
+    }
+}
+
+/// Re-densifies machine ids and repairs placements; returns the kept machines
+/// and the raw-id → new-id remap.
+fn recover_machines(
+    parts: &RawDatasetParts,
+    report: &mut DegradationReport,
+) -> (Vec<Machine>, BTreeMap<u32, MachineId>) {
+    let num_boxes = parts.topology.num_boxes();
+    let mut out: Vec<Machine> = Vec::with_capacity(parts.machines.len());
+    let mut remap: BTreeMap<u32, MachineId> = BTreeMap::new();
+    for m in &parts.machines {
+        if remap.contains_key(&m.id().raw()) {
+            report.record(RepairRule::MachineDuplicateDropped, 1);
+            continue;
+        }
+        let new_id = MachineId::new(out.len() as u32);
+        let mut rec = m.clone();
+        if rec.id() != new_id {
+            rec = rec.with_id(new_id);
+            report.record(RepairRule::MachineReindexed, 1);
+        }
+        match rec.kind() {
+            MachineKind::Pm => {
+                if rec.host().is_some() {
+                    rec = rec.with_host(None);
+                    report.record(RepairRule::PlacementStripped, 1);
+                }
+            }
+            MachineKind::Vm => {
+                let resolved = rec.host().is_some_and(|h| h.index() < num_boxes);
+                if !resolved {
+                    // Prefer a box in the VM's own subsystem, fall back to
+                    // any box, quarantine when the topology has none.
+                    let home = parts
+                        .topology
+                        .boxes()
+                        .iter()
+                        .position(|b| b.subsystem() == rec.subsystem())
+                        .or_else(|| (num_boxes > 0).then_some(0));
+                    let Some(home) = home else {
+                        report.record(RepairRule::VmQuarantined, 1);
+                        continue;
+                    };
+                    rec = rec.with_host(Some(BoxId::new(home as u32)));
+                    report.record(RepairRule::PlacementReattached, 1);
+                }
+            }
+        }
+        remap.insert(m.id().raw(), new_id);
+        out.push(rec);
+    }
+    (out, remap)
+}
+
+/// Rebuilds the topology from scratch so placement is consistent by
+/// construction: dense box ids, box VM lists derived from machine host links,
+/// synthesized subsystem metadata covering every referenced id.
+fn rebuild_topology(
+    parts: &RawDatasetParts,
+    machines: &[Machine],
+    remap: &BTreeMap<u32, MachineId>,
+    report: &mut DegradationReport,
+) -> Topology {
+    let present = parts.topology.subsystems().len();
+    let mut needed = present;
+    for m in machines {
+        needed = needed.max(m.subsystem().index() + 1);
+    }
+    for b in parts.topology.boxes() {
+        needed = needed.max(b.subsystem().index() + 1);
+    }
+    let mut topo = Topology::new();
+    for (i, meta) in parts.topology.subsystems().iter().enumerate() {
+        topo.add_subsystem(SubsystemMeta::new(SubsystemId::new(i as u32), meta.name()));
+    }
+    for i in present..needed {
+        topo.add_subsystem(SubsystemMeta::new(
+            SubsystemId::new(i as u32),
+            format!("Sys {} (recovered)", i + 1),
+        ));
+        report.record(RepairRule::SubsystemSynthesized, 1);
+    }
+    for (i, b) in parts.topology.boxes().iter().enumerate() {
+        topo.add_box(HostBox::new(
+            BoxId::new(i as u32),
+            b.subsystem(),
+            b.power_domain(),
+            b.is_high_end(),
+        ));
+    }
+    for m in machines {
+        if let Some(home) = m.host() {
+            topo.place_vm(home, m.id());
+        }
+        topo.assign_power_domain(m.power_domain(), m.id());
+    }
+    // App-cluster membership: keep the raw topology's insertion order for
+    // machines that survived, then append cluster-tagged machines the raw
+    // lists missed (so recovering a clean dataset is exact).
+    let mut clustered: BTreeSet<MachineId> = BTreeSet::new();
+    for cluster in parts.topology.app_cluster_ids() {
+        for m in parts.topology.app_cluster_members(cluster) {
+            let Some(&mapped) = remap.get(&m.raw()) else {
+                continue;
+            };
+            let belongs = machines
+                .get(mapped.index())
+                .is_some_and(|mm| mm.app_cluster() == Some(cluster));
+            if belongs && clustered.insert(mapped) {
+                topo.assign_app_cluster(cluster, mapped);
+            }
+        }
+    }
+    for m in machines {
+        if let Some(cluster) = m.app_cluster() {
+            if clustered.insert(m.id()) {
+                topo.assign_app_cluster(cluster, m.id());
+            }
+        }
+    }
+    topo
+}
+
+/// Remaps ticket machines (quarantining danglers) and clamps reversed repair
+/// windows. Returns working tickets plus original-position → new-index map.
+fn recover_tickets(
+    parts: &RawDatasetParts,
+    remap: &BTreeMap<u32, MachineId>,
+    report: &mut DegradationReport,
+) -> (Vec<RecTicket>, Vec<Option<usize>>) {
+    let mut out: Vec<RecTicket> = Vec::with_capacity(parts.tickets.len());
+    let mut pos_map: Vec<Option<usize>> = vec![None; parts.tickets.len()];
+    for (pos, t) in parts.tickets.iter().enumerate() {
+        let Some(&machine) = remap.get(&t.machine().raw()) else {
+            report.record(RepairRule::TicketQuarantined, 1);
+            continue;
+        };
+        let opened = t.opened_at();
+        let mut closed = t.closed_at();
+        if closed < opened {
+            closed = opened;
+            report.record(RepairRule::TicketWindowClamped, 1);
+        }
+        pos_map[pos] = Some(out.len());
+        out.push(RecTicket {
+            machine,
+            kind: t.kind(),
+            incident_old: t.incident().map(IncidentId::raw),
+            incident: None,
+            opened,
+            closed,
+            description: t.description().to_string(),
+            resolution: t.resolution().to_string(),
+            true_class: t.true_class(),
+            window_clamped: closed != t.closed_at(),
+        });
+    }
+    (out, pos_map)
+}
+
+/// Remaps event references, clamps timestamps and repairs, deduplicates, and
+/// guarantees each surviving event owns its own ticket (cloning when two
+/// events claimed the same one).
+fn recover_events(
+    parts: &RawDatasetParts,
+    horizon: Horizon,
+    remap: &BTreeMap<u32, MachineId>,
+    tickets: &mut Vec<RecTicket>,
+    ticket_pos: &[Option<usize>],
+    report: &mut DegradationReport,
+) -> Vec<RecEvent> {
+    let mut out: Vec<RecEvent> = Vec::with_capacity(parts.events.len());
+    let mut seen: BTreeSet<(MachineId, SimTime)> = BTreeSet::new();
+    let mut owned: Vec<bool> = vec![false; tickets.len()];
+    let last_instant = horizon.end() - MINUTE;
+    for ev in &parts.events {
+        let Some(&machine) = remap.get(&ev.machine().raw()) else {
+            report.record(RepairRule::EventQuarantined, 1);
+            continue;
+        };
+        let incident_old = ev.incident().index();
+        if incident_old >= parts.incidents.len() {
+            report.record(RepairRule::EventQuarantined, 1);
+            continue;
+        }
+        let Some(Some(mut ticket)) = ticket_pos.get(ev.ticket().index()).copied() else {
+            report.record(RepairRule::EventQuarantined, 1);
+            continue;
+        };
+        // When the event's crash ticket agrees on machine and incident and
+        // its own window was not repaired, the ticketing system's record is
+        // the richer source: restore the event's time and repair from it.
+        // This is what makes truncated repairs and skewed clocks genuinely
+        // recoverable rather than merely tolerated.
+        let (mut at, mut repair) = {
+            let t = &tickets[ticket];
+            let trustworthy = t.kind == TicketKind::Crash
+                && t.machine == machine
+                && t.incident_old == Some(incident_old as u32)
+                && !t.window_clamped;
+            if trustworthy {
+                let (t_at, t_repair) = (t.opened, t.closed - t.opened);
+                if t_at != ev.at() || t_repair != ev.repair() {
+                    report.record(RepairRule::EventResyncedFromTicket, 1);
+                }
+                (t_at, t_repair)
+            } else {
+                (ev.at(), ev.repair())
+            }
+        };
+        if !horizon.contains(at) {
+            at = if at < horizon.start() {
+                horizon.start()
+            } else {
+                last_instant
+            };
+            report.record(RepairRule::EventClampedToHorizon, 1);
+        }
+        if repair.is_negative() {
+            repair = SimDuration::ZERO;
+            report.record(RepairRule::RepairClampedNonNegative, 1);
+        }
+        if !seen.insert((machine, at)) {
+            report.record(RepairRule::EventDeduped, 1);
+            continue;
+        }
+        if owned[ticket] {
+            let clone = tickets[ticket].clone();
+            ticket = tickets.len();
+            tickets.push(clone);
+            owned.push(true);
+            report.record(RepairRule::TicketCloned, 1);
+        } else {
+            owned[ticket] = true;
+        }
+        out.push(RecEvent {
+            machine,
+            incident_old,
+            incident: IncidentId::new(0),
+            ticket,
+            at,
+            true_class: ev.true_class(),
+            reported_class: ev.reported_class(),
+            repair,
+        });
+    }
+    out
+}
+
+/// Prunes dangling incident members, unions in the machines of surviving
+/// events, recomputes incident times, quarantines empty incidents, and
+/// rewrites event incident references onto the dense sequence.
+fn recover_incidents(
+    parts: &RawDatasetParts,
+    remap: &BTreeMap<u32, MachineId>,
+    events: &mut [RecEvent],
+    report: &mut DegradationReport,
+) -> Vec<(FailureClass, SimTime, Vec<MachineId>)> {
+    let mut event_members: BTreeMap<usize, BTreeSet<MachineId>> = BTreeMap::new();
+    let mut first_event_at: BTreeMap<usize, SimTime> = BTreeMap::new();
+    for e in events.iter() {
+        event_members
+            .entry(e.incident_old)
+            .or_default()
+            .insert(e.machine);
+        first_event_at
+            .entry(e.incident_old)
+            .and_modify(|t| *t = (*t).min(e.at))
+            .or_insert(e.at);
+    }
+
+    let mut inc_map: Vec<Option<IncidentId>> = vec![None; parts.incidents.len()];
+    let mut out: Vec<(FailureClass, SimTime, Vec<MachineId>)> = Vec::new();
+    for (pos, inc) in parts.incidents.iter().enumerate() {
+        // Original member order is preserved so that recovering an
+        // already-clean dataset reproduces it exactly.
+        let mut members: Vec<MachineId> = Vec::with_capacity(inc.machines().len());
+        let mut pruned = 0usize;
+        for m in inc.machines() {
+            match remap.get(&m.raw()) {
+                Some(&mapped) => members.push(mapped),
+                None => pruned += 1,
+            }
+        }
+        report.record(RepairRule::IncidentMemberPruned, pruned);
+        if let Some(extra) = event_members.get(&pos) {
+            for &m in extra {
+                if !members.contains(&m) {
+                    members.push(m);
+                }
+            }
+        }
+        if members.is_empty() {
+            report.record(RepairRule::IncidentQuarantined, 1);
+            continue;
+        }
+        let mut at = inc.at();
+        if let Some(&first) = first_event_at.get(&pos) {
+            if first != at {
+                at = first;
+                report.record(RepairRule::IncidentTimeRecomputed, 1);
+            }
+        }
+        inc_map[pos] = Some(IncidentId::new(out.len() as u32));
+        out.push((inc.class(), at, members));
+    }
+
+    for e in events.iter_mut() {
+        // Always resolves: the event's machine is a member of its incident,
+        // so the incident cannot have been quarantined.
+        if let Some(Some(id)) = inc_map.get(e.incident_old).copied() {
+            e.incident = id;
+        }
+    }
+    out
+}
+
+/// Restores chronological order, counting whether a re-sort was needed.
+fn sort_events(events: &mut [RecEvent], report: &mut DegradationReport) {
+    let key = |e: &RecEvent| (e.at, e.machine, e.incident);
+    let sorted = events.windows(2).all(|w| key(&w[0]) <= key(&w[1]));
+    if !sorted {
+        events.sort_by_key(key);
+        report.record(RepairRule::EventsResorted, 1);
+    }
+}
+
+/// Resolves ticket incident references and rewrites every event-owned ticket
+/// to agree with its event (machine, kind, incident, open/close window).
+fn resync_tickets(
+    tickets: &mut [RecTicket],
+    events: &[RecEvent],
+    incidents: &[(FailureClass, SimTime, Vec<MachineId>)],
+    report: &mut DegradationReport,
+) {
+    for t in tickets.iter_mut() {
+        t.incident = t.incident_old.and_then(|raw| {
+            let idx = raw as usize;
+            if idx < incidents.len() {
+                Some(IncidentId::new(raw))
+            } else {
+                None
+            }
+        });
+        if t.incident_old.is_some() && t.incident.is_none() {
+            report.record(RepairRule::TicketIncidentPruned, 1);
+        }
+    }
+    for e in events {
+        let t = &mut tickets[e.ticket];
+        let closed = e.at + e.repair;
+        let agrees = t.machine == e.machine
+            && t.kind == TicketKind::Crash
+            && t.incident == Some(e.incident)
+            && t.opened == e.at
+            && t.closed == closed;
+        if !agrees {
+            t.machine = e.machine;
+            t.kind = TicketKind::Crash;
+            t.incident = Some(e.incident);
+            t.opened = e.at;
+            t.closed = closed;
+            report.record(RepairRule::TicketResynced, 1);
+        }
+    }
+}
+
+/// Rebuilds the telemetry store with resolved machine keys, kind-consistent
+/// series and sanitized on/off logs.
+fn recover_telemetry(
+    parts: &RawDatasetParts,
+    horizon: Horizon,
+    machines: &[Machine],
+    remap: &BTreeMap<u32, MachineId>,
+    report: &mut DegradationReport,
+) -> Telemetry {
+    let mut out = Telemetry::new();
+    let is_vm = |m: MachineId| machines.get(m.index()).is_some_and(Machine::is_vm);
+    let num_weeks = horizon.num_weeks();
+
+    for (machine, weeks) in parts.telemetry.usage_series() {
+        let Some(&mapped) = remap.get(&machine.raw()) else {
+            report.record(RepairRule::TelemetryQuarantined, 1);
+            continue;
+        };
+        let mut weeks = weeks.to_vec();
+        if weeks.len() > num_weeks {
+            weeks.truncate(num_weeks);
+            report.record(RepairRule::UsageTruncated, 1);
+        }
+        if weeks.is_empty() {
+            report.record(RepairRule::TelemetryQuarantined, 1);
+            continue;
+        }
+        out.set_usage(mapped, weeks);
+        report.telemetry_kept += 1;
+    }
+
+    for (machine, log) in parts.telemetry.onoff_logs() {
+        let Some(&mapped) = remap.get(&machine.raw()) else {
+            report.record(RepairRule::TelemetryQuarantined, 1);
+            continue;
+        };
+        let window = log.window();
+        if !is_vm(mapped) || window.end() <= window.start() {
+            report.record(RepairRule::TelemetryQuarantined, 1);
+            continue;
+        }
+        let mut toggles: Vec<SimTime> = log
+            .toggles()
+            .iter()
+            .copied()
+            .filter(|&t| window.contains(t))
+            .collect();
+        toggles.sort_unstable();
+        toggles.dedup();
+        let changed = toggles.as_slice() != log.toggles();
+        // Query the state before any toggle to recover the stored initial
+        // flag without an accessor for it.
+        let initial = log.is_on_at(SimTime::from_minutes(i64::MIN / 4));
+        if changed {
+            report.record(RepairRule::OnOffSanitized, 1);
+        }
+        out.set_onoff(mapped, OnOffLog::new(window, initial, toggles));
+        report.telemetry_kept += 1;
+    }
+
+    for (machine, levels) in parts.telemetry.consolidation_series() {
+        let Some(&mapped) = remap.get(&machine.raw()) else {
+            report.record(RepairRule::TelemetryQuarantined, 1);
+            continue;
+        };
+        if !is_vm(mapped) {
+            report.record(RepairRule::TelemetryQuarantined, 1);
+            continue;
+        }
+        let mut levels = levels.to_vec();
+        let zeros = levels.iter().filter(|&&l| l == 0).count();
+        if zeros > 0 {
+            for level in &mut levels {
+                if *level == 0 {
+                    *level = 1;
+                }
+            }
+            report.record(RepairRule::ConsolidationClamped, zeros);
+        }
+        out.set_consolidation(mapped, levels);
+        report.telemetry_kept += 1;
+    }
+    out
+}

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! repro [--scale S] [--seed N] [--classify] [--csv DIR] [all | ablate | <id>...]
-//! repro audit [--json] [--dataset FILE.json | --machines M.csv --events E.csv]
+//! repro audit [--json] [--lenient] [--dataset FILE.json | --machines M.csv --events E.csv]
+//! repro chaos [--seed N] [--scale S] [--rate R] [--smoke]
 //! ```
 //!
 //! * `all` (default) — run every artifact in paper order.
@@ -16,13 +17,25 @@
 //!   evaluated *before* validation so broken files are still diagnosable), a
 //!   CSV pair (`--machines` + `--events`), or — with neither — a freshly
 //!   generated synth scenario as a self-check. `--json` emits the report as
-//!   JSON instead of text.
+//!   JSON instead of text. `--lenient` quarantines and repairs defective
+//!   records instead of rejecting the trace, printing what was done.
+//! * `chaos` — self-test of the dirty-data pipeline: corrupt a clean scenario
+//!   at `--rate` (default 0.05), recover it, re-audit, and report estimate
+//!   drift against the clean ground truth. `--smoke` caps the scale and
+//!   exits nonzero unless recovery produced an audit-clean dataset and a
+//!   non-empty degradation report.
 //! * `<id>` — one or more of `table1..table7`, `fig1..fig10`.
 //! * `--classify` — re-label events with a freshly trained k-means pipeline
 //!   (instead of the simulator's monitor labels) before analyzing.
 //! * `--csv DIR` — also write each artifact's CSV series under `DIR`.
 
+use dcfail_audit::import;
+use dcfail_audit::recover::recover_raw;
+use dcfail_audit::{AuditReport, DegradationReport, RecoveryMode};
 use dcfail_bench::ablation;
+use dcfail_chaos::{inject, InjectionPlan};
+use dcfail_core::{degradation, rates, repair};
+use dcfail_model::prelude::*;
 use dcfail_report::experiments::{run, ExperimentId};
 use dcfail_stats::rng::StreamRng;
 use dcfail_synth::Scenario;
@@ -30,10 +43,15 @@ use dcfail_tickets::classify::{apply_to_dataset, PipelineConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+// CLI flags are naturally independent booleans.
+#[allow(clippy::struct_excessive_bools)]
 struct Options {
     scale: f64,
     seed: u64,
+    rate: f64,
     classify: bool,
+    lenient: bool,
+    smoke: bool,
     csv_dir: Option<PathBuf>,
     json: bool,
     dataset_json: Option<PathBuf>,
@@ -46,7 +64,10 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         scale: 1.0,
         seed: 42,
+        rate: 0.05,
         classify: false,
+        lenient: false,
+        smoke: false,
         csv_dir: None,
         json: false,
         dataset_json: None,
@@ -65,7 +86,16 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--seed needs a value")?;
                 opts.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
             }
+            "--rate" => {
+                let v = args.next().ok_or("--rate needs a value")?;
+                opts.rate = v.parse().map_err(|_| format!("bad rate '{v}'"))?;
+                if !(0.0..=1.0).contains(&opts.rate) {
+                    return Err(format!("--rate must be in [0, 1], got {v}"));
+                }
+            }
             "--classify" => opts.classify = true,
+            "--lenient" => opts.lenient = true,
+            "--smoke" => opts.smoke = true,
             "--csv" => {
                 let v = args.next().ok_or("--csv needs a directory")?;
                 opts.csv_dir = Some(PathBuf::from(v));
@@ -87,8 +117,9 @@ fn parse_args() -> Result<Options, String> {
                 return Err(
                     "usage: repro [--scale S] [--seed N] [--classify] [--csv DIR] \
                             [all | ablate | <id>...]\n       \
-                     repro audit [--json] [--dataset FILE.json | \
-                            --machines M.csv --events E.csv]"
+                     repro audit [--json] [--lenient] [--dataset FILE.json | \
+                            --machines M.csv --events E.csv]\n       \
+                     repro chaos [--seed N] [--scale S] [--rate R] [--smoke]"
                         .into(),
                 )
             }
@@ -101,108 +132,225 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-/// Runs the `audit` subcommand: lint a trace, print the report, exit nonzero
-/// on Error-level findings.
-fn run_audit(opts: &Options) -> ExitCode {
-    if opts.machines_csv.is_some() != opts.events_csv.is_some() {
-        eprintln!("--machines and --events must be given together");
-        return ExitCode::FAILURE;
-    }
-    let report = if let Some(path) = &opts.dataset_json {
+fn read_file(path: &PathBuf) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+}
+
+/// Audits the trace named by `opts`, returning the report plus whatever the
+/// lenient path repaired (empty in strict mode).
+fn audit_report(opts: &Options) -> Result<(AuditReport, DegradationReport), String> {
+    let mode = if opts.lenient {
+        RecoveryMode::Lenient
+    } else {
+        RecoveryMode::Strict
+    };
+    if let Some(path) = &opts.dataset_json {
+        let json = read_file(path)?;
+        if opts.lenient {
+            let (_, report, degradation) = import::dataset_from_json_with(&json, mode)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            return Ok((report, degradation));
+        }
         // Audit the file as written: the raw mirror accepts what the strict
         // parser would reject, so every defect gets named.
-        let json = match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("cannot read {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        match serde_json::from_str::<dcfail_audit::RawDatasetParts>(&json) {
-            Ok(raw) => dcfail_audit::audit_raw(&raw),
-            Err(e) => {
-                eprintln!("{} does not parse as a trace: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        }
-    } else if let (Some(machines), Some(events)) = (&opts.machines_csv, &opts.events_csv) {
-        let read = |p: &PathBuf| {
-            std::fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))
-        };
-        let (machines_csv, events_csv) = match (read(machines), read(events)) {
-            (Ok(m), Ok(e)) => (m, e),
-            (Err(e), _) | (_, Err(e)) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let horizon = dcfail_model::prelude::Horizon::observation_year();
-        match dcfail_model::interop::dataset_from_csv(&machines_csv, &events_csv, horizon) {
-            Ok(ds) => dcfail_audit::audit_dataset(&ds),
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    } else {
-        // Self-check mode: audit a freshly generated scenario.
-        eprintln!(
-            "auditing generated paper scenario (seed {}, scale {}) ...",
-            opts.seed, opts.scale
-        );
-        let out = Scenario::paper().seed(opts.seed).scale(opts.scale).build();
-        dcfail_audit::audit_dataset(out.dataset())
-    };
+        let raw = serde_json::from_str::<dcfail_audit::RawDatasetParts>(&json)
+            .map_err(|e| format!("{} does not parse as a trace: {e}", path.display()))?;
+        return Ok((dcfail_audit::audit_raw(&raw), DegradationReport::default()));
+    }
+    if let (Some(machines), Some(events)) = (&opts.machines_csv, &opts.events_csv) {
+        let machines_csv = read_file(machines)?;
+        let events_csv = read_file(events)?;
+        let horizon = Horizon::observation_year();
+        let (_, report, degradation) =
+            import::dataset_from_csv_with(&machines_csv, &events_csv, horizon, mode)
+                .map_err(|e| e.to_string())?;
+        return Ok((report, degradation));
+    }
+    // Self-check mode: audit a freshly generated scenario.
+    eprintln!(
+        "auditing generated paper scenario (seed {}, scale {}) ...",
+        opts.seed, opts.scale
+    );
+    let out = Scenario::paper().seed(opts.seed).scale(opts.scale).build();
+    Ok((
+        dcfail_audit::audit_dataset(out.dataset()),
+        DegradationReport::default(),
+    ))
+}
 
+/// Runs the `audit` subcommand: lint a trace, print the report, exit nonzero
+/// on Error-level findings.
+fn run_audit(opts: &Options) -> Result<ExitCode, String> {
+    if opts.machines_csv.is_some() != opts.events_csv.is_some() {
+        return Err("--machines and --events must be given together".into());
+    }
+    let (report, degradation) = audit_report(opts)?;
+    if !degradation.is_empty() {
+        // The repair log goes to stderr so `--json` stdout stays parseable.
+        eprint!("{degradation}");
+    }
     if opts.json {
-        match serde_json::to_string_pretty(&report) {
-            Ok(s) => println!("{s}"),
-            Err(e) => {
-                eprintln!("cannot serialize report: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+        let s = serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("cannot serialize report: {e}"))?;
+        println!("{s}");
     } else {
         print!("{}", report.render_text());
     }
-    if report.is_clean() {
+    Ok(if report.is_clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    })
+}
+
+/// Prints clean-vs-recovered drift for the headline point estimates.
+fn print_drift(clean: &FailureDataset, recovered: &FailureDataset) {
+    let drift = |c: f64, r: f64| (r - c) / c * 100.0;
+    for kind in [MachineKind::Pm, MachineKind::Vm] {
+        match (
+            rates::mtbf_days(clean, kind),
+            rates::mtbf_days(recovered, kind),
+        ) {
+            (Some(c), Some(r)) => {
+                println!(
+                    "  {kind} MTBF          {c:>9.1} d  ->  {r:>9.1} d  ({:+.1}%)",
+                    drift(c, r)
+                );
+            }
+            _ => println!("  {kind} MTBF          unavailable"),
+        }
+        let mean_repair = |ds: &FailureDataset| {
+            let hours = repair::repair_hours(ds, kind);
+            if hours.is_empty() {
+                None
+            } else {
+                Some(hours.iter().sum::<f64>() / hours.len() as f64)
+            }
+        };
+        match (mean_repair(clean), mean_repair(recovered)) {
+            (Some(c), Some(r)) => {
+                println!(
+                    "  {kind} mean repair   {c:>9.1} h  ->  {r:>9.1} h  ({:+.1}%)",
+                    drift(c, r)
+                );
+            }
+            _ => println!("  {kind} mean repair   unavailable"),
+        }
     }
 }
 
-fn main() -> ExitCode {
-    let opts = match parse_args() {
-        Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::FAILURE;
-        }
-    };
+/// Prints the robust estimators' verdicts on the recovered dataset.
+fn print_robust(recovered: &FailureDataset) {
+    let fig2 = degradation::weekly_failure_rates_robust(recovered);
+    println!(
+        "  weekly failure rates: {} (completeness {:.0}%)",
+        if fig2.value.is_some() {
+            "available"
+        } else {
+            "unavailable"
+        },
+        fig2.completeness * 100.0
+    );
+    let mut caveats = fig2.caveats;
+    for kind in [MachineKind::Pm, MachineKind::Vm] {
+        caveats.extend(degradation::interfailure_robust(recovered, kind).caveats);
+        caveats.extend(degradation::repair_robust(recovered, kind).caveats);
+    }
+    if caveats.is_empty() {
+        println!("  no estimator caveats");
+    }
+    for caveat in caveats {
+        println!("  caveat: {caveat}");
+    }
+}
 
-    if opts.targets.iter().any(|t| t == "audit") {
-        return run_audit(&opts);
+/// Runs the `chaos` subcommand: corrupt a clean scenario, recover it, re-audit,
+/// and report drift. `--smoke` makes the run a pass/fail self-test.
+fn run_chaos(opts: &Options) -> Result<ExitCode, String> {
+    // The smoke run is a CI gate: pin a small scale so it stays fast.
+    let scale = if opts.smoke {
+        opts.scale.min(0.2)
+    } else {
+        opts.scale
+    };
+    eprintln!(
+        "chaos: generating clean paper scenario (seed {}, scale {scale}) ...",
+        opts.seed
+    );
+    let clean = Scenario::paper()
+        .seed(opts.seed)
+        .scale(scale)
+        .build()
+        .into_dataset();
+
+    let plan = InjectionPlan::uniform(opts.seed, opts.rate);
+    let (parts, log) = inject(&clean, &plan);
+    println!(
+        "== corruption (seed {}, rate {:.1}%) ==",
+        opts.seed,
+        opts.rate * 100.0
+    );
+    print!("{log}");
+
+    let recovered = recover_raw(&parts).map_err(|e| format!("recovery failed: {e}"))?;
+    let report = dcfail_audit::audit_dataset(&recovered.dataset);
+    println!("\n== quarantine and recovery ==");
+    print!("{}", recovered.report);
+    println!(
+        "re-audit of recovered dataset: {}",
+        if report.is_clean() {
+            "clean"
+        } else {
+            "DIRTY (bug in recovery)"
+        }
+    );
+    if !report.is_clean() {
+        print!("{}", report.render_text());
     }
 
-    if opts.targets.iter().any(|t| t == "ablate") {
-        // Ablations run several full simulations; cap the scale for speed.
-        let scale = opts.scale.min(0.3);
-        println!("== ablation suite (seed {}, scale {scale}) ==\n", opts.seed);
-        for a in ablation::run_all(opts.seed, scale) {
-            println!(
-                "{:<22} {:<45} with: {:>10.3}  without: {:>10.3}  impact: {}",
-                a.effect,
-                a.metric,
-                a.with_effect,
-                a.without_effect,
-                a.impact()
-                    .map_or_else(|| "inf".into(), |i| format!("{i:.1}x"))
+    println!("\n== estimate drift (clean -> recovered) ==");
+    print_drift(&clean, &recovered.dataset);
+    print_robust(&recovered.dataset);
+
+    if opts.smoke {
+        if !report.is_clean() {
+            return Err("chaos smoke FAILED: recovered dataset re-audits dirty".into());
+        }
+        if log.total() > 0 && recovered.report.is_empty() {
+            return Err(
+                "chaos smoke FAILED: corruption was injected but the degradation \
+                 report is empty"
+                    .into(),
             );
         }
-        return ExitCode::SUCCESS;
+        println!("\nchaos smoke: OK ({} corruptions recovered)", log.total());
     }
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
 
+fn run_ablate(opts: &Options) -> ExitCode {
+    // Ablations run several full simulations; cap the scale for speed.
+    let scale = opts.scale.min(0.3);
+    println!("== ablation suite (seed {}, scale {scale}) ==\n", opts.seed);
+    for a in ablation::run_all(opts.seed, scale) {
+        println!(
+            "{:<22} {:<45} with: {:>10.3}  without: {:>10.3}  impact: {}",
+            a.effect,
+            a.metric,
+            a.with_effect,
+            a.without_effect,
+            a.impact()
+                .map_or_else(|| "inf".into(), |i| format!("{i:.1}x"))
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_experiments(opts: &Options) -> Result<ExitCode, String> {
     let run_extras = opts.targets.iter().any(|t| t == "extras");
     let run_summary = opts.targets.iter().any(|t| t == "summary");
     let only_special = opts.targets.iter().all(|t| t == "extras" || t == "summary");
@@ -216,13 +364,7 @@ fn main() -> ExitCode {
             if t == "extras" || t == "summary" {
                 continue;
             }
-            match t.parse::<ExperimentId>() {
-                Ok(id) => ids.push(id),
-                Err(e) => {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
-            }
+            ids.push(t.parse::<ExperimentId>().map_err(|e| e.to_string())?);
         }
         ids
     };
@@ -248,10 +390,8 @@ fn main() -> ExitCode {
     }
 
     if let Some(dir) = &opts.csv_dir {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("cannot create {}: {e}", dir.display());
-            return ExitCode::FAILURE;
-        }
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
     }
 
     for id in ids {
@@ -260,10 +400,8 @@ fn main() -> ExitCode {
         println!("{}", rendered.text);
         if let (Some(dir), Some(csv)) = (&opts.csv_dir, &rendered.csv) {
             let path = dir.join(format!("{}.csv", id.key()));
-            if let Err(e) = std::fs::write(&path, csv) {
-                eprintln!("cannot write {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
+            std::fs::write(&path, csv)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         }
     }
 
@@ -278,5 +416,29 @@ fn main() -> ExitCode {
         println!("==== {} ====", rendered.title);
         println!("{}", rendered.text);
     }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
+}
+
+fn try_main() -> Result<ExitCode, String> {
+    let opts = parse_args()?;
+    if opts.targets.iter().any(|t| t == "audit") {
+        return run_audit(&opts);
+    }
+    if opts.targets.iter().any(|t| t == "chaos") {
+        return run_chaos(&opts);
+    }
+    if opts.targets.iter().any(|t| t == "ablate") {
+        return Ok(run_ablate(&opts));
+    }
+    run_experiments(&opts)
+}
+
+fn main() -> ExitCode {
+    match try_main() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -47,6 +47,7 @@ pub mod capacity;
 pub mod class_mix;
 pub mod consolidation;
 pub mod curve;
+pub mod degradation;
 pub mod followon;
 pub mod interfailure;
 pub mod onoff;

@@ -122,7 +122,7 @@ pub fn summarize_series(
     })
 }
 
-fn group_summary(
+pub(crate) fn group_summary(
     dataset: &FailureDataset,
     kind: MachineKind,
     subsystem: Option<SubsystemId>,
@@ -144,6 +144,25 @@ fn group_summary(
         return None;
     }
     summarize_series(&series, population, total)
+}
+
+/// Mean time between failures in days for one machine kind, over the whole
+/// estate: `population × observation days / total events`.
+///
+/// Returns `None` when the group has no machines or no failures — callers
+/// comparing clean and degraded datasets should treat that as "estimate
+/// unavailable", not zero.
+pub fn mtbf_days(dataset: &FailureDataset, kind: MachineKind) -> Option<f64> {
+    let population = dataset.population(kind, None);
+    let events = dataset
+        .events()
+        .iter()
+        .filter(|ev| dataset.machine(ev.machine()).kind() == kind)
+        .count();
+    if population == 0 || events == 0 {
+        return None;
+    }
+    Some(dataset.horizon().num_days() as f64 * population as f64 / events as f64)
 }
 
 /// Computes Fig. 2: weekly failure rates for PMs and VMs, estate-wide and

@@ -97,6 +97,37 @@ pub fn events_to_csv(dataset: &FailureDataset) -> String {
     out
 }
 
+/// What the lenient CSV parser had to do to salvage a trace.
+///
+/// Counts are row/field-level: the lenient parser skips rows it cannot parse
+/// at all, clamps field values with an unambiguous fix (zero cpus, negative
+/// repair durations, event times outside the horizon, PM host links) and
+/// re-maps sparse machine/subsystem/host ids onto dense sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CsvRecovery {
+    /// Data rows skipped as unsalvageable (either file).
+    pub rows_skipped: usize,
+    /// Field values clamped into their valid range.
+    pub fields_clamped: usize,
+    /// Machine / subsystem / host-box ids remapped onto dense sequences.
+    pub ids_remapped: usize,
+    /// Machine data rows seen in the inventory file.
+    pub machine_rows_seen: usize,
+    /// Machine records that survived parsing.
+    pub machine_rows_kept: usize,
+    /// Event data rows seen in the log file.
+    pub event_rows_seen: usize,
+    /// Event records that survived parsing.
+    pub event_rows_kept: usize,
+}
+
+impl CsvRecovery {
+    /// True when the parser changed nothing (the input was already clean).
+    pub const fn is_empty(&self) -> bool {
+        self.rows_skipped == 0 && self.fields_clamped == 0 && self.ids_remapped == 0
+    }
+}
+
 fn parse_class(s: &str, line: usize) -> Result<FailureClass, ParseTraceError> {
     FailureClass::ALL
         .into_iter()
@@ -114,6 +145,109 @@ fn parse_field<T: std::str::FromStr>(
         .map_err(|_| err(line, format!("bad {what} '{s}'")))
 }
 
+/// One parsed event-log row, pre-assembly.
+struct Row {
+    machine: MachineId,
+    incident: u32,
+    at: SimTime,
+    class: FailureClass,
+    repair: SimDuration,
+}
+
+/// Assembles parsed machines and event rows into a validated dataset:
+/// synthetic topology (subsystem names, one host box per referenced id),
+/// densely re-mapped incidents, placeholder crash tickets.
+fn assemble(
+    machines: Vec<Machine>,
+    boxes: &BTreeMap<u32, Vec<MachineId>>,
+    rows: &[Row],
+    max_sys: u32,
+    horizon: Horizon,
+) -> Result<FailureDataset, ParseTraceError> {
+    let mut topology = Topology::new();
+    for sys in 0..=max_sys {
+        topology.add_subsystem(SubsystemMeta::new(
+            SubsystemId::new(sys),
+            format!("Sys {}", sys + 1),
+        ));
+    }
+    let max_box = boxes.keys().next_back().copied();
+    if let Some(max_box) = max_box {
+        for b in 0..=max_box {
+            let sys = boxes
+                .get(&b)
+                .and_then(|vms| vms.first())
+                .map_or(SubsystemId::new(0), |m| machines[m.index()].subsystem());
+            let pd = boxes
+                .get(&b)
+                .and_then(|vms| vms.first())
+                .map_or(PowerDomainId::new(0), |m| {
+                    machines[m.index()].power_domain()
+                });
+            topology.add_box(HostBox::new(BoxId::new(b), sys, pd, false));
+        }
+        for (&b, vms) in boxes {
+            for &vm in vms {
+                topology.place_vm(BoxId::new(b), vm);
+            }
+        }
+    }
+    for m in &machines {
+        topology.assign_power_domain(m.power_domain(), m.id());
+    }
+
+    // Re-map incident ids densely in first-appearance order.
+    let mut incident_map: BTreeMap<u32, u32> = BTreeMap::new();
+    for row in rows {
+        let next = incident_map.len() as u32;
+        incident_map.entry(row.incident).or_insert(next);
+    }
+
+    let mut builder = DatasetBuilder::new();
+    builder.horizon(horizon).topology(topology);
+    for m in machines {
+        builder.add_machine(m);
+    }
+    // Incidents: gather members and earliest time.
+    let mut incident_members: Vec<(Option<SimTime>, FailureClass, Vec<MachineId>)> =
+        vec![(None, FailureClass::Other, Vec::new()); incident_map.len()];
+    for row in rows {
+        let slot = &mut incident_members[incident_map[&row.incident] as usize];
+        slot.0 = Some(slot.0.map_or(row.at, |t: SimTime| t.min(row.at)));
+        slot.1 = row.class;
+        slot.2.push(row.machine);
+    }
+    for (i, (at, class, members)) in incident_members.into_iter().enumerate() {
+        let at = at.unwrap_or(horizon.start());
+        builder.add_incident(Incident::new(IncidentId::new(i as u32), class, at, members));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let ticket = TicketId::new(i as u32);
+        let incident = IncidentId::new(incident_map[&row.incident]);
+        builder.add_ticket(Ticket::new(
+            ticket,
+            row.machine,
+            TicketKind::Crash,
+            Some(incident),
+            row.at,
+            row.at + row.repair,
+            String::new(),
+            String::new(),
+            Some(row.class),
+        ));
+        builder.add_event(FailureEvent::new(
+            row.machine,
+            incident,
+            ticket,
+            row.at,
+            row.class,
+            row.class,
+            row.repair,
+        ));
+    }
+    builder.try_build().map_err(|e| err(0, e.to_string()))
+}
+
 /// Builds a dataset from machine-inventory and event-log CSV.
 ///
 /// The resulting dataset has synthetic topology metadata ("Sys N" names, one
@@ -123,7 +257,9 @@ fn parse_field<T: std::str::FromStr>(
 ///
 /// # Errors
 ///
-/// Returns a [`ParseTraceError`] on malformed input or dangling references.
+/// Returns a [`ParseTraceError`] on malformed input, dangling references,
+/// invalid field values (zero cpus, negative repair durations) or a dataset
+/// that fails validation after assembly (e.g. events outside the horizon).
 #[allow(clippy::too_many_lines)]
 pub fn dataset_from_csv(
     machines_csv: &str,
@@ -157,8 +293,12 @@ pub fn dataset_from_csv(
         let sys: u32 = parse_field(cols[2], "subsystem", lineno + 1)?;
         max_sys = max_sys.max(sys);
         let pd: u32 = parse_field(cols[3], "power domain", lineno + 1)?;
+        let cpus: u32 = parse_field(cols[4], "cpus", lineno + 1)?;
+        if cpus == 0 {
+            return Err(err(lineno + 1, "cpus must be positive"));
+        }
         let capacity = ResourceCapacity::new(
-            parse_field(cols[4], "cpus", lineno + 1)?,
+            cpus,
             parse_field(cols[5], "memory_mb", lineno + 1)?,
             parse_field(cols[6], "disks", lineno + 1)?,
             parse_field(cols[7], "disk_gb", lineno + 1)?,
@@ -205,47 +345,7 @@ pub fn dataset_from_csv(
         return Err(err(0, "no machines in inventory"));
     }
 
-    // --- topology ----------------------------------------------------------
-    let mut topology = Topology::new();
-    for sys in 0..=max_sys {
-        topology.add_subsystem(SubsystemMeta::new(
-            SubsystemId::new(sys),
-            format!("Sys {}", sys + 1),
-        ));
-    }
-    let max_box = boxes.keys().next_back().copied();
-    if let Some(max_box) = max_box {
-        for b in 0..=max_box {
-            let sys = boxes
-                .get(&b)
-                .and_then(|vms| vms.first())
-                .map_or(SubsystemId::new(0), |m| machines[m.index()].subsystem());
-            let pd = boxes
-                .get(&b)
-                .and_then(|vms| vms.first())
-                .map_or(PowerDomainId::new(0), |m| {
-                    machines[m.index()].power_domain()
-                });
-            topology.add_box(HostBox::new(BoxId::new(b), sys, pd, false));
-        }
-        for (&b, vms) in &boxes {
-            for &vm in vms {
-                topology.place_vm(BoxId::new(b), vm);
-            }
-        }
-    }
-    for m in &machines {
-        topology.assign_power_domain(m.power_domain(), m.id());
-    }
-
     // --- events ------------------------------------------------------------
-    struct Row {
-        machine: MachineId,
-        incident: u32,
-        at: SimTime,
-        class: FailureClass,
-        repair: SimDuration,
-    }
     let mut rows = Vec::new();
     for (lineno, line) in events_csv.lines().enumerate().skip(1) {
         if line.trim().is_empty() {
@@ -265,69 +365,216 @@ pub fn dataset_from_csv(
                 format!("event references unknown machine {machine}"),
             ));
         }
+        let repair_minutes: i64 = parse_field(cols[4], "repair_minutes", lineno + 1)?;
+        if repair_minutes < 0 {
+            return Err(err(lineno + 1, "repair_minutes must be nonnegative"));
+        }
         rows.push(Row {
             machine: MachineId::new(machine),
             incident: parse_field(cols[1], "incident id", lineno + 1)?,
             at: SimTime::from_minutes(parse_field(cols[2], "at_minutes", lineno + 1)?),
             class: parse_class(cols[3].trim(), lineno + 1)?,
-            repair: SimDuration::from_minutes(parse_field(cols[4], "repair_minutes", lineno + 1)?),
+            repair: SimDuration::from_minutes(repair_minutes),
         });
     }
 
-    // Re-map incident ids densely in first-appearance order.
-    let mut incident_map: BTreeMap<u32, u32> = BTreeMap::new();
-    for row in &rows {
-        let next = incident_map.len() as u32;
-        incident_map.entry(row.incident).or_insert(next);
-    }
+    assemble(machines, &boxes, &rows, max_sys, horizon)
+}
 
-    let mut builder = DatasetBuilder::new();
-    builder.horizon(horizon).topology(topology);
-    for m in machines {
-        builder.add_machine(m);
+/// One lenient-parsed machine row, before id remapping is final.
+struct LenientMachine {
+    kind: MachineKind,
+    sys_raw: u32,
+    pd: PowerDomainId,
+    capacity: ResourceCapacity,
+    created: Option<SimTime>,
+    host_raw: Option<u32>,
+}
+
+/// Parses one machine-inventory row leniently; `None` means the row is
+/// unsalvageable and must be skipped.
+fn lenient_machine_row(cols: &[&str], recovery: &mut CsvRecovery) -> Option<(u32, LenientMachine)> {
+    if cols.len() != 10 {
+        return None;
     }
-    // Incidents: gather members and earliest time.
-    let mut incident_members: Vec<(Option<SimTime>, FailureClass, Vec<MachineId>)> =
-        vec![(None, FailureClass::Other, Vec::new()); incident_map.len()];
-    for row in &rows {
-        let slot = &mut incident_members[incident_map[&row.incident] as usize];
-        slot.0 = Some(slot.0.map_or(row.at, |t: SimTime| t.min(row.at)));
-        slot.1 = row.class;
-        slot.2.push(row.machine);
+    let id: u32 = cols[0].trim().parse().ok()?;
+    let kind = match cols[1].trim() {
+        k if k.eq_ignore_ascii_case("PM") => MachineKind::Pm,
+        k if k.eq_ignore_ascii_case("VM") => MachineKind::Vm,
+        _ => return None,
+    };
+    let sys_raw: u32 = cols[2].trim().parse().ok()?;
+    let pd = PowerDomainId::new(cols[3].trim().parse().ok()?);
+    let mut cpus: u32 = cols[4].trim().parse().ok()?;
+    if cpus == 0 {
+        cpus = 1;
+        recovery.fields_clamped += 1;
     }
-    for (i, (at, class, members)) in incident_members.into_iter().enumerate() {
-        builder.add_incident(Incident::new(
-            IncidentId::new(i as u32),
-            class,
-            at.expect("incident has at least one row"),
-            members,
-        ));
+    let capacity = ResourceCapacity::new(
+        cpus,
+        cols[5].trim().parse().ok()?,
+        cols[6].trim().parse().ok()?,
+        cols[7].trim().parse().ok()?,
+    );
+    let created = if cols[8].trim().is_empty() {
+        None
+    } else {
+        Some(SimTime::from_minutes(cols[8].trim().parse().ok()?))
+    };
+    let host_raw = match kind {
+        MachineKind::Pm => {
+            if !cols[9].trim().is_empty() {
+                // A PM with a host link: drop the link, keep the machine.
+                recovery.fields_clamped += 1;
+            }
+            None
+        }
+        MachineKind::Vm => Some(cols[9].trim().parse().ok()?),
+    };
+    Some((
+        id,
+        LenientMachine {
+            kind,
+            sys_raw,
+            pd,
+            capacity,
+            created,
+            host_raw,
+        },
+    ))
+}
+
+/// Builds a best-effort dataset from dirty machine-inventory and event-log
+/// CSV, instead of rejecting the pair on the first defect.
+///
+/// Rows that cannot be parsed (wrong column count, unparseable fields,
+/// unknown kinds/classes, duplicate machine ids, events referencing unknown
+/// machines) are skipped; field values with an unambiguous fix are clamped
+/// (zero cpus → 1, negative repairs → 0, event times clamped into the
+/// horizon, PM host links dropped); sparse machine/subsystem/host-box ids are
+/// re-mapped onto dense sequences in first-appearance order. The returned
+/// [`CsvRecovery`] counts everything that was done.
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] only if the salvaged parts still fail
+/// dataset validation — the sanitization above is designed to make that
+/// unreachable, so callers may treat it as a bug.
+#[allow(clippy::too_many_lines)]
+pub fn dataset_from_csv_lenient(
+    machines_csv: &str,
+    events_csv: &str,
+    horizon: Horizon,
+) -> Result<(FailureDataset, CsvRecovery), ParseTraceError> {
+    let mut recovery = CsvRecovery::default();
+
+    // --- machines: parse, then remap ids densely ---------------------------
+    let mut parsed: Vec<(u32, LenientMachine)> = Vec::new();
+    let mut seen_ids: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    for line in machines_csv.lines().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        recovery.machine_rows_seen += 1;
+        let cols: Vec<&str> = line.split(',').collect();
+        let Some((id, m)) = lenient_machine_row(&cols, &mut recovery) else {
+            recovery.rows_skipped += 1;
+            continue;
+        };
+        if !seen_ids.insert(id) {
+            recovery.rows_skipped += 1;
+            continue;
+        }
+        parsed.push((id, m));
     }
-    for (i, row) in rows.iter().enumerate() {
-        let ticket = TicketId::new(i as u32);
-        let incident = IncidentId::new(incident_map[&row.incident]);
-        builder.add_ticket(Ticket::new(
-            ticket,
-            row.machine,
-            TicketKind::Crash,
-            Some(incident),
-            row.at,
-            row.at + row.repair,
-            String::new(),
-            String::new(),
-            Some(row.class),
-        ));
-        builder.add_event(FailureEvent::new(
-            row.machine,
-            incident,
-            ticket,
-            row.at,
-            row.class,
-            row.class,
-            row.repair,
-        ));
+    recovery.machine_rows_kept = parsed.len();
+
+    let mut machine_map: BTreeMap<u32, MachineId> = BTreeMap::new();
+    let mut sys_map: BTreeMap<u32, SubsystemId> = BTreeMap::new();
+    let mut box_map: BTreeMap<u32, BoxId> = BTreeMap::new();
+    let mut machines: Vec<Machine> = Vec::with_capacity(parsed.len());
+    let mut boxes: BTreeMap<u32, Vec<MachineId>> = BTreeMap::new();
+    for (raw_id, m) in &parsed {
+        let id = MachineId::new(machines.len() as u32);
+        if id.raw() != *raw_id {
+            recovery.ids_remapped += 1;
+        }
+        machine_map.insert(*raw_id, id);
+        let next_sys = sys_map.len() as u32;
+        let sys = *sys_map
+            .entry(m.sys_raw)
+            .or_insert(SubsystemId::new(next_sys));
+        if sys.raw() != m.sys_raw {
+            recovery.ids_remapped += 1;
+        }
+        let machine = match m.kind {
+            MachineKind::Pm => Machine::new_pm(id, sys, m.pd, m.capacity, m.created),
+            MachineKind::Vm => {
+                let host_raw = m.host_raw.unwrap_or_default();
+                let next_box = box_map.len() as u32;
+                let host = *box_map.entry(host_raw).or_insert(BoxId::new(next_box));
+                if host.raw() != host_raw {
+                    recovery.ids_remapped += 1;
+                }
+                boxes.entry(host.raw()).or_default().push(id);
+                Machine::new_vm(id, sys, m.pd, m.capacity, m.created, host)
+            }
+        };
+        machines.push(machine);
     }
-    Ok(builder.build())
+    let max_sys = sys_map.len().max(1) as u32 - 1;
+
+    // --- events ------------------------------------------------------------
+    let last_instant = horizon.end() - crate::time::MINUTE;
+    let mut rows: Vec<Row> = Vec::new();
+    for line in events_csv.lines().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        recovery.event_rows_seen += 1;
+        let cols: Vec<&str> = line.split(',').collect();
+        let parsed_row = (|| -> Option<Row> {
+            if cols.len() != 5 {
+                return None;
+            }
+            let machine_raw: u32 = cols[0].trim().parse().ok()?;
+            let machine = *machine_map.get(&machine_raw)?;
+            let incident: u32 = cols[1].trim().parse().ok()?;
+            let at = SimTime::from_minutes(cols[2].trim().parse().ok()?);
+            let class = FailureClass::ALL
+                .into_iter()
+                .find(|c| c.label().eq_ignore_ascii_case(cols[3].trim()))?;
+            let repair_minutes: i64 = cols[4].trim().parse().ok()?;
+            Some(Row {
+                machine,
+                incident,
+                at,
+                class,
+                repair: SimDuration::from_minutes(repair_minutes),
+            })
+        })();
+        let Some(mut row) = parsed_row else {
+            recovery.rows_skipped += 1;
+            continue;
+        };
+        if row.repair.is_negative() {
+            row.repair = SimDuration::ZERO;
+            recovery.fields_clamped += 1;
+        }
+        if !horizon.contains(row.at) {
+            row.at = if row.at < horizon.start() {
+                horizon.start()
+            } else {
+                last_instant
+            };
+            recovery.fields_clamped += 1;
+        }
+        rows.push(row);
+    }
+    recovery.event_rows_kept = rows.len();
+
+    let dataset = assemble(machines, &boxes, &rows, max_sys, horizon)?;
+    Ok((dataset, recovery))
 }
 
 #[cfg(test)]

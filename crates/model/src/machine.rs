@@ -177,6 +177,28 @@ impl Machine {
         self
     }
 
+    /// Returns a copy carrying a different id.
+    ///
+    /// Intended for tooling that re-densifies machine records (fault
+    /// injection, lenient trace recovery); analyses never re-id machines.
+    #[must_use]
+    pub fn with_id(mut self, id: MachineId) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// Returns a copy with its host link replaced.
+    ///
+    /// This can express states the constructors forbid (a PM with a host, a
+    /// VM without one, a dangling box id); it exists for fault-injection and
+    /// trace-recovery tooling, which needs to create and repair exactly those
+    /// states. The kind is unchanged.
+    #[must_use]
+    pub fn with_host(mut self, host: Option<BoxId>) -> Self {
+        self.host = host;
+        self
+    }
+
     /// Machine id.
     pub const fn id(&self) -> MachineId {
         self.id

@@ -4,8 +4,8 @@
 //! simulator and analysis toolkit reproducing Birke et al., *"Failure Analysis
 //! of Virtual and Physical Machines"* (DSN 2014).
 //!
-//! See [`model`], [`stats`], [`synth`], [`tickets`], [`analysis`] and
-//! [`report`] for the individual subsystems.
+//! See [`model`], [`stats`], [`synth`], [`tickets`], [`analysis`],
+//! [`report`], [`audit`] and [`chaos`] for the individual subsystems.
 //!
 //! ```
 //! use dcfail::synth::Scenario;
@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub use dcfail_audit as audit;
+pub use dcfail_chaos as chaos;
 pub use dcfail_core as analysis;
 pub use dcfail_model as model;
 pub use dcfail_report as report;
