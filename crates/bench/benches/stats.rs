@@ -103,8 +103,8 @@ fn bench_bootstrap(c: &mut Criterion) {
     let data = sample(&LogNormal::new(1.0, 1.0).unwrap(), 1_000);
     c.bench_function("stats/bootstrap_mean_1k_x500", |b| {
         b.iter(|| {
-            let mut rng = StreamRng::new(5);
-            dcfail_stats::bootstrap::bootstrap_mean_ci(&data, 0.95, 500, &mut rng).unwrap()
+            let rng = StreamRng::new(5);
+            dcfail_stats::bootstrap::bootstrap_mean_ci(&data, 0.95, 500, &rng).unwrap()
         })
     });
 }

@@ -126,14 +126,17 @@ pub fn labeling_ablation(seed: u64, scale: f64) -> Ablation {
     }
 }
 
-/// Runs the full ablation suite.
+/// Runs the full ablation suite. Each ablation builds its own scenarios
+/// from scratch, so the four run in parallel; results come back in the
+/// fixed suite order regardless of schedule.
 pub fn run_all(seed: u64, scale: f64) -> Vec<Ablation> {
-    vec![
-        recurrence_ablation(seed, scale),
-        spatial_ablation(seed, scale),
-        consolidation_ablation(seed, scale),
-        labeling_ablation(seed, scale),
-    ]
+    let suite: [fn(u64, f64) -> Ablation; 4] = [
+        recurrence_ablation,
+        spatial_ablation,
+        consolidation_ablation,
+        labeling_ablation,
+    ];
+    dcfail_par::par_map(&suite, |_, ablation| ablation(seed, scale))
 }
 
 #[cfg(test)]

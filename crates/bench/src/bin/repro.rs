@@ -5,6 +5,7 @@
 //! repro [--scale S] [--seed N] [--classify] [--csv DIR] [all | ablate | <id>...]
 //! repro audit [--json] [--lenient] [--dataset FILE.json | --machines M.csv --events E.csv]
 //! repro chaos [--seed N] [--scale S] [--rate R] [--smoke]
+//! repro bench [--seed N] [--scale S] [--json] [--smoke]
 //! ```
 //!
 //! * `all` (default) — run every artifact in paper order.
@@ -24,6 +25,10 @@
 //!   drift against the clean ground truth. `--smoke` caps the scale and
 //!   exits nonzero unless recovery produced an audit-clean dataset and a
 //!   non-empty degradation report.
+//! * `bench` — time `Scenario::build` and every report runner at the given
+//!   seed/scale and write `BENCH_<git-short-sha>.json` (wall-clock ms,
+//!   thread count, dataset sizes). `--json` also prints the report to
+//!   stdout; `--smoke` caps the scale for CI.
 //! * `<id>` — one or more of `table1..table7`, `fig1..fig10`.
 //! * `--classify` — re-label events with a freshly trained k-means pipeline
 //!   (instead of the simulator's monitor labels) before analyzing.
@@ -119,7 +124,8 @@ fn parse_args() -> Result<Options, String> {
                             [all | ablate | <id>...]\n       \
                      repro audit [--json] [--lenient] [--dataset FILE.json | \
                             --machines M.csv --events E.csv]\n       \
-                     repro chaos [--seed N] [--scale S] [--rate R] [--smoke]"
+                     repro chaos [--seed N] [--scale S] [--rate R] [--smoke]\n       \
+                     repro bench [--seed N] [--scale S] [--json] [--smoke]"
                         .into(),
                 )
             }
@@ -350,6 +356,58 @@ fn run_ablate(opts: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Short git revision of the working tree, or `"unknown"` outside a repo
+/// (export tarballs, vendored checkouts).
+fn git_short_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map_or_else(|| "unknown".into(), |s| s.trim().to_string())
+}
+
+/// Runs the `bench` subcommand: time the build and every report runner,
+/// write `BENCH_<git-short-sha>.json`, and print a summary.
+fn run_bench(opts: &Options) -> Result<ExitCode, String> {
+    // The smoke run is a CI gate: pin a small scale so it stays fast. A
+    // full bench at the untouched default (1.0) drops to 0.2 — large enough
+    // to time, small enough to finish quickly; an explicit --scale wins.
+    let scale = if opts.smoke {
+        opts.scale.min(0.05)
+    } else if opts.scale == 1.0 {
+        0.2
+    } else {
+        opts.scale
+    };
+    eprintln!(
+        "bench: timing scenario build + report runners (seed {}, scale {scale}, {} threads) ...",
+        opts.seed,
+        dcfail_par::thread_count()
+    );
+    let report = dcfail_bench::timing::measure(git_short_sha(), opts.seed, scale);
+    let json = serde_json::to_string_pretty(&report)
+        .map_err(|e| format!("cannot serialize bench report: {e}"))?;
+    let path = PathBuf::from(format!("BENCH_{}.json", report.git));
+    std::fs::write(&path, &json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    if opts.json {
+        println!("{json}");
+    } else {
+        let sequential_ms: f64 = report.runners.iter().map(|r| r.ms).sum();
+        println!(
+            "build {:.1} ms | reports {:.1} ms parallel vs {:.1} ms sequential on {} threads",
+            report.build_ms, report.report_ms, sequential_ms, report.threads
+        );
+        println!(
+            "dataset: {} machines, {} events, {} incidents, {} tickets",
+            report.machines, report.events, report.incidents, report.tickets
+        );
+    }
+    eprintln!("bench report written to {}", path.display());
+    Ok(ExitCode::SUCCESS)
+}
+
 fn run_experiments(opts: &Options) -> Result<ExitCode, String> {
     let run_extras = opts.targets.iter().any(|t| t == "extras");
     let run_summary = opts.targets.iter().any(|t| t == "summary");
@@ -429,6 +487,9 @@ fn try_main() -> Result<ExitCode, String> {
     }
     if opts.targets.iter().any(|t| t == "ablate") {
         return Ok(run_ablate(&opts));
+    }
+    if opts.targets.iter().any(|t| t == "bench") {
+        return run_bench(&opts);
     }
     run_experiments(&opts)
 }

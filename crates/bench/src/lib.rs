@@ -9,12 +9,15 @@
 //!   classification pipeline, distribution fitting and every analysis
 //!   family;
 //! * [`ablation`] quantifies how each ground-truth effect family carries its
-//!   paper artifact (switch the effect off → the artifact collapses).
+//!   paper artifact (switch the effect off → the artifact collapses);
+//! * [`timing`] backs `repro bench`: wall-clock timings of `Scenario::build`
+//!   and every report runner, serialized to `BENCH_<git-sha>.json`.
 
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod ablation;
+pub mod timing;
 
 use dcfail_model::dataset::FailureDataset;
 use dcfail_synth::Scenario;

@@ -1,0 +1,113 @@
+//! Wall-clock timing harness behind `repro bench`.
+//!
+//! Times `Scenario::build` and every report runner at a fixed seed/scale and
+//! packages the result as a serializable [`BenchReport`]. Because every
+//! parallelized path in the workspace is bit-identical across thread counts,
+//! a pair of reports at `DCFAIL_THREADS=1` and `DCFAIL_THREADS=N` measures
+//! pure speedup — the outputs are guaranteed equal.
+
+use dcfail_report::experiments::{run, run_all, ExperimentId};
+use dcfail_synth::Scenario;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Wall-clock milliseconds of one report runner, run in isolation.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunnerTiming {
+    /// Artifact key (`table1` .. `fig10`).
+    pub id: &'static str,
+    /// Wall-clock milliseconds for one sequential invocation.
+    pub ms: f64,
+}
+
+/// One `repro bench` run: configuration, dataset sizes, and timings.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Short git revision of the workspace, or `"unknown"` outside a repo.
+    pub git: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Scenario scale.
+    pub scale: f64,
+    /// Worker threads the parallel runtime resolved for this run.
+    pub threads: usize,
+    /// Machines in the built dataset.
+    pub machines: usize,
+    /// Failure events in the built dataset.
+    pub events: usize,
+    /// Incidents in the built dataset.
+    pub incidents: usize,
+    /// Tickets in the built dataset.
+    pub tickets: usize,
+    /// Wall-clock ms of `Scenario::build` + dataset conversion.
+    pub build_ms: f64,
+    /// Wall-clock ms of the parallel `experiments::run_all` fan-out.
+    pub report_ms: f64,
+    /// Per-runner wall-clock ms, each measured sequentially in isolation.
+    pub runners: Vec<RunnerTiming>,
+}
+
+fn ms_since(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Builds the paper scenario at `seed`/`scale` and times the build plus every
+/// report runner. `git` is stamped into the report verbatim.
+pub fn measure(git: String, seed: u64, scale: f64) -> BenchReport {
+    let start = Instant::now();
+    let dataset = Scenario::paper()
+        .seed(seed)
+        .scale(scale)
+        .build()
+        .into_dataset();
+    let build_ms = ms_since(start);
+
+    // Each runner in isolation (sequential), then the parallel fan-out:
+    // the per-runner times explain where report_ms goes, and report_ms vs
+    // their sum shows the parallel speedup.
+    let runners: Vec<RunnerTiming> = ExperimentId::ALL
+        .iter()
+        .map(|&id| {
+            let start = Instant::now();
+            let rendered = run(id, &dataset);
+            let ms = ms_since(start);
+            // Keep the render alive until after the clock stops.
+            drop(rendered);
+            RunnerTiming { id: id.key(), ms }
+        })
+        .collect();
+
+    let start = Instant::now();
+    let all = run_all(&dataset);
+    let report_ms = ms_since(start);
+    drop(all);
+
+    BenchReport {
+        git,
+        seed,
+        scale,
+        threads: dcfail_par::thread_count(),
+        machines: dataset.machines().len(),
+        events: dataset.events().len(),
+        incidents: dataset.incidents().len(),
+        tickets: dataset.tickets().len(),
+        build_ms,
+        report_ms,
+        runners,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_covers_every_runner() {
+        let report = measure("test".into(), 3, 0.02);
+        assert_eq!(report.runners.len(), ExperimentId::ALL.len());
+        assert!(report.machines > 0 && report.events > 0);
+        assert!(report.build_ms > 0.0 && report.report_ms > 0.0);
+        let json = serde_json::to_string(&report).expect("report serializes");
+        assert!(json.contains("\"git\":\"test\""));
+    }
+}

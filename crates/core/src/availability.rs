@@ -54,7 +54,7 @@ pub fn per_machine(dataset: &FailureDataset) -> Vec<MachineAvailability> {
                 })
                 .filter(|&(s, e)| e > s)
                 .collect();
-            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("times are finite"));
+            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
             let mut downtime = 0.0;
             let mut cursor = f64::NEG_INFINITY;
             for (s, e) in intervals {

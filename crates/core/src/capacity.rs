@@ -113,11 +113,20 @@ mod tests {
         let ds = testutil::dataset();
         let by_count = rate_by_disk_count(ds);
         let one = by_count.mean_of("1").unwrap();
-        let many = by_count
-            .mean_of("6")
-            .or(by_count.mean_of("5"))
-            .or(by_count.mean_of("4"))
-            .unwrap();
+        // Pool the ≥4-disk bins weighted by exposure: the 5- and 6-disk
+        // configurations are rare enough that a single bin's realization
+        // is noisy.
+        let high: Vec<_> = by_count
+            .points
+            .iter()
+            .filter(|p| ["4", "5", "6"].contains(&p.label.as_str()))
+            .collect();
+        let weeks: usize = high.iter().map(|p| p.machine_weeks).sum();
+        let many = high
+            .iter()
+            .map(|p| p.mean * p.machine_weeks as f64)
+            .sum::<f64>()
+            / weeks.max(1) as f64;
         // Paper: ~10× from 1 to 6 disks; spatial dilution caps ours ~3×.
         assert!(many > 2.5 * one, "many-disk {many} vs one-disk {one}");
 

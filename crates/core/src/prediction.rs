@@ -146,7 +146,7 @@ pub fn evaluate(
 
     // Top decile by score (stable tie-breaking by sort order).
     let mut by_score = scored.clone();
-    by_score.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores are finite"));
+    by_score.sort_by(|a, b| b.0.total_cmp(&a.0));
     let decile = (by_score.len() / 10).max(1);
     let hits = by_score[..decile].iter().filter(|&&(_, p)| p).count();
     let recall = hits as f64 / positives as f64;

@@ -26,12 +26,12 @@ pub struct RepairAnalysis {
     pub mean_hours: f64,
 }
 
-/// Repair durations in hours for one machine kind.
+/// Repair durations in hours for one machine kind, machine-major via the
+/// dataset's per-machine event index (time order within each machine).
 pub fn repair_hours(dataset: &FailureDataset, kind: MachineKind) -> Vec<f64> {
     dataset
-        .events()
-        .iter()
-        .filter(|ev| dataset.machine(ev.machine()).kind() == kind)
+        .machines_of_kind(kind)
+        .flat_map(|m| dataset.events_for(m.id()))
         .map(|ev| ev.repair().as_hours().max(1e-3))
         .collect()
 }

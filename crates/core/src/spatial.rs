@@ -106,10 +106,8 @@ pub fn incident_class(
         ClassSource::Truth => incident.class(),
         ClassSource::Reported => {
             let mut votes = [0usize; 6];
-            for ev in dataset.events() {
-                if ev.incident() == incident.id() {
-                    votes[ev.reported_class().index()] += 1;
-                }
+            for ev in dataset.events_for_incident(incident.id()) {
+                votes[ev.reported_class().index()] += 1;
             }
             FailureClass::from_index((0..6).max_by_key(|&c| votes[c]).expect("six classes"))
         }
@@ -119,22 +117,11 @@ pub fn incident_class(
 /// Computes Table VII, dense by [`FailureClass::index`]; `None` for classes
 /// with no incidents.
 pub fn table7(dataset: &FailureDataset, source: ClassSource) -> [Option<FootprintStats>; 6] {
-    // For the reported view, precompute majority votes in one pass.
-    let mut votes: BTreeMap<IncidentId, [usize; 6]> = BTreeMap::new();
-    if source == ClassSource::Reported {
-        for ev in dataset.events() {
-            votes.entry(ev.incident()).or_insert([0; 6])[ev.reported_class().index()] += 1;
-        }
-    }
+    // The reported view votes over each incident's events via the dataset's
+    // per-incident index — no full event scan per incident.
     let mut sizes: [Vec<usize>; 6] = Default::default();
     for inc in dataset.incidents() {
-        let class = match source {
-            ClassSource::Truth => inc.class(),
-            ClassSource::Reported => {
-                let v = votes.get(&inc.id()).copied().unwrap_or([0; 6]);
-                FailureClass::from_index((0..6).max_by_key(|&c| v[c]).expect("six classes"))
-            }
-        };
+        let class = incident_class(dataset, inc, source);
         sizes[class.index()].push(inc.size());
     }
     let mut out = [None; 6];

@@ -9,8 +9,35 @@ use crate::ticket::Ticket;
 use crate::time::{Horizon, SimTime};
 use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
+
+/// Builds a CSR (offsets + indices) mapping from a key space of size `n`
+/// to the positions that carry each key, preserving position order within
+/// a key. Two passes: count, prefix-sum, fill.
+fn csr_index(n: usize, keys: impl Iterator<Item = usize> + Clone) -> (Vec<usize>, Vec<usize>) {
+    let mut offsets = vec![0usize; n + 1];
+    for k in keys.clone() {
+        offsets[k + 1] += 1;
+    }
+    for i in 1..=n {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut index = vec![0usize; offsets[n]];
+    let mut cursor = offsets.clone();
+    for (pos, k) in keys.enumerate() {
+        index[cursor[k]] = pos;
+        cursor[k] += 1;
+    }
+    (offsets, index)
+}
+
+/// One row of a CSR index; out-of-range rows are empty.
+fn csr_row<'a>(offsets: &[usize], index: &'a [usize], row: usize) -> &'a [usize] {
+    if row + 1 >= offsets.len() {
+        return &[];
+    }
+    &index[offsets[row]..offsets[row + 1]]
+}
 
 /// A complete failure study dataset.
 ///
@@ -30,8 +57,18 @@ pub struct FailureDataset {
     /// Crash events sorted by `(at, machine)`.
     events: Vec<FailureEvent>,
     telemetry: Telemetry,
-    /// machine → indexes into `events`, in time order (derived).
-    by_machine: BTreeMap<MachineId, Vec<usize>>,
+    /// CSR per-machine event index (derived): machine `i`'s events are
+    /// `event_index[event_offsets[i]..event_offsets[i + 1]]`, in time order.
+    /// Dense offsets beat a map of vectors: one allocation each, built in
+    /// two passes at dataset construction, and every per-machine analysis
+    /// (`interfailure`, `recurrence`, `repair`, `spatial`) reads it instead
+    /// of re-scanning `events`.
+    event_offsets: Vec<usize>,
+    event_index: Vec<usize>,
+    /// CSR per-incident event index (derived), same layout keyed by
+    /// [`IncidentId`].
+    incident_offsets: Vec<usize>,
+    incident_index: Vec<usize>,
 }
 
 /// Serializable mirror of [`FailureDataset`] without derived indexes.
@@ -296,7 +333,10 @@ impl TryFrom<RawDataset> for FailureDataset {
             tickets: raw.tickets,
             events: raw.events,
             telemetry: raw.telemetry,
-            by_machine: BTreeMap::new(),
+            event_offsets: Vec::new(),
+            event_index: Vec::new(),
+            incident_offsets: Vec::new(),
+            incident_index: Vec::new(),
         };
         ds.rebuild_index();
         Ok(ds)
@@ -321,10 +361,18 @@ impl FailureDataset {
     fn rebuild_index(&mut self) {
         self.events
             .sort_by_key(|e| (e.at(), e.machine(), e.incident()));
-        self.by_machine.clear();
-        for (i, ev) in self.events.iter().enumerate() {
-            self.by_machine.entry(ev.machine()).or_default().push(i);
-        }
+        let (event_offsets, event_index) = csr_index(
+            self.machines.len(),
+            self.events.iter().map(|e| e.machine().index()),
+        );
+        self.event_offsets = event_offsets;
+        self.event_index = event_index;
+        let (incident_offsets, incident_index) = csr_index(
+            self.incidents.len(),
+            self.events.iter().map(|e| e.incident().index()),
+        );
+        self.incident_offsets = incident_offsets;
+        self.incident_index = incident_index;
     }
 
     /// Observation window.
@@ -385,18 +433,36 @@ impl FailureDataset {
         &self.events
     }
 
-    /// Crash events of one machine, in time order.
+    /// Crash events of one machine, in time order. Unknown machine ids
+    /// yield an empty iterator.
     pub fn events_for(&self, machine: MachineId) -> impl Iterator<Item = &FailureEvent> {
-        self.by_machine
-            .get(&machine)
-            .into_iter()
-            .flatten()
+        csr_row(&self.event_offsets, &self.event_index, machine.index())
+            .iter()
             .map(|&i| &self.events[i])
     }
 
-    /// Machines that failed at least once, with their event count.
+    /// Crash events of one incident, in time order. Unknown incident ids
+    /// yield an empty iterator.
+    pub fn events_for_incident(&self, incident: IncidentId) -> impl Iterator<Item = &FailureEvent> {
+        csr_row(
+            &self.incident_offsets,
+            &self.incident_index,
+            incident.index(),
+        )
+        .iter()
+        .map(|&i| &self.events[i])
+    }
+
+    /// Machines that failed at least once (ascending id), with their event
+    /// count.
     pub fn failing_machines(&self) -> impl Iterator<Item = (MachineId, usize)> + '_ {
-        self.by_machine.iter().map(|(&m, v)| (m, v.len()))
+        self.event_offsets
+            .windows(2)
+            .enumerate()
+            .filter_map(|(i, w)| {
+                let count = w[1] - w[0];
+                (count > 0).then(|| (self.machines[i].id(), count))
+            })
     }
 
     /// Telemetry store.
@@ -733,6 +799,17 @@ mod tests {
         assert_eq!(per_machine[0].true_class(), FailureClass::Reboot);
         let failing: Vec<_> = ds.failing_machines().collect();
         assert_eq!(failing, vec![(MachineId::new(0), 2)]);
+    }
+
+    #[test]
+    fn incident_index_and_unknown_ids() {
+        let ds = tiny_dataset();
+        let evs: Vec<_> = ds.events_for_incident(IncidentId::new(0)).collect();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].true_class(), FailureClass::Software);
+        assert_eq!(ds.events_for_incident(IncidentId::new(1)).count(), 1);
+        assert_eq!(ds.events_for(MachineId::new(42)).count(), 0);
+        assert_eq!(ds.events_for_incident(IncidentId::new(42)).count(), 0);
     }
 
     #[test]

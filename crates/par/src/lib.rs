@@ -1,0 +1,194 @@
+//! Deterministic parallel map/reduce on `std::thread::scope`.
+//!
+//! The workspace's hot paths — per-machine hazard simulation, bootstrap
+//! resampling, k-means assignment, report fan-out — are embarrassingly
+//! parallel, but every result must be **bit-identical** regardless of how
+//! many threads run it. This crate provides the one primitive that makes
+//! that safe:
+//!
+//! * work is pre-partitioned into *indexed* chunks;
+//! * each chunk is claimed dynamically but its results are written back
+//!   into a slot addressed by chunk index;
+//! * the final output is assembled in index order, so the schedule can
+//!   never leak into the result.
+//!
+//! Callers that need randomness must give each work item its own pure
+//! stream (e.g. `StreamRng::fork_index`) *before* going parallel; the
+//! combinators here only guarantee that ordering and placement are
+//! schedule-independent.
+//!
+//! Thread count resolution, in priority order:
+//! 1. an explicit override installed via [`set_thread_override`] (used by
+//!    determinism tests to pin a count without touching the environment);
+//! 2. the `DCFAIL_THREADS` environment variable (re-read on every call);
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! A resolved count of `1` (or trivially small inputs) takes a plain
+//! sequential path with zero thread overhead.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable controlling the worker thread count.
+pub const THREADS_ENV: &str = "DCFAIL_THREADS";
+
+/// Inputs smaller than this always run sequentially: a single work item
+/// cannot be split, and the sequential path is bit-identical by
+/// construction. Work-item granularity ranges from a distance computation
+/// to a full report runner, so the crate does not second-guess callers
+/// with a larger threshold.
+const MIN_PARALLEL: usize = 2;
+
+/// Process-wide override for the thread count; `0` means "no override".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs (or with `None` clears) a process-wide thread-count override
+/// that takes precedence over `DCFAIL_THREADS`.
+///
+/// Because every combinator in this crate is schedule-independent, changing
+/// the thread count mid-run can never change a result — the override exists
+/// so tests can compare e.g. 1-thread vs 8-thread runs without mutating the
+/// process environment.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// Resolves the worker thread count: override, then `DCFAIL_THREADS`, then
+/// available parallelism. Invalid or zero values fall back to the default;
+/// the result is always at least 1.
+#[must_use]
+pub fn thread_count() -> usize {
+    let over = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if over > 0 {
+        return over;
+    }
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    default_threads()
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `0..n` through `f`, possibly in parallel, returning results in
+/// index order. Output is bit-identical to `(0..n).map(f).collect()` for
+/// any thread count and any schedule.
+///
+/// # Panics
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn par_map_index<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = thread_count();
+    if threads <= 1 || n < MIN_PARALLEL {
+        return (0..n).map(f).collect();
+    }
+    let threads = threads.min(n);
+    // Aim for several chunks per worker so stragglers re-balance, while
+    // keeping per-chunk bookkeeping negligible.
+    let chunk = n.div_ceil(threads * 4).max(1);
+    let num_chunks = n.div_ceil(chunk);
+    let slots: Vec<Mutex<Option<Vec<U>>>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= num_chunks {
+                    break;
+                }
+                let start = c * chunk;
+                let end = (start + chunk).min(n);
+                let out: Vec<U> = (start..end).map(&f).collect();
+                let mut slot = slots[c].lock().expect("dcfail-par: worker panicked");
+                *slot = Some(out);
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        let chunk_out = slot
+            .into_inner()
+            .expect("dcfail-par: worker panicked")
+            .expect("dcfail-par: every chunk is claimed exactly once");
+        out.extend(chunk_out);
+    }
+    out
+}
+
+/// Maps a slice through `f(index, &item)`, possibly in parallel, returning
+/// results in input order. Bit-identical to the sequential enumerate-map
+/// for any thread count.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_index(items.len(), |i| f(i, &items[i]))
+}
+
+/// Maps `0..n` through `map`, then folds the mapped values **in index
+/// order** with `fold`. Because the fold is sequential over index-ordered
+/// results, non-associative accumulators (e.g. floating-point sums) give
+/// bit-identical answers for any thread count.
+pub fn par_map_reduce<U, A, M, F>(n: usize, map: M, init: A, fold: F) -> A
+where
+    U: Send,
+    M: Fn(usize) -> U + Sync,
+    F: FnMut(A, U) -> A,
+{
+    par_map_index(n, map).into_iter().fold(init, fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_index_matches_sequential() {
+        let par = par_map_index(1000, |i| i * 3 + 1);
+        let seq: Vec<usize> = (0..1000).map(|i| i * 3 + 1).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<usize> = par_map_index(0, |i| i);
+        assert!(empty.is_empty());
+        assert_eq!(par_map_index(1, |i| i + 7), vec![7]);
+        let no_items: [u8; 0] = [];
+        let mapped: Vec<u8> = par_map(&no_items, |_, &b| b);
+        assert!(mapped.is_empty());
+    }
+
+    #[test]
+    fn map_reduce_folds_in_index_order() {
+        let concat = par_map_reduce(
+            200,
+            |i| i.to_string(),
+            String::new(),
+            |mut acc, s| {
+                acc.push_str(&s);
+                acc
+            },
+        );
+        let expected: String = (0..200).map(|i| i.to_string()).collect();
+        assert_eq!(concat, expected);
+    }
+
+    #[test]
+    fn thread_count_is_at_least_one() {
+        assert!(thread_count() >= 1);
+    }
+}

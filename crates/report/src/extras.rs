@@ -85,11 +85,13 @@ pub fn censored_interfailure_report(dataset: &FailureDataset) -> Rendered {
 
 /// Bootstrap confidence intervals on the Fig. 2 headline rates.
 pub fn rate_confidence_report(dataset: &FailureDataset, seed: u64) -> Rendered {
-    let mut rng = StreamRng::new(seed).fork("report.bootstrap");
+    let rng = StreamRng::new(seed).fork("report.bootstrap");
     let mut t = TextTable::new(vec!["group", "weekly rate", "95% CI lo", "95% CI hi"]);
     for kind in MachineKind::ALL {
         let series = rates::rate_series(dataset, kind, None, rates::Granularity::Week);
-        if let Ok(ci) = bootstrap_mean_ci(&series, 0.95, 800, &mut rng) {
+        // bootstrap_mean_ci no longer consumes the rng; fork a distinct
+        // stream per kind so the two bootstraps are independent.
+        if let Ok(ci) = bootstrap_mean_ci(&series, 0.95, 800, &rng.fork(kind.label())) {
             t.row(vec![
                 kind.label().to_string(),
                 fmt_rate(ci.estimate),
@@ -280,17 +282,20 @@ the post-failure hazard decays over ~a week — Table V's burst, resolved in tim
     }
 }
 
-/// Runs every extension report.
+/// Runs every extension report. The runners are independent and read-only
+/// over the dataset, so they fan out across threads; results come back in
+/// the fixed runner order regardless of schedule.
 pub fn run_all(dataset: &FailureDataset, seed: u64) -> Vec<Rendered> {
-    vec![
-        availability_report(dataset),
-        censored_interfailure_report(dataset),
-        rate_confidence_report(dataset, seed),
-        prediction_report(dataset),
-        whatif_report(dataset),
-        followon_report(dataset),
-        temporal_report(dataset),
-    ]
+    let runners: [&(dyn Fn() -> Rendered + Sync); 7] = [
+        &|| availability_report(dataset),
+        &|| censored_interfailure_report(dataset),
+        &|| rate_confidence_report(dataset, seed),
+        &|| prediction_report(dataset),
+        &|| whatif_report(dataset),
+        &|| followon_report(dataset),
+        &|| temporal_report(dataset),
+    ];
+    dcfail_par::par_map(&runners, |_, run| run())
 }
 
 #[cfg(test)]

@@ -36,6 +36,13 @@ impl ConfidenceInterval {
 
 /// Percentile-bootstrap confidence interval for an arbitrary statistic.
 ///
+/// Each resample draws from its own pure stream, forked from `rng` by
+/// resample index (`fork_index("bootstrap.resample", i)`), so batches can be
+/// computed in parallel while staying bit-identical to the sequential loop.
+/// The passed `rng` is never consumed: two calls with the same `rng` see the
+/// same resampling streams, so callers running several bootstraps should
+/// fork a distinctly-labelled stream per call.
+///
 /// # Errors
 ///
 /// Returns an error for an empty sample, a bad confidence level, or zero
@@ -44,8 +51,8 @@ pub fn bootstrap_ci(
     data: &[f64],
     level: f64,
     resamples: usize,
-    rng: &mut StreamRng,
-    statistic: impl Fn(&[f64]) -> f64,
+    rng: &StreamRng,
+    statistic: impl Fn(&[f64]) -> f64 + Sync,
 ) -> Result<ConfidenceInterval> {
     if data.is_empty() {
         return Err(StatsError::NotEnoughData {
@@ -67,15 +74,14 @@ pub fn bootstrap_ci(
         });
     }
     let estimate = statistic(data);
-    let mut stats = Vec::with_capacity(resamples);
-    let mut resample = vec![0.0f64; data.len()];
-    for _ in 0..resamples {
-        for slot in &mut resample {
-            *slot = data[rng.below(data.len())];
-        }
-        stats.push(statistic(&resample));
-    }
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("statistics are finite"));
+    let mut stats = dcfail_par::par_map_index(resamples, |i| {
+        let mut stream = rng.fork_index("bootstrap.resample", i as u64);
+        let resample: Vec<f64> = (0..data.len())
+            .map(|_| data[stream.below(data.len())])
+            .collect();
+        statistic(&resample)
+    });
+    stats.sort_unstable_by(f64::total_cmp);
     let alpha = (1.0 - level) / 2.0;
     Ok(ConfidenceInterval {
         estimate,
@@ -94,7 +100,7 @@ pub fn bootstrap_mean_ci(
     data: &[f64],
     level: f64,
     resamples: usize,
-    rng: &mut StreamRng,
+    rng: &StreamRng,
 ) -> Result<ConfidenceInterval> {
     bootstrap_ci(data, level, resamples, rng, |xs| {
         xs.iter().sum::<f64>() / xs.len() as f64
@@ -112,9 +118,10 @@ mod tests {
         let mut rng = StreamRng::new(1);
         let mut covered = 0;
         let trials = 40;
-        for _ in 0..trials {
+        for trial in 0..trials {
             let data: Vec<f64> = (0..400).map(|_| dist.sample(&mut rng)).collect();
-            let ci = bootstrap_mean_ci(&data, 0.95, 400, &mut rng).unwrap();
+            let boot_rng = rng.fork_index("trial", trial);
+            let ci = bootstrap_mean_ci(&data, 0.95, 400, &boot_rng).unwrap();
             if ci.contains(dist.mean()) {
                 covered += 1;
             }
@@ -130,16 +137,16 @@ mod tests {
         let mut rng = StreamRng::new(2);
         let small: Vec<f64> = (0..50).map(|_| dist.sample(&mut rng)).collect();
         let large: Vec<f64> = (0..5000).map(|_| dist.sample(&mut rng)).collect();
-        let ci_small = bootstrap_mean_ci(&small, 0.95, 300, &mut rng).unwrap();
-        let ci_large = bootstrap_mean_ci(&large, 0.95, 300, &mut rng).unwrap();
+        let ci_small = bootstrap_mean_ci(&small, 0.95, 300, &rng.fork("small")).unwrap();
+        let ci_large = bootstrap_mean_ci(&large, 0.95, 300, &rng.fork("large")).unwrap();
         assert!(ci_large.width() < ci_small.width());
     }
 
     #[test]
     fn custom_statistic_median() {
         let data: Vec<f64> = (0..101).map(|i| i as f64).collect();
-        let mut rng = StreamRng::new(3);
-        let ci = bootstrap_ci(&data, 0.9, 300, &mut rng, |xs| {
+        let rng = StreamRng::new(3);
+        let ci = bootstrap_ci(&data, 0.9, 300, &rng, |xs| {
             crate::empirical::quantile(xs, 0.5)
         })
         .unwrap();
@@ -151,16 +158,30 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let data = [1.0, 2.0, 3.0, 4.0, 5.0];
-        let a = bootstrap_mean_ci(&data, 0.95, 200, &mut StreamRng::new(9)).unwrap();
-        let b = bootstrap_mean_ci(&data, 0.95, 200, &mut StreamRng::new(9)).unwrap();
+        let a = bootstrap_mean_ci(&data, 0.95, 200, &StreamRng::new(9)).unwrap();
+        let b = bootstrap_mean_ci(&data, 0.95, 200, &StreamRng::new(9)).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
+    fn parallel_matches_sequential() {
+        let dist = LogNormal::new(0.5, 0.6).unwrap();
+        let mut data_rng = StreamRng::new(11);
+        let data: Vec<f64> = (0..300).map(|_| dist.sample(&mut data_rng)).collect();
+        let rng = StreamRng::new(12);
+        dcfail_par::set_thread_override(Some(1));
+        let seq = bootstrap_mean_ci(&data, 0.95, 500, &rng).unwrap();
+        dcfail_par::set_thread_override(Some(8));
+        let par = bootstrap_mean_ci(&data, 0.95, 500, &rng).unwrap();
+        dcfail_par::set_thread_override(None);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
     fn rejects_bad_input() {
-        let mut rng = StreamRng::new(1);
-        assert!(bootstrap_mean_ci(&[], 0.95, 100, &mut rng).is_err());
-        assert!(bootstrap_mean_ci(&[1.0], 1.5, 100, &mut rng).is_err());
-        assert!(bootstrap_mean_ci(&[1.0], 0.95, 0, &mut rng).is_err());
+        let rng = StreamRng::new(1);
+        assert!(bootstrap_mean_ci(&[], 0.95, 100, &rng).is_err());
+        assert!(bootstrap_mean_ci(&[1.0], 1.5, 100, &rng).is_err());
+        assert!(bootstrap_mean_ci(&[1.0], 0.95, 0, &rng).is_err());
     }
 }

@@ -132,7 +132,9 @@ pub fn ljung_box(series: &[f64], max_lag: usize) -> Result<f64> {
 pub fn ranks(xs: &[f64]) -> Vec<f64> {
     let n = xs.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("ranks need non-NaN data"));
+    // Unstable is fine: exact ties land in the same rank group and are
+    // averaged, so the permutation within a tie group cannot leak out.
+    idx.sort_unstable_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {

@@ -36,7 +36,8 @@ impl Summary {
             return None;
         }
         let mut sorted: Vec<f64> = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("summary data must not contain NaN"));
+        // total_cmp: NaN sorts after +inf instead of panicking mid-sort.
+        sorted.sort_unstable_by(f64::total_cmp);
         let n = sorted.len();
         let mean = sorted.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
@@ -77,17 +78,14 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
 }
 
-/// Quantile of unsorted data (sorts a copy).
+/// Quantile of unsorted data (sorts a copy; NaN values sort last).
 ///
 /// # Panics
 ///
-/// Panics if `data` is empty, contains NaN, or `q` is outside `[0, 1]`.
+/// Panics if `data` is empty or `q` is outside `[0, 1]`.
 pub fn quantile(data: &[f64], q: f64) -> f64 {
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| {
-        a.partial_cmp(b)
-            .expect("quantile data must not contain NaN")
-    });
+    sorted.sort_unstable_by(f64::total_cmp);
     quantile_sorted(&sorted, q)
 }
 
@@ -98,15 +96,15 @@ pub struct Ecdf {
 }
 
 impl Ecdf {
-    /// Builds an ECDF from a sample.
+    /// Builds an ECDF from a sample (NaN values sort last).
     ///
     /// # Panics
     ///
-    /// Panics if `data` is empty or contains NaN.
+    /// Panics if `data` is empty.
     pub fn new(data: &[f64]) -> Self {
         assert!(!data.is_empty(), "ECDF of empty sample");
         let mut sorted = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("ECDF data must not contain NaN"));
+        sorted.sort_unstable_by(f64::total_cmp);
         Self { sorted }
     }
 

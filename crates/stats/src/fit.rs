@@ -306,11 +306,9 @@ impl ModelSelection {
                 got: data.len(),
             });
         }
-        ranked.sort_by(|a, b| {
-            b.log_likelihood
-                .partial_cmp(&a.log_likelihood)
-                .expect("log-likelihoods are finite")
-        });
+        // Stable sort keeps the candidate-family order deterministic at
+        // ties; total_cmp removes the NaN panic path.
+        ranked.sort_by(|a, b| b.log_likelihood.total_cmp(&a.log_likelihood));
         Ok(Self {
             ranked,
             n: data.len(),

@@ -42,7 +42,7 @@ pub fn ks_test(data: &[f64], dist: &dyn ContinuousDist) -> Result<KsTest> {
         });
     }
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN already rejected"));
+    sorted.sort_unstable_by(f64::total_cmp);
     let n = sorted.len();
     let nf = n as f64;
     let mut d: f64 = 0.0;

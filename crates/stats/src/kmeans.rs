@@ -77,10 +77,12 @@ impl KMeans {
         let mut iterations = 0;
         for iter in 0..config.max_iter {
             iterations = iter + 1;
-            // Assignment step.
+            // Assignment step. Each point's nearest-centroid search is pure,
+            // so this parallelizes with bit-identical results; the inertia
+            // sum is folded in point order to keep float addition exact.
+            let nearest_per_point = dcfail_par::par_map(points, |_, p| nearest(&centroids, p));
             let mut new_inertia = 0.0;
-            for (i, p) in points.iter().enumerate() {
-                let (c, d2) = nearest(&centroids, p);
+            for (i, &(c, d2)) in nearest_per_point.iter().enumerate() {
                 assignments[i] = c;
                 new_inertia += d2 as f64;
             }
@@ -268,6 +270,17 @@ mod tests {
                 assert!(assigned <= sq_dist(p, c) + 1e-4);
             }
         }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_fit() {
+        let pts = blobs();
+        dcfail_par::set_thread_override(Some(1));
+        let seq = KMeans::fit(&pts, KMeansConfig::new(3), &mut StreamRng::new(8)).unwrap();
+        dcfail_par::set_thread_override(Some(8));
+        let par = KMeans::fit(&pts, KMeansConfig::new(3), &mut StreamRng::new(8)).unwrap();
+        dcfail_par::set_thread_override(None);
+        assert_eq!(seq, par);
     }
 
     #[test]

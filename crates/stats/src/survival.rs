@@ -77,13 +77,10 @@ impl KaplanMeier {
             });
         }
         let mut sorted: Vec<Observation> = observations.to_vec();
-        sorted.sort_by(|a, b| {
-            a.time
-                .partial_cmp(&b.time)
-                .expect("times are finite")
-                // Events before censorings at ties (the standard convention).
-                .then(b.event.cmp(&a.event))
-        });
+        // Events before censorings at ties (the standard convention);
+        // observations tied on both fields are interchangeable, so an
+        // unstable sort cannot change the estimate.
+        sorted.sort_unstable_by(|a, b| a.time.total_cmp(&b.time).then(b.event.cmp(&a.event)));
 
         let n = sorted.len();
         let mut times = Vec::new();

@@ -11,8 +11,13 @@
 //!    the post-failure burst that makes recurrent failures ~35–42× more
 //!    likely than random ones (Table V).
 //!
-//! The simulation walks the observation window one day at a time, so the
-//! burst state reflects everything that already happened.
+//! The simulation runs in two stages. The correlated processes walk the
+//! window one day at a time on a single stream, recording which days each
+//! machine was struck. The individual layer then runs per machine on its
+//! own forked stream (`fork_index("incidents.individual", machine)`),
+//! replaying that machine's spatial hit-days to reconstruct the burst
+//! state — so the per-machine walks are independent and execute in
+//! parallel with bit-identical results for any thread count.
 
 use crate::config::ScenarioConfig;
 use crate::hazard::HazardModel;
@@ -64,13 +69,10 @@ pub fn simulate(
     rng: &StreamRng,
 ) -> Vec<IncidentSpec> {
     let hazard = HazardModel::new(config, pop, telemetry);
-    let mut out = Vec::new();
-    let mut last_fail_day: Vec<Option<i64>> = vec![None; pop.machines.len()];
     let num_days = config.horizon.num_days() as i64;
     let spatial = config.effects.spatial;
 
     let mut rng_spatial = rng.fork("incidents.spatial");
-    let mut rng_indiv = rng.fork("incidents.individual");
 
     // VMs of subsystems with a zero VM rate (Sys II in the paper: 52 VMs,
     // zero crash tickets all year) are exempt from every failure process.
@@ -88,8 +90,12 @@ pub fn simulate(
         sys_members[m.subsystem().index()].push(m.id());
     }
 
-    for day in 0..num_days {
-        if spatial {
+    // Stage 1 — correlated incidents, one day at a time on one stream.
+    // Records per-machine hit-days (ascending) for the burst replay below.
+    let mut out = Vec::new();
+    let mut spatial_hits: Vec<Vec<i64>> = vec![Vec::new(); pop.machines.len()];
+    if spatial {
+        for day in 0..num_days {
             spatial_incidents(
                 config,
                 pop,
@@ -98,21 +104,20 @@ pub fn simulate(
                 &sys_members,
                 day,
                 &mut rng_spatial,
-                &mut last_fail_day,
+                &mut spatial_hits,
                 &mut out,
                 &immune,
             );
         }
-        individual_incidents(
-            config,
-            pop,
-            &hazard,
-            day,
-            &mut rng_indiv,
-            &mut last_fail_day,
-            &mut out,
-        );
     }
+
+    // Stage 2 — individual failures, one independent stream per machine.
+    // A machine's burst state depends only on its own failures and the
+    // spatial hits recorded above, so the walks never interact.
+    let per_machine = dcfail_par::par_map(&pop.machines, |idx, m| {
+        individual_incidents_for(config, &hazard, m, &spatial_hits[idx], num_days, rng)
+    });
+    out.extend(per_machine.into_iter().flatten());
 
     out.sort_by_key(|i| (i.at, i.machines[0]));
     out
@@ -127,7 +132,7 @@ fn spatial_incidents(
     sys_members: &[Vec<MachineId>],
     day: i64,
     rng: &mut StreamRng,
-    last_fail_day: &mut [Option<i64>],
+    spatial_hits: &mut [Vec<i64>],
     out: &mut Vec<IncidentSpec>,
     immune: &[bool],
 ) {
@@ -151,7 +156,7 @@ fn spatial_incidents(
             let affected = pick_distinct(rng, members, size);
             let affected = keep(affected);
             if !affected.is_empty() {
-                record(out, last_fail_day, FailureClass::Power, day, affected, rng);
+                record(out, spatial_hits, FailureClass::Power, day, affected, rng);
             }
         }
     }
@@ -176,7 +181,7 @@ fn spatial_incidents(
             affected.truncate(15);
             let affected = keep(affected);
             if !affected.is_empty() {
-                record(out, last_fail_day, FailureClass::Reboot, day, affected, rng);
+                record(out, spatial_hits, FailureClass::Reboot, day, affected, rng);
             }
         }
     }
@@ -191,7 +196,7 @@ fn spatial_incidents(
             if !affected.is_empty() {
                 record(
                     out,
-                    last_fail_day,
+                    spatial_hits,
                     FailureClass::Software,
                     day,
                     affected,
@@ -213,14 +218,7 @@ fn spatial_incidents(
             let affected = pick_distinct(rng, members, size);
             let affected = keep(affected);
             if !affected.is_empty() {
-                record(
-                    out,
-                    last_fail_day,
-                    FailureClass::Network,
-                    day,
-                    affected,
-                    rng,
-                );
+                record(out, spatial_hits, FailureClass::Network, day, affected, rng);
             }
         }
         if rng.bernoulli(SHARED_HW_PER_1K_DAILY * per_1k * hw_net) {
@@ -230,7 +228,7 @@ fn spatial_incidents(
             if !affected.is_empty() {
                 record(
                     out,
-                    last_fail_day,
+                    spatial_hits,
                     FailureClass::Hardware,
                     day,
                     affected,
@@ -241,31 +239,49 @@ fn spatial_incidents(
     }
 }
 
-fn individual_incidents(
+/// Walks one machine's days on its own forked stream, merging the spatial
+/// hit-days (ascending) into the burst state exactly as the day-by-day
+/// interleaving did: a spatial hit on day `d` is visible to the individual
+/// check of day `d` and later.
+fn individual_incidents_for(
     config: &ScenarioConfig,
-    pop: &Population,
     hazard: &HazardModel,
-    day: i64,
-    rng: &mut StreamRng,
-    last_fail_day: &mut [Option<i64>],
-    out: &mut Vec<IncidentSpec>,
-) {
-    for m in &pop.machines {
-        let idx = m.id().index();
+    m: &Machine,
+    spatial_days: &[i64],
+    num_days: i64,
+    rng: &StreamRng,
+) -> Vec<IncidentSpec> {
+    let idx = m.id().index();
+    let mut rng = rng.fork_index("incidents.individual", idx as u64);
+    let mut out = Vec::new();
+    let mut last_fail_day: Option<i64> = None;
+    let mut next_spatial = 0usize;
+    for day in 0..num_days {
+        while next_spatial < spatial_days.len() && spatial_days[next_spatial] <= day {
+            last_fail_day = Some(spatial_days[next_spatial]);
+            next_spatial += 1;
+        }
         let base = hazard.daily_hazard(idx, day as usize);
         if base <= 0.0 {
             continue;
         }
-        let recur = match last_fail_day[idx] {
+        let recur = match last_fail_day {
             Some(last) => hazard.recurrence_daily(m.kind(), (day - last) as f64),
             None => 0.0,
         };
         let p = (base + recur).min(0.9);
         if rng.bernoulli(p) {
-            let class = sample_class(config, m, rng);
-            record(out, last_fail_day, class, day, vec![m.id()], rng);
+            let class = sample_class(config, m, &mut rng);
+            let minute = rng.below(24 * 60) as i64;
+            out.push(IncidentSpec {
+                class,
+                at: SimTime::from_days(day) + SimDuration::from_minutes(minute),
+                machines: vec![m.id()],
+            });
+            last_fail_day = Some(day);
         }
     }
+    out
 }
 
 /// Draws the root cause of an individual failure from the per-kind mix,
@@ -294,7 +310,7 @@ fn sample_class(config: &ScenarioConfig, m: &Machine, rng: &mut StreamRng) -> Fa
 
 fn record(
     out: &mut Vec<IncidentSpec>,
-    last_fail_day: &mut [Option<i64>],
+    spatial_hits: &mut [Vec<i64>],
     class: FailureClass,
     day: i64,
     machines: Vec<MachineId>,
@@ -302,7 +318,7 @@ fn record(
 ) {
     debug_assert!(!machines.is_empty());
     for m in &machines {
-        last_fail_day[m.index()] = Some(day);
+        spatial_hits[m.index()].push(day);
     }
     let minute = rng.below(24 * 60) as i64;
     out.push(IncidentSpec {
@@ -569,5 +585,15 @@ mod tests {
         let (_, _, a) = run(0.05, EffectToggles::all(), 9);
         let (_, _, b) = run(0.05, EffectToggles::all(), 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_simulation() {
+        dcfail_par::set_thread_override(Some(1));
+        let (_, _, seq) = run(0.05, EffectToggles::all(), 10);
+        dcfail_par::set_thread_override(Some(8));
+        let (_, _, par) = run(0.05, EffectToggles::all(), 10);
+        dcfail_par::set_thread_override(None);
+        assert_eq!(seq, par);
     }
 }

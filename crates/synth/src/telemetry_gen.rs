@@ -13,31 +13,52 @@ use dcfail_model::prelude::*;
 use dcfail_stats::rng::StreamRng;
 
 /// Generates all telemetry for a population.
+///
+/// Each machine draws from its own stream (`fork_index("telemetry", id)`),
+/// so the per-machine series are computed in parallel and inserted in
+/// machine order — bit-identical to the sequential loop for any thread
+/// count.
 pub fn generate(config: &ScenarioConfig, pop: &Population, rng: &StreamRng) -> Telemetry {
-    let mut telemetry = Telemetry::new();
     let weeks = config.horizon.num_weeks();
     let months = config.horizon.num_months();
     let onoff_window = config.onoff_window();
 
-    for machine in &pop.machines {
+    struct MachineTelemetry {
+        usage: Vec<WeeklyUsage>,
+        onoff: Option<OnOffLog>,
+        consolidation: Option<Vec<u16>>,
+    }
+
+    let per_machine = dcfail_par::par_map(&pop.machines, |_, machine| {
         let mut rng = rng.fork_index("telemetry", machine.id().raw() as u64);
         let base = sample_base_usage(&mut rng, machine.kind());
-        let series: Vec<WeeklyUsage> = (0..weeks).map(|_| jitter_week(&mut rng, base)).collect();
-        telemetry.set_usage(machine.id(), series);
-
-        if machine.is_vm() {
-            telemetry.set_onoff(
-                machine.id(),
-                lifecycle::sample_onoff_log(&mut rng, onoff_window),
-            );
+        let usage: Vec<WeeklyUsage> = (0..weeks).map(|_| jitter_week(&mut rng, base)).collect();
+        let (onoff, consolidation) = if machine.is_vm() {
+            let log = lifecycle::sample_onoff_log(&mut rng, onoff_window);
             let occupancy = machine
                 .host()
                 .and_then(|b| pop.topology.host_box(b))
                 .map_or(1, HostBox::occupancy);
-            telemetry.set_consolidation(
-                machine.id(),
-                consolidation_series(&mut rng, occupancy, months),
-            );
+            let cons = consolidation_series(&mut rng, occupancy, months);
+            (Some(log), Some(cons))
+        } else {
+            (None, None)
+        };
+        MachineTelemetry {
+            usage,
+            onoff,
+            consolidation,
+        }
+    });
+
+    let mut telemetry = Telemetry::new();
+    for (machine, t) in pop.machines.iter().zip(per_machine) {
+        telemetry.set_usage(machine.id(), t.usage);
+        if let Some(log) = t.onoff {
+            telemetry.set_onoff(machine.id(), log);
+        }
+        if let Some(cons) = t.consolidation {
+            telemetry.set_consolidation(machine.id(), cons);
         }
     }
     telemetry

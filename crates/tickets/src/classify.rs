@@ -229,21 +229,22 @@ pub fn classify(
 ) -> Classification {
     assert!(!tickets.is_empty(), "cannot classify an empty ticket set");
 
-    // Vectorize description + resolution.
-    let docs: Vec<Vec<String>> = tickets.iter().map(|t| tokenize(&t.full_text())).collect();
+    // Vectorize description + resolution. Tokenization, TF-IDF transforms
+    // and the rule-based manual labels are pure per-ticket maps, so they
+    // fan out across threads with bit-identical results.
+    let docs: Vec<Vec<String>> = dcfail_par::par_map(tickets, |_, t| tokenize(&t.full_text()));
     let doc_refs: Vec<&[String]> = docs.iter().map(Vec::as_slice).collect();
     let tfidf = TfIdf::fit(doc_refs.iter().copied(), config.min_df);
-    let vectors: Vec<Vec<f32>> = docs.iter().map(|d| tfidf.transform(d)).collect();
+    let vectors: Vec<Vec<f32>> = dcfail_par::par_map(&docs, |_, d| tfidf.transform(d));
 
     // Cluster.
     let k = config.k.min(tickets.len());
     let km = KMeans::fit(&vectors, KMeansConfig::new(k), rng).expect("k <= number of tickets");
 
     // Manual labels for everything (used for cluster voting and accuracy).
-    let manual: Vec<FailureClass> = tickets
-        .iter()
-        .map(|t| manual_label(t.description(), t.resolution()))
-        .collect();
+    let manual: Vec<FailureClass> = dcfail_par::par_map(tickets, |_, t| {
+        manual_label(t.description(), t.resolution())
+    });
 
     // Vote per cluster using a manually-inspected sample.
     let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];

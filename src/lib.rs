@@ -5,7 +5,10 @@
 //! of Virtual and Physical Machines"* (DSN 2014).
 //!
 //! See [`model`], [`stats`], [`synth`], [`tickets`], [`analysis`],
-//! [`report`], [`audit`] and [`chaos`] for the individual subsystems.
+//! [`report`], [`audit`], [`chaos`] and [`par`] for the individual
+//! subsystems. Hot paths run on the [`par`] deterministic parallel runtime:
+//! set `DCFAIL_THREADS` to pick the worker count (output is bit-identical
+//! at any setting; `1` is the sequential fallback).
 //!
 //! ```
 //! use dcfail::synth::Scenario;
@@ -20,6 +23,7 @@ pub use dcfail_audit as audit;
 pub use dcfail_chaos as chaos;
 pub use dcfail_core as analysis;
 pub use dcfail_model as model;
+pub use dcfail_par as par;
 pub use dcfail_report as report;
 pub use dcfail_stats as stats;
 pub use dcfail_synth as synth;

@@ -1,0 +1,72 @@
+//! Thread-count independence: the deterministic parallel runtime's contract
+//! is that `DCFAIL_THREADS` can never change any output, only wall-clock
+//! time. These tests pin the thread count via the test override and compare
+//! whole datasets and rendered reports across 1, 2, and 8 workers.
+//!
+//! The override is process-wide, but that is safe even with tests running
+//! concurrently in one binary: the invariant under test is precisely that
+//! the thread count cannot affect results, so a concurrent flip from
+//! another test thread cannot introduce a difference.
+
+#![allow(clippy::unwrap_used)]
+
+use dcfail::model::dataset::FailureDataset;
+use dcfail::par;
+use dcfail::stats::rng::StreamRng;
+use dcfail::synth::Scenario;
+use dcfail::tickets::classify::{apply_to_dataset, PipelineConfig};
+
+fn build_with_threads(threads: usize) -> FailureDataset {
+    par::set_thread_override(Some(threads));
+    let ds = Scenario::paper()
+        .seed(21)
+        .scale(0.05)
+        .build()
+        .into_dataset();
+    par::set_thread_override(None);
+    ds
+}
+
+#[test]
+fn scenario_build_is_thread_count_independent() {
+    let baseline = build_with_threads(1);
+    for threads in [2, 8] {
+        assert_eq!(
+            build_with_threads(threads),
+            baseline,
+            "dataset diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn reports_are_thread_count_independent() {
+    let ds = build_with_threads(1);
+    let render = |threads: usize| {
+        par::set_thread_override(Some(threads));
+        let experiments: Vec<String> = dcfail::report::experiments::run_all(&ds)
+            .into_iter()
+            .map(|(id, r)| format!("{id}:{}", r.text))
+            .collect();
+        let extras: Vec<String> = dcfail::report::extras::run_all(&ds, 21)
+            .into_iter()
+            .map(|r| r.text)
+            .collect();
+        par::set_thread_override(None);
+        (experiments, extras)
+    };
+    assert_eq!(render(1), render(8));
+}
+
+#[test]
+fn classification_is_thread_count_independent() {
+    let classify = |threads: usize| {
+        let mut ds = build_with_threads(threads);
+        par::set_thread_override(Some(threads));
+        let mut rng = StreamRng::new(0x15 ^ 0x7ea).fork("test.classify");
+        let comparison = apply_to_dataset(&mut ds, PipelineConfig::default(), &mut rng);
+        par::set_thread_override(None);
+        (ds, comparison.accuracy_vs_manual().to_bits())
+    };
+    assert_eq!(classify(1), classify(8));
+}
