@@ -106,6 +106,16 @@ fn fold_csv_recovery(report: &mut DegradationReport, csv: &CsvRecovery) {
     report.events_kept += csv.event_rows_kept;
 }
 
+/// Records which [`RecoveryMode`] an ingest ran under (`audit.ingest.mode`
+/// labelled counter).
+fn count_ingest_mode(mode: RecoveryMode) {
+    let label = match mode {
+        RecoveryMode::Strict => "strict",
+        RecoveryMode::Lenient => "lenient",
+    };
+    dcfail_obs::add_labeled("audit.ingest.mode", label, 1);
+}
+
 /// Imports a JSON trace under the given [`RecoveryMode`].
 ///
 /// `Strict` behaves exactly like [`dataset_from_json`] (with an empty
@@ -122,6 +132,7 @@ pub fn dataset_from_json_with(
     json: &str,
     mode: RecoveryMode,
 ) -> Result<(FailureDataset, AuditReport, DegradationReport), ImportError> {
+    count_ingest_mode(mode);
     match mode {
         RecoveryMode::Strict => {
             let (dataset, report) = dataset_from_json(json)?;
@@ -156,6 +167,7 @@ pub fn dataset_from_csv_with(
     horizon: Horizon,
     mode: RecoveryMode,
 ) -> Result<(FailureDataset, AuditReport, DegradationReport), ImportError> {
+    count_ingest_mode(mode);
     match mode {
         RecoveryMode::Strict => {
             let (dataset, report) = dataset_from_csv(machines_csv, events_csv, horizon)?;

@@ -71,7 +71,8 @@ use dcfail_model::prelude::FailureDataset;
 /// bypassing the constructors (e.g. through a lenient deserializer) gets the
 /// full catalog.
 pub fn audit_dataset(dataset: &FailureDataset) -> AuditReport {
-    rules::run(&rules::View {
+    let _span = dcfail_obs::span("audit.dataset");
+    let report = rules::run(&rules::View {
         horizon: dataset.horizon(),
         machines: dataset.machines(),
         topology: dataset.topology(),
@@ -79,7 +80,9 @@ pub fn audit_dataset(dataset: &FailureDataset) -> AuditReport {
         tickets: dataset.tickets(),
         events: dataset.events(),
         telemetry: dataset.telemetry(),
-    })
+    });
+    count_findings(&report);
+    report
 }
 
 /// Audits unvalidated raw dataset parts.
@@ -89,7 +92,8 @@ pub fn audit_dataset(dataset: &FailureDataset) -> AuditReport {
 /// no validation or canonicalization, so sortedness and referential rules are
 /// evaluated against the file exactly as written.
 pub fn audit_raw(parts: &RawDatasetParts) -> AuditReport {
-    rules::run(&rules::View {
+    let _span = dcfail_obs::span("audit.raw");
+    let report = rules::run(&rules::View {
         horizon: parts.horizon,
         machines: &parts.machines,
         topology: &parts.topology,
@@ -97,5 +101,18 @@ pub fn audit_raw(parts: &RawDatasetParts) -> AuditReport {
         tickets: &parts.tickets,
         events: &parts.events,
         telemetry: &parts.telemetry,
-    })
+    });
+    count_findings(&report);
+    report
+}
+
+/// Feeds one audit run's finding counts into the metrics layer.
+fn count_findings(report: &AuditReport) {
+    if !dcfail_obs::enabled() {
+        return;
+    }
+    dcfail_obs::add("audit.runs", 1);
+    dcfail_obs::add("audit.findings.error", report.error_count() as u64);
+    dcfail_obs::add("audit.findings.warn", report.warn_count() as u64);
+    dcfail_obs::add("audit.findings.info", report.info_count() as u64);
 }

@@ -418,6 +418,7 @@ struct RecEvent {
 /// Returns [`RecoverError`] if the recovered parts still fail dataset
 /// validation — which the robustness suite treats as a bug in this pass.
 pub fn recover_raw(parts: &RawDatasetParts) -> Result<Recovered, RecoverError> {
+    let _span = dcfail_obs::span("audit.recover");
     let mut report = DegradationReport {
         machines_seen: parts.machines.len(),
         incidents_seen: parts.incidents.len(),
@@ -486,6 +487,12 @@ pub fn recover_raw(parts: &RawDatasetParts) -> Result<Recovered, RecoverError> {
     builder.telemetry(telemetry);
 
     let dataset = builder.try_build().map_err(RecoverError)?;
+    if dcfail_obs::enabled() {
+        dcfail_obs::add("audit.recover.runs", 1);
+        dcfail_obs::add("audit.recover.rules_fired", report.actions.len() as u64);
+        dcfail_obs::add("audit.recover.repaired", report.records_repaired() as u64);
+        dcfail_obs::add("audit.recover.dropped", report.records_dropped() as u64);
+    }
     Ok(Recovered { dataset, report })
 }
 

@@ -2,10 +2,12 @@
 //! (DSN 2014) from a fresh simulation.
 //!
 //! ```text
-//! repro [--scale S] [--seed N] [--classify] [--csv DIR] [all | ablate | <id>...]
+//! repro [--scale S] [--seed N] [--classify] [--csv DIR] [--metrics OUT.json]
+//!       [all | ablate | <id>...]
 //! repro audit [--json] [--lenient] [--dataset FILE.json | --machines M.csv --events E.csv]
 //! repro chaos [--seed N] [--scale S] [--rate R] [--smoke]
 //! repro bench [--seed N] [--scale S] [--json] [--smoke]
+//! repro metrics [--seed N] [--scale S] [--json] [--smoke] [--metrics OUT.json]
 //! ```
 //!
 //! * `all` (default) — run every artifact in paper order.
@@ -29,10 +31,18 @@
 //!   seed/scale and write `BENCH_<git-short-sha>.json` (wall-clock ms,
 //!   thread count, dataset sizes). `--json` also prints the report to
 //!   stdout; `--smoke` caps the scale for CI.
+//! * `metrics` — run the full pipeline (synth → audit → chaos + recovery →
+//!   classification → every report runner) under an enabled `dcfail-obs`
+//!   collection window and print the aggregated span/counter/histogram tree.
+//!   `--json` prints the schema-versioned JSON export instead; `--smoke`
+//!   validates the export (schema version, every pipeline stage span
+//!   present, disabled-path overhead under 2%) and exits nonzero otherwise.
 //! * `<id>` — one or more of `table1..table7`, `fig1..fig10`.
 //! * `--classify` — re-label events with a freshly trained k-means pipeline
 //!   (instead of the simulator's monitor labels) before analyzing.
 //! * `--csv DIR` — also write each artifact's CSV series under `DIR`.
+//! * `--metrics OUT.json` — with any subcommand: collect metrics while the
+//!   command runs and write the JSON export to `OUT.json` on the way out.
 
 use dcfail_audit::import;
 use dcfail_audit::recover::recover_raw;
@@ -47,6 +57,7 @@ use dcfail_synth::Scenario;
 use dcfail_tickets::classify::{apply_to_dataset, PipelineConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 // CLI flags are naturally independent booleans.
 #[allow(clippy::struct_excessive_bools)]
@@ -59,6 +70,7 @@ struct Options {
     smoke: bool,
     csv_dir: Option<PathBuf>,
     json: bool,
+    metrics_path: Option<PathBuf>,
     dataset_json: Option<PathBuf>,
     machines_csv: Option<PathBuf>,
     events_csv: Option<PathBuf>,
@@ -75,6 +87,7 @@ fn parse_args() -> Result<Options, String> {
         smoke: false,
         csv_dir: None,
         json: false,
+        metrics_path: None,
         dataset_json: None,
         machines_csv: None,
         events_csv: None,
@@ -106,6 +119,10 @@ fn parse_args() -> Result<Options, String> {
                 opts.csv_dir = Some(PathBuf::from(v));
             }
             "--json" => opts.json = true,
+            "--metrics" => {
+                let v = args.next().ok_or("--metrics needs an output file")?;
+                opts.metrics_path = Some(PathBuf::from(v));
+            }
             "--dataset" => {
                 let v = args.next().ok_or("--dataset needs a file")?;
                 opts.dataset_json = Some(PathBuf::from(v));
@@ -121,11 +138,13 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: repro [--scale S] [--seed N] [--classify] [--csv DIR] \
-                            [all | ablate | <id>...]\n       \
+                            [--metrics OUT.json] [all | ablate | <id>...]\n       \
                      repro audit [--json] [--lenient] [--dataset FILE.json | \
                             --machines M.csv --events E.csv]\n       \
                      repro chaos [--seed N] [--scale S] [--rate R] [--smoke]\n       \
-                     repro bench [--seed N] [--scale S] [--json] [--smoke]"
+                     repro bench [--seed N] [--scale S] [--json] [--smoke]\n       \
+                     repro metrics [--seed N] [--scale S] [--json] [--smoke] \
+                            [--metrics OUT.json]"
                         .into(),
                 )
             }
@@ -356,18 +375,6 @@ fn run_ablate(opts: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Short git revision of the working tree, or `"unknown"` outside a repo
-/// (export tarballs, vendored checkouts).
-fn git_short_sha() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|out| out.status.success())
-        .and_then(|out| String::from_utf8(out.stdout).ok())
-        .map_or_else(|| "unknown".into(), |s| s.trim().to_string())
-}
-
 /// Runs the `bench` subcommand: time the build and every report runner,
 /// write `BENCH_<git-short-sha>.json`, and print a summary.
 fn run_bench(opts: &Options) -> Result<ExitCode, String> {
@@ -386,7 +393,7 @@ fn run_bench(opts: &Options) -> Result<ExitCode, String> {
         opts.seed,
         dcfail_par::thread_count()
     );
-    let report = dcfail_bench::timing::measure(git_short_sha(), opts.seed, scale);
+    let report = dcfail_bench::timing::measure(None, opts.seed, scale);
     let json = serde_json::to_string_pretty(&report)
         .map_err(|e| format!("cannot serialize bench report: {e}"))?;
     let path = PathBuf::from(format!("BENCH_{}.json", report.git));
@@ -405,6 +412,181 @@ fn run_bench(opts: &Options) -> Result<ExitCode, String> {
         );
     }
     eprintln!("bench report written to {}", path.display());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Measures the disabled-path cost of the metrics layer: nanoseconds per
+/// inert `span` + `add` call while no collection window is active. This is
+/// what every instrumented hot path pays when `repro` runs without
+/// `--metrics` — the layer's contract is that it stays negligible (<2% of
+/// pipeline wall-clock).
+fn disabled_ns_per_call() -> f64 {
+    use std::hint::black_box;
+    const CALLS: u32 = 1_000_000;
+    assert!(
+        !dcfail_obs::enabled(),
+        "overhead probe must run outside a collection window"
+    );
+    let start = Instant::now();
+    for _ in 0..CALLS {
+        let span = dcfail_obs::span(black_box("overhead.probe"));
+        dcfail_obs::add(black_box("overhead.probe"), black_box(1));
+        drop(black_box(span));
+    }
+    start.elapsed().as_secs_f64() * 1e9 / (2.0 * f64::from(CALLS))
+}
+
+/// Span leaves (`has_stage` names) every full-pipeline metrics run must
+/// record; the smoke gate fails if any is missing.
+const REQUIRED_STAGES: &[&str] = &[
+    // synth
+    "synth.build",
+    "population",
+    "placement",
+    "telemetry",
+    "incidents",
+    "assemble",
+    "tickets",
+    // audit + recovery
+    "audit.dataset",
+    "audit.recover",
+    // chaos
+    "chaos.inject",
+    // ticket classification
+    "classify",
+    "tokenize",
+    "tfidf.fit",
+    "tfidf.transform",
+    "kmeans",
+    "manual_label",
+    // stats
+    "stats.bootstrap",
+    // report fan-outs
+    "report.run_all",
+    "report.extras",
+];
+
+/// Runs the `metrics` subcommand: exercise the full pipeline under an
+/// enabled collection window, print (or write) the aggregated report, and —
+/// with `--smoke` — validate the export and the disabled-path overhead.
+fn run_metrics(opts: &Options) -> Result<ExitCode, String> {
+    // Same scale policy as `bench`: smoke stays small for CI, the untouched
+    // default drops to something that finishes quickly, explicit wins.
+    let scale = if opts.smoke {
+        opts.scale.min(0.05)
+    } else if opts.scale == 1.0 {
+        0.2
+    } else {
+        opts.scale
+    };
+
+    // The disabled-cost probe must run before the window opens.
+    let per_call_ns = disabled_ns_per_call();
+
+    let handle =
+        dcfail_obs::ObsHandle::install().ok_or("another metrics collection window is active")?;
+    eprintln!(
+        "metrics: tracing full pipeline (seed {}, scale {scale}, {} threads) ...",
+        opts.seed,
+        dcfail_par::thread_count()
+    );
+    let wall = Instant::now();
+
+    let mut dataset = Scenario::paper()
+        .seed(opts.seed)
+        .scale(scale)
+        .build()
+        .into_dataset();
+    let audit = dcfail_audit::audit_dataset(&dataset);
+    if !audit.is_clean() {
+        return Err("metrics: generated dataset failed audit".into());
+    }
+
+    // Chaos + quarantine-and-recover, on a copy of the trace.
+    let plan = InjectionPlan::uniform(opts.seed, opts.rate);
+    let (parts, _log) = inject(&dataset, &plan);
+    let _recovered = recover_raw(&parts).map_err(|e| format!("recovery failed: {e}"))?;
+
+    // Ticket classification.
+    let mut rng = StreamRng::new(opts.seed ^ 0x7ea).fork("repro.classify");
+    let _classification = apply_to_dataset(&mut dataset, PipelineConfig::default(), &mut rng);
+
+    // Every report runner: paper artifacts + extension reports.
+    let _all = dcfail_report::experiments::run_all(&dataset);
+    let _extras = dcfail_report::extras::run_all(&dataset, opts.seed);
+
+    let wall_ns = wall.elapsed().as_secs_f64() * 1e9;
+    let report = handle.finish();
+
+    // Upper-bound estimate of what the *disabled* layer would have cost this
+    // run: two inert calls per span closure (open + drop), one per histogram
+    // sample, one per counter. Counter totals aggregate an unknown number of
+    // add() calls, so span closures dominate the estimate by construction.
+    let instrumented_calls = report.spans.iter().map(|s| s.count * 2).sum::<u64>()
+        + report
+            .histograms
+            .iter()
+            .map(|h| h.count as u64)
+            .sum::<u64>()
+        + report.counters.len() as u64;
+    let overhead_pct = instrumented_calls as f64 * per_call_ns / wall_ns * 100.0;
+
+    if opts.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    eprintln!(
+        "disabled-path cost: {per_call_ns:.1} ns/call x {instrumented_calls} calls \
+         = {overhead_pct:.3}% of {:.0} ms wall-clock",
+        wall_ns / 1e6
+    );
+    if let Some(path) = &opts.metrics_path {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("metrics written to {}", path.display());
+    }
+
+    if opts.smoke {
+        if report.schema_version != dcfail_obs::SCHEMA_VERSION {
+            return Err(format!(
+                "metrics smoke FAILED: schema version {} != {}",
+                report.schema_version,
+                dcfail_obs::SCHEMA_VERSION
+            ));
+        }
+        let mut missing: Vec<&str> = REQUIRED_STAGES
+            .iter()
+            .copied()
+            .filter(|stage| !report.has_stage(stage))
+            .collect();
+        missing.extend(
+            ExperimentId::ALL
+                .iter()
+                .map(|id| id.key())
+                .filter(|key| !report.has_stage(&format!("report.{key}"))),
+        );
+        if !missing.is_empty() {
+            return Err(format!(
+                "metrics smoke FAILED: missing stage spans: {}",
+                missing.join(", ")
+            ));
+        }
+        if report.counter("par.jobs").unwrap_or(0) == 0 {
+            return Err("metrics smoke FAILED: no par.jobs counter".into());
+        }
+        if overhead_pct >= 2.0 {
+            return Err(format!(
+                "metrics smoke FAILED: disabled-path overhead {overhead_pct:.2}% >= 2%"
+            ));
+        }
+        println!(
+            "metrics smoke: OK ({} spans, {} counters, {} histograms, overhead {overhead_pct:.3}%)",
+            report.spans.len(),
+            report.counters.len(),
+            report.histograms.len()
+        );
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -477,21 +659,46 @@ fn run_experiments(opts: &Options) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn try_main() -> Result<ExitCode, String> {
-    let opts = parse_args()?;
+fn dispatch(opts: &Options) -> Result<ExitCode, String> {
     if opts.targets.iter().any(|t| t == "audit") {
-        return run_audit(&opts);
+        return run_audit(opts);
     }
     if opts.targets.iter().any(|t| t == "chaos") {
-        return run_chaos(&opts);
+        return run_chaos(opts);
     }
     if opts.targets.iter().any(|t| t == "ablate") {
-        return Ok(run_ablate(&opts));
+        return Ok(run_ablate(opts));
     }
     if opts.targets.iter().any(|t| t == "bench") {
-        return run_bench(&opts);
+        return run_bench(opts);
     }
-    run_experiments(&opts)
+    run_experiments(opts)
+}
+
+fn try_main() -> Result<ExitCode, String> {
+    let opts = parse_args()?;
+    if opts.targets.iter().any(|t| t == "metrics") {
+        // `metrics` manages its own collection window (it also needs the
+        // disabled-cost probe to run before the window opens).
+        return run_metrics(&opts);
+    }
+    // `--metrics OUT.json` with any other command: collect while it runs,
+    // export on the way out (even when the command itself fails).
+    let handle = match &opts.metrics_path {
+        Some(_) => Some(
+            dcfail_obs::ObsHandle::install()
+                .ok_or("another metrics collection window is active")?,
+        ),
+        None => None,
+    };
+    let result = dispatch(&opts);
+    if let (Some(handle), Some(path)) = (handle, &opts.metrics_path) {
+        let report = handle.finish();
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("metrics written to {}", path.display());
+    }
+    result
 }
 
 fn main() -> ExitCode {

@@ -9,6 +9,7 @@
 use dcfail_report::experiments::{run, run_all, ExperimentId};
 use dcfail_synth::Scenario;
 use serde::Serialize;
+use std::path::Path;
 use std::time::Instant;
 
 /// Wall-clock milliseconds of one report runner, run in isolation.
@@ -23,7 +24,7 @@ pub struct RunnerTiming {
 /// One `repro bench` run: configuration, dataset sizes, and timings.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchReport {
-    /// Short git revision of the workspace, or `"unknown"` outside a repo.
+    /// Short git revision of the workspace, or `"nogit"` outside a repo.
     pub git: String,
     /// Scenario seed.
     pub seed: u64,
@@ -51,9 +52,34 @@ fn ms_since(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
 }
 
+/// Short git revision of the current working directory, or `"nogit"` when
+/// the tree is not a git checkout (export tarballs, vendored checkouts) or
+/// git itself is unavailable.
+pub fn git_revision() -> String {
+    git_revision_in(Path::new("."))
+}
+
+/// Like [`git_revision`], resolved against `dir`. Any failure — no git
+/// binary, no repository, unreadable output — yields `"nogit"` rather than
+/// an error: the revision only labels the report file.
+pub fn git_revision_in(dir: &Path) -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(dir)
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map_or_else(|| "nogit".into(), |s| s.trim().to_string())
+}
+
 /// Builds the paper scenario at `seed`/`scale` and times the build plus every
-/// report runner. `git` is stamped into the report verbatim.
-pub fn measure(git: String, seed: u64, scale: f64) -> BenchReport {
+/// report runner. `git` is stamped into the report verbatim; `None` resolves
+/// the working tree's revision via [`git_revision`] (falling back to
+/// `"nogit"` outside a checkout).
+pub fn measure(git: Option<String>, seed: u64, scale: f64) -> BenchReport {
+    let _span = dcfail_obs::span("bench.measure");
+    let git = git.unwrap_or_else(git_revision);
     let start = Instant::now();
     let dataset = Scenario::paper()
         .seed(seed)
@@ -102,8 +128,16 @@ mod tests {
     use super::*;
 
     #[test]
+    fn git_revision_falls_back_outside_a_checkout() {
+        // A directory that cannot exist: spawning git there fails, which is
+        // exactly the "not a checkout" path.
+        let rev = git_revision_in(Path::new("/nonexistent/definitely/not/a/repo"));
+        assert_eq!(rev, "nogit");
+    }
+
+    #[test]
     fn measure_covers_every_runner() {
-        let report = measure("test".into(), 3, 0.02);
+        let report = measure(Some("test".into()), 3, 0.02);
         assert_eq!(report.runners.len(), ExperimentId::ALL.len());
         assert!(report.machines > 0 && report.events > 0);
         assert!(report.build_ms > 0.0 && report.report_ms > 0.0);

@@ -125,6 +125,7 @@ pub fn inject(dataset: &FailureDataset, plan: &InjectionPlan) -> (RawDatasetPart
 /// Every corruption stage draws from its own forked random stream, so the
 /// realized damage of one stage is independent of the rates of the others.
 pub fn inject_raw(parts: &mut RawDatasetParts, plan: &InjectionPlan) -> InjectionLog {
+    let _span = dcfail_obs::span("chaos.inject");
     let root = StreamRng::new(plan.seed).fork("chaos");
     let mut log = InjectionLog::default();
 
@@ -137,7 +138,36 @@ pub fn inject_raw(parts: &mut RawDatasetParts, plan: &InjectionPlan) -> Injectio
     orphan_placements(parts, plan, &root, &mut log);
     thin_telemetry(parts, plan, &root, &mut log);
 
+    count_injections(&log);
     log
+}
+
+/// Feeds one injection run's realized damage into the metrics layer, one
+/// counter per corruption type plus the total.
+fn count_injections(log: &InjectionLog) {
+    if !dcfail_obs::enabled() {
+        return;
+    }
+    dcfail_obs::add("chaos.corruptions", log.total() as u64);
+    let by_type: [(&'static str, usize); 12] = [
+        ("chaos.skewed_events", log.skewed_events),
+        ("chaos.truncated_repairs", log.truncated_repairs),
+        ("chaos.mislabeled_events", log.mislabeled_events),
+        ("chaos.duplicated_events", log.duplicated_events),
+        ("chaos.dropped_events", log.dropped_events),
+        ("chaos.displaced_events", log.displaced_events),
+        ("chaos.orphaned_vms", log.orphaned_vms),
+        ("chaos.dropped_usage_series", log.dropped_usage_series),
+        ("chaos.truncated_usage_series", log.truncated_usage_series),
+        ("chaos.dropped_onoff_logs", log.dropped_onoff_logs),
+        ("chaos.dropped_consolidation", log.dropped_consolidation),
+        ("chaos.garbled_csv_rows", log.garbled_csv_rows),
+    ];
+    for (name, n) in by_type {
+        if n > 0 {
+            dcfail_obs::add(name, n as u64);
+        }
+    }
 }
 
 /// Corrupts a dataset serialized as JSON, returning the corrupted JSON.

@@ -98,16 +98,26 @@ pub fn analyze(dataset: &FailureDataset) -> Option<AgeAnalysis> {
         .filter(|ev| dataset.machine(ev.machine()).is_vm())
         .count();
 
-    let max_age = ages.iter().copied().fold(0.0f64, f64::max).max(1.0);
-    let uniform = Uniform::new(0.0, max_age + 1e-9).expect("valid range");
+    // The plot range ends exactly at the oldest observed failure age. The
+    // old code padded the range with `+ 1e-9` so the half-open histogram
+    // would not misfile that defining observation — the right-closed add
+    // handles it exactly instead. A sample with no age spread (all ages 0)
+    // has no density/CDF to analyze, so it is reported as "not enough data".
+    let max_age = ages.iter().copied().fold(0.0f64, f64::max);
+    if max_age <= 0.0 {
+        return None;
+    }
+    let uniform = Uniform::new(0.0, max_age).expect("valid range");
     let uniform_ks = ks_test(&ages, &uniform).ok()?;
 
-    let mut hist = Histogram::new(0.0, max_age + 1e-9, 20);
-    hist.extend(ages.iter().copied());
+    let mut hist = Histogram::new(0.0, max_age, 20);
+    for &age in &ages {
+        hist.add_right_closed(age);
+    }
     let density = hist.density();
     let trend_slope = least_squares_slope(&density);
 
-    let exposure = exposure_days(dataset, 20, max_age + 1e-9);
+    let exposure = exposure_days(dataset, 20, max_age);
     let hazard_by_age: Vec<(f64, f64)> = hist
         .counts()
         .iter()

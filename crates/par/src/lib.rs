@@ -20,16 +20,26 @@
 //! Thread count resolution, in priority order:
 //! 1. an explicit override installed via [`set_thread_override`] (used by
 //!    determinism tests to pin a count without touching the environment);
-//! 2. the `DCFAIL_THREADS` environment variable (re-read on every call);
+//! 2. the `DCFAIL_THREADS` environment variable (resolved **once per
+//!    process** — a zero or unparsable value is reported through a
+//!    `dcfail-obs` warning and falls back to the default, instead of being
+//!    silently re-parsed and ignored on every call);
 //! 3. [`std::thread::available_parallelism`].
 //!
 //! A resolved count of `1` (or trivially small inputs) takes a plain
 //! sequential path with zero thread overhead.
+//!
+//! When `dcfail-obs` collection is enabled, every dispatch counts its jobs
+//! and items, and each worker reports its busy and idle wall-clock time as
+//! `par.worker.busy_ms` / `par.worker.idle_ms` histograms — the utilization
+//! view behind `repro metrics`. With collection disabled the entire layer
+//! costs one relaxed atomic load per dispatch.
 
 #![forbid(unsafe_code)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Environment variable controlling the worker thread count.
 pub const THREADS_ENV: &str = "DCFAIL_THREADS";
@@ -55,23 +65,38 @@ pub fn set_thread_override(threads: Option<usize>) {
     THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
 }
 
-/// Resolves the worker thread count: override, then `DCFAIL_THREADS`, then
-/// available parallelism. Invalid or zero values fall back to the default;
-/// the result is always at least 1.
+/// `DCFAIL_THREADS` as resolved once at first use; `None` when unset or
+/// invalid. An invalid value (zero, garbage) used to be silently re-parsed
+/// and ignored on every call — now it is resolved once and reported as an
+/// explicit `dcfail-obs` warning, so a typo'd environment cannot quietly
+/// run the whole process on the default count.
+fn env_threads() -> Option<usize> {
+    static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV_THREADS.get_or_init(|| {
+        let raw = std::env::var(THREADS_ENV).ok()?;
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                dcfail_obs::warn(format!(
+                    "{THREADS_ENV}='{raw}' is not a positive thread count; \
+                     falling back to available parallelism"
+                ));
+                None
+            }
+        }
+    })
+}
+
+/// Resolves the worker thread count: override, then `DCFAIL_THREADS`
+/// (resolved once per process), then available parallelism. Invalid or zero
+/// values fall back to the default; the result is always at least 1.
 #[must_use]
 pub fn thread_count() -> usize {
     let over = THREAD_OVERRIDE.load(Ordering::SeqCst);
     if over > 0 {
         return over;
     }
-    if let Ok(raw) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    default_threads()
+    env_threads().unwrap_or_else(default_threads)
 }
 
 fn default_threads() -> usize {
@@ -90,7 +115,15 @@ where
     F: Fn(usize) -> U + Sync,
 {
     let threads = thread_count();
+    let obs_on = dcfail_obs::enabled();
+    if obs_on {
+        dcfail_obs::add("par.jobs", 1);
+        dcfail_obs::add("par.items", n as u64);
+    }
     if threads <= 1 || n < MIN_PARALLEL {
+        if obs_on {
+            dcfail_obs::add("par.sequential_jobs", 1);
+        }
         return (0..n).map(f).collect();
     }
     let threads = threads.min(n);
@@ -98,20 +131,41 @@ where
     // keeping per-chunk bookkeeping negligible.
     let chunk = n.div_ceil(threads * 4).max(1);
     let num_chunks = n.div_ceil(chunk);
+    if obs_on {
+        dcfail_obs::add("par.chunks", num_chunks as u64);
+    }
     let slots: Vec<Mutex<Option<Vec<U>>>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let c = next.fetch_add(1, Ordering::Relaxed);
-                if c >= num_chunks {
-                    break;
+            scope.spawn(|| {
+                // Utilization accounting only runs under an active metrics
+                // window; the disabled path never reads the clock.
+                let spawned = obs_on.then(Instant::now);
+                let mut busy = Duration::ZERO;
+                loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= num_chunks {
+                        break;
+                    }
+                    let t0 = obs_on.then(Instant::now);
+                    let start = c * chunk;
+                    let end = (start + chunk).min(n);
+                    let out: Vec<U> = (start..end).map(&f).collect();
+                    let mut slot = slots[c].lock().expect("dcfail-par: worker panicked");
+                    *slot = Some(out);
+                    if let Some(t0) = t0 {
+                        busy += t0.elapsed();
+                    }
                 }
-                let start = c * chunk;
-                let end = (start + chunk).min(n);
-                let out: Vec<U> = (start..end).map(&f).collect();
-                let mut slot = slots[c].lock().expect("dcfail-par: worker panicked");
-                *slot = Some(out);
+                if let Some(spawned) = spawned {
+                    let lifetime = spawned.elapsed();
+                    dcfail_obs::observe("par.worker.busy_ms", busy.as_secs_f64() * 1e3);
+                    dcfail_obs::observe(
+                        "par.worker.idle_ms",
+                        lifetime.saturating_sub(busy).as_secs_f64() * 1e3,
+                    );
+                }
             });
         }
     });
@@ -190,5 +244,25 @@ mod tests {
     #[test]
     fn thread_count_is_at_least_one() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn metrics_window_sees_jobs_and_worker_utilization() {
+        let Some(handle) = dcfail_obs::ObsHandle::install() else {
+            // Another test in this process holds the (exclusive) handle;
+            // the instrumentation itself is covered wherever it won.
+            return;
+        };
+        set_thread_override(Some(4));
+        let out = par_map_index(64, |i| i * 2);
+        set_thread_override(None);
+        let report = handle.finish();
+        assert_eq!(out[63], 126);
+        assert!(report.counter("par.jobs").unwrap_or(0) >= 1);
+        assert!(report.counter("par.items").unwrap_or(0) >= 64);
+        assert!(report.counter("par.chunks").unwrap_or(0) >= 1);
+        let busy = report.histogram("par.worker.busy_ms").expect("busy series");
+        assert_eq!(busy.count, 4, "one busy sample per worker");
+        assert!(report.histogram("par.worker.idle_ms").is_some());
     }
 }

@@ -1,0 +1,37 @@
+//! `DCFAIL_THREADS` resolution semantics: the variable is read once per
+//! process, and an invalid value is an explicit obs warning plus a fallback
+//! to the default — never a silent ignore.
+//!
+//! This lives in its own integration-test binary (one test) because the
+//! resolution is process-global: the variable must be set before the first
+//! `thread_count()` call of the process, with no other test racing it.
+
+#[test]
+fn garbage_env_value_warns_once_and_falls_back() {
+    std::env::set_var(dcfail_par::THREADS_ENV, "zero-ish");
+    let resolved = dcfail_par::thread_count();
+    assert!(resolved >= 1);
+
+    // Resolved once: later mutations of the environment change nothing.
+    std::env::set_var(dcfail_par::THREADS_ENV, "3");
+    assert_eq!(dcfail_par::thread_count(), resolved);
+
+    // The bad value surfaced as an obs warning (recorded even though no
+    // metrics window was active when it was parsed).
+    let handle = dcfail_obs::ObsHandle::install().expect("no competing handle");
+    let report = handle.finish();
+    assert!(
+        report
+            .warnings
+            .iter()
+            .any(|w| w.contains(dcfail_par::THREADS_ENV) && w.contains("zero-ish")),
+        "warnings: {:?}",
+        report.warnings
+    );
+
+    // The test-only override still wins over everything.
+    dcfail_par::set_thread_override(Some(5));
+    assert_eq!(dcfail_par::thread_count(), 5);
+    dcfail_par::set_thread_override(None);
+    assert_eq!(dcfail_par::thread_count(), resolved);
+}

@@ -132,6 +132,7 @@ impl FromStr for ExperimentId {
 
 /// Runs one experiment against a dataset.
 pub fn run(id: ExperimentId, dataset: &FailureDataset) -> Rendered {
+    let _span = dcfail_obs::span_labeled("report", id.key());
     match id {
         ExperimentId::Table1 => runners::table1(),
         ExperimentId::Table2 => runners::table2(dataset),
@@ -157,6 +158,7 @@ pub fn run(id: ExperimentId, dataset: &FailureDataset) -> Rendered {
 /// read-only over the dataset, so they fan out across threads; the result
 /// vector is in paper order regardless of schedule.
 pub fn run_all(dataset: &FailureDataset) -> Vec<(ExperimentId, Rendered)> {
+    let _span = dcfail_obs::span("report.run_all");
     dcfail_par::par_map(&ExperimentId::ALL, |_, &id| (id, run(id, dataset)))
 }
 

@@ -286,16 +286,22 @@ the post-failure hazard decays over ~a week — Table V's burst, resolved in tim
 /// over the dataset, so they fan out across threads; results come back in
 /// the fixed runner order regardless of schedule.
 pub fn run_all(dataset: &FailureDataset, seed: u64) -> Vec<Rendered> {
-    let runners: [&(dyn Fn() -> Rendered + Sync); 7] = [
-        &|| availability_report(dataset),
-        &|| censored_interfailure_report(dataset),
-        &|| rate_confidence_report(dataset, seed),
-        &|| prediction_report(dataset),
-        &|| whatif_report(dataset),
-        &|| followon_report(dataset),
-        &|| temporal_report(dataset),
+    let _span = dcfail_obs::span("report.extras");
+    let runners: [(&str, &(dyn Fn() -> Rendered + Sync)); 7] = [
+        ("availability", &|| availability_report(dataset)),
+        ("censored_interfailure", &|| {
+            censored_interfailure_report(dataset)
+        }),
+        ("rate_confidence", &|| rate_confidence_report(dataset, seed)),
+        ("prediction", &|| prediction_report(dataset)),
+        ("whatif", &|| whatif_report(dataset)),
+        ("followon", &|| followon_report(dataset)),
+        ("temporal", &|| temporal_report(dataset)),
     ];
-    dcfail_par::par_map(&runners, |_, run| run())
+    dcfail_par::par_map(&runners, |_, (name, run)| {
+        let _s = dcfail_obs::span_labeled("report.extra", name);
+        run()
+    })
 }
 
 #[cfg(test)]

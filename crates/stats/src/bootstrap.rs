@@ -73,6 +73,11 @@ pub fn bootstrap_ci(
             value: 0.0,
         });
     }
+    let _span = dcfail_obs::span("stats.bootstrap");
+    if dcfail_obs::enabled() {
+        dcfail_obs::add("stats.bootstrap.resamples", resamples as u64);
+        dcfail_obs::add("stats.bootstrap.forks", resamples as u64);
+    }
     let estimate = statistic(data);
     let mut stats = dcfail_par::par_map_index(resamples, |i| {
         let mut stream = rng.fork_index("bootstrap.resample", i as u64);

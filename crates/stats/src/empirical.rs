@@ -30,13 +30,20 @@ pub struct Summary {
 impl Summary {
     /// Computes summary statistics of `data`.
     ///
-    /// Returns `None` for an empty sample.
+    /// NaN observations carry no ordering or magnitude information and would
+    /// otherwise poison every field (a NaN mean, a NaN max); they are
+    /// dropped, with the drop count exposed through the
+    /// `stats.summary.nan_dropped` obs counter. Returns `None` for an empty
+    /// (or all-NaN) sample; `n` counts the observations actually used.
     pub fn of(data: &[f64]) -> Option<Self> {
-        if data.is_empty() {
+        let mut sorted: Vec<f64> = data.iter().copied().filter(|x| !x.is_nan()).collect();
+        let dropped = data.len() - sorted.len();
+        if dropped > 0 {
+            dcfail_obs::add("stats.summary.nan_dropped", dropped as u64);
+        }
+        if sorted.is_empty() {
             return None;
         }
-        let mut sorted: Vec<f64> = data.to_vec();
-        // total_cmp: NaN sorts after +inf instead of panicking mid-sort.
         sorted.sort_unstable_by(f64::total_cmp);
         let n = sorted.len();
         let mean = sorted.iter().sum::<f64>() / n as f64;
@@ -66,23 +73,40 @@ impl Summary {
 /// Quantile of already-sorted data with linear interpolation (type 7, the
 /// R/NumPy default).
 ///
+/// `total_cmp` ordering places negative-sign NaNs before `-inf` and
+/// positive-sign NaNs after `+inf`, so in a sorted slice NaNs can only sit
+/// at the two ends — where they used to silently poison `p100` and every
+/// interpolated upper quantile. They are now excluded, with the excluded
+/// count exposed through the `stats.quantile.nan_dropped` obs counter.
+///
 /// # Panics
 ///
-/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+/// Panics if `sorted` has no non-NaN values or `q` is outside `[0, 1]`.
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty(), "quantile of empty sample");
     assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
-    let h = (sorted.len() - 1) as f64 * q;
+    let lead = sorted.iter().take_while(|x| x.is_nan()).count();
+    let trail = sorted[lead..]
+        .iter()
+        .rev()
+        .take_while(|x| x.is_nan())
+        .count();
+    if lead + trail > 0 {
+        dcfail_obs::add("stats.quantile.nan_dropped", (lead + trail) as u64);
+    }
+    let clean = &sorted[lead..sorted.len() - trail];
+    assert!(!clean.is_empty(), "quantile of empty sample (all NaN?)");
+    let h = (clean.len() - 1) as f64 * q;
     let lo = h.floor() as usize;
     let hi = h.ceil() as usize;
-    sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    clean[lo] + (h - lo as f64) * (clean[hi] - clean[lo])
 }
 
-/// Quantile of unsorted data (sorts a copy; NaN values sort last).
+/// Quantile of unsorted data (sorts a copy; NaN values are excluded, see
+/// [`quantile_sorted`]).
 ///
 /// # Panics
 ///
-/// Panics if `data` is empty or `q` is outside `[0, 1]`.
+/// Panics if `data` has no non-NaN values or `q` is outside `[0, 1]`.
 pub fn quantile(data: &[f64], q: f64) -> f64 {
     let mut sorted = data.to_vec();
     sorted.sort_unstable_by(f64::total_cmp);
@@ -196,6 +220,22 @@ impl Histogram {
         self.total += 1;
     }
 
+    /// Adds one observation, treating the range as right-closed `[lo, hi]`:
+    /// `x == hi` lands in the last bin instead of counting as an outlier.
+    ///
+    /// Use this when `hi` was derived from the sample maximum itself (e.g.
+    /// machine-age histograms ranged to the oldest machine), where the
+    /// half-open convention would misfile the defining observation.
+    pub fn add_right_closed(&mut self, x: f64) {
+        if x == self.hi {
+            let last = self.counts.len() - 1;
+            self.counts[last] += 1;
+            self.total += 1;
+            return;
+        }
+        self.add(x);
+    }
+
     /// Adds many observations.
     pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
         for x in xs {
@@ -295,6 +335,59 @@ mod tests {
     }
 
     #[test]
+    fn quantile_drops_nan_instead_of_poisoning_p100() {
+        // Before the fix, total_cmp sorted the NaN after +inf and p100 (and
+        // every interpolated upper quantile) came back NaN.
+        let data = [1.0, f64::NAN, 3.0, 2.0];
+        assert_eq!(quantile(&data, 1.0), 3.0);
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 0.5), 2.0);
+        // Negative-sign NaNs sort *before* -inf under total_cmp; both ends
+        // must be trimmed.
+        let mixed = [-f64::NAN, 5.0, f64::NAN];
+        assert_eq!(quantile(&mixed, 0.5), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn quantile_of_all_nan_panics() {
+        let _ = quantile(&[f64::NAN, f64::NAN], 0.5);
+    }
+
+    #[test]
+    fn summary_filters_nan() {
+        let s = Summary::of(&[4.0, f64::NAN, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.max, 4.0);
+        assert!(Summary::of(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn nan_drops_are_counted_when_metrics_enabled() {
+        let Some(handle) = dcfail_obs::ObsHandle::install() else {
+            return; // another test holds the exclusive handle
+        };
+        let _ = quantile(&[1.0, f64::NAN, 2.0], 0.5);
+        let _ = Summary::of(&[f64::NAN, 7.0]);
+        let report = handle.finish();
+        assert_eq!(report.counter("stats.quantile.nan_dropped"), Some(1));
+        assert_eq!(report.counter("stats.summary.nan_dropped"), Some(1));
+    }
+
+    #[test]
+    fn obs_histogram_percentiles_agree_with_quantile_sorted() {
+        // dcfail-obs duplicates the type-7 quantile (it sits below this
+        // crate in the dependency graph); this pins the two in agreement.
+        let mut sorted: Vec<f64> = (0..97).map(|i| f64::from(i) * 1.37 % 11.0).collect();
+        sorted.sort_unstable_by(f64::total_cmp);
+        let m = dcfail_obs::HistogramMetric::from_sorted("x".to_string(), &sorted);
+        assert_eq!(m.p50, quantile_sorted(&sorted, 0.50));
+        assert_eq!(m.p95, quantile_sorted(&sorted, 0.95));
+        assert_eq!(m.p99, quantile_sorted(&sorted, 0.99));
+    }
+
+    #[test]
     fn ecdf_eval_and_quantile() {
         let e = Ecdf::new(&[1.0, 2.0, 2.0, 4.0]);
         assert_eq!(e.len(), 4);
@@ -332,6 +425,17 @@ mod tests {
         let dens = h.density();
         let integral: f64 = dens.iter().map(|(_, d)| d * 2.0).sum();
         assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn right_closed_add_puts_hi_in_last_bin() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.add_right_closed(10.0);
+        h.add_right_closed(9.9);
+        h.add_right_closed(10.1); // still an outlier
+        h.add_right_closed(f64::NAN); // still an outlier
+        assert_eq!(h.counts(), &[0, 0, 0, 0, 2]);
+        assert_eq!(h.outliers(), 2);
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub fn build(config: &ScenarioConfig, rng: &StreamRng) -> Population {
         }
 
         // Host boxes and VMs: draw box sizes until the VM budget is spent.
+        let placement_span = dcfail_obs::span("placement");
         let mut remaining = vm_count;
         while remaining > 0 {
             let size_class = rng.weighted(&BOX_SIZE_WEIGHTS);
@@ -93,6 +94,7 @@ pub fn build(config: &ScenarioConfig, rng: &StreamRng) -> Population {
             }
             remaining -= size;
         }
+        drop(placement_span);
 
         // Distributed application clusters within the subsystem.
         let mut pool: Vec<MachineId> = sys_members.clone();

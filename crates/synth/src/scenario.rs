@@ -85,11 +85,30 @@ impl Scenario {
             config_report.is_clean(),
             "scenario configuration failed audit:\n{config_report}"
         );
+        let _span = dcfail_obs::span("synth.build");
         let rng = StreamRng::new(config.seed);
-        let pop = population::build(config, &rng);
-        let telemetry = telemetry_gen::generate(config, &pop, &rng);
-        let specs = incidents::simulate(config, &pop, &telemetry, &rng);
-        let dataset = assemble(config, pop, telemetry, &specs, &rng);
+        let pop = {
+            let _s = dcfail_obs::span("population");
+            population::build(config, &rng)
+        };
+        let telemetry = {
+            let _s = dcfail_obs::span("telemetry");
+            telemetry_gen::generate(config, &pop, &rng)
+        };
+        let specs = {
+            let _s = dcfail_obs::span("incidents");
+            incidents::simulate(config, &pop, &telemetry, &rng)
+        };
+        let dataset = {
+            let _s = dcfail_obs::span("assemble");
+            assemble(config, pop, telemetry, &specs, &rng)
+        };
+        if dcfail_obs::enabled() {
+            dcfail_obs::add("synth.machines", dataset.machines().len() as u64);
+            dcfail_obs::add("synth.events", dataset.events().len() as u64);
+            dcfail_obs::add("synth.incidents", dataset.incidents().len() as u64);
+            dcfail_obs::add("synth.tickets", dataset.tickets().len() as u64);
+        }
         #[cfg(debug_assertions)]
         {
             let report = dcfail_audit::audit_dataset(&dataset);
@@ -155,6 +174,7 @@ fn assemble(
     }
 
     // Crash tickets + events from incident specs.
+    let tickets_span = dcfail_obs::span("tickets");
     let mut crash_per_sys = vec![0usize; num_sys];
     let mut rng_text = rng.fork("tickets.text");
     let mut rng_repair = rng.fork("tickets.repair");
@@ -228,6 +248,7 @@ fn assemble(
         }
     }
 
+    drop(tickets_span);
     builder.telemetry(telemetry);
     builder.build()
 }

@@ -228,23 +228,45 @@ pub fn classify(
     rng: &mut StreamRng,
 ) -> Classification {
     assert!(!tickets.is_empty(), "cannot classify an empty ticket set");
+    let _span = dcfail_obs::span("classify");
 
     // Vectorize description + resolution. Tokenization, TF-IDF transforms
     // and the rule-based manual labels are pure per-ticket maps, so they
     // fan out across threads with bit-identical results.
-    let docs: Vec<Vec<String>> = dcfail_par::par_map(tickets, |_, t| tokenize(&t.full_text()));
+    let docs: Vec<Vec<String>> = {
+        let _s = dcfail_obs::span("tokenize");
+        dcfail_par::par_map(tickets, |_, t| tokenize(&t.full_text()))
+    };
+    if dcfail_obs::enabled() {
+        dcfail_obs::add("classify.tickets", tickets.len() as u64);
+        dcfail_obs::add("classify.tokens", docs.iter().map(|d| d.len() as u64).sum());
+        // fit reads every document once; transform re-reads each once more.
+        dcfail_obs::add("classify.tfidf_passes", 2 * docs.len() as u64);
+    }
     let doc_refs: Vec<&[String]> = docs.iter().map(Vec::as_slice).collect();
-    let tfidf = TfIdf::fit(doc_refs.iter().copied(), config.min_df);
-    let vectors: Vec<Vec<f32>> = dcfail_par::par_map(&docs, |_, d| tfidf.transform(d));
+    let tfidf = {
+        let _s = dcfail_obs::span("tfidf.fit");
+        TfIdf::fit(doc_refs.iter().copied(), config.min_df)
+    };
+    let vectors: Vec<Vec<f32>> = {
+        let _s = dcfail_obs::span("tfidf.transform");
+        dcfail_par::par_map(&docs, |_, d| tfidf.transform(d))
+    };
 
     // Cluster.
     let k = config.k.min(tickets.len());
-    let km = KMeans::fit(&vectors, KMeansConfig::new(k), rng).expect("k <= number of tickets");
+    let km = {
+        let _s = dcfail_obs::span("kmeans");
+        KMeans::fit(&vectors, KMeansConfig::new(k), rng).expect("k <= number of tickets")
+    };
 
     // Manual labels for everything (used for cluster voting and accuracy).
-    let manual: Vec<FailureClass> = dcfail_par::par_map(tickets, |_, t| {
-        manual_label(t.description(), t.resolution())
-    });
+    let manual: Vec<FailureClass> = {
+        let _s = dcfail_obs::span("manual_label");
+        dcfail_par::par_map(tickets, |_, t| {
+            manual_label(t.description(), t.resolution())
+        })
+    };
 
     // Vote per cluster using a manually-inspected sample.
     let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];

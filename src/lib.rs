@@ -5,10 +5,15 @@
 //! of Virtual and Physical Machines"* (DSN 2014).
 //!
 //! See [`model`], [`stats`], [`synth`], [`tickets`], [`analysis`],
-//! [`report`], [`audit`], [`chaos`] and [`par`] for the individual
+//! [`report`], [`audit`], [`chaos`], [`par`] and [`obs`] for the individual
 //! subsystems. Hot paths run on the [`par`] deterministic parallel runtime:
 //! set `DCFAIL_THREADS` to pick the worker count (output is bit-identical
-//! at any setting; `1` is the sequential fallback).
+//! at any setting; `1` is the sequential fallback). The whole pipeline is
+//! instrumented through the [`obs`] tracing/metrics layer — install an
+//! [`obs::ObsHandle`] (or run `repro metrics`) to collect per-stage span
+//! timings, counters and worker-utilization histograms; when no window is
+//! active the instrumentation costs one relaxed atomic load per call and
+//! never changes analysis output.
 //!
 //! ```
 //! use dcfail::synth::Scenario;
@@ -23,6 +28,7 @@ pub use dcfail_audit as audit;
 pub use dcfail_chaos as chaos;
 pub use dcfail_core as analysis;
 pub use dcfail_model as model;
+pub use dcfail_obs as obs;
 pub use dcfail_par as par;
 pub use dcfail_report as report;
 pub use dcfail_stats as stats;

@@ -1,0 +1,124 @@
+//! Observability equivalence: enabling the `dcfail-obs` collection window
+//! can never change analysis output. The metrics layer only reads clocks
+//! and bumps counters — it never touches an RNG stream or a data structure
+//! the pipeline consumes — so a traced run must render bit-identically to
+//! an untraced one, at any thread count.
+//!
+//! The collection window is process-global and exclusive, so every test
+//! that installs one goes through [`window_gate`].
+
+#![allow(clippy::unwrap_used)]
+
+use dcfail::obs;
+use dcfail::par;
+use dcfail::synth::Scenario;
+use proptest::prelude::*;
+use std::fmt::Write as _;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn window_gate() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Builds the scenario at `seed` and renders every paper artifact plus every
+/// extension report into one string.
+fn render_all(seed: u64) -> String {
+    let ds = Scenario::paper()
+        .seed(seed)
+        .scale(0.03)
+        .build()
+        .into_dataset();
+    let mut out = String::new();
+    for (id, r) in dcfail::report::experiments::run_all(&ds) {
+        let _ = writeln!(out, "{id}:{}", r.text);
+    }
+    for r in dcfail::report::extras::run_all(&ds, seed) {
+        out.push_str(&r.text);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// For arbitrary seeds, the report output with metrics enabled is
+    /// byte-identical to the output with metrics disabled — pinned both
+    /// sequentially (`DCFAIL_THREADS=1` equivalent) and at the default
+    /// thread resolution.
+    #[test]
+    fn metrics_window_never_changes_report_output(seed in 0u64..1000) {
+        let _gate = window_gate();
+        for threads in [Some(1), None] {
+            par::set_thread_override(threads);
+            let baseline = render_all(seed);
+            let handle = obs::ObsHandle::install().expect("gate serializes windows");
+            let traced = render_all(seed);
+            let report = handle.finish();
+            par::set_thread_override(None);
+            prop_assert_eq!(
+                &traced,
+                &baseline,
+                "enabling metrics changed report output (threads {:?})",
+                threads
+            );
+            // The window did observe the run it wrapped.
+            prop_assert!(report.has_stage("synth.build"));
+            prop_assert!(report.has_stage("report.run_all"));
+        }
+    }
+}
+
+/// Span paths nest across crate boundaries: stages of `Scenario::build`
+/// record under the build span when they run on the same thread.
+#[test]
+fn span_paths_nest_across_crates() {
+    let _gate = window_gate();
+    let handle = obs::ObsHandle::install().expect("gate serializes windows");
+    // Sequential, so nesting is deterministic (fanned-out work records at
+    // the root of its worker thread).
+    par::set_thread_override(Some(1));
+    let _ds = Scenario::paper().seed(5).scale(0.02).build();
+    par::set_thread_override(None);
+    let report = handle.finish();
+    let build = report.span("synth.build").expect("build span");
+    assert_eq!(build.count, 1);
+    for child in ["population", "telemetry", "incidents", "assemble"] {
+        let path = format!("synth.build/{child}");
+        let span = report
+            .span(&path)
+            .unwrap_or_else(|| panic!("{path} missing"));
+        assert_eq!(span.count, 1, "{path}");
+        assert!(span.total_ms <= build.total_ms, "{path} exceeds parent");
+    }
+    assert!(report.has_stage("placement"));
+    assert!(report.has_stage("tickets"));
+    assert!(report.counter("synth.machines").unwrap_or(0) > 0);
+}
+
+/// The JSON export parses as JSON and leads with the schema version.
+#[test]
+fn json_export_is_parseable_and_versioned() {
+    let _gate = window_gate();
+    let handle = obs::ObsHandle::install().expect("gate serializes windows");
+    let _ds = Scenario::paper().seed(6).scale(0.02).build();
+    let report = handle.finish();
+    let json = report.to_json();
+    assert!(json.starts_with("{\n  \"schema_version\": 1,"));
+    let value: serde::Value = serde_json::from_str(&json).expect("export parses as JSON");
+    let obj = match value {
+        serde::Value::Object(map) => map,
+        other => panic!("export is not a JSON object: {other:?}"),
+    };
+    for key in [
+        "schema_version",
+        "spans",
+        "counters",
+        "histograms",
+        "warnings",
+    ] {
+        assert!(obj.iter().any(|(k, _)| k == key), "{key} missing");
+    }
+}
