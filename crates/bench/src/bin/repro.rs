@@ -8,6 +8,7 @@
 //! repro chaos [--seed N] [--scale S] [--rate R] [--smoke]
 //! repro bench [--seed N] [--scale S] [--json] [--smoke]
 //! repro metrics [--seed N] [--scale S] [--json] [--smoke] [--metrics OUT.json]
+//! repro shard [--machines N | --scale S] [--shards K] [--seed N] [--json] [--baseline]
 //! ```
 //!
 //! * `all` (default) — run every artifact in paper order.
@@ -37,6 +38,13 @@
 //!   `--json` prints the schema-versioned JSON export instead; `--smoke`
 //!   validates the export (schema version, every pipeline stage span
 //!   present, disabled-path overhead under 2%) and exits nonzero otherwise.
+//! * `shard` — run the full paper report suite out-of-core: the fleet is
+//!   generated shard-by-shard (`--shards`, default 8) and merged, so peak
+//!   memory is bounded by the shard size, not the fleet. `--machines N`
+//!   picks the scale closest to an N-machine fleet (capped at the paper's
+//!   full scale); `--json` emits the reports as a JSON document;
+//!   `--baseline` runs the same suite monolithically with the identical
+//!   JSON shape, so the two outputs can be diffed byte-for-byte.
 //! * `<id>` — one or more of `table1..table7`, `fig1..fig10`.
 //! * `--classify` — re-label events with a freshly trained k-means pipeline
 //!   (instead of the simulator's monitor labels) before analyzing.
@@ -51,7 +59,7 @@ use dcfail_bench::ablation;
 use dcfail_chaos::{inject, InjectionPlan};
 use dcfail_core::{degradation, rates, repair};
 use dcfail_model::prelude::*;
-use dcfail_report::experiments::{run, ExperimentId};
+use dcfail_report::experiments::{run, run_all, ExperimentId, RunConfig};
 use dcfail_stats::rng::StreamRng;
 use dcfail_synth::Scenario;
 use dcfail_tickets::classify::{apply_to_dataset, PipelineConfig};
@@ -68,11 +76,14 @@ struct Options {
     classify: bool,
     lenient: bool,
     smoke: bool,
+    baseline: bool,
+    shards: usize,
     csv_dir: Option<PathBuf>,
     json: bool,
     metrics_path: Option<PathBuf>,
     dataset_json: Option<PathBuf>,
-    machines_csv: Option<PathBuf>,
+    /// `--machines`: a CSV path for `audit`, a fleet size for `shard`.
+    machines_arg: Option<String>,
     events_csv: Option<PathBuf>,
     targets: Vec<String>,
 }
@@ -85,11 +96,13 @@ fn parse_args() -> Result<Options, String> {
         classify: false,
         lenient: false,
         smoke: false,
+        baseline: false,
+        shards: 8,
         csv_dir: None,
         json: false,
         metrics_path: None,
         dataset_json: None,
-        machines_csv: None,
+        machines_arg: None,
         events_csv: None,
         targets: Vec::new(),
     };
@@ -114,6 +127,14 @@ fn parse_args() -> Result<Options, String> {
             "--classify" => opts.classify = true,
             "--lenient" => opts.lenient = true,
             "--smoke" => opts.smoke = true,
+            "--baseline" => opts.baseline = true,
+            "--shards" => {
+                let v = args.next().ok_or("--shards needs a value")?;
+                opts.shards = v.parse().map_err(|_| format!("bad shard count '{v}'"))?;
+                if opts.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
             "--csv" => {
                 let v = args.next().ok_or("--csv needs a directory")?;
                 opts.csv_dir = Some(PathBuf::from(v));
@@ -128,8 +149,8 @@ fn parse_args() -> Result<Options, String> {
                 opts.dataset_json = Some(PathBuf::from(v));
             }
             "--machines" => {
-                let v = args.next().ok_or("--machines needs a file")?;
-                opts.machines_csv = Some(PathBuf::from(v));
+                let v = args.next().ok_or("--machines needs a value")?;
+                opts.machines_arg = Some(v);
             }
             "--events" => {
                 let v = args.next().ok_or("--events needs a file")?;
@@ -144,7 +165,9 @@ fn parse_args() -> Result<Options, String> {
                      repro chaos [--seed N] [--scale S] [--rate R] [--smoke]\n       \
                      repro bench [--seed N] [--scale S] [--json] [--smoke]\n       \
                      repro metrics [--seed N] [--scale S] [--json] [--smoke] \
-                            [--metrics OUT.json]"
+                            [--metrics OUT.json]\n       \
+                     repro shard [--machines N | --scale S] [--shards K] [--seed N] \
+                            [--json] [--baseline]"
                         .into(),
                 )
             }
@@ -182,8 +205,8 @@ fn audit_report(opts: &Options) -> Result<(AuditReport, DegradationReport), Stri
             .map_err(|e| format!("{} does not parse as a trace: {e}", path.display()))?;
         return Ok((dcfail_audit::audit_raw(&raw), DegradationReport::default()));
     }
-    if let (Some(machines), Some(events)) = (&opts.machines_csv, &opts.events_csv) {
-        let machines_csv = read_file(machines)?;
+    if let (Some(machines), Some(events)) = (&opts.machines_arg, &opts.events_csv) {
+        let machines_csv = read_file(&PathBuf::from(machines))?;
         let events_csv = read_file(events)?;
         let horizon = Horizon::observation_year();
         let (_, report, degradation) =
@@ -206,7 +229,7 @@ fn audit_report(opts: &Options) -> Result<(AuditReport, DegradationReport), Stri
 /// Runs the `audit` subcommand: lint a trace, print the report, exit nonzero
 /// on Error-level findings.
 fn run_audit(opts: &Options) -> Result<ExitCode, String> {
-    if opts.machines_csv.is_some() != opts.events_csv.is_some() {
+    if opts.machines_arg.is_some() != opts.events_csv.is_some() {
         return Err("--machines and --events must be given together".into());
     }
     let (report, degradation) = audit_report(opts)?;
@@ -410,6 +433,14 @@ fn run_bench(opts: &Options) -> Result<ExitCode, String> {
             "dataset: {} machines, {} events, {} incidents, {} tickets",
             report.machines, report.events, report.incidents, report.tickets
         );
+        if let (Some(shard), Some(mono)) = (report.shard_peak_rss_kb, report.monolithic_peak_rss_kb)
+        {
+            println!(
+                "peak RSS: {shard} kB after {}-shard out-of-core build vs {mono} kB \
+                 after monolithic build + reports",
+                report.shard_probe_shards
+            );
+        }
     }
     eprintln!("bench report written to {}", path.display());
     Ok(ExitCode::SUCCESS)
@@ -461,9 +492,8 @@ const REQUIRED_STAGES: &[&str] = &[
     "manual_label",
     // stats
     "stats.bootstrap",
-    // report fan-outs
+    // report fan-out (the registry covers the extras too)
     "report.run_all",
-    "report.extras",
 ];
 
 /// Runs the `metrics` subcommand: exercise the full pipeline under an
@@ -512,8 +542,7 @@ fn run_metrics(opts: &Options) -> Result<ExitCode, String> {
     let _classification = apply_to_dataset(&mut dataset, PipelineConfig::default(), &mut rng);
 
     // Every report runner: paper artifacts + extension reports.
-    let _all = dcfail_report::experiments::run_all(&dataset);
-    let _extras = dcfail_report::extras::run_all(&dataset, opts.seed);
+    let _all = run_all(&dataset, &RunConfig::with_seed(opts.seed));
 
     let wall_ns = wall.elapsed().as_secs_f64() * 1e9;
     let report = handle.finish();
@@ -590,6 +619,115 @@ fn run_metrics(opts: &Options) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// One rendered report in the `repro shard` JSON document.
+#[derive(serde::Serialize)]
+struct ShardReportEntry {
+    id: String,
+    title: String,
+    text: String,
+    csv: Option<String>,
+}
+
+/// The `repro shard --json` document. The sharded and `--baseline` paths
+/// emit the identical shape (shard count deliberately excluded), so the two
+/// outputs diff byte-for-byte when the pipelines agree.
+#[derive(serde::Serialize)]
+struct ShardReportDoc {
+    seed: u64,
+    scale: f64,
+    machines: usize,
+    reports: Vec<ShardReportEntry>,
+}
+
+/// Resolves `--machines N` to the population scale whose fleet is closest
+/// to `N` machines, capped at the paper's full scale.
+fn scale_for_fleet(seed: u64, target: usize) -> Result<f64, String> {
+    if target == 0 {
+        return Err("--machines must be at least 1".into());
+    }
+    let full_config = Scenario::paper().seed(seed).config().clone();
+    let full = dcfail_synth::population::build(&full_config, &StreamRng::new(seed))
+        .machines
+        .len();
+    if target >= full {
+        if target > full {
+            eprintln!(
+                "shard: --machines {target} exceeds the paper's full fleet \
+                 ({full} machines); running at full scale"
+            );
+        }
+        return Ok(1.0);
+    }
+    Ok(target as f64 / full as f64)
+}
+
+/// Runs the `shard` subcommand: the full paper report suite, generated and
+/// analyzed shard-by-shard (or monolithically with `--baseline`).
+fn run_shard(opts: &Options) -> Result<ExitCode, String> {
+    let scale = match &opts.machines_arg {
+        Some(arg) => {
+            let target: usize = arg
+                .parse()
+                .map_err(|_| format!("bad --machines fleet size '{arg}'"))?;
+            scale_for_fleet(opts.seed, target)?
+        }
+        None => opts.scale,
+    };
+    let config = Scenario::paper()
+        .seed(opts.seed)
+        .scale(scale)
+        .config()
+        .clone();
+    let run_config = RunConfig::with_seed(opts.seed);
+
+    let (machines, reports) = if opts.baseline {
+        eprintln!(
+            "shard: monolithic baseline (seed {}, scale {scale:.4}) ...",
+            opts.seed
+        );
+        let dataset = Scenario::from_config(config).build().into_dataset();
+        let reports = ExperimentId::PAPER
+            .iter()
+            .map(|&id| (id, run(id, &dataset, &run_config)))
+            .collect();
+        (dataset.machines().len(), reports)
+    } else {
+        eprintln!(
+            "shard: out-of-core build, {} shards (seed {}, scale {scale:.4}) ...",
+            opts.shards, opts.seed
+        );
+        let out = dcfail_shard::build_sharded(&config, opts.shards);
+        let machines = out.dataset().machines().len();
+        (machines, out.paper_reports(&run_config))
+    };
+
+    if opts.json {
+        let doc = ShardReportDoc {
+            seed: opts.seed,
+            scale,
+            machines,
+            reports: reports
+                .into_iter()
+                .map(|(id, r)| ShardReportEntry {
+                    id: id.key().to_string(),
+                    title: r.title,
+                    text: r.text,
+                    csv: r.csv,
+                })
+                .collect(),
+        };
+        let json = serde_json::to_string_pretty(&doc)
+            .map_err(|e| format!("cannot serialize shard report: {e}"))?;
+        println!("{json}");
+    } else {
+        for (_, rendered) in reports {
+            println!("==== {} ====", rendered.title);
+            println!("{}", rendered.text);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn run_experiments(opts: &Options) -> Result<ExitCode, String> {
     let run_extras = opts.targets.iter().any(|t| t == "extras");
     let run_summary = opts.targets.iter().any(|t| t == "summary");
@@ -634,8 +772,9 @@ fn run_experiments(opts: &Options) -> Result<ExitCode, String> {
             .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
     }
 
+    let config = RunConfig::with_seed(opts.seed);
     for id in ids {
-        let rendered = run(id, &dataset);
+        let rendered = run(id, &dataset, &config);
         println!("==== {} ====", rendered.title);
         println!("{}", rendered.text);
         if let (Some(dir), Some(csv)) = (&opts.csv_dir, &rendered.csv) {
@@ -646,7 +785,8 @@ fn run_experiments(opts: &Options) -> Result<ExitCode, String> {
     }
 
     if run_extras {
-        for rendered in dcfail_report::extras::run_all(&dataset, opts.seed) {
+        for id in ExperimentId::EXTRAS {
+            let rendered = run(id, &dataset, &config);
             println!("==== {} ====", rendered.title);
             println!("{}", rendered.text);
         }
@@ -671,6 +811,9 @@ fn dispatch(opts: &Options) -> Result<ExitCode, String> {
     }
     if opts.targets.iter().any(|t| t == "bench") {
         return run_bench(opts);
+    }
+    if opts.targets.iter().any(|t| t == "shard") {
+        return run_shard(opts);
     }
     run_experiments(opts)
 }

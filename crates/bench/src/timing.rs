@@ -6,11 +6,14 @@
 //! a pair of reports at `DCFAIL_THREADS=1` and `DCFAIL_THREADS=N` measures
 //! pure speedup — the outputs are guaranteed equal.
 
-use dcfail_report::experiments::{run, run_all, ExperimentId};
+use dcfail_report::experiments::{run, run_all, ExperimentId, RunConfig};
 use dcfail_synth::Scenario;
 use serde::Serialize;
 use std::path::Path;
 use std::time::Instant;
+
+/// Shard count of the out-of-core memory probe in [`measure`].
+pub const SHARD_PROBE_SHARDS: usize = 16;
 
 /// Wall-clock milliseconds of one report runner, run in isolation.
 #[derive(Debug, Clone, Serialize)]
@@ -44,8 +47,25 @@ pub struct BenchReport {
     pub build_ms: f64,
     /// Wall-clock ms of the parallel `experiments::run_all` fan-out.
     pub report_ms: f64,
+    /// Shards used by the out-of-core memory probe ([`SHARD_PROBE_SHARDS`]).
+    pub shard_probe_shards: usize,
+    /// Peak RSS (`VmHWM`, kB) right after the sharded out-of-core build —
+    /// the probe runs *first*, so this is the sharded pipeline's own peak.
+    pub shard_peak_rss_kb: Option<u64>,
+    /// Peak RSS (`VmHWM`, kB) after the monolithic build and report suite.
+    /// The high-water mark is monotone, so exceeding `shard_peak_rss_kb`
+    /// means the monolithic path genuinely needed more memory.
+    pub monolithic_peak_rss_kb: Option<u64>,
     /// Per-runner wall-clock ms, each measured sequentially in isolation.
     pub runners: Vec<RunnerTiming>,
+}
+
+/// Peak resident set size of this process in kB (`VmHWM` from
+/// `/proc/self/status`), or `None` when the file is unavailable (non-Linux).
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 fn ms_since(start: Instant) -> f64 {
@@ -80,6 +100,17 @@ pub fn git_revision_in(dir: &Path) -> String {
 pub fn measure(git: Option<String>, seed: u64, scale: f64) -> BenchReport {
     let _span = dcfail_obs::span("bench.measure");
     let git = git.unwrap_or_else(git_revision);
+
+    // Out-of-core memory probe, run *before* anything monolithic touches the
+    // heap: because VmHWM is a monotone high-water mark, a later monolithic
+    // peak above this reading proves the monolithic path needed more memory
+    // than the sharded one ever did.
+    let shard_peak_rss_kb = {
+        let config = Scenario::paper().seed(seed).scale(scale).config().clone();
+        let _probe = dcfail_shard::build_sharded(&config, SHARD_PROBE_SHARDS);
+        peak_rss_kb()
+    };
+
     let start = Instant::now();
     let dataset = Scenario::paper()
         .seed(seed)
@@ -91,11 +122,12 @@ pub fn measure(git: Option<String>, seed: u64, scale: f64) -> BenchReport {
     // Each runner in isolation (sequential), then the parallel fan-out:
     // the per-runner times explain where report_ms goes, and report_ms vs
     // their sum shows the parallel speedup.
+    let config = RunConfig::with_seed(seed);
     let runners: Vec<RunnerTiming> = ExperimentId::ALL
         .iter()
         .map(|&id| {
             let start = Instant::now();
-            let rendered = run(id, &dataset);
+            let rendered = run(id, &dataset, &config);
             let ms = ms_since(start);
             // Keep the render alive until after the clock stops.
             drop(rendered);
@@ -104,9 +136,10 @@ pub fn measure(git: Option<String>, seed: u64, scale: f64) -> BenchReport {
         .collect();
 
     let start = Instant::now();
-    let all = run_all(&dataset);
+    let all = run_all(&dataset, &config);
     let report_ms = ms_since(start);
     drop(all);
+    let monolithic_peak_rss_kb = peak_rss_kb();
 
     BenchReport {
         git,
@@ -119,6 +152,9 @@ pub fn measure(git: Option<String>, seed: u64, scale: f64) -> BenchReport {
         tickets: dataset.tickets().len(),
         build_ms,
         report_ms,
+        shard_probe_shards: SHARD_PROBE_SHARDS,
+        shard_peak_rss_kb,
+        monolithic_peak_rss_kb,
         runners,
     }
 }
@@ -141,7 +177,16 @@ mod tests {
         assert_eq!(report.runners.len(), ExperimentId::ALL.len());
         assert!(report.machines > 0 && report.events > 0);
         assert!(report.build_ms > 0.0 && report.report_ms > 0.0);
+        assert_eq!(report.shard_probe_shards, SHARD_PROBE_SHARDS);
         let json = serde_json::to_string(&report).expect("report serializes");
         assert!(json.contains("\"git\":\"test\""));
+        assert!(json.contains("shard_peak_rss_kb"));
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_reads_on_linux() {
+        let hwm = peak_rss_kb().expect("VmHWM available on Linux");
+        assert!(hwm > 0);
     }
 }

@@ -4,15 +4,16 @@
 //! platform; since it drifts with power-cycling and migration, the paper
 //! (and we) use the average monthly level over the year.
 
-use crate::curve::{weekly_rate_by, AttributeCurve};
+use crate::curve::{share_from_counts, weekly_rate_by, AttributeCurve};
 use dcfail_model::prelude::*;
 use dcfail_stats::binning::Bins;
+use dcfail_stats::merge::CountVec;
 
 /// Bins for consolidation levels 1, 2, 4, ..., 32 with geometric-midpoint
 /// edges: a VM whose co-residents are occasionally off still lands in its
 /// box's nominal level (e.g. a yearly mean of 29.7 on a 32-VM box maps to
 /// the "32" bin, not "16").
-fn level_bins() -> Bins {
+pub fn level_bins() -> Bins {
     Bins::from_edges(vec![1.0, 1.5, 3.0, 6.0, 12.0, 24.0, 100.0]).with_labels(vec![
         "1".into(),
         "2".into(),
@@ -34,21 +35,15 @@ pub fn rate_by_consolidation(dataset: &FailureDataset) -> AttributeCurve {
 /// Distribution of VMs across consolidation-level bins: `(label, share)`.
 pub fn vm_share_by_level(dataset: &FailureDataset) -> Vec<(String, f64)> {
     let bins = level_bins();
-    let mut counts = vec![0usize; bins.len()];
-    let mut total = 0usize;
+    let mut counts = CountVec::zeros(bins.len());
     for m in dataset.machines_of_kind(MachineKind::Vm) {
         if let Some(level) = dataset.telemetry().mean_consolidation(m.id()) {
             if let Some(bin) = bins.index_of(level) {
-                counts[bin] += 1;
-                total += 1;
+                counts.add(bin, 1);
             }
         }
     }
-    counts
-        .into_iter()
-        .enumerate()
-        .map(|(i, c)| (bins.label(i).to_string(), c as f64 / total.max(1) as f64))
-        .collect()
+    share_from_counts(&bins, counts.counts())
 }
 
 #[cfg(test)]

@@ -8,7 +8,9 @@
 //! (capacity).
 
 use dcfail_model::prelude::*;
+use dcfail_stats::binning::Bins;
 use dcfail_stats::empirical::Summary;
+use dcfail_stats::merge::{CountMatrix, Mergeable};
 use serde::{Deserialize, Serialize};
 
 /// One bucket of a rate-vs-attribute curve.
@@ -80,6 +82,131 @@ impl AttributeCurve {
     }
 }
 
+/// Mergeable per-(bin, week) population and event counts behind a
+/// rate-vs-attribute curve.
+///
+/// A whole-fleet pass ([`weekly_rate_by`]) and a sharded pass (each shard
+/// counting its own machine-weeks and events, then absorbing) build the
+/// same counts, so [`Mergeable::finalize`] yields bit-identical
+/// [`AttributeCurve`]s either way — counting is exactly mergeable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurveCounts {
+    attribute: String,
+    labels: Vec<String>,
+    weeks: usize,
+    population: CountMatrix,
+    events: CountMatrix,
+}
+
+impl CurveCounts {
+    /// Empty counts for a curve over `bins` and `weeks` observation weeks.
+    pub fn new(attribute: &str, bins: &Bins, weeks: usize) -> Self {
+        Self {
+            attribute: attribute.to_string(),
+            labels: (0..bins.len()).map(|b| bins.label(b).to_string()).collect(),
+            weeks,
+            population: CountMatrix::zeros(bins.len(), weeks),
+            events: CountMatrix::zeros(bins.len(), weeks),
+        }
+    }
+
+    /// Buckets one machine's weeks under `attr(week)`, counting each binned
+    /// machine-week, and returns the per-week bin assignment — needed later
+    /// to attribute the machine's failure events to bins via [`Self::add_event`].
+    pub fn observe_machine_weeks(
+        &mut self,
+        bins: &Bins,
+        mut attr: impl FnMut(usize) -> Option<f64>,
+    ) -> Vec<Option<usize>> {
+        let mut per_week = vec![None; self.weeks];
+        for (w, slot) in per_week.iter_mut().enumerate() {
+            if let Some(value) = attr(w) {
+                if let Some(bin) = bins.index_of(value) {
+                    self.population.add(bin, w, 1);
+                    *slot = Some(bin);
+                }
+            }
+        }
+        per_week
+    }
+
+    /// Counts one failure event in `(bin, week)`.
+    pub fn add_event(&mut self, bin: usize, week: usize) {
+        self.events.add(bin, week, 1);
+    }
+
+    fn is_unset(&self) -> bool {
+        self.labels.is_empty() && self.weeks == 0
+    }
+}
+
+impl Mergeable for CurveCounts {
+    type Output = AttributeCurve;
+
+    fn identity() -> Self {
+        Self {
+            attribute: String::new(),
+            labels: Vec::new(),
+            weeks: 0,
+            population: CountMatrix::identity(),
+            events: CountMatrix::identity(),
+        }
+    }
+
+    fn absorb(&mut self, other: &Self) {
+        if other.is_unset() {
+            return;
+        }
+        if self.is_unset() {
+            self.attribute.clone_from(&other.attribute);
+            self.labels.clone_from(&other.labels);
+            self.weeks = other.weeks;
+        } else {
+            assert!(
+                self.attribute == other.attribute
+                    && self.labels == other.labels
+                    && self.weeks == other.weeks,
+                "curve configurations must match"
+            );
+        }
+        self.population.absorb(&other.population);
+        self.events.absorb(&other.events);
+    }
+
+    fn finalize(self) -> AttributeCurve {
+        let mut points = Vec::new();
+        for (bin, label) in self.labels.iter().enumerate() {
+            let mut series = Vec::new();
+            let mut machine_weeks = 0usize;
+            let mut event_total = 0usize;
+            for w in 0..self.weeks {
+                let pop = self.population.get(bin, w);
+                if pop == 0 {
+                    continue;
+                }
+                machine_weeks += pop as usize;
+                event_total += self.events.get(bin, w) as usize;
+                series.push(self.events.get(bin, w) as f64 / pop as f64);
+            }
+            let Some(s) = Summary::of(&series) else {
+                continue;
+            };
+            points.push(CurvePoint {
+                label: label.clone(),
+                mean: s.mean,
+                p25: s.p25,
+                p75: s.p75,
+                machine_weeks,
+                events: event_total,
+            });
+        }
+        AttributeCurve {
+            attribute: self.attribute,
+            points,
+        }
+    }
+}
+
 /// Computes a weekly-rate curve over attribute `attr`.
 ///
 /// `attr(machine, week)` returns the machine's bucket attribute for that
@@ -90,30 +217,21 @@ impl AttributeCurve {
 pub fn weekly_rate_by(
     dataset: &FailureDataset,
     attribute: &str,
-    bins: &dcfail_stats::binning::Bins,
+    bins: &Bins,
     kind: MachineKind,
     mut attr: impl FnMut(&Machine, usize) -> Option<f64>,
 ) -> AttributeCurve {
     let weeks = dataset.horizon().num_weeks();
-    let nbins = bins.len();
-    // Per (bin, week): population and event counts.
-    let mut population = vec![vec![0usize; weeks]; nbins];
-    let mut events = vec![vec![0usize; weeks]; nbins];
+    let mut counts = CurveCounts::new(attribute, bins, weeks);
 
     // Assign machine-weeks to bins.
     let mut bin_of_machine_week: Vec<Vec<Option<usize>>> = Vec::new();
     for m in dataset.machines() {
-        let mut per_week = vec![None; weeks];
-        if m.kind() == kind {
-            for (w, slot) in per_week.iter_mut().enumerate() {
-                if let Some(value) = attr(m, w) {
-                    if let Some(bin) = bins.index_of(value) {
-                        population[bin][w] += 1;
-                        *slot = Some(bin);
-                    }
-                }
-            }
-        }
+        let per_week = if m.kind() == kind {
+            counts.observe_machine_weeks(bins, |w| attr(m, w))
+        } else {
+            vec![None; weeks]
+        };
         bin_of_machine_week.push(per_week);
     }
 
@@ -123,41 +241,22 @@ pub fn weekly_rate_by(
             continue;
         };
         if let Some(bin) = bin_of_machine_week[ev.machine().index()][w] {
-            events[bin][w] += 1;
+            counts.add_event(bin, w);
         }
     }
 
-    // Summarize per bin.
-    let mut points = Vec::new();
-    for bin in 0..nbins {
-        let mut series = Vec::new();
-        let mut machine_weeks = 0usize;
-        let mut event_total = 0usize;
-        for w in 0..weeks {
-            let pop = population[bin][w];
-            if pop == 0 {
-                continue;
-            }
-            machine_weeks += pop;
-            event_total += events[bin][w];
-            series.push(events[bin][w] as f64 / pop as f64);
-        }
-        let Some(s) = Summary::of(&series) else {
-            continue;
-        };
-        points.push(CurvePoint {
-            label: bins.label(bin).to_string(),
-            mean: s.mean,
-            p25: s.p25,
-            p75: s.p75,
-            machine_weeks,
-            events: event_total,
-        });
-    }
-    AttributeCurve {
-        attribute: attribute.to_string(),
-        points,
-    }
+    counts.finalize()
+}
+
+/// Normalizes per-bin machine counts into `(label, share)` rows, the shape
+/// of the Fig. 9/10 population-share panels.
+pub fn share_from_counts(bins: &Bins, counts: &[u64]) -> Vec<(String, f64)> {
+    let total: u64 = counts.iter().sum();
+    counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (bins.label(i).to_string(), c as f64 / total.max(1) as f64))
+        .collect()
 }
 
 #[cfg(test)]

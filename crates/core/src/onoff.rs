@@ -4,11 +4,13 @@
 //! two-month telemetry window (the paper's March–April slice) and assumed
 //! representative of the whole year.
 
-use crate::curve::{weekly_rate_by, AttributeCurve};
+use crate::curve::{share_from_counts, weekly_rate_by, AttributeCurve};
 use dcfail_model::prelude::*;
 use dcfail_stats::binning::Bins;
+use dcfail_stats::merge::CountVec;
 
-fn onoff_bins() -> Bins {
+/// Bins for monthly on/off transition counts (Fig. 10).
+pub fn onoff_bins() -> Bins {
     Bins::from_edges(vec![0.0, 1.0, 2.0, 4.0, 8.0, 64.0]).with_labels(vec![
         "0-1".into(),
         "1-2".into(),
@@ -38,21 +40,15 @@ pub fn rate_by_onoff(dataset: &FailureDataset) -> AttributeCurve {
 /// Distribution of VMs across on/off-frequency bins: `(label, share)`.
 pub fn vm_share_by_onoff(dataset: &FailureDataset) -> Vec<(String, f64)> {
     let bins = onoff_bins();
-    let mut counts = vec![0usize; bins.len()];
-    let mut total = 0usize;
+    let mut counts = CountVec::zeros(bins.len());
     for m in dataset.machines_of_kind(MachineKind::Vm) {
         if let Some(log) = dataset.telemetry().onoff(m.id()) {
             if let Some(bin) = bins.index_of(log.monthly_transition_rate()) {
-                counts[bin] += 1;
-                total += 1;
+                counts.add(bin, 1);
             }
         }
     }
-    counts
-        .into_iter()
-        .enumerate()
-        .map(|(i, c)| (bins.label(i).to_string(), c as f64 / total.max(1) as f64))
-        .collect()
+    share_from_counts(&bins, counts.counts())
 }
 
 #[cfg(test)]

@@ -10,8 +10,16 @@ use crate::curve::{weekly_rate_by, AttributeCurve};
 use dcfail_model::prelude::*;
 use dcfail_stats::binning::Bins;
 
-fn util_bins() -> Bins {
+/// Utilization-percentage bins (0–100 in 10-point steps) shared by the
+/// Fig. 8 CPU/memory/disk panels.
+pub fn util_bins() -> Bins {
     Bins::linear(0.0, 100.0, 10)
+}
+
+/// Network-volume bins (power-of-two Kbps over the paper's 2 Kbps – 8 Mbps
+/// range) for Fig. 8(d).
+pub fn net_bins() -> Bins {
+    Bins::log2(1, 13) // 2 Kbps .. 8192 Kbps
 }
 
 /// Fig. 8(a): weekly failure rate vs CPU utilization (10-point bins).
@@ -53,7 +61,7 @@ pub fn rate_by_disk_util(dataset: &FailureDataset) -> AttributeCurve {
 /// Fig. 8(d): weekly VM failure rate vs network volume (Kbps, power-of-two
 /// bins over the paper's 2 Kbps – 8 Mbps range).
 pub fn rate_by_network(dataset: &FailureDataset) -> AttributeCurve {
-    let bins = Bins::log2(1, 13); // 2 Kbps .. 8192 Kbps
+    let bins = net_bins();
     weekly_rate_by(dataset, "net kbps", &bins, MachineKind::Vm, |m, w| {
         dataset
             .telemetry()

@@ -65,6 +65,16 @@ pub fn set_thread_override(threads: Option<usize>) {
     THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
 }
 
+/// The currently installed thread-count override, if any — lets callers
+/// that scope an override (set, run, restore) put back what was there.
+#[must_use]
+pub fn thread_override() -> Option<usize> {
+    match THREAD_OVERRIDE.load(Ordering::SeqCst) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
 /// `DCFAIL_THREADS` as resolved once at first use; `None` when unset or
 /// invalid. An invalid value (zero, garbage) used to be silently re-parsed
 /// and ignored on every call — now it is resolved once and reported as an

@@ -12,7 +12,7 @@ use dcfail_stats::bootstrap::bootstrap_mean_ci;
 use dcfail_stats::rng::StreamRng;
 
 /// Availability and "nines" per machine kind.
-pub fn availability_report(dataset: &FailureDataset) -> Rendered {
+pub(crate) fn availability_impl(dataset: &FailureDataset) -> Rendered {
     let mut t = TextTable::new(vec![
         "kind",
         "machines",
@@ -49,7 +49,7 @@ pub fn availability_report(dataset: &FailureDataset) -> Rendered {
 }
 
 /// Censoring-corrected inter-failure survival vs the paper's naive gaps.
-pub fn censored_interfailure_report(dataset: &FailureDataset) -> Rendered {
+pub(crate) fn censored_interfailure_impl(dataset: &FailureDataset) -> Rendered {
     let mut t = TextTable::new(vec![
         "kind",
         "observations",
@@ -84,7 +84,7 @@ pub fn censored_interfailure_report(dataset: &FailureDataset) -> Rendered {
 }
 
 /// Bootstrap confidence intervals on the Fig. 2 headline rates.
-pub fn rate_confidence_report(dataset: &FailureDataset, seed: u64) -> Rendered {
+pub(crate) fn rate_confidence_impl(dataset: &FailureDataset, seed: u64) -> Rendered {
     let rng = StreamRng::new(seed).fork("report.bootstrap");
     let mut t = TextTable::new(vec!["group", "weekly rate", "95% CI lo", "95% CI hi"]);
     for kind in MachineKind::ALL {
@@ -111,7 +111,7 @@ pub fn rate_confidence_report(dataset: &FailureDataset, seed: u64) -> Rendered {
 }
 
 /// Week-ahead failure-prediction evaluation.
-pub fn prediction_report(dataset: &FailureDataset) -> Rendered {
+pub(crate) fn prediction_impl(dataset: &FailureDataset) -> Rendered {
     let weights = prediction::PredictorWeights::default();
     let Some(r) = prediction::evaluate(dataset, 8, &weights) else {
         return Rendered {
@@ -150,7 +150,7 @@ pub fn prediction_report(dataset: &FailureDataset) -> Rendered {
 }
 
 /// Counterfactual evaluation of the paper's operational advice.
-pub fn whatif_report(dataset: &FailureDataset) -> Rendered {
+pub(crate) fn whatif_impl(dataset: &FailureDataset) -> Rendered {
     let w = whatif::WhatIf::from_dataset(dataset);
     let mut t = TextTable::new(vec![
         "intervention",
@@ -196,7 +196,7 @@ reweighting counterfactual over the measured Fig. 7d/9/10 curves              (a
 }
 
 /// Follow-on failure intensities per triggering root cause.
-pub fn followon_report(dataset: &FailureDataset) -> Rendered {
+pub(crate) fn followon_impl(dataset: &FailureDataset) -> Rendered {
     let per_class = followon::follow_on_by_class(dataset, WEEK, ClassSource::Truth);
     let mut t = TextTable::new(vec![
         "trigger class",
@@ -231,7 +231,7 @@ the El-Sayed/Schroeder finding on our data: any failure class              induc
 }
 
 /// Temporal dependency: daily-count dispersion and the post-failure hazard.
-pub fn temporal_report(dataset: &FailureDataset) -> Rendered {
+pub(crate) fn temporal_impl(dataset: &FailureDataset) -> Rendered {
     let mut text = String::new();
     let mut t = TextTable::new(vec![
         "kind",
@@ -282,26 +282,86 @@ the post-failure hazard decays over ~a week — Table V's burst, resolved in tim
     }
 }
 
-/// Runs every extension report. The runners are independent and read-only
-/// over the dataset, so they fan out across threads; results come back in
-/// the fixed runner order regardless of schedule.
+/// Runs every extension report in the fixed runner order.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_all(dataset, &RunConfig::with_seed(seed))` and filter on \
+            `ExperimentId::is_extra`, or `run(id, …)` per extra"
+)]
 pub fn run_all(dataset: &FailureDataset, seed: u64) -> Vec<Rendered> {
+    let config = crate::experiments::RunConfig::with_seed(seed);
     let _span = dcfail_obs::span("report.extras");
-    let runners: [(&str, &(dyn Fn() -> Rendered + Sync)); 7] = [
-        ("availability", &|| availability_report(dataset)),
-        ("censored_interfailure", &|| {
-            censored_interfailure_report(dataset)
-        }),
-        ("rate_confidence", &|| rate_confidence_report(dataset, seed)),
-        ("prediction", &|| prediction_report(dataset)),
-        ("whatif", &|| whatif_report(dataset)),
-        ("followon", &|| followon_report(dataset)),
-        ("temporal", &|| temporal_report(dataset)),
-    ];
-    dcfail_par::par_map(&runners, |_, (name, run)| {
-        let _s = dcfail_obs::span_labeled("report.extra", name);
-        run()
+    dcfail_par::par_map(&crate::experiments::ExperimentId::EXTRAS, |_, &id| {
+        crate::experiments::run(id, dataset, &config)
     })
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated direct entry points. Kept for one release; route through
+// `dcfail_report::run(ExperimentId::…, dataset, &RunConfig::default())`.
+// ---------------------------------------------------------------------------
+
+/// Availability and "nines" per machine kind.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::Availability, dataset, &RunConfig::default())`"
+)]
+pub fn availability_report(dataset: &FailureDataset) -> Rendered {
+    availability_impl(dataset)
+}
+
+/// Censoring-corrected inter-failure survival vs the paper's naive gaps.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::CensoredInterfailure, dataset, &RunConfig::default())`"
+)]
+pub fn censored_interfailure_report(dataset: &FailureDataset) -> Rendered {
+    censored_interfailure_impl(dataset)
+}
+
+/// Bootstrap confidence intervals on the Fig. 2 headline rates.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::RateConfidence, dataset, &RunConfig::with_seed(seed))`"
+)]
+pub fn rate_confidence_report(dataset: &FailureDataset, seed: u64) -> Rendered {
+    rate_confidence_impl(dataset, seed)
+}
+
+/// Week-ahead failure-prediction evaluation.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::Prediction, dataset, &RunConfig::default())`"
+)]
+pub fn prediction_report(dataset: &FailureDataset) -> Rendered {
+    prediction_impl(dataset)
+}
+
+/// Counterfactual evaluation of the paper's operational advice.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::Whatif, dataset, &RunConfig::default())`"
+)]
+pub fn whatif_report(dataset: &FailureDataset) -> Rendered {
+    whatif_impl(dataset)
+}
+
+/// Follow-on failure intensities per triggering root cause.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::Followon, dataset, &RunConfig::default())`"
+)]
+pub fn followon_report(dataset: &FailureDataset) -> Rendered {
+    followon_impl(dataset)
+}
+
+/// Temporal dependency: daily-count dispersion and the post-failure hazard.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::Temporal, dataset, &RunConfig::default())`"
+)]
+pub fn temporal_report(dataset: &FailureDataset) -> Rendered {
+    temporal_impl(dataset)
 }
 
 #[cfg(test)]
@@ -317,15 +377,30 @@ mod tests {
 
     #[test]
     fn all_extras_render() {
-        for r in run_all(dataset(), 1) {
+        use crate::experiments::{run, ExperimentId, RunConfig};
+        let config = RunConfig::with_seed(1);
+        for id in ExperimentId::EXTRAS {
+            let r = run(id, dataset(), &config);
             assert!(!r.title.is_empty());
             assert!(r.text.len() > 40, "{}: too short", r.title);
         }
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_all_still_matches_registry() {
+        use crate::experiments::{run, ExperimentId, RunConfig};
+        let old = run_all(dataset(), 1);
+        assert_eq!(old.len(), 7);
+        let config = RunConfig::with_seed(1);
+        for (id, r) in ExperimentId::EXTRAS.into_iter().zip(&old) {
+            assert_eq!(run(id, dataset(), &config).text, r.text);
+        }
+    }
+
+    #[test]
     fn availability_mentions_both_kinds() {
-        let r = availability_report(dataset());
+        let r = availability_impl(dataset());
         assert!(r.text.contains("PM"));
         assert!(r.text.contains("VM"));
         assert!(r.text.contains("nines"));
@@ -333,20 +408,20 @@ mod tests {
 
     #[test]
     fn censored_report_shows_correction() {
-        let r = censored_interfailure_report(dataset());
+        let r = censored_interfailure_impl(dataset());
         assert!(r.text.contains("censored"));
         assert!(r.csv.is_some());
     }
 
     #[test]
     fn prediction_report_has_auc() {
-        let r = prediction_report(dataset());
+        let r = prediction_impl(dataset());
         assert!(r.text.contains("AUC"));
     }
 
     #[test]
     fn whatif_report_shows_improvements() {
-        let r = whatif_report(dataset());
+        let r = whatif_impl(dataset());
         assert!(r.text.contains("consolidation"));
         assert!(r.text.contains('%'));
     }

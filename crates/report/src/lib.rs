@@ -4,12 +4,19 @@
 //! Birke et al. (DSN 2014), producing aligned-text reports (with the paper's
 //! reference values inline) and machine-readable CSV series.
 //!
+//! Every artifact — the paper's 17 tables and figures plus the 7 extension
+//! reports — is addressed by [`ExperimentId`] and dispatched through
+//! [`run`]/[`run_all`] with a [`RunConfig`] (seed, thread override,
+//! metrics). The old direct entry points (`runners::table*`, `runners::fig*`
+//! and `extras::*_report`/`extras::run_all`) are deprecated for one release;
+//! migrate call sites to the registry.
+//!
 //! ```
-//! use dcfail_report::experiments::{run, ExperimentId};
+//! use dcfail_report::{run, ExperimentId, RunConfig};
 //! use dcfail_synth::Scenario;
 //!
 //! let dataset = Scenario::paper().seed(1).scale(0.05).build().into_dataset();
-//! let report = run(ExperimentId::Fig2, &dataset);
+//! let report = run(ExperimentId::Fig2, &dataset, &RunConfig::default());
 //! assert!(report.text.contains("weekly failure rate"));
 //! ```
 
@@ -21,3 +28,6 @@ pub mod extras;
 pub mod runners;
 pub mod summary;
 pub mod table;
+
+pub use experiments::{run, run_all, ExperimentId, ParseExperimentError, RunConfig, DEFAULT_SEED};
+pub use runners::Rendered;

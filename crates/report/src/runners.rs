@@ -25,7 +25,7 @@ pub struct Rendered {
 }
 
 /// Table I: scope comparison with related work (static, from the paper).
-pub fn table1() -> Rendered {
+pub(crate) fn table1_impl() -> Rendered {
     let mut t = TextTable::new(vec![
         "Scope",
         "[4] HPC",
@@ -49,7 +49,7 @@ pub fn table1() -> Rendered {
 }
 
 /// Table II: dataset statistics per subsystem.
-pub fn table2(dataset: &FailureDataset) -> Rendered {
+pub(crate) fn table2_impl(dataset: &FailureDataset) -> Rendered {
     let stats = dataset.subsystem_stats();
     let mut t = TextTable::new(vec![
         "",
@@ -84,7 +84,7 @@ pub fn table2(dataset: &FailureDataset) -> Rendered {
 }
 
 /// Fig. 1: crash-ticket distribution across failure classes per subsystem.
-pub fn fig1(dataset: &FailureDataset) -> Rendered {
+pub(crate) fn fig1_impl(dataset: &FailureDataset) -> Rendered {
     let mix = class_mix::class_mix(dataset, ClassSource::Reported);
     let mut t = TextTable::new(vec![
         "",
@@ -124,7 +124,7 @@ pub fn fig1(dataset: &FailureDataset) -> Rendered {
 }
 
 /// Fig. 2: weekly failure rates of PMs and VMs.
-pub fn fig2(dataset: &FailureDataset) -> Rendered {
+pub(crate) fn fig2_impl(dataset: &FailureDataset) -> Rendered {
     let f = rates::weekly_failure_rates(dataset);
     let mut t = TextTable::new(vec!["group", "mean", "p25", "p75", "machines", "events"]);
     let mut push = |label: String, s: Option<rates::RateSummary>| {
@@ -172,7 +172,7 @@ fn fit_lines(fits: &dcfail_stats::fit::ModelSelection) -> String {
 }
 
 /// Fig. 3: inter-failure time CDFs and fits.
-pub fn fig3(dataset: &FailureDataset) -> Rendered {
+pub(crate) fn fig3_impl(dataset: &FailureDataset) -> Rendered {
     let mut text = String::new();
     let mut t = TextTable::new(vec!["days", "PM cdf", "VM cdf"]);
     let pm = interfailure::analyze(dataset, MachineKind::Pm);
@@ -213,7 +213,7 @@ pub fn fig3(dataset: &FailureDataset) -> Rendered {
 }
 
 /// Table III: inter-failure times per class, operator vs server view.
-pub fn table3(dataset: &FailureDataset) -> Rendered {
+pub(crate) fn table3_impl(dataset: &FailureDataset) -> Rendered {
     let t3 = interfailure::table3(dataset, ClassSource::Reported);
     let mut t = TextTable::new(vec!["view", "HW", "Net", "Power", "Reboot", "SW", "Other"]);
     let row = |view: &str, f: &dyn Fn(interfailure::ClassGapStats) -> Option<f64>| {
@@ -240,7 +240,7 @@ pub fn table3(dataset: &FailureDataset) -> Rendered {
 }
 
 /// Fig. 4: repair-time CDFs and fits.
-pub fn fig4(dataset: &FailureDataset) -> Rendered {
+pub(crate) fn fig4_impl(dataset: &FailureDataset) -> Rendered {
     let mut text = String::new();
     let mut t = TextTable::new(vec!["hours", "PM cdf", "VM cdf"]);
     let pm = repair::analyze(dataset, MachineKind::Pm);
@@ -278,7 +278,7 @@ pub fn fig4(dataset: &FailureDataset) -> Rendered {
 }
 
 /// Table IV: repair times per class.
-pub fn table4(dataset: &FailureDataset) -> Rendered {
+pub(crate) fn table4_impl(dataset: &FailureDataset) -> Rendered {
     let t4 = repair::table4(dataset, ClassSource::Reported);
     let mut t = TextTable::new(vec!["stat", "HW", "Net", "Power", "Reboot", "SW", "Other"]);
     let row = |label: &str, f: &dyn Fn(repair::RepairStats) -> f64| {
@@ -304,7 +304,7 @@ pub fn table4(dataset: &FailureDataset) -> Rendered {
 }
 
 /// Fig. 5: recurrent failure probabilities.
-pub fn fig5(dataset: &FailureDataset) -> Rendered {
+pub(crate) fn fig5_impl(dataset: &FailureDataset) -> Rendered {
     let mut t = TextTable::new(vec!["kind", "day", "week", "month"]);
     for kind in MachineKind::ALL {
         if let Some(w) = recurrence::fig5(dataset, kind) {
@@ -329,7 +329,7 @@ pub fn fig5(dataset: &FailureDataset) -> Rendered {
 }
 
 /// Table V: random vs recurrent weekly failure probabilities.
-pub fn table5(dataset: &FailureDataset) -> Rendered {
+pub(crate) fn table5_impl(dataset: &FailureDataset) -> Rendered {
     let t5 = recurrence::table5(dataset);
     let mut t = TextTable::new(
         std::iter::once("row".to_string())
@@ -364,7 +364,7 @@ pub fn table5(dataset: &FailureDataset) -> Rendered {
 }
 
 /// Table VI: incident footprints by machine type.
-pub fn table6(dataset: &FailureDataset) -> Rendered {
+pub(crate) fn table6_impl(dataset: &FailureDataset) -> Rendered {
     let t6 = spatial::table6(dataset);
     let mut t = TextTable::new(vec!["count scope", "0", "1", ">=2", "dependent share"]);
     for (label, row) in [
@@ -393,7 +393,7 @@ pub fn table6(dataset: &FailureDataset) -> Rendered {
 }
 
 /// Table VII: incident footprint by failure class.
-pub fn table7(dataset: &FailureDataset) -> Rendered {
+pub(crate) fn table7_impl(dataset: &FailureDataset) -> Rendered {
     let t7 = spatial::table7(dataset, ClassSource::Reported);
     let mut t = TextTable::new(vec!["stat", "HW", "Net", "Power", "Reboot", "SW", "Other"]);
     let row = |label: &str, f: &dyn Fn(spatial::FootprintStats) -> String| {
@@ -419,7 +419,7 @@ pub fn table7(dataset: &FailureDataset) -> Rendered {
 }
 
 /// Fig. 6: VM failures vs age.
-pub fn fig6(dataset: &FailureDataset) -> Rendered {
+pub(crate) fn fig6_impl(dataset: &FailureDataset) -> Rendered {
     let Some(a) = age::analyze(dataset) else {
         return Rendered {
             title: "Fig. 6 — VM failures vs age".into(),
@@ -493,7 +493,7 @@ fn curves_csv(curves: &[(&str, &dcfail_core::curve::AttributeCurve)]) -> String 
 }
 
 /// Fig. 7: failure rate vs resource capacity (four panels).
-pub fn fig7(dataset: &FailureDataset) -> Rendered {
+pub(crate) fn fig7_impl(dataset: &FailureDataset) -> Rendered {
     let pm_cpu = capacity::rate_by_cpu(dataset, MachineKind::Pm);
     let vm_cpu = capacity::rate_by_cpu(dataset, MachineKind::Vm);
     let pm_mem = capacity::rate_by_memory(dataset, MachineKind::Pm);
@@ -520,21 +520,33 @@ pub fn fig7(dataset: &FailureDataset) -> Rendered {
     }
 }
 
-/// Fig. 8: failure rate vs resource usage (four panels).
-pub fn fig8(dataset: &FailureDataset) -> Rendered {
-    let pm_cpu = usage::rate_by_cpu_util(dataset, MachineKind::Pm);
-    let vm_cpu = usage::rate_by_cpu_util(dataset, MachineKind::Vm);
-    let pm_mem = usage::rate_by_mem_util(dataset, MachineKind::Pm);
-    let vm_mem = usage::rate_by_mem_util(dataset, MachineKind::Vm);
-    let disk = usage::rate_by_disk_util(dataset);
-    let net = usage::rate_by_network(dataset);
+/// The six Fig. 8 panel curves, in rendering order.
+#[derive(Debug, Clone)]
+pub struct Fig8Curves {
+    /// 8(a) PM CPU utilization.
+    pub pm_cpu: dcfail_core::curve::AttributeCurve,
+    /// 8(a) VM CPU utilization.
+    pub vm_cpu: dcfail_core::curve::AttributeCurve,
+    /// 8(b) PM memory utilization.
+    pub pm_mem: dcfail_core::curve::AttributeCurve,
+    /// 8(b) VM memory utilization.
+    pub vm_mem: dcfail_core::curve::AttributeCurve,
+    /// 8(c) VM disk utilization.
+    pub disk: dcfail_core::curve::AttributeCurve,
+    /// 8(d) VM network volume.
+    pub net: dcfail_core::curve::AttributeCurve,
+}
+
+/// Renders Fig. 8 from already-computed panel curves — the path a shard
+/// coordinator takes after merging per-shard curve counts.
+pub fn render_fig8(curves: &Fig8Curves) -> Rendered {
     let curves = [
-        ("8a PM cpu util", &pm_cpu),
-        ("8a VM cpu util", &vm_cpu),
-        ("8b PM mem util", &pm_mem),
-        ("8b VM mem util", &vm_mem),
-        ("8c VM disk util", &disk),
-        ("8d VM net kbps", &net),
+        ("8a PM cpu util", &curves.pm_cpu),
+        ("8a VM cpu util", &curves.vm_cpu),
+        ("8b PM mem util", &curves.pm_mem),
+        ("8b VM mem util", &curves.vm_mem),
+        ("8c VM disk util", &curves.disk),
+        ("8d VM net kbps", &curves.net),
     ];
     let text = format!(
         "{}paper reference: VM rate rises with cpu util, PM falls (0-30%); \
@@ -548,14 +560,27 @@ pub fn fig8(dataset: &FailureDataset) -> Rendered {
     }
 }
 
-/// Fig. 9: failure rate vs consolidation level.
-pub fn fig9(dataset: &FailureDataset) -> Rendered {
-    let curve = consolidation::rate_by_consolidation(dataset);
-    let shares = consolidation::vm_share_by_level(dataset);
-    let curves = [("9 consolidation", &curve)];
+/// Fig. 8: failure rate vs resource usage (four panels).
+pub(crate) fn fig8_impl(dataset: &FailureDataset) -> Rendered {
+    render_fig8(&Fig8Curves {
+        pm_cpu: usage::rate_by_cpu_util(dataset, MachineKind::Pm),
+        vm_cpu: usage::rate_by_cpu_util(dataset, MachineKind::Vm),
+        pm_mem: usage::rate_by_mem_util(dataset, MachineKind::Pm),
+        vm_mem: usage::rate_by_mem_util(dataset, MachineKind::Vm),
+        disk: usage::rate_by_disk_util(dataset),
+        net: usage::rate_by_network(dataset),
+    })
+}
+
+/// Renders Fig. 9 from an already-computed curve and population shares.
+pub fn render_fig9(
+    curve: &dcfail_core::curve::AttributeCurve,
+    shares: &[(String, f64)],
+) -> Rendered {
+    let curves = [("9 consolidation", curve)];
     let mut text = curve_table(&curves);
     text.push_str("VM share per level: ");
-    for (label, share) in &shares {
+    for (label, share) in shares {
         let _ = write!(text, "{label}: {:.1}%  ", 100.0 * share);
     }
     text.push_str(
@@ -569,14 +594,22 @@ pub fn fig9(dataset: &FailureDataset) -> Rendered {
     }
 }
 
-/// Fig. 10: failure rate vs on/off frequency.
-pub fn fig10(dataset: &FailureDataset) -> Rendered {
-    let curve = onoff::rate_by_onoff(dataset);
-    let shares = onoff::vm_share_by_onoff(dataset);
-    let curves = [("10 on/off per month", &curve)];
+/// Fig. 9: failure rate vs consolidation level.
+pub(crate) fn fig9_impl(dataset: &FailureDataset) -> Rendered {
+    let curve = consolidation::rate_by_consolidation(dataset);
+    let shares = consolidation::vm_share_by_level(dataset);
+    render_fig9(&curve, &shares)
+}
+
+/// Renders Fig. 10 from an already-computed curve and population shares.
+pub fn render_fig10(
+    curve: &dcfail_core::curve::AttributeCurve,
+    shares: &[(String, f64)],
+) -> Rendered {
+    let curves = [("10 on/off per month", curve)];
     let mut text = curve_table(&curves);
     text.push_str("VM share per bucket: ");
-    for (label, share) in &shares {
+    for (label, share) in shares {
         let _ = write!(text, "{label}: {:.1}%  ", 100.0 * share);
     }
     text.push_str(
@@ -590,9 +623,174 @@ pub fn fig10(dataset: &FailureDataset) -> Rendered {
     }
 }
 
+/// Fig. 10: failure rate vs on/off frequency.
+pub(crate) fn fig10_impl(dataset: &FailureDataset) -> Rendered {
+    let curve = onoff::rate_by_onoff(dataset);
+    let shares = onoff::vm_share_by_onoff(dataset);
+    render_fig10(&curve, &shares)
+}
+
 /// Convenience: the gamma/log-normal fit families a rendered fit line uses.
 pub fn paper_families() -> [Family; 3] {
     Family::PAPER
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated direct entry points. Kept for one release; route through
+// `dcfail_report::run(ExperimentId::…, dataset, &RunConfig::default())`.
+// ---------------------------------------------------------------------------
+
+/// Table I: scope comparison with related work (static, from the paper).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::Table1, dataset, &RunConfig::default())`"
+)]
+pub fn table1() -> Rendered {
+    table1_impl()
+}
+
+/// Table II: dataset statistics per subsystem.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::Table2, dataset, &RunConfig::default())`"
+)]
+pub fn table2(dataset: &FailureDataset) -> Rendered {
+    table2_impl(dataset)
+}
+
+/// Table III: inter-failure times per class, operator vs server view.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::Table3, dataset, &RunConfig::default())`"
+)]
+pub fn table3(dataset: &FailureDataset) -> Rendered {
+    table3_impl(dataset)
+}
+
+/// Table IV: repair times per class.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::Table4, dataset, &RunConfig::default())`"
+)]
+pub fn table4(dataset: &FailureDataset) -> Rendered {
+    table4_impl(dataset)
+}
+
+/// Table V: random vs recurrent weekly failure probabilities.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::Table5, dataset, &RunConfig::default())`"
+)]
+pub fn table5(dataset: &FailureDataset) -> Rendered {
+    table5_impl(dataset)
+}
+
+/// Table VI: incident footprints by machine type.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::Table6, dataset, &RunConfig::default())`"
+)]
+pub fn table6(dataset: &FailureDataset) -> Rendered {
+    table6_impl(dataset)
+}
+
+/// Table VII: incident footprint by failure class.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::Table7, dataset, &RunConfig::default())`"
+)]
+pub fn table7(dataset: &FailureDataset) -> Rendered {
+    table7_impl(dataset)
+}
+
+/// Fig. 1: crash-ticket distribution across failure classes per subsystem.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::Fig1, dataset, &RunConfig::default())`"
+)]
+pub fn fig1(dataset: &FailureDataset) -> Rendered {
+    fig1_impl(dataset)
+}
+
+/// Fig. 2: weekly failure rates of PMs and VMs.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::Fig2, dataset, &RunConfig::default())`"
+)]
+pub fn fig2(dataset: &FailureDataset) -> Rendered {
+    fig2_impl(dataset)
+}
+
+/// Fig. 3: inter-failure time CDFs and fits.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::Fig3, dataset, &RunConfig::default())`"
+)]
+pub fn fig3(dataset: &FailureDataset) -> Rendered {
+    fig3_impl(dataset)
+}
+
+/// Fig. 4: repair-time CDFs and fits.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::Fig4, dataset, &RunConfig::default())`"
+)]
+pub fn fig4(dataset: &FailureDataset) -> Rendered {
+    fig4_impl(dataset)
+}
+
+/// Fig. 5: recurrent failure probabilities.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::Fig5, dataset, &RunConfig::default())`"
+)]
+pub fn fig5(dataset: &FailureDataset) -> Rendered {
+    fig5_impl(dataset)
+}
+
+/// Fig. 6: VM failures vs age.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::Fig6, dataset, &RunConfig::default())`"
+)]
+pub fn fig6(dataset: &FailureDataset) -> Rendered {
+    fig6_impl(dataset)
+}
+
+/// Fig. 7: failure rate vs resource capacity (four panels).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::Fig7, dataset, &RunConfig::default())`"
+)]
+pub fn fig7(dataset: &FailureDataset) -> Rendered {
+    fig7_impl(dataset)
+}
+
+/// Fig. 8: failure rate vs resource usage (four panels).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::Fig8, dataset, &RunConfig::default())`"
+)]
+pub fn fig8(dataset: &FailureDataset) -> Rendered {
+    fig8_impl(dataset)
+}
+
+/// Fig. 9: failure rate vs consolidation level.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::Fig9, dataset, &RunConfig::default())`"
+)]
+pub fn fig9(dataset: &FailureDataset) -> Rendered {
+    fig9_impl(dataset)
+}
+
+/// Fig. 10: failure rate vs on/off frequency.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run(ExperimentId::Fig10, dataset, &RunConfig::default())`"
+)]
+pub fn fig10(dataset: &FailureDataset) -> Rendered {
+    fig10_impl(dataset)
 }
 
 #[cfg(test)]
@@ -610,23 +808,23 @@ mod tests {
     fn every_runner_produces_text_and_csv() {
         let ds = dataset();
         let rendered = [
-            table1(),
-            table2(ds),
-            fig1(ds),
-            fig2(ds),
-            fig3(ds),
-            table3(ds),
-            fig4(ds),
-            table4(ds),
-            fig5(ds),
-            table5(ds),
-            table6(ds),
-            table7(ds),
-            fig6(ds),
-            fig7(ds),
-            fig8(ds),
-            fig9(ds),
-            fig10(ds),
+            table1_impl(),
+            table2_impl(ds),
+            fig1_impl(ds),
+            fig2_impl(ds),
+            fig3_impl(ds),
+            table3_impl(ds),
+            fig4_impl(ds),
+            table4_impl(ds),
+            fig5_impl(ds),
+            table5_impl(ds),
+            table6_impl(ds),
+            table7_impl(ds),
+            fig6_impl(ds),
+            fig7_impl(ds),
+            fig8_impl(ds),
+            fig9_impl(ds),
+            fig10_impl(ds),
         ];
         for r in &rendered {
             assert!(!r.title.is_empty());
@@ -639,21 +837,21 @@ mod tests {
 
     #[test]
     fn fig2_report_mentions_rates() {
-        let r = fig2(dataset());
+        let r = fig2_impl(dataset());
         assert!(r.text.contains("All PM"));
         assert!(r.text.contains("paper"));
     }
 
     #[test]
     fn table5_report_has_ratios() {
-        let r = table5(dataset());
+        let r = table5_impl(dataset());
         assert!(r.text.contains("PM ratio"));
         assert!(r.text.contains('x'));
     }
 
     #[test]
     fn fig7_reports_all_panels() {
-        let r = fig7(dataset());
+        let r = fig7_impl(dataset());
         for panel in [
             "7a PM cpu",
             "7a VM cpu",

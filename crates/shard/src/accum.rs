@@ -1,0 +1,240 @@
+//! Mergeable per-shard accumulators for the telemetry-dependent figures.
+//!
+//! Figures 8–10 are the only paper artifacts that read weekly telemetry, so
+//! they are the only ones a shard coordinator cannot re-run on the merged
+//! (telemetry-free) dataset. Instead each shard folds its machines into
+//! [`CurveAccums`] — per-(bin, week) population/event counts plus the
+//! population-share counters — and the coordinator absorbs the shard
+//! accumulators in index order. Counting is exactly mergeable, so the
+//! finalized curves are bit-identical to the monolithic
+//! `weekly_rate_by`/`vm_share_by_*` passes.
+
+use dcfail_core::consolidation::level_bins;
+use dcfail_core::curve::{share_from_counts, AttributeCurve, CurveCounts};
+use dcfail_core::onoff::onoff_bins;
+use dcfail_core::usage::{net_bins, util_bins};
+use dcfail_model::prelude::*;
+use dcfail_report::runners::Fig8Curves;
+use dcfail_stats::binning::Bins;
+use dcfail_stats::merge::{CountVec, Mergeable};
+
+/// Per-week bin assignments of one machine, one entry per telemetry curve
+/// the machine's kind contributes to — the lookup needed to attribute the
+/// machine's failure events to (bin, week) cells.
+pub(crate) enum Assign {
+    /// PM machines feed the Fig. 8 CPU and memory panels.
+    Pm {
+        cpu: Vec<Option<usize>>,
+        mem: Vec<Option<usize>>,
+    },
+    /// VM machines feed four Fig. 8 panels plus Figs. 9 and 10.
+    Vm {
+        cpu: Vec<Option<usize>>,
+        mem: Vec<Option<usize>>,
+        disk: Vec<Option<usize>>,
+        net: Vec<Option<usize>>,
+        cons: Vec<Option<usize>>,
+        onoff: Vec<Option<usize>>,
+    },
+}
+
+/// All telemetry-curve accumulators of one shard: the six Fig. 8 panels,
+/// the Fig. 9/10 rate curves and the two population-share counters.
+pub(crate) struct CurveAccums {
+    util_bins: Bins,
+    net_bins: Bins,
+    level_bins: Bins,
+    onoff_bins: Bins,
+    pm_cpu: CurveCounts,
+    vm_cpu: CurveCounts,
+    pm_mem: CurveCounts,
+    vm_mem: CurveCounts,
+    vm_disk: CurveCounts,
+    vm_net: CurveCounts,
+    consolidation: CurveCounts,
+    onoff: CurveCounts,
+    level_shares: CountVec,
+    onoff_shares: CountVec,
+}
+
+/// The finalized telemetry-dependent artifacts, ready for
+/// `render_fig8`/`render_fig9`/`render_fig10`.
+pub struct ShardedCurves {
+    /// The six Fig. 8 panel curves.
+    pub fig8: Fig8Curves,
+    /// Fig. 9 rate-vs-consolidation curve.
+    pub fig9_curve: AttributeCurve,
+    /// Fig. 9 population shares per consolidation level.
+    pub fig9_shares: Vec<(String, f64)>,
+    /// Fig. 10 rate-vs-on/off curve.
+    pub fig10_curve: AttributeCurve,
+    /// Fig. 10 population shares per on/off bucket.
+    pub fig10_shares: Vec<(String, f64)>,
+}
+
+impl CurveAccums {
+    /// Empty accumulators for a horizon of `weeks` observation weeks.
+    ///
+    /// Attribute names and bins mirror the monolithic runners
+    /// (`usage::rate_by_*`, `consolidation::rate_by_consolidation`,
+    /// `onoff::rate_by_onoff`) exactly — the merged finalize must be
+    /// byte-identical to theirs.
+    pub(crate) fn new(weeks: usize) -> Self {
+        let util = util_bins();
+        let net = net_bins();
+        let level = level_bins();
+        let onoff = onoff_bins();
+        Self {
+            pm_cpu: CurveCounts::new("cpu util %", &util, weeks),
+            vm_cpu: CurveCounts::new("cpu util %", &util, weeks),
+            pm_mem: CurveCounts::new("mem util %", &util, weeks),
+            vm_mem: CurveCounts::new("mem util %", &util, weeks),
+            vm_disk: CurveCounts::new("disk util %", &util, weeks),
+            vm_net: CurveCounts::new("net kbps", &net, weeks),
+            consolidation: CurveCounts::new("consolidation", &level, weeks),
+            onoff: CurveCounts::new("on/off per month", &onoff, weeks),
+            level_shares: CountVec::zeros(level.len()),
+            onoff_shares: CountVec::zeros(onoff.len()),
+            util_bins: util,
+            net_bins: net,
+            level_bins: level,
+            onoff_bins: onoff,
+        }
+    }
+
+    /// Buckets one machine's telemetry into every curve its kind feeds,
+    /// counting machine-weeks (and VM population shares), and returns the
+    /// per-week assignments for later event attribution.
+    pub(crate) fn observe(&mut self, m: &Machine, telemetry: &Telemetry) -> Assign {
+        let id = m.id();
+        match m.kind() {
+            MachineKind::Pm => Assign::Pm {
+                cpu: self.pm_cpu.observe_machine_weeks(&self.util_bins, |w| {
+                    telemetry.usage_in_week(id, w).map(|u| f64::from(u.cpu_pct))
+                }),
+                mem: self.pm_mem.observe_machine_weeks(&self.util_bins, |w| {
+                    telemetry.usage_in_week(id, w).map(|u| f64::from(u.mem_pct))
+                }),
+            },
+            MachineKind::Vm => {
+                let level = telemetry.mean_consolidation(id);
+                let rate = telemetry.onoff(id).map(OnOffLog::monthly_transition_rate);
+                if let Some(bin) = level.and_then(|l| self.level_bins.index_of(l)) {
+                    self.level_shares.add(bin, 1);
+                }
+                if let Some(bin) = rate.and_then(|r| self.onoff_bins.index_of(r)) {
+                    self.onoff_shares.add(bin, 1);
+                }
+                Assign::Vm {
+                    cpu: self.vm_cpu.observe_machine_weeks(&self.util_bins, |w| {
+                        telemetry.usage_in_week(id, w).map(|u| f64::from(u.cpu_pct))
+                    }),
+                    mem: self.vm_mem.observe_machine_weeks(&self.util_bins, |w| {
+                        telemetry.usage_in_week(id, w).map(|u| f64::from(u.mem_pct))
+                    }),
+                    disk: self.vm_disk.observe_machine_weeks(&self.util_bins, |w| {
+                        telemetry
+                            .usage_in_week(id, w)
+                            .map(|u| f64::from(u.disk_pct))
+                    }),
+                    net: self.vm_net.observe_machine_weeks(&self.net_bins, |w| {
+                        telemetry
+                            .usage_in_week(id, w)
+                            .map(|u| f64::from(u.net_kbps))
+                    }),
+                    cons: self
+                        .consolidation
+                        .observe_machine_weeks(&self.level_bins, |_| level),
+                    onoff: self.onoff.observe_machine_weeks(&self.onoff_bins, |_| rate),
+                }
+            }
+        }
+    }
+
+    /// Counts one failure event of the machine behind `assign` in `week`,
+    /// in every curve whose bin assignment covers that week — the same rule
+    /// `weekly_rate_by` applies per curve.
+    pub(crate) fn count_event(&mut self, assign: &Assign, week: usize) {
+        let hit = |counts: &mut CurveCounts, bins: &[Option<usize>]| {
+            if let Some(bin) = bins[week] {
+                counts.add_event(bin, week);
+            }
+        };
+        match assign {
+            Assign::Pm { cpu, mem } => {
+                hit(&mut self.pm_cpu, cpu);
+                hit(&mut self.pm_mem, mem);
+            }
+            Assign::Vm {
+                cpu,
+                mem,
+                disk,
+                net,
+                cons,
+                onoff,
+            } => {
+                hit(&mut self.vm_cpu, cpu);
+                hit(&mut self.vm_mem, mem);
+                hit(&mut self.vm_disk, disk);
+                hit(&mut self.vm_net, net);
+                hit(&mut self.consolidation, cons);
+                hit(&mut self.onoff, onoff);
+            }
+        }
+    }
+}
+
+impl Mergeable for CurveAccums {
+    type Output = ShardedCurves;
+
+    fn identity() -> Self {
+        Self {
+            util_bins: util_bins(),
+            net_bins: net_bins(),
+            level_bins: level_bins(),
+            onoff_bins: onoff_bins(),
+            pm_cpu: CurveCounts::identity(),
+            vm_cpu: CurveCounts::identity(),
+            pm_mem: CurveCounts::identity(),
+            vm_mem: CurveCounts::identity(),
+            vm_disk: CurveCounts::identity(),
+            vm_net: CurveCounts::identity(),
+            consolidation: CurveCounts::identity(),
+            onoff: CurveCounts::identity(),
+            level_shares: CountVec::identity(),
+            onoff_shares: CountVec::identity(),
+        }
+    }
+
+    fn absorb(&mut self, other: &Self) {
+        self.pm_cpu.absorb(&other.pm_cpu);
+        self.vm_cpu.absorb(&other.vm_cpu);
+        self.pm_mem.absorb(&other.pm_mem);
+        self.vm_mem.absorb(&other.vm_mem);
+        self.vm_disk.absorb(&other.vm_disk);
+        self.vm_net.absorb(&other.vm_net);
+        self.consolidation.absorb(&other.consolidation);
+        self.onoff.absorb(&other.onoff);
+        self.level_shares.absorb(&other.level_shares);
+        self.onoff_shares.absorb(&other.onoff_shares);
+    }
+
+    fn finalize(self) -> ShardedCurves {
+        let level_counts = self.level_shares.finalize();
+        let onoff_counts = self.onoff_shares.finalize();
+        ShardedCurves {
+            fig8: Fig8Curves {
+                pm_cpu: self.pm_cpu.finalize(),
+                vm_cpu: self.vm_cpu.finalize(),
+                pm_mem: self.pm_mem.finalize(),
+                vm_mem: self.vm_mem.finalize(),
+                disk: self.vm_disk.finalize(),
+                net: self.vm_net.finalize(),
+            },
+            fig9_curve: self.consolidation.finalize(),
+            fig9_shares: share_from_counts(&self.level_bins, &level_counts),
+            fig10_curve: self.onoff.finalize(),
+            fig10_shares: share_from_counts(&self.onoff_bins, &onoff_counts),
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! # dcfail-shard
+//!
+//! Out-of-core sharded scenario generation with mergeable streaming
+//! estimators.
+//!
+//! `Scenario::build` materializes the whole fleet — every telemetry series,
+//! hazard table and incident — before any analysis runs, so memory (not CPU)
+//! is the scaling wall. [`build_sharded`] breaks it: the fleet is split into
+//! contiguous machine-ID ranges ([`plan::shard_ranges`]) and each shard is
+//! generated, analyzed and dropped before its results are merged. Because
+//! every per-machine stage in `dcfail-synth` forks its RNG stream from the
+//! machine's *global* id (`StreamRng::fork_index`), a shard produces exactly
+//! the bytes the monolithic run produces for the same machines, and the
+//! merged output is bit-identical to `Scenario::build` — at any shard count
+//! and any thread count.
+//!
+//! ## Pipeline
+//!
+//! 1. **Population** — built whole. Machine/topology metadata is the one
+//!    deliberate O(fleet) exception: it is two orders of magnitude smaller
+//!    than telemetry and the spatial incident stage needs global structure.
+//! 2. **Pass 1: normalization** — each shard generates its telemetry, folds
+//!    it into a [`NormAccum`](dcfail_synth::hazard::NormAccum) and drops it.
+//!    The accumulators absorb in index order; exact summation makes the
+//!    resulting divisors bit-identical to the monolithic single pass.
+//! 3. **Spatial incidents** — one global, telemetry-free sequential stream,
+//!    exactly as the monolithic `incidents::simulate` runs it.
+//! 4. **Pass 2: per-shard generation + analysis** — each shard regenerates
+//!    its telemetry, builds its slice of the hazard table, folds its
+//!    machines into the telemetry-curve accumulators (Figs. 8–10), then
+//!    drops the telemetry *before* walking per-machine incident streams.
+//! 5. **Merge + assemble** — per-shard incident specs concatenate in shard
+//!    order (= machine order, matching the monolithic extend) and sort on
+//!    the canonical `(time, first machine)` key; ticket/event assembly then
+//!    walks the spec list with sequential streams, byte-identical to the
+//!    monolithic dataset. The merged dataset carries **no telemetry** —
+//!    telemetry-dependent figures come from the merged accumulators instead.
+//!
+//! Shards fan out across threads via `dcfail-par`; results merge in shard
+//! index order, so output is independent of the schedule. Peak residency is
+//! O(active shards), i.e. O(fleet / shards) per worker thread.
+//!
+//! ```
+//! use dcfail_report::experiments::{ExperimentId, RunConfig};
+//! use dcfail_synth::Scenario;
+//!
+//! let config = Scenario::paper().seed(7).scale(0.02).config().clone();
+//! let sharded = dcfail_shard::build_sharded(&config, 4);
+//! let fig1 = sharded.report(ExperimentId::Fig1, &RunConfig::default());
+//! assert!(fig1.title.contains("Fig. 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+mod accum;
+pub mod plan;
+
+pub use accum::ShardedCurves;
+pub use plan::shard_ranges;
+
+use accum::CurveAccums;
+use dcfail_model::prelude::*;
+use dcfail_report::experiments::{self, ExperimentId, RunConfig};
+use dcfail_report::runners::{render_fig10, render_fig8, render_fig9, Rendered};
+use dcfail_stats::merge::Mergeable;
+use dcfail_stats::rng::StreamRng;
+use dcfail_synth::hazard::{HazardModel, NormAccum};
+use dcfail_synth::incidents::{self, IncidentSpec};
+use dcfail_synth::{population, scenario, telemetry_gen, ScenarioConfig};
+
+/// What one pass-2 shard worker hands back to the coordinator.
+struct ShardYield {
+    /// Individual incident specs of the shard's machines, in machine order.
+    specs: Vec<IncidentSpec>,
+    /// The shard's telemetry-curve counts (Figs. 8–10).
+    curves: CurveAccums,
+}
+
+/// The merged result of a sharded build: the (telemetry-free) dataset plus
+/// the merged telemetry-curve statistics.
+pub struct ShardedOutput {
+    config: ScenarioConfig,
+    num_shards: usize,
+    dataset: FailureDataset,
+    curves: ShardedCurves,
+}
+
+/// Generates the scenario shard-by-shard and merges the results.
+///
+/// The returned dataset is byte-identical to
+/// `Scenario::from_config(config).build().into_dataset()` in machines,
+/// topology, incidents, events and tickets — but carries an empty telemetry
+/// store. Reports that need telemetry (Figs. 8–10) are served from the
+/// merged accumulators via [`ShardedOutput::report`].
+///
+/// # Panics
+///
+/// Panics if `num_shards` is zero or the configuration has Error-level
+/// audit findings (same contract as `Scenario::build`).
+pub fn build_sharded(config: &ScenarioConfig, num_shards: usize) -> ShardedOutput {
+    let config_report = dcfail_synth::config_audit::audit_config(config);
+    assert!(
+        config_report.is_clean(),
+        "scenario configuration failed audit:\n{config_report}"
+    );
+    let _span = dcfail_obs::span("shard.build");
+    let rng = StreamRng::new(config.seed);
+    let pop = {
+        let _s = dcfail_obs::span("population");
+        population::build(config, &rng)
+    };
+    let weeks = config.horizon.num_weeks();
+    let num_days = config.horizon.num_days() as i64;
+    let ranges = shard_ranges(pop.machines.len(), num_shards);
+
+    // Pass 1 — normalization constants. Each shard materializes only its own
+    // telemetry; per-shard accumulators absorb in index order and the exact
+    // sums make the divisors independent of the grouping.
+    let norms = {
+        let _s = dcfail_obs::span("shard.norms");
+        let accums = dcfail_par::par_map(&ranges, |_, range| {
+            let telemetry = telemetry_gen::generate_range(config, &pop, range.clone(), &rng);
+            let mut accum = NormAccum::identity();
+            for m in &pop.machines[range.clone()] {
+                accum.accumulate(config, m, &telemetry);
+            }
+            accum
+        });
+        let mut merged = NormAccum::identity();
+        for a in &accums {
+            merged.absorb(a);
+        }
+        merged.finalize()
+    };
+
+    // Correlated incidents walk one global sequential stream and read no
+    // telemetry, exactly as the monolithic stage runs.
+    let (spatial_specs, spatial_hits) = {
+        let _s = dcfail_obs::span("shard.spatial");
+        incidents::spatial_stage(config, &pop, &rng)
+    };
+
+    // Pass 2 — generate, analyze, drop, shard by shard.
+    let yields = {
+        let _s = dcfail_obs::span("shard.fanout");
+        dcfail_par::par_map(&ranges, |_, range| {
+            let machines = &pop.machines[range.clone()];
+            let telemetry = telemetry_gen::generate_range(config, &pop, range.clone(), &rng);
+            let hazard = HazardModel::for_range(config, &pop, &telemetry, range.clone(), &norms);
+            let mut curves = CurveAccums::new(weeks);
+            let assigns: Vec<_> = machines
+                .iter()
+                .map(|m| curves.observe(m, &telemetry))
+                .collect();
+            // The dominant O(shard) term dies here; the incident walk below
+            // needs only the hazard slice and the spatial hit-days.
+            drop(telemetry);
+            let per_machine = dcfail_par::par_map(machines, |local, m| {
+                incidents::individual_incidents_for(
+                    config,
+                    &hazard,
+                    m,
+                    &spatial_hits[range.start + local],
+                    num_days,
+                    &rng,
+                )
+            });
+            let count_spec = |curves: &mut CurveAccums, spec: &IncidentSpec| {
+                let Some(week) = config.horizon.week_of(spec.at) else {
+                    return;
+                };
+                for mid in &spec.machines {
+                    if range.contains(&mid.index()) {
+                        curves.count_event(&assigns[mid.index() - range.start], week);
+                    }
+                }
+            };
+            for spec in per_machine.iter().flatten().chain(&spatial_specs) {
+                count_spec(&mut curves, spec);
+            }
+            ShardYield {
+                specs: per_machine.into_iter().flatten().collect(),
+                curves,
+            }
+        })
+    };
+
+    // Index-ordered merge: shard order is machine order, so concatenating
+    // reproduces the monolithic pre-sort spec sequence, and the stable sort
+    // lands every spec in the exact monolithic position.
+    let mut specs = spatial_specs;
+    let mut curves = CurveAccums::identity();
+    for y in yields {
+        specs.extend(y.specs);
+        curves.absorb(&y.curves);
+    }
+    specs.sort_by_key(|i| (i.at, i.machines[0]));
+
+    if dcfail_obs::enabled() {
+        dcfail_obs::add("shard.shards", num_shards as u64);
+        dcfail_obs::add("shard.machines", pop.machines.len() as u64);
+        dcfail_obs::add("shard.specs", specs.len() as u64);
+    }
+
+    // Ticket/event assembly walks the spec list on sequential streams and
+    // never reads telemetry — an empty store yields identical bytes.
+    let dataset = {
+        let _s = dcfail_obs::span("assemble");
+        scenario::assemble_dataset(config, pop, Telemetry::new(), &specs, &rng)
+    };
+
+    ShardedOutput {
+        config: config.clone(),
+        num_shards,
+        dataset,
+        curves: curves.finalize(),
+    }
+}
+
+impl ShardedOutput {
+    /// The merged dataset (telemetry-free).
+    pub fn dataset(&self) -> &FailureDataset {
+        &self.dataset
+    }
+
+    /// The configuration the fleet was generated from.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// How many shards the build used.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The merged telemetry-curve statistics (Figs. 8–10).
+    pub fn curves(&self) -> &ShardedCurves {
+        &self.curves
+    }
+
+    /// Runs one experiment against the sharded results.
+    ///
+    /// Figures 8–10 render from the merged accumulators; every other
+    /// experiment delegates to
+    /// [`report::run`](dcfail_report::experiments::run) on the merged
+    /// dataset. Output is byte-identical to the monolithic path for every
+    /// paper experiment and every extra except [`ExperimentId::Whatif`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`ExperimentId::Whatif`]: the what-if resampler needs the
+    /// full telemetry store, which a sharded build never materializes.
+    pub fn report(&self, id: ExperimentId, config: &RunConfig) -> Rendered {
+        match id {
+            ExperimentId::Fig8 | ExperimentId::Fig9 | ExperimentId::Fig10 => {
+                let _threads = ThreadGuard::install(config.threads);
+                let _span = config
+                    .metrics
+                    .then(|| dcfail_obs::span_labeled("report", id.key()));
+                match id {
+                    ExperimentId::Fig8 => render_fig8(&self.curves.fig8),
+                    ExperimentId::Fig9 => {
+                        render_fig9(&self.curves.fig9_curve, &self.curves.fig9_shares)
+                    }
+                    _ => render_fig10(&self.curves.fig10_curve, &self.curves.fig10_shares),
+                }
+            }
+            ExperimentId::Whatif => {
+                panic!("what-if resampling needs full telemetry; use the monolithic path")
+            }
+            _ => experiments::run(id, &self.dataset, config),
+        }
+    }
+
+    /// Runs every paper experiment (Tables 1–7, Figs. 1–10), fanned out via
+    /// `dcfail-par`, in registry order.
+    pub fn paper_reports(&self, config: &RunConfig) -> Vec<(ExperimentId, Rendered)> {
+        let _threads = ThreadGuard::install(config.threads);
+        let _span = config.metrics.then(|| dcfail_obs::span("report.run_all"));
+        let inner = RunConfig {
+            threads: None,
+            ..config.clone()
+        };
+        dcfail_par::par_map(&ExperimentId::PAPER, |_, &id| (id, self.report(id, &inner)))
+    }
+}
+
+/// Scoped `dcfail-par` thread override, mirroring the guard inside
+/// `report::run`: installs `threads` on construction, restores the previous
+/// override on drop.
+struct ThreadGuard {
+    previous: Option<usize>,
+}
+
+impl ThreadGuard {
+    fn install(threads: Option<std::num::NonZeroUsize>) -> Option<Self> {
+        let threads = threads?;
+        let previous = dcfail_par::thread_override();
+        dcfail_par::set_thread_override(Some(threads.get()));
+        Some(Self { previous })
+    }
+}
+
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        dcfail_par::set_thread_override(self.previous);
+    }
+}

@@ -1,0 +1,70 @@
+//! Shard planning: contiguous machine-ID ranges of near-equal size.
+
+use std::ops::Range;
+
+/// Splits `0..machines` into `shards` contiguous ranges whose sizes differ
+/// by at most one (the first `machines % shards` ranges get the extra
+/// machine). With `shards > machines` the trailing ranges are empty — a
+/// legal degenerate plan: empty shards generate nothing and merge as
+/// identities.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn shard_ranges(machines: usize, shards: usize) -> Vec<Range<usize>> {
+    assert!(shards > 0, "shard count must be at least 1");
+    let base = machines / shards;
+    let extra = machines % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, machines);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(machines: usize, shards: usize) {
+        let ranges = shard_ranges(machines, shards);
+        assert_eq!(ranges.len(), shards);
+        // Contiguous cover of 0..machines.
+        let mut next = 0usize;
+        for r in &ranges {
+            assert_eq!(r.start, next);
+            next = r.end;
+        }
+        assert_eq!(next, machines);
+        // Balanced: sizes differ by at most one.
+        let sizes: Vec<usize> = ranges.iter().map(Range::len).collect();
+        let min = sizes.iter().min().copied().unwrap_or(0);
+        let max = sizes.iter().max().copied().unwrap_or(0);
+        assert!(max - min <= 1, "unbalanced plan: {sizes:?}");
+    }
+
+    #[test]
+    fn plans_cover_and_balance() {
+        for (m, k) in [(0, 1), (1, 1), (10, 1), (10, 3), (10, 10), (100, 7)] {
+            check(m, k);
+        }
+    }
+
+    #[test]
+    fn more_shards_than_machines_yields_empty_tails() {
+        let ranges = shard_ranges(3, 8);
+        check(3, 8);
+        assert!(ranges[..3].iter().all(|r| r.len() == 1));
+        assert!(ranges[3..].iter().all(Range::is_empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be at least 1")]
+    fn zero_shards_rejected() {
+        let _ = shard_ranges(10, 0);
+    }
+}

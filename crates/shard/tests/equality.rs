@@ -1,0 +1,123 @@
+//! Exactness pins: the sharded pipeline must reproduce the monolithic one
+//! bit-for-bit — same dataset (minus telemetry), same rendered reports —
+//! for every shard count and every thread count.
+
+#![allow(clippy::unwrap_used)]
+
+use dcfail_report::experiments::{run, ExperimentId, RunConfig};
+use dcfail_report::runners::Rendered;
+use dcfail_shard::{build_sharded, ShardedOutput};
+use dcfail_synth::{Scenario, ScenarioConfig};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// `dcfail_par`'s thread override is process-global; tests that touch it
+/// serialize through this gate.
+fn thread_gate() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn config(seed: u64, scale: f64) -> ScenarioConfig {
+    Scenario::paper().seed(seed).scale(scale).config().clone()
+}
+
+fn assert_rendered_eq(id: ExperimentId, sharded: &Rendered, monolithic: &Rendered) {
+    assert_eq!(sharded.title, monolithic.title, "{id}: title");
+    assert_eq!(sharded.text, monolithic.text, "{id}: text");
+    assert_eq!(sharded.csv, monolithic.csv, "{id}: csv");
+}
+
+/// Every paper report from `sharded` matches `report::run` on the
+/// monolithic dataset byte-for-byte.
+fn assert_all_paper_reports_match(
+    sharded: &ShardedOutput,
+    monolithic: &dcfail_model::prelude::FailureDataset,
+) {
+    let rc = RunConfig::default();
+    for id in ExperimentId::PAPER {
+        assert_rendered_eq(id, &sharded.report(id, &rc), &run(id, monolithic, &rc));
+    }
+}
+
+#[test]
+fn sharded_dataset_matches_monolithic_for_any_shard_count() {
+    let cfg = config(11, 0.02);
+    let mono = Scenario::from_config(cfg.clone()).build().into_dataset();
+    for shards in [1, 3, 8] {
+        let out = build_sharded(&cfg, shards);
+        let ds = out.dataset();
+        assert_eq!(ds.machines(), mono.machines(), "K={shards}: machines");
+        assert_eq!(ds.topology(), mono.topology(), "K={shards}: topology");
+        assert_eq!(ds.incidents(), mono.incidents(), "K={shards}: incidents");
+        assert_eq!(ds.events(), mono.events(), "K={shards}: events");
+        assert_eq!(ds.tickets(), mono.tickets(), "K={shards}: tickets");
+    }
+}
+
+#[test]
+fn every_paper_report_is_byte_identical() {
+    let cfg = config(42, 0.02);
+    let mono = Scenario::from_config(cfg.clone()).build().into_dataset();
+    let out = build_sharded(&cfg, 5);
+    assert_all_paper_reports_match(&out, &mono);
+}
+
+#[test]
+fn telemetry_free_extras_are_byte_identical() {
+    let cfg = config(42, 0.02);
+    let mono = Scenario::from_config(cfg.clone()).build().into_dataset();
+    let out = build_sharded(&cfg, 4);
+    let rc = RunConfig::default();
+    for id in ExperimentId::EXTRAS {
+        if id == ExperimentId::Whatif {
+            continue; // needs full telemetry; the sharded path refuses it
+        }
+        assert_rendered_eq(id, &out.report(id, &rc), &run(id, &mono, &rc));
+    }
+}
+
+#[test]
+fn more_shards_than_machines_still_matches() {
+    let cfg = config(3, 0.015);
+    let mono = Scenario::from_config(cfg.clone()).build().into_dataset();
+    let shards = mono.machines().len() + 7;
+    let out = build_sharded(&cfg, shards);
+    assert_eq!(out.num_shards(), shards);
+    assert_eq!(out.dataset().events(), mono.events());
+    assert_eq!(out.dataset().tickets(), mono.tickets());
+    assert_all_paper_reports_match(&out, &mono);
+}
+
+#[test]
+fn thread_count_never_changes_sharded_output() {
+    let _gate = thread_gate();
+    let cfg = config(9, 0.02);
+    let render = |threads: usize| -> Vec<String> {
+        dcfail_par::set_thread_override(Some(threads));
+        let out = build_sharded(&cfg, 6);
+        let reports = out.paper_reports(&RunConfig::default());
+        dcfail_par::set_thread_override(None);
+        reports
+            .into_iter()
+            .map(|(id, r)| format!("{id}:{}\n{:?}", r.text, r.csv))
+            .collect()
+    };
+    assert_eq!(render(1), render(8));
+}
+
+#[test]
+fn paper_reports_cover_the_registry_in_order() {
+    let out = build_sharded(&config(2, 0.015), 3);
+    let reports = out.paper_reports(&RunConfig::default());
+    let ids: Vec<ExperimentId> = reports.iter().map(|(id, _)| *id).collect();
+    assert_eq!(ids, ExperimentId::PAPER.to_vec());
+}
+
+#[test]
+#[should_panic(expected = "what-if resampling needs full telemetry")]
+fn whatif_is_refused() {
+    let out = build_sharded(&config(2, 0.015), 2);
+    let _ = out.report(ExperimentId::Whatif, &RunConfig::default());
+}

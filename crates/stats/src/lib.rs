@@ -49,6 +49,7 @@ pub mod empirical;
 pub mod fit;
 pub mod gof;
 pub mod kmeans;
+pub mod merge;
 pub mod rng;
 pub mod special;
 pub mod survival;

@@ -20,10 +20,15 @@
 use crate::config::{curves, ScenarioConfig};
 use crate::population::Population;
 use dcfail_model::prelude::*;
+use dcfail_stats::merge::{ExactSum, Mergeable};
+use std::ops::Range;
 
-/// Precomputed hazard state for one scenario.
+/// Precomputed hazard state for one scenario (or one machine-ID range of
+/// it, when built via [`HazardModel::for_range`]).
 #[derive(Debug, Clone)]
 pub struct HazardModel {
+    /// First global machine index covered (0 for a whole-fleet model).
+    offset: usize,
     /// Per-machine base daily hazard (kind + subsystem calibrated).
     base_daily: Vec<f64>,
     /// Per-machine static multiplier (capacity × consolidation × on/off),
@@ -43,58 +48,179 @@ pub struct HazardModel {
 /// A machine's hazard loses the burst boost after this many days.
 pub const BURST_HORIZON_DAYS: f64 = 28.0;
 
+/// The population-mean divisors that normalize the multiplier families to
+/// mean 1 per machine kind. A divisor of `1.0` means "leave as is" (empty
+/// group or non-positive sum), mirroring the monolithic normalization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormConstants {
+    static_div: [f64; 2],
+    usage_div: [f64; 2],
+}
+
+/// Mergeable accumulator of the normalization sums behind [`NormConstants`].
+///
+/// The sums are [`ExactSum`]s, so accumulating machines shard-by-shard and
+/// absorbing the per-shard accumulators yields divisors bit-identical to a
+/// single pass over the whole fleet — the key to sharded generation
+/// matching monolithic generation exactly.
+#[derive(Debug, Clone, Default)]
+pub struct NormAccum {
+    static_sum: [ExactSum; 2],
+    static_n: [u64; 2],
+    usage_sum: [ExactSum; 2],
+    usage_n: [u64; 2],
+}
+
+impl NormAccum {
+    /// Folds one machine's raw multipliers into the sums.
+    pub fn accumulate(&mut self, config: &ScenarioConfig, m: &Machine, telemetry: &Telemetry) {
+        let k = kind_slot(m.kind());
+        self.static_sum[k].push(raw_static_mult(config, m, telemetry));
+        self.static_n[k] += 1;
+        let weeks = config.horizon.num_weeks();
+        let series = telemetry.usage(m.id());
+        for w in 0..weeks {
+            self.usage_sum[k].push(raw_usage_week_mult(config, m, series, w));
+            self.usage_n[k] += 1;
+        }
+    }
+}
+
+impl Mergeable for NormAccum {
+    type Output = NormConstants;
+
+    fn identity() -> Self {
+        Self::default()
+    }
+
+    fn absorb(&mut self, other: &Self) {
+        for k in 0..2 {
+            self.static_sum[k].absorb(&other.static_sum[k]);
+            self.static_n[k] += other.static_n[k];
+            self.usage_sum[k].absorb(&other.usage_sum[k]);
+            self.usage_n[k] += other.usage_n[k];
+        }
+    }
+
+    fn finalize(self) -> NormConstants {
+        let div = |sum: &ExactSum, n: u64| -> f64 {
+            let s = sum.value();
+            if n == 0 || s <= 0.0 {
+                1.0
+            } else {
+                s / n as f64
+            }
+        };
+        NormConstants {
+            static_div: [
+                div(&self.static_sum[0], self.static_n[0]),
+                div(&self.static_sum[1], self.static_n[1]),
+            ],
+            usage_div: [
+                div(&self.usage_sum[0], self.usage_n[0]),
+                div(&self.usage_sum[1], self.usage_n[1]),
+            ],
+        }
+    }
+}
+
+const fn kind_slot(kind: MachineKind) -> usize {
+    match kind {
+        MachineKind::Pm => 0,
+        MachineKind::Vm => 1,
+    }
+}
+
+/// The raw (un-normalized) static multiplier of one machine.
+fn raw_static_mult(config: &ScenarioConfig, m: &Machine, telemetry: &Telemetry) -> f64 {
+    let fx = config.effects;
+    let mut mult = 1.0;
+    if fx.capacity {
+        mult *= capacity_mult(m);
+    }
+    if m.is_vm() {
+        if fx.consolidation {
+            let level = telemetry.mean_consolidation(m.id()).unwrap_or(1.0);
+            mult *= curves::consolidation_mult(level);
+        }
+        if fx.onoff {
+            let rate = telemetry
+                .onoff(m.id())
+                .map_or(0.0, OnOffLog::monthly_transition_rate);
+            mult *= curves::onoff_mult(rate);
+        }
+    }
+    mult
+}
+
+/// The raw usage multiplier of one machine-week.
+fn raw_usage_week_mult(
+    config: &ScenarioConfig,
+    m: &Machine,
+    series: Option<&[WeeklyUsage]>,
+    week: usize,
+) -> f64 {
+    if !config.effects.usage {
+        1.0
+    } else if let Some(u) = series.and_then(|s| s.get(week)) {
+        usage_week_mult(m.kind(), u)
+    } else {
+        1.0
+    }
+}
+
 impl HazardModel {
     /// Builds the hazard model for a generated population.
     pub fn new(config: &ScenarioConfig, pop: &Population, telemetry: &Telemetry) -> Self {
-        let n = pop.machines.len();
+        let mut accum = NormAccum::identity();
+        for m in &pop.machines {
+            accum.accumulate(config, m, telemetry);
+        }
+        let norms = accum.finalize();
+        Self::for_range(config, pop, telemetry, 0..pop.machines.len(), &norms)
+    }
+
+    /// Builds the hazard model for machines `range` only, using
+    /// fleet-global normalization constants (see [`NormAccum`]).
+    ///
+    /// `telemetry` needs entries only for the machines in `range`. Hazard
+    /// queries keep taking *global* machine indexes, so per-shard models
+    /// plug into the same simulation code as whole-fleet ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds for the population.
+    pub fn for_range(
+        config: &ScenarioConfig,
+        pop: &Population,
+        telemetry: &Telemetry,
+        range: Range<usize>,
+        norms: &NormConstants,
+    ) -> Self {
+        let machines = &pop.machines[range.clone()];
         let weeks = config.horizon.num_weeks();
         let fx = config.effects;
 
         // --- static multipliers -------------------------------------------
-        let mut static_mult = vec![1.0f64; n];
-        for (i, m) in pop.machines.iter().enumerate() {
-            let mut mult = 1.0;
-            if fx.capacity {
-                mult *= capacity_mult(m);
-            }
-            if m.is_vm() {
-                if fx.consolidation {
-                    let level = telemetry.mean_consolidation(m.id()).unwrap_or(1.0);
-                    mult *= curves::consolidation_mult(level);
-                }
-                if fx.onoff {
-                    let rate = telemetry
-                        .onoff(m.id())
-                        .map_or(0.0, OnOffLog::monthly_transition_rate);
-                    mult *= curves::onoff_mult(rate);
-                }
-            }
-            static_mult[i] = mult;
-        }
-        normalize_per_kind(&mut static_mult, pop);
+        let static_mult: Vec<f64> = machines
+            .iter()
+            .map(|m| raw_static_mult(config, m, telemetry) / norms.static_div[kind_slot(m.kind())])
+            .collect();
 
         // --- usage multipliers --------------------------------------------
-        let mut usage_mult: Vec<Vec<f64>> = Vec::with_capacity(n);
-        for m in &pop.machines {
-            let series = telemetry.usage(m.id());
-            let mut per_week = Vec::with_capacity(weeks);
-            for w in 0..weeks {
-                let mult = if !fx.usage {
-                    1.0
-                } else if let Some(u) = series.and_then(|s| s.get(w)) {
-                    usage_week_mult(m.kind(), u)
-                } else {
-                    1.0
-                };
-                per_week.push(mult);
-            }
-            usage_mult.push(per_week);
-        }
-        normalize_usage_per_kind(&mut usage_mult, pop);
+        let usage_mult: Vec<Vec<f64>> = machines
+            .iter()
+            .map(|m| {
+                let series = telemetry.usage(m.id());
+                let div = norms.usage_div[kind_slot(m.kind())];
+                (0..weeks)
+                    .map(|w| raw_usage_week_mult(config, m, series, w) / div)
+                    .collect()
+            })
+            .collect();
 
         // --- age trend ------------------------------------------------------
-        let age_at_start: Vec<(f64, f64)> = pop
-            .machines
+        let age_at_start: Vec<(f64, f64)> = machines
             .iter()
             .map(|m| {
                 if !fx.age || !m.is_vm() {
@@ -113,8 +239,7 @@ impl HazardModel {
             .collect();
 
         // --- base rates ------------------------------------------------------
-        let base_daily: Vec<f64> = pop
-            .machines
+        let base_daily: Vec<f64> = machines
             .iter()
             .map(|m| {
                 let sys = &config.subsystems[m.subsystem().index()];
@@ -126,6 +251,7 @@ impl HazardModel {
             .collect();
 
         Self {
+            offset: range.start,
             base_daily,
             static_mult,
             usage_mult,
@@ -136,9 +262,10 @@ impl HazardModel {
         }
     }
 
-    /// Daily failure probability of machine `idx` on observation day `day`
-    /// (without the recurrence burst).
+    /// Daily failure probability of machine `idx` (global index) on
+    /// observation day `day` (without the recurrence burst).
     pub fn daily_hazard(&self, idx: usize, day: usize) -> f64 {
+        let idx = idx - self.offset;
         let week = (day / 7).min(self.usage_mult[idx].len().saturating_sub(1));
         let usage = self.usage_mult[idx].get(week).copied().unwrap_or(1.0);
         let (age0, slope) = self.age_at_start[idx];
@@ -165,14 +292,16 @@ impl HazardModel {
         peak * (-days_since_failure / tau).exp()
     }
 
-    /// The static multiplier of machine `idx` (for inspection/tests).
+    /// The static multiplier of machine `idx` (global index; for
+    /// inspection/tests).
     pub fn static_mult(&self, idx: usize) -> f64 {
-        self.static_mult[idx]
+        self.static_mult[idx - self.offset]
     }
 
-    /// The base daily hazard of machine `idx` (for inspection/tests).
+    /// The base daily hazard of machine `idx` (global index; for
+    /// inspection/tests).
     pub fn base_daily(&self, idx: usize) -> f64 {
-        self.base_daily[idx]
+        self.base_daily[idx - self.offset]
     }
 }
 
@@ -239,49 +368,6 @@ fn lookup<const N: usize, T: Copy + Into<u64>>(
         }
     }
     mults[chosen]
-}
-
-/// Rescales `mult` so the mean over each machine kind is exactly 1.
-fn normalize_per_kind(mult: &mut [f64], pop: &Population) {
-    for kind in MachineKind::ALL {
-        let (sum, count) = pop
-            .machines
-            .iter()
-            .filter(|m| m.kind() == kind)
-            .map(|m| mult[m.id().index()])
-            .fold((0.0, 0usize), |(s, c), v| (s + v, c + 1));
-        if count == 0 || sum <= 0.0 {
-            continue;
-        }
-        let mean = sum / count as f64;
-        for m in pop.machines.iter().filter(|m| m.kind() == kind) {
-            mult[m.id().index()] /= mean;
-        }
-    }
-}
-
-/// Rescales the per-week usage multipliers so the machine-week mean is 1 per
-/// kind.
-fn normalize_usage_per_kind(usage: &mut [Vec<f64>], pop: &Population) {
-    for kind in MachineKind::ALL {
-        let mut sum = 0.0;
-        let mut count = 0usize;
-        for m in pop.machines.iter().filter(|m| m.kind() == kind) {
-            for &v in &usage[m.id().index()] {
-                sum += v;
-                count += 1;
-            }
-        }
-        if count == 0 || sum <= 0.0 {
-            continue;
-        }
-        let mean = sum / count as f64;
-        for m in pop.machines.iter().filter(|m| m.kind() == kind) {
-            for v in &mut usage[m.id().index()] {
-                *v /= mean;
-            }
-        }
-    }
 }
 
 #[cfg(test)]

@@ -70,8 +70,37 @@ pub fn simulate(
 ) -> Vec<IncidentSpec> {
     let hazard = HazardModel::new(config, pop, telemetry);
     let num_days = config.horizon.num_days() as i64;
-    let spatial = config.effects.spatial;
 
+    // Stage 1 — correlated incidents, one day at a time on one stream.
+    let (mut out, spatial_hits) = spatial_stage(config, pop, rng);
+
+    // Stage 2 — individual failures, one independent stream per machine.
+    // A machine's burst state depends only on its own failures and the
+    // spatial hits recorded above, so the walks never interact.
+    let per_machine = dcfail_par::par_map(&pop.machines, |idx, m| {
+        individual_incidents_for(config, &hazard, m, &spatial_hits[idx], num_days, rng)
+    });
+    out.extend(per_machine.into_iter().flatten());
+
+    out.sort_by_key(|i| (i.at, i.machines[0]));
+    out
+}
+
+/// Runs the correlated (spatial) incident stage for the whole fleet.
+///
+/// Returns the spatial incident specs plus, for each machine (by global
+/// index), the ascending list of days it was struck — the burst-replay
+/// input [`individual_incidents_for`] needs. The stage walks a single
+/// sequential stream (`fork("incidents.spatial")`) and reads no telemetry,
+/// so a shard coordinator runs it once, globally, before fanning out.
+///
+/// Honors `config.effects.spatial`: when disabled the outputs are empty.
+pub fn spatial_stage(
+    config: &ScenarioConfig,
+    pop: &Population,
+    rng: &StreamRng,
+) -> (Vec<IncidentSpec>, Vec<Vec<i64>>) {
+    let num_days = config.horizon.num_days() as i64;
     let mut rng_spatial = rng.fork("incidents.spatial");
 
     // VMs of subsystems with a zero VM rate (Sys II in the paper: 52 VMs,
@@ -90,11 +119,10 @@ pub fn simulate(
         sys_members[m.subsystem().index()].push(m.id());
     }
 
-    // Stage 1 — correlated incidents, one day at a time on one stream.
-    // Records per-machine hit-days (ascending) for the burst replay below.
+    // Records per-machine hit-days (ascending) for the burst replay.
     let mut out = Vec::new();
     let mut spatial_hits: Vec<Vec<i64>> = vec![Vec::new(); pop.machines.len()];
-    if spatial {
+    if config.effects.spatial {
         for day in 0..num_days {
             spatial_incidents(
                 config,
@@ -110,17 +138,7 @@ pub fn simulate(
             );
         }
     }
-
-    // Stage 2 — individual failures, one independent stream per machine.
-    // A machine's burst state depends only on its own failures and the
-    // spatial hits recorded above, so the walks never interact.
-    let per_machine = dcfail_par::par_map(&pop.machines, |idx, m| {
-        individual_incidents_for(config, &hazard, m, &spatial_hits[idx], num_days, rng)
-    });
-    out.extend(per_machine.into_iter().flatten());
-
-    out.sort_by_key(|i| (i.at, i.machines[0]));
-    out
+    (out, spatial_hits)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -243,7 +261,11 @@ fn spatial_incidents(
 /// hit-days (ascending) into the burst state exactly as the day-by-day
 /// interleaving did: a spatial hit on day `d` is visible to the individual
 /// check of day `d` and later.
-fn individual_incidents_for(
+///
+/// The stream is forked from the machine's *global* index, and `hazard`
+/// may be a per-range model ([`HazardModel::for_range`]) — the output is
+/// bit-identical whether the fleet is simulated whole or shard-by-shard.
+pub fn individual_incidents_for(
     config: &ScenarioConfig,
     hazard: &HazardModel,
     m: &Machine,

@@ -101,7 +101,7 @@ impl Scenario {
         };
         let dataset = {
             let _s = dcfail_obs::span("assemble");
-            assemble(config, pop, telemetry, &specs, &rng)
+            assemble_dataset(config, pop, telemetry, &specs, &rng)
         };
         if dcfail_obs::enabled() {
             dcfail_obs::add("synth.machines", dataset.machines().len() as u64);
@@ -148,7 +148,15 @@ impl SynthOutput {
     }
 }
 
-fn assemble(
+/// Turns incident specs into the final [`FailureDataset`]: tickets, events
+/// and the non-crash haystack, all on sequential ticket streams forked from
+/// `rng`.
+///
+/// The ticket streams walk the *spec list* (O(events), not O(machines)), so
+/// a shard coordinator that has merged per-shard specs into the canonical
+/// monolithic order can call this unchanged — with a sparse (even empty)
+/// `telemetry` — and get byte-identical tickets and events.
+pub fn assemble_dataset(
     config: &ScenarioConfig,
     pop: Population,
     telemetry: Telemetry,

@@ -11,6 +11,43 @@ use crate::lifecycle;
 use crate::population::Population;
 use dcfail_model::prelude::*;
 use dcfail_stats::rng::StreamRng;
+use std::ops::Range;
+
+struct MachineTelemetry {
+    usage: Vec<WeeklyUsage>,
+    onoff: Option<OnOffLog>,
+    consolidation: Option<Vec<u16>>,
+}
+
+fn machine_telemetry(
+    config: &ScenarioConfig,
+    pop: &Population,
+    machine: &Machine,
+    rng: &StreamRng,
+) -> MachineTelemetry {
+    let weeks = config.horizon.num_weeks();
+    let months = config.horizon.num_months();
+    let onoff_window = config.onoff_window();
+    let mut rng = rng.fork_index("telemetry", machine.id().raw() as u64);
+    let base = sample_base_usage(&mut rng, machine.kind());
+    let usage: Vec<WeeklyUsage> = (0..weeks).map(|_| jitter_week(&mut rng, base)).collect();
+    let (onoff, consolidation) = if machine.is_vm() {
+        let log = lifecycle::sample_onoff_log(&mut rng, onoff_window);
+        let occupancy = machine
+            .host()
+            .and_then(|b| pop.topology.host_box(b))
+            .map_or(1, HostBox::occupancy);
+        let cons = consolidation_series(&mut rng, occupancy, months);
+        (Some(log), Some(cons))
+    } else {
+        (None, None)
+    };
+    MachineTelemetry {
+        usage,
+        onoff,
+        consolidation,
+    }
+}
 
 /// Generates all telemetry for a population.
 ///
@@ -19,40 +56,32 @@ use dcfail_stats::rng::StreamRng;
 /// machine order — bit-identical to the sequential loop for any thread
 /// count.
 pub fn generate(config: &ScenarioConfig, pop: &Population, rng: &StreamRng) -> Telemetry {
-    let weeks = config.horizon.num_weeks();
-    let months = config.horizon.num_months();
-    let onoff_window = config.onoff_window();
+    generate_range(config, pop, 0..pop.machines.len(), rng)
+}
 
-    struct MachineTelemetry {
-        usage: Vec<WeeklyUsage>,
-        onoff: Option<OnOffLog>,
-        consolidation: Option<Vec<u16>>,
-    }
-
-    let per_machine = dcfail_par::par_map(&pop.machines, |_, machine| {
-        let mut rng = rng.fork_index("telemetry", machine.id().raw() as u64);
-        let base = sample_base_usage(&mut rng, machine.kind());
-        let usage: Vec<WeeklyUsage> = (0..weeks).map(|_| jitter_week(&mut rng, base)).collect();
-        let (onoff, consolidation) = if machine.is_vm() {
-            let log = lifecycle::sample_onoff_log(&mut rng, onoff_window);
-            let occupancy = machine
-                .host()
-                .and_then(|b| pop.topology.host_box(b))
-                .map_or(1, HostBox::occupancy);
-            let cons = consolidation_series(&mut rng, occupancy, months);
-            (Some(log), Some(cons))
-        } else {
-            (None, None)
-        };
-        MachineTelemetry {
-            usage,
-            onoff,
-            consolidation,
-        }
+/// Generates telemetry for machines `range` only.
+///
+/// Because each machine forks its stream from its *global* id, the series
+/// produced for a machine here are bit-identical to the ones [`generate`]
+/// produces for it — this is what lets a shard coordinator materialize one
+/// machine range at a time and drop it before the next.
+///
+/// # Panics
+///
+/// Panics if `range` is out of bounds for the population.
+pub fn generate_range(
+    config: &ScenarioConfig,
+    pop: &Population,
+    range: Range<usize>,
+    rng: &StreamRng,
+) -> Telemetry {
+    let machines = &pop.machines[range];
+    let per_machine = dcfail_par::par_map(machines, |_, machine| {
+        machine_telemetry(config, pop, machine, rng)
     });
 
     let mut telemetry = Telemetry::new();
-    for (machine, t) in pop.machines.iter().zip(per_machine) {
+    for (machine, t) in machines.iter().zip(per_machine) {
         telemetry.set_usage(machine.id(), t.usage);
         if let Some(log) = t.onoff {
             telemetry.set_onoff(machine.id(), log);

@@ -9,7 +9,7 @@
 //! ~10K-host estate; use the `repro` binary in `dcfail-bench` for CSV
 //! export and classifier re-runs).
 
-use dcfail::report::experiments::run_all;
+use dcfail::report::experiments::{run_all, RunConfig};
 use dcfail::synth::Scenario;
 
 fn main() {
@@ -34,7 +34,7 @@ fn main() {
         dataset.tickets().len()
     );
 
-    for (id, rendered) in run_all(&dataset) {
+    for (id, rendered) in run_all(&dataset, &RunConfig::with_seed(seed)) {
         println!("==== [{id}] {} ====", rendered.title);
         println!("{}", rendered.text);
     }

@@ -31,6 +31,7 @@ pub use dcfail_model as model;
 pub use dcfail_obs as obs;
 pub use dcfail_par as par;
 pub use dcfail_report as report;
+pub use dcfail_shard as shard;
 pub use dcfail_stats as stats;
 pub use dcfail_synth as synth;
 pub use dcfail_tickets as tickets;

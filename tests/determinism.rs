@@ -6,7 +6,7 @@
 
 use dcfail::analysis::rates;
 use dcfail::model::dataset::FailureDataset;
-use dcfail::report::experiments::{run, ExperimentId};
+use dcfail::report::experiments::{run, ExperimentId, RunConfig};
 use dcfail::synth::{EffectToggles, Scenario};
 
 #[test]
@@ -22,8 +22,13 @@ fn same_seed_same_dataset_same_reports() {
         .build()
         .into_dataset();
     assert_eq!(a, b);
+    let config = RunConfig::default();
     for id in [ExperimentId::Fig2, ExperimentId::Table5, ExperimentId::Fig7] {
-        assert_eq!(run(id, &a).text, run(id, &b).text, "{id} diverged");
+        assert_eq!(
+            run(id, &a, &config).text,
+            run(id, &b, &config).text,
+            "{id} diverged"
+        );
     }
 }
 

@@ -1,0 +1,55 @@
+//! Golden pin for the registry's default seed: `RunConfig::default()` must
+//! keep meaning seed 42 and keep producing today's bytes. If this test
+//! fails after an intentional renderer or estimator change, re-derive the
+//! digest with the instructions in `golden_digest`'s failure message.
+
+#![allow(clippy::unwrap_used)]
+
+use dcfail::report::experiments::{run_all, RunConfig, DEFAULT_SEED};
+use dcfail::synth::Scenario;
+
+/// FNV-1a over the concatenated `id:text` of every registry report — small
+/// enough to pin as a literal, sensitive to any byte of any report.
+fn digest(config: &RunConfig) -> u64 {
+    let dataset = Scenario::paper()
+        .seed(DEFAULT_SEED)
+        .scale(0.02)
+        .build()
+        .into_dataset();
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for (id, rendered) in run_all(&dataset, config) {
+        for byte in format!("{id}:{}\n{:?}\n", rendered.text, rendered.csv).bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+    }
+    hash
+}
+
+#[test]
+fn default_seed_is_42() {
+    assert_eq!(DEFAULT_SEED, 42);
+    assert_eq!(RunConfig::default().seed, 42);
+}
+
+#[test]
+fn default_config_matches_explicit_seed_42() {
+    assert_eq!(
+        digest(&RunConfig::default()),
+        digest(&RunConfig::with_seed(42))
+    );
+}
+
+#[test]
+fn golden_digest() {
+    let got = digest(&RunConfig::default());
+    assert_eq!(
+        got, GOLDEN,
+        "registry output at the default seed changed: digest {got:#018x} != \
+         pinned {GOLDEN:#018x}. If the change is intentional, update GOLDEN \
+         in tests/golden_report.rs to the new value."
+    );
+}
+
+/// Pinned digest of all 24 registry reports at seed 42, scale 0.02.
+const GOLDEN: u64 = 0x58aac8966164c50b;

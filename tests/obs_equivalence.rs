@@ -31,12 +31,10 @@ fn render_all(seed: u64) -> String {
         .scale(0.03)
         .build()
         .into_dataset();
+    let config = dcfail::report::experiments::RunConfig::with_seed(seed);
     let mut out = String::new();
-    for (id, r) in dcfail::report::experiments::run_all(&ds) {
+    for (id, r) in dcfail::report::experiments::run_all(&ds, &config) {
         let _ = writeln!(out, "{id}:{}", r.text);
-    }
-    for r in dcfail::report::extras::run_all(&ds, seed) {
-        out.push_str(&r.text);
     }
     out
 }

@@ -42,18 +42,16 @@ fn scenario_build_is_thread_count_independent() {
 #[test]
 fn reports_are_thread_count_independent() {
     let ds = build_with_threads(1);
+    // `run_all` covers the paper artifacts and the extras (24 reports).
     let render = |threads: usize| {
         par::set_thread_override(Some(threads));
-        let experiments: Vec<String> = dcfail::report::experiments::run_all(&ds)
+        let config = dcfail::report::experiments::RunConfig::with_seed(21);
+        let experiments: Vec<String> = dcfail::report::experiments::run_all(&ds, &config)
             .into_iter()
             .map(|(id, r)| format!("{id}:{}", r.text))
             .collect();
-        let extras: Vec<String> = dcfail::report::extras::run_all(&ds, 21)
-            .into_iter()
-            .map(|r| r.text)
-            .collect();
         par::set_thread_override(None);
-        (experiments, extras)
+        experiments
     };
     assert_eq!(render(1), render(8));
 }
