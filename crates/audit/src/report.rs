@@ -1,352 +1,148 @@
-//! Diagnostics, severities, the rule registry and the assembled report.
+//! The audit rule catalog, on the shared `dcfail-findings` report machinery.
+//!
+//! Severities, diagnostics and the assembled report are generic machinery
+//! shared with `dcfail-dlint` (the source-determinism pass); this module
+//! contributes only the dataset-audit catalog and the concrete aliases the
+//! rest of the crate consumes.
 
-use serde::{Deserialize, Serialize};
-use std::fmt;
-use std::fmt::Write as _;
+pub use dcfail_findings::{Severity, MAX_SUBJECTS};
 
-/// How bad a finding is.
-///
-/// Ordered: `Info < Warn < Error`, so `report.worst()` compares naturally.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub enum Severity {
-    /// Advisory observation; the dataset is usable as-is.
-    Info,
-    /// Suspicious but analyzable; results may be skewed.
-    Warn,
-    /// Structural violation; analyses on this dataset are not trustworthy.
-    Error,
-}
-
-impl Severity {
-    /// Lowercase display label ("error", "warn", "info").
-    pub const fn label(self) -> &'static str {
-        match self {
-            Severity::Info => "info",
-            Severity::Warn => "warn",
-            Severity::Error => "error",
-        }
-    }
-}
-
-impl fmt::Display for Severity {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.label())
-    }
-}
-
-macro_rules! rules {
-    ($( $(#[$meta:meta])* $variant:ident = ($code:literal, $sev:ident, $desc:literal); )+) => {
-        /// Stable identifier of one audit rule.
-        ///
-        /// Serializes as the rule's kebab-case code (e.g.
-        /// `"event-outside-horizon"`) so reports stay readable and stable
-        /// across releases.
-        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-        pub enum RuleId {
-            $( $(#[$meta])* $variant, )+
-        }
-
-        impl RuleId {
-            /// Every rule in the catalog, in declaration order.
-            pub const ALL: &'static [RuleId] = &[ $(RuleId::$variant),+ ];
-
-            /// Stable kebab-case code of this rule.
-            pub const fn code(self) -> &'static str {
-                match self { $(RuleId::$variant => $code),+ }
-            }
-
-            /// Severity a finding of this rule carries.
-            pub const fn severity(self) -> Severity {
-                match self { $(RuleId::$variant => Severity::$sev),+ }
-            }
-
-            /// One-line description of the invariant the rule checks.
-            pub const fn description(self) -> &'static str {
-                match self { $(RuleId::$variant => $desc),+ }
-            }
-
-            /// Looks a rule up by its kebab-case code.
-            pub fn from_code(code: &str) -> Option<RuleId> {
-                RuleId::ALL.iter().copied().find(|r| r.code() == code)
-            }
-        }
-    };
-}
-
-rules! {
-    /// The observation window is empty or reversed.
-    HorizonEmpty = ("horizon-empty", Error,
-        "the observation window must satisfy start < end");
-    /// Machine records are not dense `0..n` by id.
-    MachineIdsNotDense = ("machine-ids-not-dense", Error,
-        "machine records must be dense 0..n by id");
-    /// Incident records are not dense `0..n` by id.
-    IncidentIdsNotDense = ("incident-ids-not-dense", Error,
-        "incident records must be dense 0..n by id");
-    /// Ticket records are not dense `0..n` by id.
-    TicketIdsNotDense = ("ticket-ids-not-dense", Error,
-        "ticket records must be dense 0..n by id");
-    /// A machine or host box references an undefined subsystem.
-    SubsystemDangling = ("subsystem-dangling", Error,
-        "every machine and host box must reference a defined subsystem");
-    /// A VM's hosting box does not exist in the topology.
-    VmHostDangling = ("vm-host-dangling", Error,
-        "every VM's host box must exist in the topology");
-    /// A PM carries a host box, or a VM carries none.
-    PlacementKindMismatch = ("placement-kind-mismatch", Error,
-        "PMs must have no host box and VMs must have one");
-    /// Box VM lists and VM host links disagree.
-    BoxPlacementInconsistent = ("box-placement-inconsistent", Error,
-        "box VM lists and VM host links must agree in both directions");
-    /// An incident affects no machines.
-    IncidentEmpty = ("incident-empty", Error,
-        "every incident must affect at least one machine");
-    /// An incident member references an unknown machine.
-    IncidentMemberDangling = ("incident-member-dangling", Error,
-        "every incident member must resolve to a machine");
-    /// A ticket references an unknown machine.
-    TicketMachineDangling = ("ticket-machine-dangling", Error,
-        "every ticket's machine must resolve");
-    /// A ticket closes before it opens.
-    TicketWindowReversed = ("ticket-window-reversed", Error,
-        "every ticket must close at or after opening");
-    /// Events are not sorted by `(at, machine, incident)`.
-    EventsUnsorted = ("events-unsorted", Error,
-        "events must be sorted by (at, machine, incident)");
-    /// An event lies outside the observation window.
-    EventOutsideHorizon = ("event-outside-horizon", Error,
-        "every event must fall inside the observation window");
-    /// An event references an unknown machine.
-    EventMachineDangling = ("event-machine-dangling", Error,
-        "every event's machine must resolve");
-    /// An event references an unknown incident.
-    EventIncidentDangling = ("event-incident-dangling", Error,
-        "every event's incident must resolve");
-    /// An event references an unknown ticket.
-    EventTicketDangling = ("event-ticket-dangling", Error,
-        "every event's ticket must resolve");
-    /// An event carries a negative repair duration.
-    EventRepairNegative = ("event-repair-negative", Error,
-        "repair durations must be nonnegative");
-    /// An event and its crash ticket disagree.
-    EventTicketMismatch = ("event-ticket-mismatch", Error,
-        "an event's ticket must be a crash ticket agreeing on machine, incident and repair window");
-    /// An event's machine is missing from its incident's member list.
-    EventNotInIncident = ("event-not-in-incident", Error,
-        "an event's machine must appear in its incident's member list");
-    /// Telemetry is keyed to an unknown machine.
-    TelemetryMachineDangling = ("telemetry-machine-dangling", Error,
-        "every telemetry series must be keyed to a machine");
-    /// On/off toggles are unsorted or outside the log window.
-    OnOffTogglesInvalid = ("onoff-toggles-invalid", Error,
-        "on/off toggles must strictly increase and fall inside the log window");
-    /// An incident's timestamp is not the earliest of its events.
-    IncidentAtMismatch = ("incident-at-mismatch", Warn,
-        "an incident's timestamp should equal its earliest event");
-    /// An incident has no projected events.
-    IncidentWithoutEvents = ("incident-without-events", Warn,
-        "every incident should project at least one event");
-    /// Two events share the same machine and instant.
-    DuplicateEvent = ("duplicate-event", Warn,
-        "a machine should not fail twice at the same instant");
-    /// A machine fails again while a prior repair is still open.
-    RepairOverlap = ("repair-overlap", Warn,
-        "repair windows of one machine should not overlap");
-    /// A crash ticket is referenced by no event.
-    CrashTicketWithoutEvent = ("crash-ticket-without-event", Warn,
-        "every crash ticket should be referenced by an event");
-    /// A PM carries VM-only telemetry (on/off log or consolidation).
-    TelemetryKindMismatch = ("telemetry-kind-mismatch", Warn,
-        "on/off logs and consolidation series belong to VMs");
-    /// An on/off log window leaves the observation window.
-    OnOffWindowOutsideHorizon = ("onoff-window-outside-horizon", Warn,
-        "on/off log windows should lie inside the observation window");
-    /// A usage series is empty or longer than the horizon has weeks.
-    UsageSeriesLength = ("usage-series-length", Warn,
-        "weekly usage series should be nonempty and at most one entry per horizon week");
-    /// A consolidation level below one (a VM co-resides with itself).
-    ConsolidationLevelZero = ("consolidation-level-zero", Warn,
-        "consolidation levels count the VM itself and are at least 1");
-    /// The dataset has no crash events at all.
-    NoEvents = ("no-events", Info,
-        "a dataset without crash events makes every failure analysis vacuous");
-    /// One class dominates a large event population.
-    ClassMixDegenerate = ("class-mix-degenerate", Info,
-        "a single true class covering >90% of a large dataset suggests a labeling problem");
-    /// Scenario scale outside `(0, 1]`.
-    ConfigScaleOutOfRange = ("config-scale-out-of-range", Error,
-        "scenario scale must lie in (0, 1]");
-    /// Base weekly failure probability outside `[0, 1)`.
-    ConfigBaseRateOutOfRange = ("config-base-rate-out-of-range", Error,
-        "base weekly failure probabilities must lie in [0, 1)");
-    /// Recurrence probability outside `[0, 1]`.
-    ConfigRecurrenceOutOfRange = ("config-recurrence-out-of-range", Error,
-        "recurrence probabilities must lie in [0, 1]");
-    /// Non-positive recurrence decay constant.
-    ConfigBurstTauNonPositive = ("config-burst-tau-nonpositive", Error,
-        "the recurrence decay constant must be positive");
-    /// Degraded-text fraction outside `[0, 1]`.
-    ConfigDegradedTextOutOfRange = ("config-degraded-text-out-of-range", Error,
-        "the degraded-text fraction must lie in [0, 1]");
-    /// A scenario without subsystems.
-    ConfigSubsystemsEmpty = ("config-subsystems-empty", Error,
-        "a scenario must define at least one subsystem");
-    /// A negative per-subsystem rate multiplier.
-    ConfigMultiplierNegative = ("config-multiplier-negative", Error,
-        "per-subsystem rate multipliers must be nonnegative");
-    /// The on/off telemetry window leaves the scenario horizon.
-    ConfigOnOffWindowOutsideHorizon = ("config-onoff-window-outside-horizon", Warn,
-        "the on/off telemetry window should lie inside the scenario horizon");
-}
-
-impl fmt::Display for RuleId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.code())
-    }
-}
-
-impl Serialize for RuleId {
-    fn to_value(&self) -> serde::Value {
-        serde::Value::Str(self.code().to_string())
-    }
-}
-
-impl Deserialize for RuleId {
-    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
-        match value {
-            serde::Value::Str(code) => RuleId::from_code(code)
-                .ok_or_else(|| serde::Error::custom(format!("unknown audit rule '{code}'"))),
-            _ => Err(serde::Error::custom("expected an audit rule code string")),
-        }
-    }
-}
-
-/// Maximum offending ids retained per diagnostic; the message carries the
-/// total so truncation loses no information, only bulk.
-pub(crate) const MAX_SUBJECTS: usize = 12;
-
-/// One finding: a violated rule plus the entities that violate it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Diagnostic {
-    /// The violated rule.
-    pub rule: RuleId,
-    /// Severity (redundant with `rule.severity()`, kept explicit so JSON
-    /// consumers need no rule table).
-    pub severity: Severity,
-    /// Offending entity ids, capped at [`MAX_SUBJECTS`].
-    pub subjects: Vec<String>,
-    /// Human-readable description including the total offender count.
-    pub message: String,
-}
-
-impl Diagnostic {
-    /// Creates a diagnostic for `rule`, capping `subjects` and deriving the
-    /// severity from the rule.
-    pub fn new(rule: RuleId, mut subjects: Vec<String>, message: impl Into<String>) -> Self {
-        subjects.truncate(MAX_SUBJECTS);
-        Self {
-            rule,
-            severity: rule.severity(),
-            subjects,
-            message: message.into(),
-        }
-    }
-}
-
-impl fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}[{}]: {}", self.severity, self.rule, self.message)?;
-        if !self.subjects.is_empty() {
-            write!(f, " ({})", self.subjects.join(", "))?;
-        }
-        Ok(())
-    }
-}
+/// One audit finding: a violated rule plus the entities that violate it.
+pub type Diagnostic = dcfail_findings::Diagnostic<RuleId>;
 
 /// The result of one audit pass: every finding, renderable as text or JSON.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct AuditReport {
-    /// All findings, in rule-catalog order.
-    pub diagnostics: Vec<Diagnostic>,
-}
+pub type AuditReport = dcfail_findings::Report<RuleId>;
 
-impl AuditReport {
-    /// Wraps a list of findings into a report.
-    pub fn from_diagnostics(diagnostics: Vec<Diagnostic>) -> Self {
-        Self { diagnostics }
-    }
-
-    /// True when no Error-level finding exists (Warn/Info are tolerated).
-    pub fn is_clean(&self) -> bool {
-        self.error_count() == 0
-    }
-
-    /// True when there are no findings at all.
-    pub fn is_empty(&self) -> bool {
-        self.diagnostics.is_empty()
-    }
-
-    /// Number of findings at `severity`.
-    pub fn count(&self, severity: Severity) -> usize {
-        self.diagnostics
-            .iter()
-            .filter(|d| d.severity == severity)
-            .count()
-    }
-
-    /// Number of Error-level findings.
-    pub fn error_count(&self) -> usize {
-        self.count(Severity::Error)
-    }
-
-    /// Number of Warn-level findings.
-    pub fn warn_count(&self) -> usize {
-        self.count(Severity::Warn)
-    }
-
-    /// Number of Info-level findings.
-    pub fn info_count(&self) -> usize {
-        self.count(Severity::Info)
-    }
-
-    /// The most severe finding level, if any finding exists.
-    pub fn worst(&self) -> Option<Severity> {
-        self.diagnostics.iter().map(|d| d.severity).max()
-    }
-
-    /// True when some finding names `rule`.
-    pub fn has(&self, rule: RuleId) -> bool {
-        self.diagnostics.iter().any(|d| d.rule == rule)
-    }
-
-    /// The finding for `rule`, if present.
-    pub fn find(&self, rule: RuleId) -> Option<&Diagnostic> {
-        self.diagnostics.iter().find(|d| d.rule == rule)
-    }
-
-    /// Renders the report as human-readable text, one line per finding plus
-    /// a summary line.
-    pub fn render_text(&self) -> String {
-        let mut out = String::new();
-        for d in &self.diagnostics {
-            out.push_str(&d.to_string());
-            out.push('\n');
-        }
-        let _ = writeln!(
-            out,
-            "audit: {} error(s), {} warning(s), {} info, {} rule(s) evaluated",
-            self.error_count(),
-            self.warn_count(),
-            self.info_count(),
-            RuleId::ALL.len(),
-        );
-        out
-    }
-}
-
-impl fmt::Display for AuditReport {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.render_text())
+dcfail_findings::rule_catalog! {
+    /// Stable identifier of one audit rule.
+    ///
+    /// Serializes as the rule's kebab-case code (e.g.
+    /// `"event-outside-horizon"`) so reports stay readable and stable
+    /// across releases.
+    RuleId, domain = "audit" {
+        /// The observation window is empty or reversed.
+        HorizonEmpty = ("horizon-empty", Error,
+            "the observation window must satisfy start < end");
+        /// Machine records are not dense `0..n` by id.
+        MachineIdsNotDense = ("machine-ids-not-dense", Error,
+            "machine records must be dense 0..n by id");
+        /// Incident records are not dense `0..n` by id.
+        IncidentIdsNotDense = ("incident-ids-not-dense", Error,
+            "incident records must be dense 0..n by id");
+        /// Ticket records are not dense `0..n` by id.
+        TicketIdsNotDense = ("ticket-ids-not-dense", Error,
+            "ticket records must be dense 0..n by id");
+        /// A machine or host box references an undefined subsystem.
+        SubsystemDangling = ("subsystem-dangling", Error,
+            "every machine and host box must reference a defined subsystem");
+        /// A VM's hosting box does not exist in the topology.
+        VmHostDangling = ("vm-host-dangling", Error,
+            "every VM's host box must exist in the topology");
+        /// A PM carries a host box, or a VM carries none.
+        PlacementKindMismatch = ("placement-kind-mismatch", Error,
+            "PMs must have no host box and VMs must have one");
+        /// Box VM lists and VM host links disagree.
+        BoxPlacementInconsistent = ("box-placement-inconsistent", Error,
+            "box VM lists and VM host links must agree in both directions");
+        /// An incident affects no machines.
+        IncidentEmpty = ("incident-empty", Error,
+            "every incident must affect at least one machine");
+        /// An incident member references an unknown machine.
+        IncidentMemberDangling = ("incident-member-dangling", Error,
+            "every incident member must resolve to a machine");
+        /// A ticket references an unknown machine.
+        TicketMachineDangling = ("ticket-machine-dangling", Error,
+            "every ticket's machine must resolve");
+        /// A ticket closes before it opens.
+        TicketWindowReversed = ("ticket-window-reversed", Error,
+            "every ticket must close at or after opening");
+        /// Events are not sorted by `(at, machine, incident)`.
+        EventsUnsorted = ("events-unsorted", Error,
+            "events must be sorted by (at, machine, incident)");
+        /// An event lies outside the observation window.
+        EventOutsideHorizon = ("event-outside-horizon", Error,
+            "every event must fall inside the observation window");
+        /// An event references an unknown machine.
+        EventMachineDangling = ("event-machine-dangling", Error,
+            "every event's machine must resolve");
+        /// An event references an unknown incident.
+        EventIncidentDangling = ("event-incident-dangling", Error,
+            "every event's incident must resolve");
+        /// An event references an unknown ticket.
+        EventTicketDangling = ("event-ticket-dangling", Error,
+            "every event's ticket must resolve");
+        /// An event carries a negative repair duration.
+        EventRepairNegative = ("event-repair-negative", Error,
+            "repair durations must be nonnegative");
+        /// An event and its crash ticket disagree.
+        EventTicketMismatch = ("event-ticket-mismatch", Error,
+            "an event's ticket must be a crash ticket agreeing on machine, incident and repair window");
+        /// An event's machine is missing from its incident's member list.
+        EventNotInIncident = ("event-not-in-incident", Error,
+            "an event's machine must appear in its incident's member list");
+        /// Telemetry is keyed to an unknown machine.
+        TelemetryMachineDangling = ("telemetry-machine-dangling", Error,
+            "every telemetry series must be keyed to a machine");
+        /// On/off toggles are unsorted or outside the log window.
+        OnOffTogglesInvalid = ("onoff-toggles-invalid", Error,
+            "on/off toggles must strictly increase and fall inside the log window");
+        /// An incident's timestamp is not the earliest of its events.
+        IncidentAtMismatch = ("incident-at-mismatch", Warn,
+            "an incident's timestamp should equal its earliest event");
+        /// An incident has no projected events.
+        IncidentWithoutEvents = ("incident-without-events", Warn,
+            "every incident should project at least one event");
+        /// Two events share the same machine and instant.
+        DuplicateEvent = ("duplicate-event", Warn,
+            "a machine should not fail twice at the same instant");
+        /// A machine fails again while a prior repair is still open.
+        RepairOverlap = ("repair-overlap", Warn,
+            "repair windows of one machine should not overlap");
+        /// A crash ticket is referenced by no event.
+        CrashTicketWithoutEvent = ("crash-ticket-without-event", Warn,
+            "every crash ticket should be referenced by an event");
+        /// A PM carries VM-only telemetry (on/off log or consolidation).
+        TelemetryKindMismatch = ("telemetry-kind-mismatch", Warn,
+            "on/off logs and consolidation series belong to VMs");
+        /// An on/off log window leaves the observation window.
+        OnOffWindowOutsideHorizon = ("onoff-window-outside-horizon", Warn,
+            "on/off log windows should lie inside the observation window");
+        /// A usage series is empty or longer than the horizon has weeks.
+        UsageSeriesLength = ("usage-series-length", Warn,
+            "weekly usage series should be nonempty and at most one entry per horizon week");
+        /// A consolidation level below one (a VM co-resides with itself).
+        ConsolidationLevelZero = ("consolidation-level-zero", Warn,
+            "consolidation levels count the VM itself and are at least 1");
+        /// The dataset has no crash events at all.
+        NoEvents = ("no-events", Info,
+            "a dataset without crash events makes every failure analysis vacuous");
+        /// One class dominates a large event population.
+        ClassMixDegenerate = ("class-mix-degenerate", Info,
+            "a single true class covering >90% of a large dataset suggests a labeling problem");
+        /// Scenario scale outside `(0, 1]`.
+        ConfigScaleOutOfRange = ("config-scale-out-of-range", Error,
+            "scenario scale must lie in (0, 1]");
+        /// Base weekly failure probability outside `[0, 1)`.
+        ConfigBaseRateOutOfRange = ("config-base-rate-out-of-range", Error,
+            "base weekly failure probabilities must lie in [0, 1)");
+        /// Recurrence probability outside `[0, 1]`.
+        ConfigRecurrenceOutOfRange = ("config-recurrence-out-of-range", Error,
+            "recurrence probabilities must lie in [0, 1]");
+        /// Non-positive recurrence decay constant.
+        ConfigBurstTauNonPositive = ("config-burst-tau-nonpositive", Error,
+            "the recurrence decay constant must be positive");
+        /// Degraded-text fraction outside `[0, 1]`.
+        ConfigDegradedTextOutOfRange = ("config-degraded-text-out-of-range", Error,
+            "the degraded-text fraction must lie in [0, 1]");
+        /// A scenario without subsystems.
+        ConfigSubsystemsEmpty = ("config-subsystems-empty", Error,
+            "a scenario must define at least one subsystem");
+        /// A negative per-subsystem rate multiplier.
+        ConfigMultiplierNegative = ("config-multiplier-negative", Error,
+            "per-subsystem rate multipliers must be nonnegative");
+        /// The on/off telemetry window leaves the scenario horizon.
+        ConfigOnOffWindowOutsideHorizon = ("config-onoff-window-outside-horizon", Warn,
+            "the on/off telemetry window should lie inside the scenario horizon");
     }
 }
 
@@ -374,13 +170,6 @@ mod tests {
     }
 
     #[test]
-    fn severity_is_ordered() {
-        assert!(Severity::Info < Severity::Warn);
-        assert!(Severity::Warn < Severity::Error);
-        assert_eq!(Severity::Error.label(), "error");
-    }
-
-    #[test]
     fn diagnostic_caps_subjects() {
         let subjects: Vec<String> = (0..40).map(|i| format!("m{i}")).collect();
         let d = Diagnostic::new(RuleId::EventMachineDangling, subjects, "40 offender(s)");
@@ -389,18 +178,13 @@ mod tests {
     }
 
     #[test]
-    fn report_counts_and_worst() {
+    fn report_renders_with_audit_domain() {
         let report = AuditReport::from_diagnostics(vec![
             Diagnostic::new(RuleId::NoEvents, vec![], "no events"),
             Diagnostic::new(RuleId::RepairOverlap, vec!["m1".into()], "1 overlap"),
         ]);
         assert!(report.is_clean());
-        assert!(!report.is_empty());
-        assert_eq!(report.warn_count(), 1);
-        assert_eq!(report.info_count(), 1);
         assert_eq!(report.worst(), Some(Severity::Warn));
-        assert!(report.has(RuleId::NoEvents));
-        assert!(report.find(RuleId::RepairOverlap).is_some());
         let text = report.render_text();
         assert!(text.contains("warn[repair-overlap]"));
         assert!(text.contains("audit: 0 error(s), 1 warning(s), 1 info"));

@@ -9,7 +9,13 @@
 //! repro bench [--seed N] [--scale S] [--json] [--smoke]
 //! repro metrics [--seed N] [--scale S] [--json] [--smoke] [--metrics OUT.json]
 //! repro shard [--machines N | --scale S] [--shards K] [--seed N] [--json] [--baseline]
+//! repro lint [--json] [--root DIR]
 //! ```
+//!
+//! Every subcommand shares one exit-code convention: **0** the command ran
+//! and found nothing wrong, **1** the command ran but produced findings (an
+//! audit or lint that is not clean, a failed `--smoke` gate), **2** the
+//! command could not run at all (bad flags, unreadable files, I/O errors).
 //!
 //! * `all` (default) — run every artifact in paper order.
 //! * `extras` — run the extension reports (availability, censoring-corrected
@@ -45,6 +51,13 @@
 //!   full scale); `--json` emits the reports as a JSON document;
 //!   `--baseline` runs the same suite monolithically with the identical
 //!   JSON shape, so the two outputs can be diffed byte-for-byte.
+//! * `lint` — run the `dcfail-dlint` determinism lint over the workspace's
+//!   own Rust source (rules D01–D12: hash-ordered collections, wall-clock
+//!   reads, ambient randomness, unstable sorts, …), honoring inline
+//!   `dlint::allow` suppressions and the checked-in `dlint.baseline`.
+//!   `--root DIR` points at a workspace checkout (default: the current
+//!   directory if it looks like one, else the build-time source tree);
+//!   `--json` emits the versioned JSON report. Exits 1 on Error findings.
 //! * `<id>` — one or more of `table1..table7`, `fig1..fig10`.
 //! * `--classify` — re-label events with a freshly trained k-means pipeline
 //!   (instead of the simulator's monitor labels) before analyzing.
@@ -63,9 +76,29 @@ use dcfail_report::experiments::{run, run_all, ExperimentId, RunConfig};
 use dcfail_stats::rng::StreamRng;
 use dcfail_synth::Scenario;
 use dcfail_tickets::classify::{apply_to_dataset, PipelineConfig};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
+
+/// The command ran to completion but what it examined is not clean: audit or
+/// lint findings at Error level, a failed `--smoke` gate.
+const EXIT_FINDINGS: u8 = 1;
+/// The command could not run: bad flags, unreadable input, I/O failure.
+const EXIT_USAGE: u8 = 2;
+
+const USAGE: &str = "usage: repro [--scale S] [--seed N] [--classify] [--csv DIR] \
+            [--metrics OUT.json] [all | ablate | <id>...]\n       \
+     repro audit [--json] [--lenient] [--dataset FILE.json | \
+            --machines M.csv --events E.csv]\n       \
+     repro chaos [--seed N] [--scale S] [--rate R] [--smoke]\n       \
+     repro bench [--seed N] [--scale S] [--json] [--smoke]\n       \
+     repro metrics [--seed N] [--scale S] [--json] [--smoke] \
+            [--metrics OUT.json]\n       \
+     repro shard [--machines N | --scale S] [--shards K] [--seed N] \
+            [--json] [--baseline]\n       \
+     repro lint [--json] [--root DIR]\n\
+     exit codes: 0 clean, 1 findings (dirty audit/lint, failed smoke), \
+     2 usage or I/O error";
 
 // CLI flags are naturally independent booleans.
 #[allow(clippy::struct_excessive_bools)]
@@ -82,13 +115,20 @@ struct Options {
     json: bool,
     metrics_path: Option<PathBuf>,
     dataset_json: Option<PathBuf>,
+    lint_root: Option<PathBuf>,
     /// `--machines`: a CSV path for `audit`, a fleet size for `shard`.
     machines_arg: Option<String>,
     events_csv: Option<PathBuf>,
     targets: Vec<String>,
 }
 
-fn parse_args() -> Result<Options, String> {
+/// `parse_args` outcome: either run with options, or print usage and leave.
+enum Parsed {
+    Help,
+    Run(Box<Options>),
+}
+
+fn parse_args() -> Result<Parsed, String> {
     let mut opts = Options {
         scale: 1.0,
         seed: 42,
@@ -102,6 +142,7 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         metrics_path: None,
         dataset_json: None,
+        lint_root: None,
         machines_arg: None,
         events_csv: None,
         targets: Vec::new(),
@@ -148,6 +189,10 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--dataset needs a file")?;
                 opts.dataset_json = Some(PathBuf::from(v));
             }
+            "--root" => {
+                let v = args.next().ok_or("--root needs a directory")?;
+                opts.lint_root = Some(PathBuf::from(v));
+            }
             "--machines" => {
                 let v = args.next().ok_or("--machines needs a value")?;
                 opts.machines_arg = Some(v);
@@ -156,28 +201,14 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--events needs a file")?;
                 opts.events_csv = Some(PathBuf::from(v));
             }
-            "--help" | "-h" => {
-                return Err(
-                    "usage: repro [--scale S] [--seed N] [--classify] [--csv DIR] \
-                            [--metrics OUT.json] [all | ablate | <id>...]\n       \
-                     repro audit [--json] [--lenient] [--dataset FILE.json | \
-                            --machines M.csv --events E.csv]\n       \
-                     repro chaos [--seed N] [--scale S] [--rate R] [--smoke]\n       \
-                     repro bench [--seed N] [--scale S] [--json] [--smoke]\n       \
-                     repro metrics [--seed N] [--scale S] [--json] [--smoke] \
-                            [--metrics OUT.json]\n       \
-                     repro shard [--machines N | --scale S] [--shards K] [--seed N] \
-                            [--json] [--baseline]"
-                        .into(),
-                )
-            }
+            "--help" | "-h" => return Ok(Parsed::Help),
             other => opts.targets.push(other.to_string()),
         }
     }
     if opts.targets.is_empty() {
         opts.targets.push("all".into());
     }
-    Ok(opts)
+    Ok(Parsed::Run(Box::new(opts)))
 }
 
 fn read_file(path: &PathBuf) -> Result<String, String> {
@@ -247,7 +278,7 @@ fn run_audit(opts: &Options) -> Result<ExitCode, String> {
     Ok(if report.is_clean() {
         ExitCode::SUCCESS
     } else {
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_FINDINGS)
     })
 }
 
@@ -362,21 +393,22 @@ fn run_chaos(opts: &Options) -> Result<ExitCode, String> {
 
     if opts.smoke {
         if !report.is_clean() {
-            return Err("chaos smoke FAILED: recovered dataset re-audits dirty".into());
+            eprintln!("chaos smoke FAILED: recovered dataset re-audits dirty");
+            return Ok(ExitCode::from(EXIT_FINDINGS));
         }
         if log.total() > 0 && recovered.report.is_empty() {
-            return Err(
+            eprintln!(
                 "chaos smoke FAILED: corruption was injected but the degradation \
                  report is empty"
-                    .into(),
             );
+            return Ok(ExitCode::from(EXIT_FINDINGS));
         }
         println!("\nchaos smoke: OK ({} corruptions recovered)", log.total());
     }
     Ok(if report.is_clean() {
         ExitCode::SUCCESS
     } else {
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_FINDINGS)
     })
 }
 
@@ -499,6 +531,8 @@ const REQUIRED_STAGES: &[&str] = &[
 /// Runs the `metrics` subcommand: exercise the full pipeline under an
 /// enabled collection window, print (or write) the aggregated report, and —
 /// with `--smoke` — validate the export and the disabled-path overhead.
+// The smoke gates are a checklist, not control flow worth extracting.
+#[allow(clippy::too_many_lines)]
 fn run_metrics(opts: &Options) -> Result<ExitCode, String> {
     // Same scale policy as `bench`: smoke stays small for CI, the untouched
     // default drops to something that finishes quickly, explicit wins.
@@ -578,11 +612,12 @@ fn run_metrics(opts: &Options) -> Result<ExitCode, String> {
 
     if opts.smoke {
         if report.schema_version != dcfail_obs::SCHEMA_VERSION {
-            return Err(format!(
+            eprintln!(
                 "metrics smoke FAILED: schema version {} != {}",
                 report.schema_version,
                 dcfail_obs::SCHEMA_VERSION
-            ));
+            );
+            return Ok(ExitCode::from(EXIT_FINDINGS));
         }
         let mut missing: Vec<&str> = REQUIRED_STAGES
             .iter()
@@ -596,18 +631,19 @@ fn run_metrics(opts: &Options) -> Result<ExitCode, String> {
                 .filter(|key| !report.has_stage(&format!("report.{key}"))),
         );
         if !missing.is_empty() {
-            return Err(format!(
+            eprintln!(
                 "metrics smoke FAILED: missing stage spans: {}",
                 missing.join(", ")
-            ));
+            );
+            return Ok(ExitCode::from(EXIT_FINDINGS));
         }
         if report.counter("par.jobs").unwrap_or(0) == 0 {
-            return Err("metrics smoke FAILED: no par.jobs counter".into());
+            eprintln!("metrics smoke FAILED: no par.jobs counter");
+            return Ok(ExitCode::from(EXIT_FINDINGS));
         }
         if overhead_pct >= 2.0 {
-            return Err(format!(
-                "metrics smoke FAILED: disabled-path overhead {overhead_pct:.2}% >= 2%"
-            ));
+            eprintln!("metrics smoke FAILED: disabled-path overhead {overhead_pct:.2}% >= 2%");
+            return Ok(ExitCode::from(EXIT_FINDINGS));
         }
         println!(
             "metrics smoke: OK ({} spans, {} counters, {} histograms, overhead {overhead_pct:.3}%)",
@@ -728,6 +764,37 @@ fn run_shard(opts: &Options) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Workspace root the lint runs against when `--root` is absent: the current
+/// directory when it holds a `crates/` tree (running from a checkout), else
+/// the source tree this binary was built from.
+fn default_lint_root() -> PathBuf {
+    if Path::new("crates").is_dir() {
+        PathBuf::from(".")
+    } else {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+}
+
+/// Runs the `lint` subcommand: the determinism lint over the workspace's own
+/// Rust source, honoring inline suppressions and the checked-in baseline.
+fn run_lint(opts: &Options) -> Result<ExitCode, String> {
+    let root = opts.lint_root.clone().unwrap_or_else(default_lint_root);
+    eprintln!("lint: scanning workspace source at {} ...", root.display());
+    let report = dcfail_dlint::lint_workspace(&root)?;
+    if opts.json {
+        let s = serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("cannot serialize lint report: {e}"))?;
+        println!("{s}");
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_FINDINGS)
+    })
+}
+
 fn run_experiments(opts: &Options) -> Result<ExitCode, String> {
     let run_extras = opts.targets.iter().any(|t| t == "extras");
     let run_summary = opts.targets.iter().any(|t| t == "summary");
@@ -815,11 +882,20 @@ fn dispatch(opts: &Options) -> Result<ExitCode, String> {
     if opts.targets.iter().any(|t| t == "shard") {
         return run_shard(opts);
     }
+    if opts.targets.iter().any(|t| t == "lint") {
+        return run_lint(opts);
+    }
     run_experiments(opts)
 }
 
 fn try_main() -> Result<ExitCode, String> {
-    let opts = parse_args()?;
+    let opts = match parse_args()? {
+        Parsed::Help => {
+            println!("{USAGE}");
+            return Ok(ExitCode::SUCCESS);
+        }
+        Parsed::Run(opts) => *opts,
+    };
     if opts.targets.iter().any(|t| t == "metrics") {
         // `metrics` manages its own collection window (it also needs the
         // disabled-cost probe to run before the window opens).
@@ -849,7 +925,7 @@ fn main() -> ExitCode {
         Ok(code) => code,
         Err(msg) => {
             eprintln!("{msg}");
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_USAGE)
         }
     }
 }

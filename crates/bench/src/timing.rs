@@ -56,8 +56,28 @@ pub struct BenchReport {
     /// The high-water mark is monotone, so exceeding `shard_peak_rss_kb`
     /// means the monolithic path genuinely needed more memory.
     pub monolithic_peak_rss_kb: Option<u64>,
+    /// Total findings (all severities) from a `dcfail-dlint` pass over the
+    /// workspace source at measurement time, or `None` when the source tree
+    /// is unavailable (installed binaries, tarball builds). A run with a
+    /// nonzero count is measuring a tree that violates the determinism
+    /// contract the timings rely on.
+    pub lint_findings: Option<usize>,
     /// Per-runner wall-clock ms, each measured sequentially in isolation.
     pub runners: Vec<RunnerTiming>,
+}
+
+/// Findings from a determinism-lint pass over the workspace source, resolved
+/// against the current directory (when it is a checkout) or the build-time
+/// source tree. `None` when neither holds Rust sources.
+fn lint_findings() -> Option<usize> {
+    let root = if Path::new("crates").is_dir() {
+        Path::new(".").to_path_buf()
+    } else {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+    };
+    dcfail_dlint::lint_workspace(&root)
+        .ok()
+        .map(|r| r.report.diagnostics.len())
 }
 
 /// Peak resident set size of this process in kB (`VmHWM` from
@@ -155,6 +175,7 @@ pub fn measure(git: Option<String>, seed: u64, scale: f64) -> BenchReport {
         shard_probe_shards: SHARD_PROBE_SHARDS,
         shard_peak_rss_kb,
         monolithic_peak_rss_kb,
+        lint_findings: lint_findings(),
         runners,
     }
 }
@@ -181,6 +202,7 @@ mod tests {
         let json = serde_json::to_string(&report).expect("report serializes");
         assert!(json.contains("\"git\":\"test\""));
         assert!(json.contains("shard_peak_rss_kb"));
+        assert!(json.contains("lint_findings"));
     }
 
     #[test]

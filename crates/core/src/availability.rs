@@ -54,10 +54,17 @@ pub fn per_machine(dataset: &FailureDataset) -> Vec<MachineAvailability> {
                 })
                 .filter(|&(s, e)| e > s)
                 .collect();
-            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            // Event order is the explicit tie-break for equal starts: the
+            // rounding of the union sum depends on which interval is folded
+            // first, so the order must be a total one.
+            let indexed: Vec<(usize, (f64, f64))> = {
+                let mut v: Vec<_> = intervals.drain(..).enumerate().collect();
+                v.sort_unstable_by(|(i, a), (j, b)| a.0.total_cmp(&b.0).then(i.cmp(j)));
+                v
+            };
             let mut downtime = 0.0;
             let mut cursor = f64::NEG_INFINITY;
-            for (s, e) in intervals {
+            for (_, (s, e)) in indexed {
                 let s = s.max(cursor);
                 if e > s {
                     downtime += e - s;

@@ -309,6 +309,39 @@ mod tests {
     }
 
     #[test]
+    fn curve_counts_absorb_law() {
+        let bins = Bins::from_edges(vec![0.0, 1.0, 2.0]);
+        let weeks = 4;
+
+        // Whole pass: two machines observed in one accumulator.
+        let mut whole = CurveCounts::new("x", &bins, weeks);
+        let a = whole.observe_machine_weeks(&bins, |w| Some(w as f64 / 2.0));
+        let b = whole.observe_machine_weeks(&bins, |_| Some(1.5));
+        whole.add_event(a[0].unwrap(), 0);
+        whole.add_event(b[1].unwrap(), 1);
+
+        // Sharded pass: one machine per accumulator, absorbed into identity.
+        let mut s1 = CurveCounts::new("x", &bins, weeks);
+        let a1 = s1.observe_machine_weeks(&bins, |w| Some(w as f64 / 2.0));
+        s1.add_event(a1[0].unwrap(), 0);
+        let mut s2 = CurveCounts::new("x", &bins, weeks);
+        let b2 = s2.observe_machine_weeks(&bins, |_| Some(1.5));
+        s2.add_event(b2[1].unwrap(), 1);
+
+        let mut merged = CurveCounts::identity();
+        merged.absorb(&s1);
+        merged.absorb(&s2);
+        assert_eq!(merged, whole, "absorb must equal the sequential pass");
+
+        // Identity is neutral on both sides.
+        let mut right = s1.clone();
+        right.absorb(&CurveCounts::identity());
+        assert_eq!(right, s1);
+
+        assert_eq!(merged.finalize(), whole.finalize());
+    }
+
+    #[test]
     fn mean_of_and_dynamic_range() {
         let curve = AttributeCurve {
             attribute: "x".into(),

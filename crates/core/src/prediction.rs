@@ -144,11 +144,12 @@ pub fn evaluate(
         return None;
     }
 
-    // Top decile by score (stable tie-breaking by sort order).
-    let mut by_score = scored.clone();
-    by_score.sort_by(|a, b| b.0.total_cmp(&a.0));
+    // Top decile by score; machine-week order is the explicit tie-break, so
+    // the cutoff is a total order independent of sort stability.
+    let mut by_score: Vec<(usize, (f64, bool))> = scored.iter().copied().enumerate().collect();
+    by_score.sort_unstable_by(|(i, a), (j, b)| b.0.total_cmp(&a.0).then(i.cmp(j)));
     let decile = (by_score.len() / 10).max(1);
-    let hits = by_score[..decile].iter().filter(|&&(_, p)| p).count();
+    let hits = by_score[..decile].iter().filter(|&&(_, (_, p))| p).count();
     let recall = hits as f64 / positives as f64;
     let random_recall = decile as f64 / by_score.len() as f64;
 

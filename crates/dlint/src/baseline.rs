@@ -1,0 +1,110 @@
+//! The grandfathered-findings baseline.
+//!
+//! `dlint.baseline` at the workspace root lists findings that predate the
+//! lint and are tolerated until paid down. The file may only ever shrink: a
+//! baseline entry that no longer matches anything is itself a finding (D12,
+//! stale entry), and CI refuses a grown baseline outright. The file ships
+//! empty — the workspace is clean at head.
+
+use std::path::Path;
+
+/// One grandfathered allowance: up to `count` findings of `rule_code` in
+/// `path` are filtered from the report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule code, e.g. `"D01"`.
+    pub rule_code: String,
+    /// Workspace-relative file path the allowance applies to.
+    pub path: String,
+    /// Maximum number of findings forgiven.
+    pub count: usize,
+}
+
+/// A parsed `dlint.baseline` file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses the baseline format: one `<CODE> <path> <count>` entry per
+    /// line; blank lines and `#` comments are ignored.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(code), Some(path), Some(count)) = (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "dlint.baseline:{}: expected `<CODE> <path> <count>`, got `{line}`",
+                    i + 1
+                ));
+            };
+            if parts.next().is_some() {
+                return Err(format!(
+                    "dlint.baseline:{}: trailing tokens after count in `{line}`",
+                    i + 1
+                ));
+            }
+            let count: usize = count.parse().map_err(|_| {
+                format!("dlint.baseline:{}: count `{count}` is not a number", i + 1)
+            })?;
+            entries.push(BaselineEntry {
+                rule_code: code.to_string(),
+                path: path.to_string(),
+                count,
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Loads a baseline file; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Baseline::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(format!("reading {}: {e}", path.display())),
+        }
+    }
+
+    /// True when the baseline forgives nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total findings the baseline would forgive.
+    pub fn total(&self) -> usize {
+        self.entries.iter().map(|e| e.count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_skips_comments() {
+        let b = Baseline::parse("# legacy debt\nD01 crates/stats/src/text.rs 3\n\n").unwrap();
+        assert_eq!(b.entries.len(), 1);
+        assert_eq!(b.entries[0].rule_code, "D01");
+        assert_eq!(b.entries[0].count, 3);
+        assert_eq!(b.total(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Baseline::parse("D01 only-two-fields").is_err());
+        assert!(Baseline::parse("D01 p not-a-number").is_err());
+        assert!(Baseline::parse("D01 p 1 extra").is_err());
+    }
+
+    #[test]
+    fn empty_text_is_empty_baseline() {
+        assert!(Baseline::parse("# nothing\n").unwrap().is_empty());
+    }
+}

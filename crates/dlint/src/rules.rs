@@ -1,0 +1,362 @@
+//! The D-rule implementations.
+//!
+//! Each rule walks the blanked token stream of [`ScannedFile`]s and emits
+//! raw findings; suppression directives and the baseline are applied by the
+//! caller ([`crate::Corpus::lint`]). Rules are heuristic by design — they
+//! trade soundness for zero dependencies and zero false negatives on the
+//! constructs this workspace actually uses.
+
+use crate::scan::{has_token, is_ident, token_positions, ScannedFile};
+use crate::LintRule;
+
+/// A raw finding before suppression/baseline filtering.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// Violated rule.
+    pub rule: LintRule,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based offending line.
+    pub line: usize,
+    /// Human-oriented message with a fix-it hint.
+    pub message: String,
+}
+
+impl RawFinding {
+    fn new(rule: LintRule, file: &ScannedFile, idx: usize, message: impl Into<String>) -> Self {
+        RawFinding {
+            rule,
+            path: file.path.clone(),
+            line: idx + 1,
+            message: message.into(),
+        }
+    }
+}
+
+/// How a file is classified for rule scoping.
+#[derive(Debug)]
+pub struct FileCtx {
+    /// Crate short name (`core`, `stats`, …; `dcfail` for the root facade).
+    pub crate_name: String,
+    /// Under a `tests/` directory.
+    pub in_tests_dir: bool,
+    /// A binary, bench or example entry point.
+    pub is_bin_or_example: bool,
+}
+
+impl FileCtx {
+    /// Classifies a workspace-relative path.
+    pub fn classify(path: &str) -> FileCtx {
+        let crate_name = path
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .unwrap_or("dcfail")
+            .to_string();
+        FileCtx {
+            crate_name,
+            in_tests_dir: path.starts_with("tests/") || path.contains("/tests/"),
+            is_bin_or_example: path.contains("/bin/")
+                || path.contains("/benches/")
+                || path.starts_with("examples/")
+                || path.contains("/examples/"),
+        }
+    }
+}
+
+/// Crates whose analysis output feeds the golden digests: unordered
+/// iteration anywhere in them is a reproducibility hazard (D01).
+const ORDERED_CRATES: &[&str] = &["core", "stats", "synth", "report", "shard", "tickets"];
+
+/// Crates allowed to read wall-clock time and ambient randomness (D03).
+const CLOCK_CRATES: &[&str] = &["obs", "bench"];
+
+/// Files allowed to read process environment variables (D04): the thread
+/// count is resolved once, here, and nowhere else.
+const ENV_ALLOWLIST: &[&str] = &["crates/par/src/lib.rs"];
+
+/// Estimator crates where `f32` silently halves precision (D10)…
+const F64_CRATES: &[&str] = &["core", "shard", "stats"];
+
+/// …except the TF-IDF/k-means feature-vector pipeline, which uses `f32`
+/// deliberately (memory-bound, order-insensitive distances).
+const F32_ALLOWLIST: &[&str] = &["crates/stats/src/text.rs", "crates/stats/src/kmeans.rs"];
+
+/// Ambient time / randomness constructors (D03).
+const CLOCK_TOKENS: &[&str] = &[
+    "Instant::now",
+    "SystemTime::now",
+    "thread_rng",
+    "rand::random",
+];
+
+/// Entry points whose closures must fork their RNG per item (D05).
+const PAR_ENTRY_POINTS: &[&str] = &["par_map_reduce", "par_map_index", "par_map"];
+
+/// Sanctioned ways to derive a per-item RNG stream inside a par closure.
+const RNG_FORK_TOKENS: &[&str] = &["fork_index", ".fork(", "StreamRng::new"];
+
+/// Runs every per-file rule over one scanned file.
+pub fn lint_file(file: &ScannedFile, findings: &mut Vec<RawFinding>) {
+    let ctx = FileCtx::classify(&file.path);
+    for (idx, line) in file.lines.iter().enumerate() {
+        let in_test = file.is_test_line(idx);
+
+        // D07 applies everywhere, including tests: `forbid(unsafe_code)` can
+        // be re-allowed by an inner attribute, the token scan cannot.
+        if has_token(line, "unsafe") {
+            findings.push(RawFinding::new(
+                LintRule::D07,
+                file,
+                idx,
+                "`unsafe` is banned workspace-wide; restructure with safe abstractions",
+            ));
+        }
+
+        if in_test {
+            continue;
+        }
+
+        if ORDERED_CRATES.contains(&ctx.crate_name.as_str()) {
+            for tok in ["HashMap", "HashSet"] {
+                if has_token(line, tok) {
+                    findings.push(RawFinding::new(
+                        LintRule::D01,
+                        file,
+                        idx,
+                        format!("{tok} in a digest-bearing crate; use BTreeMap/BTreeSet or a sorted Vec so iteration order is deterministic"),
+                    ));
+                }
+            }
+        }
+
+        if has_token(line, "partial_cmp") {
+            findings.push(RawFinding::new(
+                LintRule::D02,
+                file,
+                idx,
+                "partial_cmp yields None on NaN and makes comparator order input-dependent; use f64::total_cmp",
+            ));
+        }
+
+        if !CLOCK_CRATES.contains(&ctx.crate_name.as_str()) {
+            for tok in CLOCK_TOKENS {
+                if has_token(line, tok) {
+                    findings.push(RawFinding::new(
+                        LintRule::D03,
+                        file,
+                        idx,
+                        format!("{tok} injects wall-clock/ambient state into an analysis crate; thread a seeded StreamRng or move timing into obs/bench"),
+                    ));
+                }
+            }
+        }
+
+        if has_token(line, "env::var") && !ENV_ALLOWLIST.contains(&file.path.as_str()) {
+            findings.push(RawFinding::new(
+                LintRule::D04,
+                file,
+                idx,
+                "environment reads outside the par thread-resolution point make output depend on ambient process state; plumb configuration explicitly",
+            ));
+        }
+
+        if is_accumulator_file(&file.path) && line.contains("+=") && line_has_float_evidence(line) {
+            findings.push(RawFinding::new(
+                LintRule::D06,
+                file,
+                idx,
+                "bare float += in an accumulator module; route the sum through ExactSum/NormAccum so merge order cannot change the total",
+            ));
+        }
+
+        if !(ctx.is_bin_or_example || CLOCK_CRATES.contains(&ctx.crate_name.as_str())) {
+            for tok in ["println!", "eprintln!"] {
+                if line.contains(tok) {
+                    findings.push(RawFinding::new(
+                        LintRule::D09,
+                        file,
+                        idx,
+                        format!("{tok} in library code; return data or use the obs layer — stdout belongs to binaries"),
+                    ));
+                }
+            }
+        }
+
+        if F64_CRATES.contains(&ctx.crate_name.as_str())
+            && !F32_ALLOWLIST.contains(&file.path.as_str())
+            && has_token(line, "f32")
+        {
+            findings.push(RawFinding::new(
+                LintRule::D10,
+                file,
+                idx,
+                "f32 in an estimator crate halves precision and breaks cross-platform bit-identity; use f64 (feature vectors live in text/kmeans)",
+            ));
+        }
+    }
+
+    lint_par_closures(file, findings);
+}
+
+/// D05: a closure handed to a `par_map*` entry point that names an RNG must
+/// derive it per item via `fork_index`/`fork`/`StreamRng::new`; capturing a
+/// shared stream reintroduces schedule-dependent draws.
+fn lint_par_closures(file: &ScannedFile, findings: &mut Vec<RawFinding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if file.is_test_line(idx) {
+            continue;
+        }
+        for entry in PAR_ENTRY_POINTS {
+            for pos in token_positions(line, entry) {
+                let Some(region) = call_region(file, idx, pos + entry.len()) else {
+                    continue;
+                };
+                let sanctioned = RNG_FORK_TOKENS.iter().any(|t| region.contains(t));
+                if !sanctioned && region_names_rng(&region) {
+                    findings.push(RawFinding::new(
+                        LintRule::D05,
+                        file,
+                        idx,
+                        format!("closure passed to {entry} names an RNG without deriving it via fork_index/fork; shared streams make draw order depend on the schedule"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Extracts the text of a call's argument list starting at `start` (a byte
+/// offset just past the callee name on 0-based line `idx`), spanning lines
+/// until the matching close paren.
+fn call_region(file: &ScannedFile, idx: usize, start: usize) -> Option<String> {
+    let mut region = String::new();
+    let mut depth = 0usize;
+    let mut started = false;
+    for (li, line) in file.lines.iter().enumerate().skip(idx) {
+        let tail: &str = if li == idx { line.get(start..)? } else { line };
+        for c in tail.chars() {
+            if !started {
+                match c {
+                    '(' => {
+                        started = true;
+                        depth = 1;
+                    }
+                    c if c.is_whitespace() => {}
+                    _ => return None, // not a call site (e.g. a doc mention)
+                }
+                continue;
+            }
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(region);
+                    }
+                }
+                _ => region.push(c),
+            }
+        }
+        region.push('\n');
+        if region.len() > 20_000 {
+            break; // unbalanced parens; bail rather than scan the whole file
+        }
+    }
+    None
+}
+
+/// True when the region mentions an identifier containing `rng`.
+fn region_names_rng(region: &str) -> bool {
+    let mut ident = String::new();
+    for c in region.chars().chain(std::iter::once(' ')) {
+        if is_ident(c) {
+            ident.push(c);
+        } else {
+            if !ident.is_empty() && ident.to_ascii_lowercase().contains("rng") {
+                return true;
+            }
+            ident.clear();
+        }
+    }
+    false
+}
+
+/// D06 scope: modules that exist to accumulate floating-point state.
+fn is_accumulator_file(path: &str) -> bool {
+    let name = path.rsplit('/').next().unwrap_or(path);
+    ["accum", "norm", "merge", "hazard"]
+        .iter()
+        .any(|m| name.contains(m))
+}
+
+/// Heuristic: does this line visibly manipulate floats?
+fn line_has_float_evidence(line: &str) -> bool {
+    if has_token(line, "f64") || has_token(line, "f32") {
+        return true;
+    }
+    // A numeric literal with a decimal point, e.g. `* 7.0`.
+    let b: Vec<char> = line.chars().collect();
+    b.windows(3)
+        .any(|w| w[0].is_ascii_digit() && w[1] == '.' && w[2].is_ascii_digit())
+}
+
+/// D08: every `impl Mergeable for X` must be exercised by an absorb-law
+/// test — some test region mentioning both `X` and `absorb`.
+pub fn lint_absorb_coverage(files: &[ScannedFile], findings: &mut Vec<RawFinding>) {
+    struct Impl {
+        type_name: String,
+        file_index: usize,
+        line_idx: usize,
+    }
+    let mut impls: Vec<Impl> = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (idx, line) in file.lines.iter().enumerate() {
+            if file.is_test_line(idx) {
+                continue;
+            }
+            for pos in token_positions(line, "Mergeable for") {
+                if !line[..pos].contains("impl") {
+                    continue;
+                }
+                let after = &line[pos + "Mergeable for".len()..];
+                let type_name: String = after
+                    .trim_start()
+                    .chars()
+                    .take_while(|&c| is_ident(c))
+                    .collect();
+                if !type_name.is_empty() {
+                    impls.push(Impl {
+                        type_name,
+                        file_index: fi,
+                        line_idx: idx,
+                    });
+                }
+            }
+        }
+    }
+    for im in impls {
+        let covered = files.iter().any(|f| {
+            let Some(test_from) = f.test_from else {
+                return false;
+            };
+            let mut names_type = false;
+            let mut names_absorb = false;
+            for line in &f.lines[test_from..] {
+                names_type = names_type || has_token(line, &im.type_name);
+                names_absorb = names_absorb || has_token(line, "absorb");
+                if names_type && names_absorb {
+                    return true;
+                }
+            }
+            false
+        });
+        if !covered {
+            findings.push(RawFinding::new(
+                LintRule::D08,
+                &files[im.file_index],
+                im.line_idx,
+                format!("Mergeable impl for {} has no absorb-law test; add a test absorbing split halves and comparing against the sequential result", im.type_name),
+            ));
+        }
+    }
+}

@@ -1,0 +1,10 @@
+// D01: hash collections in a digest-bearing crate.
+use std::collections::HashMap;
+
+pub fn histogram(keys: &[u32]) -> HashMap<u32, usize> {
+    let mut h = HashMap::new();
+    for &k in keys {
+        *h.entry(k).or_insert(0) += 1;
+    }
+    h
+}

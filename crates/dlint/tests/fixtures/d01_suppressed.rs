@@ -1,0 +1,9 @@
+// D01 suppressed twin: the same construct behind a justified allow.
+// dlint::allow(D01): scratch map local to one call; never iterated, only probed
+use std::collections::HashMap;
+
+pub fn contains(keys: &[u32], probe: u32) -> bool {
+    // dlint::allow(D01): membership probe only; iteration order never observed
+    let h: HashMap<u32, ()> = keys.iter().map(|&k| (k, ())).collect();
+    h.contains_key(&probe)
+}

@@ -1,0 +1,4 @@
+// D02: partial_cmp-based sort.
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

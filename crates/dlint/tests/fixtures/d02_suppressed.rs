@@ -1,0 +1,5 @@
+// D02 suppressed twin.
+pub fn is_positive(x: f64) -> bool {
+    // dlint::allow(D02): NaN must fail this validation; the None arm is the point
+    x.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater)
+}

@@ -1,0 +1,6 @@
+// D03: wall-clock read in an analysis crate.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

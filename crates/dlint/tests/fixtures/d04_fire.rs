@@ -1,0 +1,4 @@
+// D04: environment read outside the thread-resolution allowlist.
+pub fn verbosity() -> Option<String> {
+    std::env::var("DCFAIL_VERBOSE").ok()
+}

@@ -1,0 +1,5 @@
+// D04 suppressed twin.
+pub fn verbosity() -> Option<String> {
+    // dlint::allow(D04): read once at startup into explicit config; output-neutral
+    std::env::var("DCFAIL_VERBOSE").ok()
+}

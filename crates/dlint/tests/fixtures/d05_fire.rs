@@ -1,0 +1,4 @@
+// D05: par closure capturing an RNG without forking it.
+pub fn jitter(items: &[u64], rng: &StreamRng) -> Vec<u64> {
+    dcfail_par::par_map(items, |_, item| item + draw(rng))
+}

@@ -1,0 +1,5 @@
+// D05 suppressed twin.
+pub fn jitter(items: &[u64], rng: &StreamRng) -> Vec<u64> {
+    // dlint::allow(D05): StreamRng is immutable; draw forks a stream per item id
+    dcfail_par::par_map(items, |_, item| item + draw(rng))
+}

@@ -1,0 +1,8 @@
+// D06: bare float accumulation in an accumulator module.
+pub fn total(values: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for v in values {
+        sum += *v as f64;
+    }
+    sum
+}

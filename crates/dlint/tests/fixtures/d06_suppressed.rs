@@ -1,0 +1,9 @@
+// D06 suppressed twin.
+pub fn total(values: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for v in values {
+        // dlint::allow(D06): single-threaded path; order is fixed by the caller
+        sum += *v as f64;
+    }
+    sum
+}

@@ -1,0 +1,4 @@
+// D07: unsafe token.
+pub fn read(ptr: *const u32) -> u32 {
+    unsafe { *ptr }
+}

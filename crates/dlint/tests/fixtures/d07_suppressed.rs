@@ -1,0 +1,5 @@
+// D07 suppressed twin.
+pub fn read(ptr: *const u32) -> u32 {
+    // dlint::allow(D07): FFI shim audited in review; no aliasing possible here
+    unsafe { *ptr }
+}

@@ -1,0 +1,18 @@
+// D08: a Mergeable impl with no absorb-law test anywhere in the corpus.
+pub struct DemoCounts(u64);
+
+impl Mergeable for DemoCounts {
+    type Output = u64;
+
+    fn identity() -> Self {
+        DemoCounts(0)
+    }
+
+    fn absorb(&mut self, other: &Self) {
+        self.0 += other.0;
+    }
+
+    fn finalize(self) -> u64 {
+        self.0
+    }
+}

@@ -1,0 +1,19 @@
+// D08 suppressed twin.
+pub struct DemoCounts(u64);
+
+// dlint::allow(D08): law coverage lives in the sibling crate's shard equivalence suite
+impl Mergeable for DemoCounts {
+    type Output = u64;
+
+    fn identity() -> Self {
+        DemoCounts(0)
+    }
+
+    fn absorb(&mut self, other: &Self) {
+        self.0 += other.0;
+    }
+
+    fn finalize(self) -> u64 {
+        self.0
+    }
+}

@@ -1,0 +1,4 @@
+// D09: stdout from library code.
+pub fn announce(n: usize) {
+    println!("processed {n} records");
+}

@@ -1,0 +1,5 @@
+// D09 suppressed twin.
+pub fn announce(n: usize) {
+    // dlint::allow(D09): one-shot migration warning; removed with the next schema bump
+    println!("processed {n} records");
+}

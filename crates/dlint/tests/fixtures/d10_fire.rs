@@ -1,0 +1,4 @@
+// D10: f32 in an estimator crate.
+pub fn halve(x: f64) -> f32 {
+    x as f32
+}

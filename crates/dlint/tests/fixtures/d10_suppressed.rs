@@ -1,0 +1,3 @@
+// D10 suppressed twin.
+// dlint::allow(D10): wire format mandated by the upstream trace dump; widened on read
+pub fn halve(x: f64) -> f32 { x as f32 }

@@ -1,0 +1,133 @@
+//! Fixture-based rule tests: every rule D01–D10 has one minimal source file
+//! that fires it and one suppressed twin that does not.
+//!
+//! The fixtures live under `tests/fixtures/` (excluded from the workspace
+//! walk) and are linted via [`dcfail_dlint::lint_source`] under a virtual
+//! path that puts them in the rule's scope — e.g. the D01 fixture pretends
+//! to live in `crates/core/src/`, where hash collections are banned.
+
+use dcfail_dlint::{lint_source, LintRule};
+
+struct Case {
+    rule: LintRule,
+    /// Virtual path placing the fixture in the rule's scope.
+    virtual_path: &'static str,
+    fire: &'static str,
+    suppressed: &'static str,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        rule: LintRule::D01,
+        virtual_path: "crates/core/src/fixture.rs",
+        fire: include_str!("fixtures/d01_fire.rs"),
+        suppressed: include_str!("fixtures/d01_suppressed.rs"),
+    },
+    Case {
+        rule: LintRule::D02,
+        virtual_path: "crates/stats/src/fixture.rs",
+        fire: include_str!("fixtures/d02_fire.rs"),
+        suppressed: include_str!("fixtures/d02_suppressed.rs"),
+    },
+    Case {
+        rule: LintRule::D03,
+        virtual_path: "crates/synth/src/fixture.rs",
+        fire: include_str!("fixtures/d03_fire.rs"),
+        suppressed: include_str!("fixtures/d03_suppressed.rs"),
+    },
+    Case {
+        rule: LintRule::D04,
+        virtual_path: "crates/core/src/fixture.rs",
+        fire: include_str!("fixtures/d04_fire.rs"),
+        suppressed: include_str!("fixtures/d04_suppressed.rs"),
+    },
+    Case {
+        rule: LintRule::D05,
+        virtual_path: "crates/synth/src/fixture.rs",
+        fire: include_str!("fixtures/d05_fire.rs"),
+        suppressed: include_str!("fixtures/d05_suppressed.rs"),
+    },
+    Case {
+        rule: LintRule::D06,
+        virtual_path: "crates/synth/src/norm_fixture.rs",
+        fire: include_str!("fixtures/d06_fire.rs"),
+        suppressed: include_str!("fixtures/d06_suppressed.rs"),
+    },
+    Case {
+        rule: LintRule::D07,
+        virtual_path: "crates/model/src/fixture.rs",
+        fire: include_str!("fixtures/d07_fire.rs"),
+        suppressed: include_str!("fixtures/d07_suppressed.rs"),
+    },
+    Case {
+        rule: LintRule::D08,
+        virtual_path: "crates/core/src/counts_fixture.rs",
+        fire: include_str!("fixtures/d08_fire.rs"),
+        suppressed: include_str!("fixtures/d08_suppressed.rs"),
+    },
+    Case {
+        rule: LintRule::D09,
+        virtual_path: "crates/stats/src/fixture.rs",
+        fire: include_str!("fixtures/d09_fire.rs"),
+        suppressed: include_str!("fixtures/d09_suppressed.rs"),
+    },
+    Case {
+        rule: LintRule::D10,
+        virtual_path: "crates/core/src/fixture.rs",
+        fire: include_str!("fixtures/d10_fire.rs"),
+        suppressed: include_str!("fixtures/d10_suppressed.rs"),
+    },
+];
+
+#[test]
+fn every_rule_fires_on_its_fixture() {
+    for case in CASES {
+        let r = lint_source(case.virtual_path, case.fire);
+        assert!(
+            r.report.has(case.rule),
+            "{} fixture did not fire:\n{}",
+            case.rule.code(),
+            r.render_text()
+        );
+        let d = r.report.find(case.rule).expect("finding present");
+        assert!(
+            d.subjects[0].starts_with(case.virtual_path),
+            "{}: finding lacks a path:line subject ({:?})",
+            case.rule.code(),
+            d.subjects
+        );
+    }
+}
+
+#[test]
+fn suppressed_twin_is_silent() {
+    for case in CASES {
+        let r = lint_source(case.virtual_path, case.suppressed);
+        assert!(
+            !r.report.has(case.rule),
+            "{} twin still fires:\n{}",
+            case.rule.code(),
+            r.render_text()
+        );
+        assert!(
+            r.suppressed >= 1,
+            "{} twin should count its suppression",
+            case.rule.code()
+        );
+        assert!(
+            !r.report.has(LintRule::D11),
+            "{} twin suppression must carry a reason:\n{}",
+            case.rule.code(),
+            r.render_text()
+        );
+    }
+}
+
+#[test]
+fn fire_fixtures_fire_at_error_or_warn() {
+    for case in CASES {
+        let r = lint_source(case.virtual_path, case.fire);
+        let d = r.report.find(case.rule).expect("finding present");
+        assert_eq!(d.severity, case.rule.severity());
+    }
+}

@@ -1,0 +1,51 @@
+//! The lint pass applied to the workspace that ships it.
+//!
+//! This is the same gate CI runs via `repro lint`: the tree at head must
+//! carry zero Error-level findings and an empty baseline. Every tolerated
+//! exception is an inline `dlint::allow` with a reason, not a baseline
+//! entry.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_has_no_error_findings() {
+    let report = dcfail_dlint::lint_workspace(&workspace_root()).expect("lint workspace");
+    assert!(report.files_scanned > 50, "walker missed the tree");
+    assert_eq!(
+        report.error_count(),
+        0,
+        "determinism lint found errors:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn baseline_only_ever_shrinks() {
+    // The baseline grandfathers nothing: the workspace went in clean, so any
+    // new entry is a regression. This test is the ratchet — adding an entry
+    // fails it, and stale entries already fire D12 in the main pass.
+    let baseline =
+        dcfail_dlint::Baseline::load(&workspace_root().join(dcfail_dlint::BASELINE_FILE))
+            .expect("parse baseline");
+    assert!(
+        baseline.is_empty(),
+        "dlint.baseline grew ({} entr{} forgiving {} finding(s)); fix the code or add an inline dlint::allow with a reason instead",
+        baseline.entries.len(),
+        if baseline.entries.len() == 1 { "y" } else { "ies" },
+        baseline.total()
+    );
+}
+
+#[test]
+fn every_inline_suppression_carries_a_reason() {
+    let report = dcfail_dlint::lint_workspace(&workspace_root()).expect("lint workspace");
+    assert!(
+        !report.report.has(dcfail_dlint::LintRule::D11),
+        "suppression hygiene:\n{}",
+        report.render_text()
+    );
+}

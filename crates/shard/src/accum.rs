@@ -238,3 +238,60 @@ impl Mergeable for CurveAccums {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcfail_stats::rng::StreamRng;
+    use dcfail_synth::config::ScenarioConfig;
+    use dcfail_synth::{population, telemetry_gen};
+
+    #[test]
+    fn curve_accums_absorb_law() {
+        let mut config = ScenarioConfig::paper();
+        config.scale = 0.01;
+        let rng = StreamRng::new(9);
+        let pop = population::build(&config, &rng);
+        let telemetry = telemetry_gen::generate(&config, &pop, &rng);
+        let weeks = config.horizon.num_weeks();
+        assert!(pop.machines.len() >= 4, "scenario too small to split");
+
+        // Whole pass: one accumulator observes every machine, with one
+        // event per machine in week 0.
+        let mut whole = CurveAccums::new(weeks);
+        for m in &pop.machines {
+            let assign = whole.observe(m, &telemetry);
+            whole.count_event(&assign, 0);
+        }
+
+        // Sharded pass: two halves absorbed into the identity, in index
+        // order — the shard==monolithic contract in miniature.
+        let mid = pop.machines.len() / 2;
+        let mut left = CurveAccums::new(weeks);
+        for m in &pop.machines[..mid] {
+            let assign = left.observe(m, &telemetry);
+            left.count_event(&assign, 0);
+        }
+        let mut right = CurveAccums::new(weeks);
+        for m in &pop.machines[mid..] {
+            let assign = right.observe(m, &telemetry);
+            right.count_event(&assign, 0);
+        }
+        let mut merged = CurveAccums::identity();
+        merged.absorb(&left);
+        merged.absorb(&right);
+
+        let s = merged.finalize();
+        let w = whole.finalize();
+        assert_eq!(s.fig8.pm_cpu, w.fig8.pm_cpu);
+        assert_eq!(s.fig8.vm_cpu, w.fig8.vm_cpu);
+        assert_eq!(s.fig8.pm_mem, w.fig8.pm_mem);
+        assert_eq!(s.fig8.vm_mem, w.fig8.vm_mem);
+        assert_eq!(s.fig8.disk, w.fig8.disk);
+        assert_eq!(s.fig8.net, w.fig8.net);
+        assert_eq!(s.fig9_curve, w.fig9_curve);
+        assert_eq!(s.fig9_shares, w.fig9_shares);
+        assert_eq!(s.fig10_curve, w.fig10_curve);
+        assert_eq!(s.fig10_shares, w.fig10_shares);
+    }
+}

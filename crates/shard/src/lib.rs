@@ -119,6 +119,7 @@ pub fn build_sharded(config: &ScenarioConfig, num_shards: usize) -> ShardedOutpu
     // sums make the divisors independent of the grouping.
     let norms = {
         let _s = dcfail_obs::span("shard.norms");
+        // dlint::allow(D05): StreamRng is immutable; generate_range forks a stream per machine id
         let accums = dcfail_par::par_map(&ranges, |_, range| {
             let telemetry = telemetry_gen::generate_range(config, &pop, range.clone(), &rng);
             let mut accum = NormAccum::identity();
@@ -144,6 +145,7 @@ pub fn build_sharded(config: &ScenarioConfig, num_shards: usize) -> ShardedOutpu
     // Pass 2 — generate, analyze, drop, shard by shard.
     let yields = {
         let _s = dcfail_obs::span("shard.fanout");
+        // dlint::allow(D05): StreamRng is immutable; every callee forks per machine id
         dcfail_par::par_map(&ranges, |_, range| {
             let machines = &pop.machines[range.clone()];
             let telemetry = telemetry_gen::generate_range(config, &pop, range.clone(), &rng);
@@ -156,6 +158,7 @@ pub fn build_sharded(config: &ScenarioConfig, num_shards: usize) -> ShardedOutpu
             // The dominant O(shard) term dies here; the incident walk below
             // needs only the hazard slice and the spatial hit-days.
             drop(telemetry);
+            // dlint::allow(D05): StreamRng is immutable; individual_incidents_for forks per machine id
             let per_machine = dcfail_par::par_map(machines, |local, m| {
                 incidents::individual_incidents_for(
                     config,

@@ -306,11 +306,15 @@ impl ModelSelection {
                 got: data.len(),
             });
         }
-        // Stable sort keeps the candidate-family order deterministic at
-        // ties; total_cmp removes the NaN panic path.
-        ranked.sort_by(|a, b| b.log_likelihood.total_cmp(&a.log_likelihood));
+        // Candidate-family order is the explicit tie-break, so the ranking
+        // is a total order independent of sort stability; total_cmp removes
+        // the NaN panic path.
+        let mut indexed: Vec<(usize, FitResult)> = ranked.into_iter().enumerate().collect();
+        indexed.sort_unstable_by(|(i, a), (j, b)| {
+            b.log_likelihood.total_cmp(&a.log_likelihood).then(i.cmp(j))
+        });
         Ok(Self {
-            ranked,
+            ranked: indexed.into_iter().map(|(_, r)| r).collect(),
             n: data.len(),
         })
     }

@@ -6,7 +6,7 @@
 //! vocabulary and a TF-IDF vectorizer producing L2-normalized dense vectors.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Splits text into lowercase alphanumeric tokens, dropping one-character
 /// tokens (mostly punctuation debris and ids).
@@ -18,10 +18,11 @@ pub fn tokenize(text: &str) -> Vec<String> {
 }
 
 /// A vocabulary mapping tokens to dense feature indexes, with document
-/// frequencies.
+/// frequencies. Feature index `i` is the rank of the token in lexicographic
+/// order, so the layout is a function of the corpus alone.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Vocabulary {
-    index: HashMap<String, usize>,
+    tokens: Vec<String>,
     doc_freq: Vec<usize>,
     num_docs: usize,
 }
@@ -30,7 +31,7 @@ impl Vocabulary {
     /// Builds a vocabulary from tokenized documents, keeping tokens that
     /// appear in at least `min_df` documents.
     pub fn build<'a>(docs: impl IntoIterator<Item = &'a [String]>, min_df: usize) -> Self {
-        let mut df: HashMap<String, usize> = HashMap::new();
+        let mut df: BTreeMap<String, usize> = BTreeMap::new();
         let mut num_docs = 0;
         for doc in docs {
             num_docs += 1;
@@ -41,20 +42,17 @@ impl Vocabulary {
                 *df.entry(token.clone()).or_insert(0) += 1;
             }
         }
-        let mut kept: Vec<(String, usize)> = df
-            .into_iter()
-            .filter(|&(_, count)| count >= min_df.max(1))
-            .collect();
-        // Sort for determinism.
-        kept.sort_unstable();
-        let mut index = HashMap::with_capacity(kept.len());
-        let mut doc_freq = Vec::with_capacity(kept.len());
-        for (i, (token, count)) in kept.into_iter().enumerate() {
-            index.insert(token, i);
-            doc_freq.push(count);
+        let mut tokens = Vec::new();
+        let mut doc_freq = Vec::new();
+        // BTreeMap iterates in key order, so the kept tokens arrive sorted.
+        for (token, count) in df {
+            if count >= min_df.max(1) {
+                tokens.push(token);
+                doc_freq.push(count);
+            }
         }
         Self {
-            index,
+            tokens,
             doc_freq,
             num_docs,
         }
@@ -72,7 +70,7 @@ impl Vocabulary {
 
     /// Feature index of `token`, if kept.
     pub fn index_of(&self, token: &str) -> Option<usize> {
-        self.index.get(token).copied()
+        self.tokens.binary_search_by(|t| t.as_str().cmp(token)).ok()
     }
 
     /// Number of documents the vocabulary was built from.

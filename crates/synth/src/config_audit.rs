@@ -73,7 +73,7 @@ pub fn audit_config(config: &ScenarioConfig) -> AuditReport {
             );
         }
     }
-    // NaN must fail this check, so compare via partial_cmp.
+    // dlint::allow(D02): NaN must fail this validation, so the None arm of partial_cmp is the point
     if config.burst_tau_days.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         hit(
             &mut diags,

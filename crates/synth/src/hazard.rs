@@ -389,6 +389,37 @@ mod tests {
     }
 
     #[test]
+    fn norm_accum_absorb_law() {
+        let (config, pop, telemetry, _) = setup(EffectToggles::all());
+
+        let mut whole = NormAccum::identity();
+        for m in &pop.machines {
+            whole.accumulate(&config, m, &telemetry);
+        }
+
+        // Accumulate the same machines in two halves and absorb in index
+        // order: the ExactSums make the divisors bit-identical.
+        let mid = pop.machines.len() / 2;
+        let mut left = NormAccum::identity();
+        for m in &pop.machines[..mid] {
+            left.accumulate(&config, m, &telemetry);
+        }
+        let mut right = NormAccum::identity();
+        for m in &pop.machines[mid..] {
+            right.accumulate(&config, m, &telemetry);
+        }
+        let mut merged = NormAccum::identity();
+        merged.absorb(&left);
+        merged.absorb(&right);
+        assert_eq!(merged.finalize(), whole.finalize());
+
+        // Identity is neutral.
+        let mut padded = left.clone();
+        padded.absorb(&NormAccum::identity());
+        assert_eq!(padded.finalize(), left.finalize());
+    }
+
+    #[test]
     fn population_mean_hazard_matches_base_rates() {
         let (config, pop, _, hazard) = setup(EffectToggles::all());
         for kind in MachineKind::ALL {

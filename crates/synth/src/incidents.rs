@@ -77,6 +77,7 @@ pub fn simulate(
     // Stage 2 — individual failures, one independent stream per machine.
     // A machine's burst state depends only on its own failures and the
     // spatial hits recorded above, so the walks never interact.
+    // dlint::allow(D05): StreamRng is immutable; individual_incidents_for forks per machine id
     let per_machine = dcfail_par::par_map(&pop.machines, |idx, m| {
         individual_incidents_for(config, &hazard, m, &spatial_hits[idx], num_days, rng)
     });

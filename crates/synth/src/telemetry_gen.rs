@@ -76,6 +76,7 @@ pub fn generate_range(
     rng: &StreamRng,
 ) -> Telemetry {
     let machines = &pop.machines[range];
+    // dlint::allow(D05): StreamRng is immutable; machine_telemetry forks per machine id
     let per_machine = dcfail_par::par_map(machines, |_, machine| {
         machine_telemetry(config, pop, machine, rng)
     });

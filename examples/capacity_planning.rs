@@ -72,7 +72,7 @@ fn main() {
     let best = by_level
         .points
         .iter()
-        .min_by(|a, b| a.mean.partial_cmp(&b.mean).expect("rates are finite"))
+        .min_by(|a, b| a.mean.total_cmp(&b.mean))
         .expect("curve has points");
     println!(
         "  -> target well-filled platforms (level {} measured lowest at {:.4}/wk)\n",

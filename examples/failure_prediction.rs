@@ -68,7 +68,7 @@ fn main() {
 
     // Show this week's top-5 watchlist.
     let mut scores = score_week(&dataset, 40, &weights);
-    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
+    scores.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("\nweek-40 watchlist (top 5):");
     for (machine, score) in scores.iter().take(5) {
         let m = dataset.machine(*machine);

@@ -6,7 +6,10 @@
 //!
 //! See [`model`], [`stats`], [`synth`], [`tickets`], [`analysis`],
 //! [`report`], [`audit`], [`chaos`], [`par`] and [`obs`] for the individual
-//! subsystems. Hot paths run on the [`par`] deterministic parallel runtime:
+//! subsystems. The determinism contract those subsystems rely on is itself
+//! enforced at the source level by [`dlint`], a static-analysis pass over
+//! the workspace's own Rust code (run it with `repro lint`); [`findings`]
+//! holds the rule-catalog/report machinery [`dlint`] shares with [`audit`]. Hot paths run on the [`par`] deterministic parallel runtime:
 //! set `DCFAIL_THREADS` to pick the worker count (output is bit-identical
 //! at any setting; `1` is the sequential fallback). The whole pipeline is
 //! instrumented through the [`obs`] tracing/metrics layer — install an
@@ -27,6 +30,8 @@
 pub use dcfail_audit as audit;
 pub use dcfail_chaos as chaos;
 pub use dcfail_core as analysis;
+pub use dcfail_dlint as dlint;
+pub use dcfail_findings as findings;
 pub use dcfail_model as model;
 pub use dcfail_obs as obs;
 pub use dcfail_par as par;
