@@ -9,6 +9,8 @@
 //! repro bench [--seed N] [--scale S] [--json] [--smoke]
 //! repro metrics [--seed N] [--scale S] [--json] [--smoke] [--metrics OUT.json]
 //! repro shard [--machines N | --scale S] [--shards K] [--seed N] [--json] [--baseline]
+//!             [--checkpoint-dir DIR] [--resume]
+//! repro crashtest [--seed N] [--scale S] [--shards K] [--rate R] [--smoke]
 //! repro lint [--json] [--root DIR]
 //! ```
 //!
@@ -51,6 +53,18 @@
 //!   full scale); `--json` emits the reports as a JSON document;
 //!   `--baseline` runs the same suite monolithically with the identical
 //!   JSON shape, so the two outputs can be diffed byte-for-byte.
+//!   `--checkpoint-dir DIR` makes the build crash-safe: per-shard state is
+//!   persisted to checksummed segment files in `DIR` and a restarted run
+//!   continues from the last complete shard, byte-identical to an
+//!   uninterrupted run. `--resume` additionally *requires* `DIR` to hold a
+//!   checkpoint (guards against resuming a mistyped path as a fresh run).
+//! * `crashtest` — the crash-matrix self-test: run the checkpointed sharded
+//!   pipeline against an in-memory filesystem, hard-kill it at every I/O
+//!   operation (`--smoke`: three spread kill points), resume each killed
+//!   run, and verify every resume converges to the digest of an
+//!   uninterrupted run. Also proves transient `EIO`/`ENOSPC` faults
+//!   (`--rate`, clamped to [0.25, 0.5] for this leg) are absorbed by the
+//!   deterministic retry policy. Exits 1 on any divergence.
 //! * `lint` — run the `dcfail-dlint` determinism lint over the workspace's
 //!   own Rust source (rules D01–D12: hash-ordered collections, wall-clock
 //!   reads, ambient randomness, unstable sorts, …), honoring inline
@@ -69,7 +83,8 @@ use dcfail_audit::import;
 use dcfail_audit::recover::recover_raw;
 use dcfail_audit::{AuditReport, DegradationReport, RecoveryMode};
 use dcfail_bench::ablation;
-use dcfail_chaos::{inject, InjectionPlan};
+use dcfail_chaos::{inject, InjectionPlan, IoFaultPlan};
+use dcfail_ckpt::{ChaosFs, CheckpointStore, FaultFs, FsError, MemFs, RealFs};
 use dcfail_core::{degradation, rates, repair};
 use dcfail_model::prelude::*;
 use dcfail_report::experiments::{run, run_all, ExperimentId, RunConfig};
@@ -95,7 +110,9 @@ const USAGE: &str = "usage: repro [--scale S] [--seed N] [--classify] [--csv DIR
      repro metrics [--seed N] [--scale S] [--json] [--smoke] \
             [--metrics OUT.json]\n       \
      repro shard [--machines N | --scale S] [--shards K] [--seed N] \
-            [--json] [--baseline]\n       \
+            [--json] [--baseline] [--checkpoint-dir DIR] [--resume]\n       \
+     repro crashtest [--seed N] [--scale S] [--shards K] [--rate R] \
+            [--smoke]\n       \
      repro lint [--json] [--root DIR]\n\
      exit codes: 0 clean, 1 findings (dirty audit/lint, failed smoke), \
      2 usage or I/O error";
@@ -110,7 +127,9 @@ struct Options {
     lenient: bool,
     smoke: bool,
     baseline: bool,
+    resume: bool,
     shards: usize,
+    checkpoint_dir: Option<PathBuf>,
     csv_dir: Option<PathBuf>,
     json: bool,
     metrics_path: Option<PathBuf>,
@@ -137,7 +156,9 @@ fn parse_args() -> Result<Parsed, String> {
         lenient: false,
         smoke: false,
         baseline: false,
+        resume: false,
         shards: 8,
+        checkpoint_dir: None,
         csv_dir: None,
         json: false,
         metrics_path: None,
@@ -167,6 +188,11 @@ fn parse_args() -> Result<Parsed, String> {
             }
             "--classify" => opts.classify = true,
             "--lenient" => opts.lenient = true,
+            "--resume" => opts.resume = true,
+            "--checkpoint-dir" => {
+                let v = args.next().ok_or("--checkpoint-dir needs a directory")?;
+                opts.checkpoint_dir = Some(PathBuf::from(v));
+            }
             "--smoke" => opts.smoke = true,
             "--baseline" => opts.baseline = true,
             "--shards" => {
@@ -700,6 +726,12 @@ fn scale_for_fleet(seed: u64, target: usize) -> Result<f64, String> {
 /// Runs the `shard` subcommand: the full paper report suite, generated and
 /// analyzed shard-by-shard (or monolithically with `--baseline`).
 fn run_shard(opts: &Options) -> Result<ExitCode, String> {
+    if opts.resume && opts.checkpoint_dir.is_none() {
+        return Err("--resume needs --checkpoint-dir".into());
+    }
+    if opts.baseline && opts.checkpoint_dir.is_some() {
+        return Err("--baseline and --checkpoint-dir are mutually exclusive".into());
+    }
     let scale = match &opts.machines_arg {
         Some(arg) => {
             let target: usize = arg
@@ -727,6 +759,28 @@ fn run_shard(opts: &Options) -> Result<ExitCode, String> {
             .map(|&id| (id, run(id, &dataset, &run_config)))
             .collect();
         (dataset.machines().len(), reports)
+    } else if let Some(dir) = &opts.checkpoint_dir {
+        let dir = dir.display().to_string();
+        let fs = RealFs;
+        let manifest_path = format!("{dir}/{}", dcfail_ckpt::MANIFEST_FILE);
+        let has_manifest = fs.exists(&manifest_path).map_err(|e| e.to_string())?;
+        if opts.resume && !has_manifest {
+            return Err(format!(
+                "--resume: no checkpoint manifest at {manifest_path} \
+                 (drop --resume to start a fresh checkpointed run)"
+            ));
+        }
+        eprintln!(
+            "shard: {} checkpointed build, {} shards (seed {}, scale {scale:.4}) -> {dir} ...",
+            if has_manifest { "resuming" } else { "fresh" },
+            opts.shards,
+            opts.seed
+        );
+        let store = CheckpointStore::new(Box::new(fs), dir);
+        let out = dcfail_shard::resume_sharded(&config, opts.shards, &store)
+            .map_err(|e| format!("checkpointed shard build failed: {e}"))?;
+        let machines = out.dataset().machines().len();
+        (machines, out.paper_reports(&run_config))
     } else {
         eprintln!(
             "shard: out-of-core build, {} shards (seed {}, scale {scale:.4}) ...",
@@ -761,6 +815,159 @@ fn run_shard(opts: &Options) -> Result<ExitCode, String> {
             println!("{}", rendered.text);
         }
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Checkpoint directory name inside the crashtest's in-memory filesystem.
+const CRASHTEST_DIR: &str = "crashtest-ckpt";
+
+/// `Arc`-backed adapter so the harness can keep reading the `ChaosFs` op
+/// counter after the `CheckpointStore` takes ownership of a boxed handle.
+struct SharedChaos(std::sync::Arc<ChaosFs<MemFs>>);
+
+impl FaultFs for SharedChaos {
+    fn read(&self, path: &str) -> Result<Vec<u8>, FsError> {
+        self.0.read(path)
+    }
+    fn write(&self, path: &str, bytes: &[u8]) -> Result<(), FsError> {
+        self.0.write(path, bytes)
+    }
+    fn rename(&self, from: &str, to: &str) -> Result<(), FsError> {
+        self.0.rename(from, to)
+    }
+    fn remove(&self, path: &str) -> Result<(), FsError> {
+        self.0.remove(path)
+    }
+    fn exists(&self, path: &str) -> Result<bool, FsError> {
+        self.0.exists(path)
+    }
+    fn create_dir_all(&self, path: &str) -> Result<(), FsError> {
+        self.0.create_dir_all(path)
+    }
+}
+
+/// Store over `mem` whose every operation is gated by `plan`, plus a shared
+/// handle to the injector's op/transient counters.
+fn crashtest_store(
+    mem: &MemFs,
+    plan: IoFaultPlan,
+) -> (CheckpointStore, std::sync::Arc<ChaosFs<MemFs>>) {
+    let fs = std::sync::Arc::new(ChaosFs::new(mem.clone(), plan));
+    let store = CheckpointStore::new(Box::new(SharedChaos(fs.clone())), CRASHTEST_DIR);
+    (store, fs)
+}
+
+/// Runs the `crashtest` subcommand: the crash-matrix sweep proving that a
+/// checkpointed run killed at any I/O operation resumes to the digest of an
+/// uninterrupted run, and that transient faults are absorbed by retry.
+fn run_crashtest(opts: &Options) -> Result<ExitCode, String> {
+    // The sweep reruns the pipeline once per kill point; cap the default
+    // scale so the full matrix stays in CI territory.
+    let scale = if opts.scale == 1.0 { 0.02 } else { opts.scale };
+    let config = Scenario::paper()
+        .seed(opts.seed)
+        .scale(scale)
+        .config()
+        .clone();
+    let run_config = RunConfig::with_seed(opts.seed);
+    eprintln!(
+        "crashtest: golden uninterrupted run ({} shards, seed {}, scale {scale:.4}) ...",
+        opts.shards, opts.seed
+    );
+    let golden = dcfail_shard::build_sharded(&config, opts.shards).paper_digest(&run_config);
+
+    // Probe: count the I/O ops of a clean checkpointed run, and cross-check
+    // that the checkpointed path itself matches the monolithic golden.
+    let mem = MemFs::new();
+    let (store, fs) = crashtest_store(&mem, IoFaultPlan::quiet(opts.seed));
+    let probe = dcfail_shard::resume_sharded(&config, opts.shards, &store)
+        .map_err(|e| format!("crashtest probe run failed: {e}"))?;
+    if probe.paper_digest(&run_config) != golden {
+        println!("crashtest FAILED: checkpointed run diverges from build_sharded");
+        return Ok(ExitCode::from(EXIT_FINDINGS));
+    }
+    let total = fs.ops();
+
+    let kill_points: Vec<u64> = if opts.smoke {
+        vec![0, total / 2, total - 1]
+    } else {
+        (0..total).collect()
+    };
+    eprintln!(
+        "crashtest: sweeping {} kill points over {total} I/O ops \
+         (transient rate {}) ...",
+        kill_points.len(),
+        opts.rate
+    );
+    let mut failures = 0u64;
+    for &k in &kill_points {
+        let mem = MemFs::new();
+        let plan = IoFaultPlan {
+            seed: opts.seed,
+            transient_rate: opts.rate,
+            kill_at_op: Some(k),
+            torn_writes: true,
+        };
+        let (store, _) = crashtest_store(&mem, plan);
+        // With transients ahead of the kill, the run may die at op `k` or
+        // exhaust retries earlier; it must not finish clean either way.
+        if dcfail_shard::resume_sharded(&config, opts.shards, &store).is_ok() {
+            println!("kill at op {k}: run unexpectedly completed");
+            failures += 1;
+            continue;
+        }
+        let resume_store = CheckpointStore::new(Box::new(mem.clone()), CRASHTEST_DIR);
+        match dcfail_shard::resume_sharded(&config, opts.shards, &resume_store) {
+            Ok(out) => {
+                let digest = out.paper_digest(&run_config);
+                if digest != golden {
+                    println!(
+                        "kill at op {k}: resumed digest {digest:#018x} != golden {golden:#018x}"
+                    );
+                    failures += 1;
+                }
+            }
+            Err(e) => {
+                println!("kill at op {k}: resume failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    // Transient-only leg: a fault rate the retry policy must fully absorb.
+    // Clamped: below 0.25 it proves too little, near 1.0 six consecutive
+    // faults (legitimate retry exhaustion) become likely.
+    let transient_rate = opts.rate.clamp(0.25, 0.5);
+    let mem = MemFs::new();
+    let (store, fs) = crashtest_store(&mem, IoFaultPlan::transient(opts.seed, transient_rate));
+    match dcfail_shard::resume_sharded(&config, opts.shards, &store) {
+        Ok(out) if out.paper_digest(&run_config) == golden => eprintln!(
+            "crashtest: {} transient faults absorbed by retry at rate {transient_rate}",
+            fs.transients()
+        ),
+        Ok(_) => {
+            println!("transient leg: digest diverged at rate {transient_rate}");
+            failures += 1;
+        }
+        Err(e) => {
+            println!("transient leg: run failed at rate {transient_rate}: {e}");
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        println!(
+            "crashtest FAILED: {failures} divergence(s) across {} kill points",
+            kill_points.len()
+        );
+        return Ok(ExitCode::from(EXIT_FINDINGS));
+    }
+    println!(
+        "crashtest{}: OK — {} kill points over {total} I/O ops all \
+         resume to digest {golden:#018x}",
+        if opts.smoke { " (smoke)" } else { "" },
+        kill_points.len()
+    );
     Ok(ExitCode::SUCCESS)
 }
 
@@ -881,6 +1088,9 @@ fn dispatch(opts: &Options) -> Result<ExitCode, String> {
     }
     if opts.targets.iter().any(|t| t == "shard") {
         return run_shard(opts);
+    }
+    if opts.targets.iter().any(|t| t == "crashtest") {
+        return run_crashtest(opts);
     }
     if opts.targets.iter().any(|t| t == "lint") {
         return run_lint(opts);

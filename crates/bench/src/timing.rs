@@ -56,6 +56,11 @@ pub struct BenchReport {
     /// The high-water mark is monotone, so exceeding `shard_peak_rss_kb`
     /// means the monolithic path genuinely needed more memory.
     pub monolithic_peak_rss_kb: Option<u64>,
+    /// Why the peak-RSS fields are `null`, when they are. The `VmHWM` probe
+    /// reads a Linux-style `/proc/self/status`; on platforms without one the
+    /// memory comparison is unavailable and this note says so, so a consumer
+    /// of the JSON can tell "no data on this platform" from a broken probe.
+    pub rss_note: Option<String>,
     /// Total findings (all severities) from a `dcfail-dlint` pass over the
     /// workspace source at measurement time, or `None` when the source tree
     /// is unavailable (installed binaries, tarball builds). A run with a
@@ -86,6 +91,20 @@ pub fn peak_rss_kb() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
     line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// The [`BenchReport::rss_note`] for a pair of RSS probe readings: `None`
+/// when both probes read, an explanation when either could not.
+fn rss_note(shard: Option<u64>, monolithic: Option<u64>) -> Option<String> {
+    if shard.is_some() && monolithic.is_some() {
+        None
+    } else {
+        Some(
+            "VmHWM probe unavailable (no readable /proc/self/status on this \
+             platform); peak-RSS fields are null"
+                .into(),
+        )
+    }
 }
 
 fn ms_since(start: Instant) -> f64 {
@@ -173,6 +192,7 @@ pub fn measure(git: Option<String>, seed: u64, scale: f64) -> BenchReport {
         build_ms,
         report_ms,
         shard_probe_shards: SHARD_PROBE_SHARDS,
+        rss_note: rss_note(shard_peak_rss_kb, monolithic_peak_rss_kb),
         shard_peak_rss_kb,
         monolithic_peak_rss_kb,
         lint_findings: lint_findings(),
@@ -203,6 +223,15 @@ mod tests {
         assert!(json.contains("\"git\":\"test\""));
         assert!(json.contains("shard_peak_rss_kb"));
         assert!(json.contains("lint_findings"));
+    }
+
+    #[test]
+    fn rss_note_explains_missing_probes_only() {
+        assert!(rss_note(Some(1), Some(2)).is_none());
+        for (shard, mono) in [(None, None), (Some(1), None), (None, Some(2))] {
+            let note = rss_note(shard, mono).expect("missing probe must be explained");
+            assert!(note.contains("VmHWM"), "note names the probe: {note}");
+        }
     }
 
     #[test]

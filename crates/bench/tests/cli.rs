@@ -1,0 +1,86 @@
+//! Exit-code contract of the `repro` binary: flag validation failures are
+//! usage errors (exit 2) with a diagnostic on stderr, never panics and never
+//! silently-clamped values.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary spawns")
+}
+
+fn assert_usage_error(args: &[&str], needle: &str) {
+    let out = repro(args);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?} must exit 2 (usage), got {:?}",
+        out.status.code()
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(needle),
+        "{args:?} stderr must mention {needle:?}:\n{stderr}"
+    );
+}
+
+#[test]
+fn help_exits_clean_and_documents_every_subcommand() {
+    let out = repro(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for subcommand in ["audit", "chaos", "bench", "shard", "crashtest", "lint"] {
+        assert!(stdout.contains(subcommand), "usage lacks {subcommand}");
+    }
+    assert!(stdout.contains("--checkpoint-dir"));
+    assert!(stdout.contains("--resume"));
+}
+
+#[test]
+fn rate_outside_unit_interval_is_a_usage_error() {
+    assert_usage_error(&["chaos", "--rate", "1.5"], "--rate must be in [0, 1]");
+    assert_usage_error(&["chaos", "--rate", "-0.1"], "--rate must be in [0, 1]");
+    assert_usage_error(&["chaos", "--rate", "nope"], "bad rate");
+    assert_usage_error(&["chaos", "--rate"], "--rate needs a value");
+}
+
+#[test]
+fn zero_shards_is_a_usage_error() {
+    assert_usage_error(&["shard", "--shards", "0"], "--shards must be at least 1");
+    assert_usage_error(&["shard", "--shards", "many"], "bad shard count");
+}
+
+#[test]
+fn resume_without_a_checkpoint_dir_is_a_usage_error() {
+    assert_usage_error(&["shard", "--resume"], "--resume needs --checkpoint-dir");
+}
+
+#[test]
+fn resume_from_an_empty_dir_is_a_usage_error() {
+    assert_usage_error(
+        &[
+            "shard",
+            "--resume",
+            "--checkpoint-dir",
+            "/nonexistent/dcfail-ckpt",
+        ],
+        "no checkpoint manifest",
+    );
+}
+
+#[test]
+fn baseline_conflicts_with_checkpoint_dir() {
+    assert_usage_error(
+        &["shard", "--baseline", "--checkpoint-dir", "/tmp/x"],
+        "mutually exclusive",
+    );
+}
+
+#[test]
+fn usage_errors_keep_stdout_empty() {
+    // The diagnostic goes to stderr; stdout stays clean for pipelines.
+    let out = repro(&["shard", "--shards", "0"]);
+    assert!(out.stdout.is_empty(), "usage error wrote to stdout");
+}

@@ -38,8 +38,10 @@
 
 mod csv;
 mod inject;
+pub mod iofault;
 mod plan;
 
 pub use csv::garble_csv;
 pub use inject::{inject, inject_json, inject_raw, InjectionLog};
+pub use iofault::{IoFault, IoFaultInjector, IoFaultPlan};
 pub use plan::{Corruption, CorruptionRates, InjectionPlan};

@@ -1,0 +1,74 @@
+//! The versioned checkpoint manifest.
+//!
+//! The manifest is the single source of truth for which segments are
+//! complete: an entry is only added *after* its segment file has been
+//! durably published, and the manifest itself is rewritten with the same
+//! temp + fsync + atomic-rename discipline (wrapped in the segment envelope,
+//! so a torn manifest is detected exactly like a torn segment). Segment
+//! files the manifest does not reference are garbage from an interrupted
+//! run and are overwritten on recompute.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Manifest schema version this build writes and understands. A manifest
+/// carrying any other version is rejected with
+/// [`crate::CkptError::ManifestVersion`] — resuming across incompatible
+/// layouts would splice undefined state.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// One published segment: its byte length and payload digest, duplicated
+/// from the segment header so the manifest can cross-check what it reads.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentMeta {
+    /// Envelope byte length of the published file.
+    pub len: u64,
+    /// FNV-64 digest of the segment *payload* (matches the header field).
+    pub checksum: u64,
+}
+
+/// The checkpoint directory's table of contents.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Schema version ([`MANIFEST_VERSION`]).
+    pub version: u32,
+    /// Digest of the scenario configuration (plus shard count) this
+    /// checkpoint belongs to; a resume under any other digest is refused.
+    pub config_digest: u64,
+    /// Shard count the run was planned with.
+    pub num_shards: u64,
+    /// Published segments, keyed by segment file name.
+    pub segments: BTreeMap<String, SegmentMeta>,
+}
+
+impl Manifest {
+    /// A fresh manifest for a new run.
+    pub fn new(config_digest: u64, num_shards: u64) -> Self {
+        Manifest {
+            version: MANIFEST_VERSION,
+            config_digest,
+            num_shards,
+            segments: BTreeMap::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_preserves_large_digests() {
+        let mut m = Manifest::new(u64::MAX - 7, 64);
+        m.segments.insert(
+            "norms-0001.seg".to_string(),
+            SegmentMeta {
+                len: 123,
+                checksum: 0xdead_beef_dead_beef,
+            },
+        );
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Manifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

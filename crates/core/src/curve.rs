@@ -89,7 +89,7 @@ impl AttributeCurve {
 /// counting its own machine-weeks and events, then absorbing) build the
 /// same counts, so [`Mergeable::finalize`] yields bit-identical
 /// [`AttributeCurve`]s either way — counting is exactly mergeable.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CurveCounts {
     attribute: String,
     labels: Vec<String>,

@@ -58,8 +58,9 @@ pub const BASELINE_FILE: &str = "dlint.baseline";
 dcfail_findings::rule_catalog! {
     /// Stable identifier of one determinism rule.
     ///
-    /// Serializes as the rule code (`"D01"` … `"D12"`). D01–D10 are the
-    /// published catalog; D11/D12 police the escape hatches themselves.
+    /// Serializes as the rule code (`"D01"` … `"D13"`). D01–D10 are the
+    /// published catalog; D11/D12 police the escape hatches themselves;
+    /// D13 guards the crash-safety boundary around checkpoint I/O.
     LintRule, domain = "dlint" {
         /// Hash collections iterate in randomized order.
         D01 = ("D01", Error,
@@ -97,6 +98,9 @@ dcfail_findings::rule_catalog! {
         /// The baseline may only shrink.
         D12 = ("D12", Warn,
             "baseline entries that no longer match any finding must be removed");
+        /// Ambient filesystem writes dodge fault injection and crash testing.
+        D13 = ("D13", Error,
+            "no direct std::fs mutation (fs::write, File::create, OpenOptions, rename, remove, create_dir) in library crates; route writes through dcfail_ckpt::FaultFs");
     }
 }
 
@@ -414,8 +418,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn catalog_covers_d01_through_d12() {
-        assert_eq!(LintRule::ALL.len(), 12);
+    fn catalog_covers_d01_through_d13() {
+        assert_eq!(LintRule::ALL.len(), 13);
         for (i, rule) in LintRule::ALL.iter().enumerate() {
             assert_eq!(rule.code(), format!("D{:02}", i + 1));
             assert_eq!(LintRule::from_code(rule.code()), Some(*rule));

@@ -89,6 +89,19 @@ const CLOCK_TOKENS: &[&str] = &[
     "rand::random",
 ];
 
+/// Direct filesystem-mutation constructors (D13). Boundary-checked, so
+/// `fs::create_dir` does not double-fire on `fs::create_dir_all`.
+const FS_WRITE_TOKENS: &[&str] = &[
+    "fs::write",
+    "File::create",
+    "OpenOptions",
+    "fs::rename",
+    "fs::remove_file",
+    "fs::remove_dir",
+    "fs::create_dir",
+    "fs::create_dir_all",
+];
+
 /// Entry points whose closures must fork their RNG per item (D05).
 const PAR_ENTRY_POINTS: &[&str] = &["par_map_reduce", "par_map_index", "par_map"];
 
@@ -177,6 +190,19 @@ pub fn lint_file(file: &ScannedFile, findings: &mut Vec<RawFinding>) {
                         file,
                         idx,
                         format!("{tok} in library code; return data or use the obs layer — stdout belongs to binaries"),
+                    ));
+                }
+            }
+        }
+
+        if !ctx.is_bin_or_example {
+            for tok in FS_WRITE_TOKENS {
+                if has_token(line, tok) {
+                    findings.push(RawFinding::new(
+                        LintRule::D13,
+                        file,
+                        idx,
+                        format!("{tok} mutates the filesystem from library code; route the write through dcfail_ckpt::FaultFs so faults stay injectable and tests stay hermetic"),
                     ));
                 }
             }

@@ -1,0 +1,4 @@
+// D13: direct filesystem mutation from library code.
+pub fn persist(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)
+}

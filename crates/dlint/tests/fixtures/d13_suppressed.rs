@@ -1,0 +1,5 @@
+// D13 suppressed twin.
+pub fn persist(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+    // dlint::allow(D13): sanctioned checkpoint write site; every other caller goes through FaultFs
+    std::fs::write(path, bytes)
+}

@@ -1,5 +1,5 @@
-//! Fixture-based rule tests: every rule D01–D10 has one minimal source file
-//! that fires it and one suppressed twin that does not.
+//! Fixture-based rule tests: every token rule (D01–D10, D13) has one minimal
+//! source file that fires it and one suppressed twin that does not.
 //!
 //! The fixtures live under `tests/fixtures/` (excluded from the workspace
 //! walk) and are linted via [`dcfail_dlint::lint_source`] under a virtual
@@ -76,6 +76,12 @@ const CASES: &[Case] = &[
         virtual_path: "crates/core/src/fixture.rs",
         fire: include_str!("fixtures/d10_fire.rs"),
         suppressed: include_str!("fixtures/d10_suppressed.rs"),
+    },
+    Case {
+        rule: LintRule::D13,
+        virtual_path: "crates/report/src/fixture.rs",
+        fire: include_str!("fixtures/d13_fire.rs"),
+        suppressed: include_str!("fixtures/d13_suppressed.rs"),
     },
 ];
 

@@ -17,6 +17,7 @@ use dcfail_model::prelude::*;
 use dcfail_report::runners::Fig8Curves;
 use dcfail_stats::binning::Bins;
 use dcfail_stats::merge::{CountVec, Mergeable};
+use serde::{Deserialize, Serialize};
 
 /// Per-week bin assignments of one machine, one entry per telemetry curve
 /// the machine's kind contributes to — the lookup needed to attribute the
@@ -180,6 +181,65 @@ impl CurveAccums {
                 hit(&mut self.consolidation, cons);
                 hit(&mut self.onoff, onoff);
             }
+        }
+    }
+}
+
+/// The serializable projection of [`CurveAccums`] a checkpoint segment
+/// stores: the counts only. The `Bins` fields are pure functions of the
+/// configuration constants (`util_bins()` et al.), so [`CurveAccums::
+/// from_state`] reconstructs them instead of persisting them — `absorb`
+/// never touches bins and `finalize` reads the reconstructed ones, so a
+/// round-tripped accumulator finalizes to identical bytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct CurveState {
+    pm_cpu: CurveCounts,
+    vm_cpu: CurveCounts,
+    pm_mem: CurveCounts,
+    vm_mem: CurveCounts,
+    vm_disk: CurveCounts,
+    vm_net: CurveCounts,
+    consolidation: CurveCounts,
+    onoff: CurveCounts,
+    level_shares: CountVec,
+    onoff_shares: CountVec,
+}
+
+impl CurveAccums {
+    /// Extracts the checkpointable counts.
+    pub(crate) fn to_state(&self) -> CurveState {
+        CurveState {
+            pm_cpu: self.pm_cpu.clone(),
+            vm_cpu: self.vm_cpu.clone(),
+            pm_mem: self.pm_mem.clone(),
+            vm_mem: self.vm_mem.clone(),
+            vm_disk: self.vm_disk.clone(),
+            vm_net: self.vm_net.clone(),
+            consolidation: self.consolidation.clone(),
+            onoff: self.onoff.clone(),
+            level_shares: self.level_shares.clone(),
+            onoff_shares: self.onoff_shares.clone(),
+        }
+    }
+
+    /// Rebuilds a full accumulator from checkpointed counts, restoring the
+    /// bins from their constructors.
+    pub(crate) fn from_state(state: CurveState) -> Self {
+        Self {
+            util_bins: util_bins(),
+            net_bins: net_bins(),
+            level_bins: level_bins(),
+            onoff_bins: onoff_bins(),
+            pm_cpu: state.pm_cpu,
+            vm_cpu: state.vm_cpu,
+            pm_mem: state.pm_mem,
+            vm_mem: state.vm_mem,
+            vm_disk: state.vm_disk,
+            vm_net: state.vm_net,
+            consolidation: state.consolidation,
+            onoff: state.onoff,
+            level_shares: state.level_shares,
+            onoff_shares: state.onoff_shares,
         }
     }
 }

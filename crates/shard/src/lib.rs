@@ -55,9 +55,11 @@
 
 mod accum;
 pub mod plan;
+pub mod resume;
 
 pub use accum::ShardedCurves;
 pub use plan::shard_ranges;
+pub use resume::{config_digest, resume_sharded};
 
 use accum::CurveAccums;
 use dcfail_model::prelude::*;
@@ -70,11 +72,11 @@ use dcfail_synth::incidents::{self, IncidentSpec};
 use dcfail_synth::{population, scenario, telemetry_gen, ScenarioConfig};
 
 /// What one pass-2 shard worker hands back to the coordinator.
-struct ShardYield {
+pub(crate) struct ShardYield {
     /// Individual incident specs of the shard's machines, in machine order.
-    specs: Vec<IncidentSpec>,
+    pub(crate) specs: Vec<IncidentSpec>,
     /// The shard's telemetry-curve counts (Figs. 8–10).
-    curves: CurveAccums,
+    pub(crate) curves: CurveAccums,
 }
 
 /// The merged result of a sharded build: the (telemetry-free) dataset plus
@@ -110,8 +112,6 @@ pub fn build_sharded(config: &ScenarioConfig, num_shards: usize) -> ShardedOutpu
         let _s = dcfail_obs::span("population");
         population::build(config, &rng)
     };
-    let weeks = config.horizon.num_weeks();
-    let num_days = config.horizon.num_days() as i64;
     let ranges = shard_ranges(pop.machines.len(), num_shards);
 
     // Pass 1 — normalization constants. Each shard materializes only its own
@@ -119,15 +119,8 @@ pub fn build_sharded(config: &ScenarioConfig, num_shards: usize) -> ShardedOutpu
     // sums make the divisors independent of the grouping.
     let norms = {
         let _s = dcfail_obs::span("shard.norms");
-        // dlint::allow(D05): StreamRng is immutable; generate_range forks a stream per machine id
-        let accums = dcfail_par::par_map(&ranges, |_, range| {
-            let telemetry = telemetry_gen::generate_range(config, &pop, range.clone(), &rng);
-            let mut accum = NormAccum::identity();
-            for m in &pop.machines[range.clone()] {
-                accum.accumulate(config, m, &telemetry);
-            }
-            accum
-        });
+        // dlint::allow(D05): StreamRng is immutable; norms_shard forks a stream per machine id
+        let accums = dcfail_par::par_map(&ranges, |_, r| norms_shard(config, &pop, r, &rng));
         let mut merged = NormAccum::identity();
         for a in &accums {
             merged.absorb(a);
@@ -145,50 +138,106 @@ pub fn build_sharded(config: &ScenarioConfig, num_shards: usize) -> ShardedOutpu
     // Pass 2 — generate, analyze, drop, shard by shard.
     let yields = {
         let _s = dcfail_obs::span("shard.fanout");
-        // dlint::allow(D05): StreamRng is immutable; every callee forks per machine id
+        // dlint::allow(D05): StreamRng is immutable; pass2_shard forks a stream per machine id
         dcfail_par::par_map(&ranges, |_, range| {
-            let machines = &pop.machines[range.clone()];
-            let telemetry = telemetry_gen::generate_range(config, &pop, range.clone(), &rng);
-            let hazard = HazardModel::for_range(config, &pop, &telemetry, range.clone(), &norms);
-            let mut curves = CurveAccums::new(weeks);
-            let assigns: Vec<_> = machines
-                .iter()
-                .map(|m| curves.observe(m, &telemetry))
-                .collect();
-            // The dominant O(shard) term dies here; the incident walk below
-            // needs only the hazard slice and the spatial hit-days.
-            drop(telemetry);
-            // dlint::allow(D05): StreamRng is immutable; individual_incidents_for forks per machine id
-            let per_machine = dcfail_par::par_map(machines, |local, m| {
-                incidents::individual_incidents_for(
-                    config,
-                    &hazard,
-                    m,
-                    &spatial_hits[range.start + local],
-                    num_days,
-                    &rng,
-                )
-            });
-            let count_spec = |curves: &mut CurveAccums, spec: &IncidentSpec| {
-                let Some(week) = config.horizon.week_of(spec.at) else {
-                    return;
-                };
-                for mid in &spec.machines {
-                    if range.contains(&mid.index()) {
-                        curves.count_event(&assigns[mid.index() - range.start], week);
-                    }
-                }
-            };
-            for spec in per_machine.iter().flatten().chain(&spatial_specs) {
-                count_spec(&mut curves, spec);
-            }
-            ShardYield {
-                specs: per_machine.into_iter().flatten().collect(),
-                curves,
-            }
+            pass2_shard(
+                config,
+                &pop,
+                range,
+                &norms,
+                &spatial_specs,
+                &spatial_hits,
+                &rng,
+            )
         })
     };
 
+    merge_and_assemble(config, num_shards, pop, spatial_specs, yields, &rng)
+}
+
+/// Pass-1 worker: generates one shard's telemetry, folds it into a
+/// [`NormAccum`] and drops it. Shared by [`build_sharded`] and
+/// [`resume::resume_sharded`] so both paths compute identical bytes.
+pub(crate) fn norms_shard(
+    config: &ScenarioConfig,
+    pop: &population::Population,
+    range: &std::ops::Range<usize>,
+    rng: &StreamRng,
+) -> NormAccum {
+    let telemetry = telemetry_gen::generate_range(config, pop, range.clone(), rng);
+    let mut accum = NormAccum::identity();
+    for m in &pop.machines[range.clone()] {
+        accum.accumulate(config, m, &telemetry);
+    }
+    accum
+}
+
+/// Pass-2 worker: regenerates one shard's telemetry, builds its hazard
+/// slice and curve counts, drops the telemetry, then walks the per-machine
+/// incident streams. Shared by [`build_sharded`] and
+/// [`resume::resume_sharded`].
+pub(crate) fn pass2_shard(
+    config: &ScenarioConfig,
+    pop: &population::Population,
+    range: &std::ops::Range<usize>,
+    norms: &dcfail_synth::hazard::NormConstants,
+    spatial_specs: &[IncidentSpec],
+    spatial_hits: &[Vec<i64>],
+    rng: &StreamRng,
+) -> ShardYield {
+    let weeks = config.horizon.num_weeks();
+    let num_days = config.horizon.num_days() as i64;
+    let machines = &pop.machines[range.clone()];
+    let telemetry = telemetry_gen::generate_range(config, pop, range.clone(), rng);
+    let hazard = HazardModel::for_range(config, pop, &telemetry, range.clone(), norms);
+    let mut curves = CurveAccums::new(weeks);
+    let assigns: Vec<_> = machines
+        .iter()
+        .map(|m| curves.observe(m, &telemetry))
+        .collect();
+    // The dominant O(shard) term dies here; the incident walk below
+    // needs only the hazard slice and the spatial hit-days.
+    drop(telemetry);
+    // dlint::allow(D05): StreamRng is immutable; individual_incidents_for forks per machine id
+    let per_machine = dcfail_par::par_map(machines, |local, m| {
+        incidents::individual_incidents_for(
+            config,
+            &hazard,
+            m,
+            &spatial_hits[range.start + local],
+            num_days,
+            rng,
+        )
+    });
+    let count_spec = |curves: &mut CurveAccums, spec: &IncidentSpec| {
+        let Some(week) = config.horizon.week_of(spec.at) else {
+            return;
+        };
+        for mid in &spec.machines {
+            if range.contains(&mid.index()) {
+                curves.count_event(&assigns[mid.index() - range.start], week);
+            }
+        }
+    };
+    for spec in per_machine.iter().flatten().chain(spatial_specs) {
+        count_spec(&mut curves, spec);
+    }
+    ShardYield {
+        specs: per_machine.into_iter().flatten().collect(),
+        curves,
+    }
+}
+
+/// Final stage shared by both build paths: index-ordered merge of the
+/// per-shard yields, canonical sort, ticket/event assembly.
+pub(crate) fn merge_and_assemble(
+    config: &ScenarioConfig,
+    num_shards: usize,
+    pop: population::Population,
+    spatial_specs: Vec<IncidentSpec>,
+    yields: Vec<ShardYield>,
+    rng: &StreamRng,
+) -> ShardedOutput {
     // Index-ordered merge: shard order is machine order, so concatenating
     // reproduces the monolithic pre-sort spec sequence, and the stable sort
     // lands every spec in the exact monolithic position.
@@ -210,7 +259,7 @@ pub fn build_sharded(config: &ScenarioConfig, num_shards: usize) -> ShardedOutpu
     // never reads telemetry — an empty store yields identical bytes.
     let dataset = {
         let _s = dcfail_obs::span("assemble");
-        scenario::assemble_dataset(config, pop, Telemetry::new(), &specs, &rng)
+        scenario::assemble_dataset(config, pop, Telemetry::new(), &specs, rng)
     };
 
     ShardedOutput {

@@ -21,6 +21,7 @@ use crate::config::{curves, ScenarioConfig};
 use crate::population::Population;
 use dcfail_model::prelude::*;
 use dcfail_stats::merge::{ExactSum, Mergeable};
+use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
 /// Precomputed hazard state for one scenario (or one machine-ID range of
@@ -63,7 +64,7 @@ pub struct NormConstants {
 /// absorbing the per-shard accumulators yields divisors bit-identical to a
 /// single pass over the whole fleet — the key to sharded generation
 /// matching monolithic generation exactly.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct NormAccum {
     static_sum: [ExactSum; 2],
     static_n: [u64; 2],

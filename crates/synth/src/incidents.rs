@@ -24,9 +24,10 @@ use crate::hazard::HazardModel;
 use crate::population::Population;
 use dcfail_model::prelude::*;
 use dcfail_stats::rng::StreamRng;
+use serde::{Deserialize, Serialize};
 
 /// One simulated failure incident (pre-ticketing).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IncidentSpec {
     /// Ground-truth root cause.
     pub class: FailureClass,

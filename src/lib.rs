@@ -5,8 +5,12 @@
 //! of Virtual and Physical Machines"* (DSN 2014).
 //!
 //! See [`model`], [`stats`], [`synth`], [`tickets`], [`analysis`],
-//! [`report`], [`audit`], [`chaos`], [`par`] and [`obs`] for the individual
-//! subsystems. The determinism contract those subsystems rely on is itself
+//! [`report`], [`audit`], [`chaos`], [`ckpt`], [`par`] and [`obs`] for the
+//! individual subsystems. Long sharded runs can be made crash-safe through
+//! [`ckpt`], which persists per-shard state as checksummed segments behind
+//! an injectable [`ckpt::FaultFs`] — a run killed at any I/O operation and
+//! resumed ([`shard::resume_sharded`]) is byte-identical to an uninterrupted
+//! one (`repro crashtest` proves it by sweeping every kill point). The determinism contract those subsystems rely on is itself
 //! enforced at the source level by [`dlint`], a static-analysis pass over
 //! the workspace's own Rust code (run it with `repro lint`); [`findings`]
 //! holds the rule-catalog/report machinery [`dlint`] shares with [`audit`]. Hot paths run on the [`par`] deterministic parallel runtime:
@@ -29,6 +33,7 @@
 
 pub use dcfail_audit as audit;
 pub use dcfail_chaos as chaos;
+pub use dcfail_ckpt as ckpt;
 pub use dcfail_core as analysis;
 pub use dcfail_dlint as dlint;
 pub use dcfail_findings as findings;
