@@ -10,6 +10,7 @@ use dcfail_core::{
     recurrence, repair, spatial, usage, ClassSource,
 };
 use dcfail_model::machine::MachineKind;
+use dcfail_model::telemetry::OnOffLog;
 
 fn bench_artifacts(c: &mut Criterion) {
     let ds = bench_dataset(0.2, 7);
@@ -69,6 +70,9 @@ fn bench_artifacts(c: &mut Criterion) {
         b.iter(|| consolidation::rate_by_consolidation(&ds))
     });
     g.bench_function("fig10_onoff", |b| b.iter(|| onoff::rate_by_onoff(&ds)));
+    g.bench_function("fig10_rate_and_share_single_pass", |b| {
+        b.iter(|| onoff::fig10_parts(&ds))
+    });
     g.bench_function("extra_availability", |b| {
         b.iter(|| availability::by_kind(&ds, MachineKind::Pm))
     });
@@ -81,5 +85,42 @@ fn bench_artifacts(c: &mut Criterion) {
     g.finish();
 }
 
+/// The two ways to count observable on/off transitions over every VM log:
+/// the O(toggles) grid-parity walk the analyses use, and the old
+/// materialize-the-samples path kept as its oracle. The pair documents the
+/// asymptotic gap the fleet-scale perf pass bought (and guards it — the
+/// equality of the two counts is pinned by tests, this pins the speed).
+fn bench_transition_counting(c: &mut Criterion) {
+    let ds = bench_dataset(0.2, 7);
+    let logs: Vec<&OnOffLog> = ds
+        .machines()
+        .iter()
+        .filter_map(|m| ds.telemetry().onoff(m.id()))
+        .collect();
+    let mut g = c.benchmark_group("transitions");
+    g.bench_function("grid_parity_walk", |b| {
+        b.iter(|| {
+            logs.iter()
+                .map(|log| log.sampled_transitions())
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("sampled_view_oracle", |b| {
+        b.iter(|| {
+            logs.iter()
+                .map(|log| {
+                    log.samples_15min()
+                        .windows(2)
+                        .filter(|w| w[0] != w[1])
+                        .count()
+                })
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(transition_benches, bench_transition_counting);
+
 criterion_group!(benches, bench_artifacts);
-criterion_main!(benches);
+criterion_main!(benches, transition_benches);

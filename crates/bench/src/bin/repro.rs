@@ -6,7 +6,8 @@
 //!       [all | ablate | <id>...]
 //! repro audit [--json] [--lenient] [--dataset FILE.json | --machines M.csv --events E.csv]
 //! repro chaos [--seed N] [--scale S] [--rate R] [--smoke]
-//! repro bench [--seed N] [--scale S] [--json] [--smoke]
+//! repro bench [--seed N] [--scale S] [--json] [--smoke] [--record] [--check]
+//!             [--history FILE]
 //! repro metrics [--seed N] [--scale S] [--json] [--smoke] [--metrics OUT.json]
 //! repro shard [--machines N | --scale S] [--shards K] [--seed N] [--json] [--baseline]
 //!             [--checkpoint-dir DIR] [--resume]
@@ -39,7 +40,12 @@
 //! * `bench` — time `Scenario::build` and every report runner at the given
 //!   seed/scale and write `BENCH_<git-short-sha>.json` (wall-clock ms,
 //!   thread count, dataset sizes). `--json` also prints the report to
-//!   stdout; `--smoke` caps the scale for CI.
+//!   stdout; `--smoke` caps the scale for CI. `--record` appends the run
+//!   (per-runner ms, total, peak RSS) to the tracked perf history
+//!   (`bench/history.jsonl`, override with `--history FILE`); `--check`
+//!   compares total report time against the last recorded entry at the same
+//!   scale/thread count and exits 1 when it regressed by more than 15% (or
+//!   when no baseline exists) — the CI perf gate.
 //! * `metrics` — run the full pipeline (synth → audit → chaos + recovery →
 //!   classification → every report runner) under an enabled `dcfail-obs`
 //!   collection window and print the aggregated span/counter/histogram tree.
@@ -66,7 +72,7 @@
 //!   (`--rate`, clamped to [0.25, 0.5] for this leg) are absorbed by the
 //!   deterministic retry policy. Exits 1 on any divergence.
 //! * `lint` — run the `dcfail-dlint` determinism lint over the workspace's
-//!   own Rust source (rules D01–D12: hash-ordered collections, wall-clock
+//!   own Rust source (rules D01–D14: hash-ordered collections, wall-clock
 //!   reads, ambient randomness, unstable sorts, …), honoring inline
 //!   `dlint::allow` suppressions and the checked-in `dlint.baseline`.
 //!   `--root DIR` points at a workspace checkout (default: the current
@@ -106,7 +112,8 @@ const USAGE: &str = "usage: repro [--scale S] [--seed N] [--classify] [--csv DIR
      repro audit [--json] [--lenient] [--dataset FILE.json | \
             --machines M.csv --events E.csv]\n       \
      repro chaos [--seed N] [--scale S] [--rate R] [--smoke]\n       \
-     repro bench [--seed N] [--scale S] [--json] [--smoke]\n       \
+     repro bench [--seed N] [--scale S] [--json] [--smoke] [--record] \
+            [--check] [--history FILE]\n       \
      repro metrics [--seed N] [--scale S] [--json] [--smoke] \
             [--metrics OUT.json]\n       \
      repro shard [--machines N | --scale S] [--shards K] [--seed N] \
@@ -128,8 +135,11 @@ struct Options {
     smoke: bool,
     baseline: bool,
     resume: bool,
+    record: bool,
+    check: bool,
     shards: usize,
     checkpoint_dir: Option<PathBuf>,
+    history_path: Option<PathBuf>,
     csv_dir: Option<PathBuf>,
     json: bool,
     metrics_path: Option<PathBuf>,
@@ -157,8 +167,11 @@ fn parse_args() -> Result<Parsed, String> {
         smoke: false,
         baseline: false,
         resume: false,
+        record: false,
+        check: false,
         shards: 8,
         checkpoint_dir: None,
+        history_path: None,
         csv_dir: None,
         json: false,
         metrics_path: None,
@@ -195,6 +208,12 @@ fn parse_args() -> Result<Parsed, String> {
             }
             "--smoke" => opts.smoke = true,
             "--baseline" => opts.baseline = true,
+            "--record" => opts.record = true,
+            "--check" => opts.check = true,
+            "--history" => {
+                let v = args.next().ok_or("--history needs a file")?;
+                opts.history_path = Some(PathBuf::from(v));
+            }
             "--shards" => {
                 let v = args.next().ok_or("--shards needs a value")?;
                 opts.shards = v.parse().map_err(|_| format!("bad shard count '{v}'"))?;
@@ -457,15 +476,16 @@ fn run_ablate(opts: &Options) -> ExitCode {
 }
 
 /// Runs the `bench` subcommand: time the build and every report runner,
-/// write `BENCH_<git-short-sha>.json`, and print a summary.
+/// write `BENCH_<git-short-sha>.json`, and print a summary. `--record`
+/// appends the run to the tracked perf history; `--check` gates it against
+/// the last recorded entry at the same scale/thread count.
 fn run_bench(opts: &Options) -> Result<ExitCode, String> {
-    // The smoke run is a CI gate: pin a small scale so it stays fast. A
-    // full bench at the untouched default (1.0) drops to 0.2 — large enough
-    // to time, small enough to finish quickly; an explicit --scale wins.
+    // The smoke run is a CI gate: pin a small scale so it stays fast.
+    // Everything else benches the scale it was asked for — including the
+    // full fleet at the untouched default (1.0), which the columnar report
+    // paths now finish in well under a second.
     let scale = if opts.smoke {
         opts.scale.min(0.05)
-    } else if opts.scale == 1.0 {
-        0.2
     } else {
         opts.scale
     };
@@ -501,7 +521,100 @@ fn run_bench(opts: &Options) -> Result<ExitCode, String> {
         }
     }
     eprintln!("bench report written to {}", path.display());
+
+    if !(opts.record || opts.check) {
+        return Ok(ExitCode::SUCCESS);
+    }
+    let history_path = opts
+        .history_path
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(dcfail_bench::history::DEFAULT_PATH));
+    let entry = dcfail_bench::history::HistoryEntry::from_report(&report);
+    // Check before recording, so a `--check --record` run gates against the
+    // previous baseline rather than against itself.
+    let gate_failed = opts.check && check_perf_gate(&entry, &history_path)?;
+    if opts.record {
+        dcfail_bench::history::append(&history_path, &entry)?;
+        eprintln!(
+            "bench: recorded report {:.1} ms (scale {}, {} threads) to {}",
+            entry.report_ms,
+            entry.scale,
+            entry.threads,
+            history_path.display()
+        );
+    }
+    if gate_failed {
+        return Ok(ExitCode::from(EXIT_FINDINGS));
+    }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Compares the fresh bench entry against the last recorded baseline at the
+/// same (scale, threads) and prints the verdict. Returns whether the perf
+/// gate failed (regression or missing baseline).
+fn check_perf_gate(
+    entry: &dcfail_bench::history::HistoryEntry,
+    history_path: &Path,
+) -> Result<bool, String> {
+    use dcfail_bench::history::{check, load, GateVerdict, NOISE_FLOOR_MS, REGRESSION_TOLERANCE};
+    let mut gate_failed = false;
+    let history = load(history_path)?;
+    match check(&history, entry, REGRESSION_TOLERANCE) {
+        GateVerdict::Pass { baseline, ratio } => {
+            println!(
+                "perf gate: ok — report {:.1} ms vs baseline {:.1} ms ({} @ scale {}, \
+                     {} threads): {:+.1}% within the {:.0}% + {:.0} ms tolerance",
+                entry.report_ms,
+                baseline.report_ms,
+                baseline.git,
+                entry.scale,
+                entry.threads,
+                (ratio - 1.0) * 100.0,
+                REGRESSION_TOLERANCE * 100.0,
+                NOISE_FLOOR_MS
+            );
+        }
+        GateVerdict::Regression { baseline, ratio } => {
+            println!(
+                "perf gate: REGRESSION — report {:.1} ms vs baseline {:.1} ms ({} @ \
+                     scale {}, {} threads): {:+.1}% exceeds the {:.0}% + {:.0} ms tolerance",
+                entry.report_ms,
+                baseline.report_ms,
+                baseline.git,
+                entry.scale,
+                entry.threads,
+                (ratio - 1.0) * 100.0,
+                REGRESSION_TOLERANCE * 100.0,
+                NOISE_FLOOR_MS
+            );
+            // Name the slowest-growing runners so the offender is
+            // obvious without rerunning anything.
+            let mut growth: Vec<(String, f64, f64)> = entry
+                .runners
+                .iter()
+                .filter_map(|r| {
+                    let base = baseline.runners.iter().find(|b| b.id == r.id)?;
+                    Some((r.id.clone(), base.ms, r.ms))
+                })
+                .collect();
+            growth.sort_by(|a, b| (b.2 - b.1).total_cmp(&(a.2 - a.1)));
+            for (id, base_ms, ms) in growth.iter().take(3) {
+                println!("  {id}: {base_ms:.1} ms -> {ms:.1} ms");
+            }
+            gate_failed = true;
+        }
+        GateVerdict::NoBaseline => {
+            println!(
+                "perf gate: NO BASELINE at scale {} with {} threads in {} — record one \
+                     with `repro bench --record`",
+                entry.scale,
+                entry.threads,
+                history_path.display()
+            );
+            gate_failed = true;
+        }
+    }
+    Ok(gate_failed)
 }
 
 /// Measures the disabled-path cost of the metrics layer: nanoseconds per

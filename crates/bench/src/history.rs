@@ -1,0 +1,330 @@
+//! Tracked performance history behind `repro bench --record` / `--check`.
+//!
+//! Perf is a contract, not a vibe: `bench/history.jsonl` is a committed
+//! JSON-lines file of [`HistoryEntry`] records (one per `--record` run,
+//! appended, never rewritten), and `--check` compares the current run's
+//! total report time against the most recent entry at the same
+//! scale/thread-count, failing the run when it regressed by more than
+//! [`REGRESSION_TOLERANCE`]. CI runs the smoke-scale check on every push, so
+//! an accidental quadratic path fails the build instead of shipping.
+
+use crate::timing::BenchReport;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// Where the tracked history lives, relative to the workspace root.
+pub const DEFAULT_PATH: &str = "bench/history.jsonl";
+
+/// Maximum tolerated growth of total report time vs. the baseline before
+/// `--check` fails: 0.15 = +15%. Narrow enough that reintroducing a
+/// quadratic hot path (a multiple, not a percentage) can never slip
+/// through.
+pub const REGRESSION_TOLERANCE: f64 = 0.15;
+
+/// Absolute grace on top of the relative tolerance: a regression must also
+/// exceed the baseline by this many milliseconds before the gate fires.
+/// Smoke-scale report times sit in the single-digit milliseconds, where
+/// scheduler jitter alone routinely exceeds 15%; a genuine regression of
+/// the kind the gate exists for — a reintroduced quadratic path — costs
+/// hundreds of milliseconds even at smoke scale and clears this floor
+/// everywhere.
+pub const NOISE_FLOOR_MS: f64 = 10.0;
+
+/// Per-runner wall-clock milliseconds, as stored in the history file.
+///
+/// The owned twin of [`crate::timing::RunnerTiming`] (whose `id` is a
+/// `&'static str` and therefore cannot round-trip through deserialization).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunnerEntry {
+    /// Artifact key (`table1` .. `fig10`).
+    pub id: String,
+    /// Wall-clock milliseconds for one sequential invocation.
+    pub ms: f64,
+}
+
+/// One recorded bench run: the fields of a [`BenchReport`] that matter for
+/// regression tracking, in a shape that round-trips through JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistoryEntry {
+    /// Short git revision the run measured.
+    pub git: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Scenario scale (part of the baseline-matching key).
+    pub scale: f64,
+    /// Worker threads (part of the baseline-matching key).
+    pub threads: usize,
+    /// Machines in the built dataset — a sanity anchor that the scale meant
+    /// the same fleet when the entry was recorded.
+    pub machines: usize,
+    /// Failure events in the built dataset.
+    pub events: usize,
+    /// Wall-clock ms of `Scenario::build` + dataset conversion.
+    pub build_ms: f64,
+    /// Wall-clock ms of the parallel report fan-out — what `--check` gates.
+    pub report_ms: f64,
+    /// Peak RSS (kB) after the monolithic build + reports, when readable.
+    pub peak_rss_kb: Option<u64>,
+    /// Per-runner wall-clock ms, for diagnosing *where* a regression lives.
+    pub runners: Vec<RunnerEntry>,
+}
+
+impl HistoryEntry {
+    /// Projects a full [`BenchReport`] down to its tracked fields.
+    pub fn from_report(report: &BenchReport) -> Self {
+        Self {
+            git: report.git.clone(),
+            seed: report.seed,
+            scale: report.scale,
+            threads: report.threads,
+            machines: report.machines,
+            events: report.events,
+            build_ms: report.build_ms,
+            report_ms: report.report_ms,
+            peak_rss_kb: report.monolithic_peak_rss_kb,
+            runners: report
+                .runners
+                .iter()
+                .map(|r| RunnerEntry {
+                    id: r.id.to_string(),
+                    ms: r.ms,
+                })
+                .collect(),
+        }
+    }
+
+    /// True when `other` was measured under the same conditions: identical
+    /// scale and thread count. Seed is deliberately not part of the key —
+    /// report time depends on dataset *size*, which the scale pins.
+    pub fn same_conditions(&self, other: &Self) -> bool {
+        self.scale == other.scale && self.threads == other.threads
+    }
+}
+
+/// The outcome of a `--check` run against the loaded history.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateVerdict {
+    /// A baseline at matching conditions exists and the current run is
+    /// within tolerance of it.
+    Pass {
+        /// The entry the run was compared against.
+        baseline: HistoryEntry,
+        /// Current / baseline total report time.
+        ratio: f64,
+    },
+    /// A baseline exists and the current run exceeds it by more than the
+    /// tolerance.
+    Regression {
+        /// The entry the run was compared against.
+        baseline: HistoryEntry,
+        /// Current / baseline total report time.
+        ratio: f64,
+    },
+    /// No entry in the history matches the current scale/thread count, so
+    /// there is nothing to gate against. `--check` treats this as a finding:
+    /// a gate that silently passes without a baseline is not a gate.
+    NoBaseline,
+}
+
+/// Compares `current` against the *last* history entry at matching
+/// conditions (the history is append-only, so the last match is the most
+/// recently accepted baseline). A regression must exceed the relative
+/// `tolerance` *and* the absolute [`NOISE_FLOOR_MS`].
+pub fn check(history: &[HistoryEntry], current: &HistoryEntry, tolerance: f64) -> GateVerdict {
+    let Some(baseline) = history
+        .iter()
+        .rev()
+        .find(|e| e.same_conditions(current))
+        .cloned()
+    else {
+        return GateVerdict::NoBaseline;
+    };
+    let ratio = current.report_ms / baseline.report_ms;
+    let threshold = baseline.report_ms * (1.0 + tolerance) + NOISE_FLOOR_MS;
+    if current.report_ms > threshold {
+        GateVerdict::Regression { baseline, ratio }
+    } else {
+        GateVerdict::Pass { baseline, ratio }
+    }
+}
+
+/// Loads every entry of a JSON-lines history file. A missing file is an
+/// empty history (the `--record` bootstrap case); an unparseable line is an
+/// error naming the line, because a silently skipped baseline would turn
+/// the gate into a no-op.
+pub fn load(path: &Path) -> Result<Vec<HistoryEntry>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            serde_json::from_str(line)
+                .map_err(|e| format!("{}:{}: bad history entry: {e}", path.display(), i + 1))
+        })
+        .collect()
+}
+
+/// Appends one entry as a single JSON line, creating the file (and its
+/// parent directory) on first use.
+pub fn append(path: &Path, entry: &HistoryEntry) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            // dlint::allow(D13): the history is a tracked repo artifact written by the repro CLI, not checkpoint state — crash-safety fault injection has nothing to probe here
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    let line =
+        serde_json::to_string(entry).map_err(|e| format!("cannot serialize history entry: {e}"))?;
+    // dlint::allow(D13): append-only write to the tracked perf history, same CLI-artifact exemption as above
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    writeln!(file, "{line}").map_err(|e| format!("cannot append to {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn entry(scale: f64, threads: usize, report_ms: f64) -> HistoryEntry {
+        HistoryEntry {
+            git: "abc1234".into(),
+            seed: 42,
+            scale,
+            threads,
+            machines: 100,
+            events: 1000,
+            build_ms: 10.0,
+            report_ms,
+            peak_rss_kb: Some(50_000),
+            runners: vec![RunnerEntry {
+                id: "table1".into(),
+                ms: report_ms / 2.0,
+            }],
+        }
+    }
+
+    fn scratch_file(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dcfail-history-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn append_then_load_round_trips() {
+        let path = scratch_file("roundtrip.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let a = entry(0.05, 1, 100.0);
+        let b = entry(1.0, 8, 200.0);
+        append(&path, &a).unwrap();
+        append(&path, &b).unwrap();
+        assert_eq!(load(&path).unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    fn missing_file_is_empty_history() {
+        let path = scratch_file("never-created.jsonl");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(load(&path).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn bad_line_is_an_error_naming_the_line() {
+        let path = scratch_file("corrupt.jsonl");
+        let _ = std::fs::remove_file(&path);
+        append(&path, &entry(0.05, 1, 100.0)).unwrap();
+        std::fs::write(
+            &path,
+            format!("{}not json\n", std::fs::read_to_string(&path).unwrap()),
+        )
+        .unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(err.contains(":2:"), "error names the bad line: {err}");
+    }
+
+    #[test]
+    fn check_matches_last_entry_at_same_conditions() {
+        let history = vec![
+            entry(0.05, 1, 500.0), // stale baseline, superseded below
+            entry(1.0, 8, 150.0),  // different conditions, ignored
+            entry(0.05, 1, 100.0),
+        ];
+        let current = entry(0.05, 1, 110.0);
+        match check(&history, &current, REGRESSION_TOLERANCE) {
+            GateVerdict::Pass { baseline, ratio } => {
+                assert_eq!(baseline.report_ms, 100.0);
+                assert!((ratio - 1.1).abs() < 1e-12);
+            }
+            other => panic!("expected pass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let history = vec![entry(0.05, 1, 100.0)];
+        let slow = entry(0.05, 1, 126.0);
+        assert!(matches!(
+            check(&history, &slow, REGRESSION_TOLERANCE),
+            GateVerdict::Regression { .. }
+        ));
+        // Just inside the boundary (baseline * 1.15 + the 10 ms floor)
+        // still passes: the gate fires on *more than* the threshold.
+        let boundary = entry(0.05, 1, 124.9);
+        assert!(matches!(
+            check(&history, &boundary, REGRESSION_TOLERANCE),
+            GateVerdict::Pass { .. }
+        ));
+    }
+
+    #[test]
+    fn noise_floor_absorbs_millisecond_jitter() {
+        // Double the time of a 5 ms baseline: +100% relative, but only
+        // 5 ms absolute — indistinguishable from scheduler noise on a
+        // smoke-scale run, so the gate must not fire.
+        let history = vec![entry(0.05, 1, 5.0)];
+        let jittery = entry(0.05, 1, 10.0);
+        assert!(matches!(
+            check(&history, &jittery, REGRESSION_TOLERANCE),
+            GateVerdict::Pass { .. }
+        ));
+        // A reintroduced quadratic path is a multiple *and* clears the
+        // floor even at smoke scale.
+        let quadratic = entry(0.05, 1, 300.0);
+        assert!(matches!(
+            check(&history, &quadratic, REGRESSION_TOLERANCE),
+            GateVerdict::Regression { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_baseline_is_reported() {
+        let history = vec![entry(1.0, 8, 150.0)];
+        let current = entry(0.05, 1, 100.0);
+        assert_eq!(
+            check(&history, &current, REGRESSION_TOLERANCE),
+            GateVerdict::NoBaseline
+        );
+    }
+
+    #[test]
+    fn entry_projects_report_fields() {
+        let report = crate::timing::measure(Some("test".into()), 3, 0.02);
+        let entry = HistoryEntry::from_report(&report);
+        assert_eq!(entry.git, "test");
+        assert_eq!(entry.report_ms, report.report_ms);
+        assert_eq!(entry.runners.len(), report.runners.len());
+        assert_eq!(entry.peak_rss_kb, report.monolithic_peak_rss_kb);
+        let json = serde_json::to_string(&entry).unwrap();
+        let back: HistoryEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, entry);
+    }
+}

@@ -11,12 +11,16 @@
 //! * [`ablation`] quantifies how each ground-truth effect family carries its
 //!   paper artifact (switch the effect off → the artifact collapses);
 //! * [`timing`] backs `repro bench`: wall-clock timings of `Scenario::build`
-//!   and every report runner, serialized to `BENCH_<git-sha>.json`.
+//!   and every report runner, serialized to `BENCH_<git-sha>.json`;
+//! * [`history`] backs `repro bench --record`/`--check`: the committed
+//!   `bench/history.jsonl` perf baseline and the >15% regression gate CI
+//!   runs on every push.
 
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod ablation;
+pub mod history;
 pub mod timing;
 
 use dcfail_model::dataset::FailureDataset;

@@ -4,7 +4,7 @@
 //! number of disks (d). CPU and memory exist for PMs and VMs; the paper has
 //! no PM disk data, so the disk panels are VM-only.
 
-use crate::curve::{weekly_rate_by, AttributeCurve};
+use crate::curve::{weekly_rate_by_machine, AttributeCurve};
 use dcfail_model::prelude::*;
 use dcfail_stats::binning::Bins;
 
@@ -26,14 +26,14 @@ fn memory_bins(kind: MachineKind) -> Bins {
 
 /// Fig. 7(a): weekly failure rate vs number of (v)CPUs.
 pub fn rate_by_cpu(dataset: &FailureDataset, kind: MachineKind) -> AttributeCurve {
-    weekly_rate_by(dataset, "cpu count", &cpu_bins(kind), kind, |m, _| {
+    weekly_rate_by_machine(dataset, "cpu count", &cpu_bins(kind), kind, |m| {
         Some(m.capacity().cpus() as f64)
     })
 }
 
 /// Fig. 7(b): weekly failure rate vs memory size (GB).
 pub fn rate_by_memory(dataset: &FailureDataset, kind: MachineKind) -> AttributeCurve {
-    weekly_rate_by(dataset, "memory GB", &memory_bins(kind), kind, |m, _| {
+    weekly_rate_by_machine(dataset, "memory GB", &memory_bins(kind), kind, |m| {
         Some(m.capacity().memory_gb())
     })
 }
@@ -44,7 +44,7 @@ pub fn rate_by_disk_capacity(dataset: &FailureDataset) -> AttributeCurve {
     let bins = Bins::discrete(&[
         8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0,
     ]);
-    weekly_rate_by(dataset, "disk GB", &bins, MachineKind::Vm, |m, _| {
+    weekly_rate_by_machine(dataset, "disk GB", &bins, MachineKind::Vm, |m| {
         Some(m.capacity().disk_gb() as f64)
     })
 }
@@ -52,7 +52,7 @@ pub fn rate_by_disk_capacity(dataset: &FailureDataset) -> AttributeCurve {
 /// Fig. 7(d): weekly VM failure rate vs number of virtual disks.
 pub fn rate_by_disk_count(dataset: &FailureDataset) -> AttributeCurve {
     let bins = Bins::discrete(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
-    weekly_rate_by(dataset, "disk count", &bins, MachineKind::Vm, |m, _| {
+    weekly_rate_by_machine(dataset, "disk count", &bins, MachineKind::Vm, |m| {
         Some(m.capacity().disks() as f64)
     })
 }

@@ -4,10 +4,9 @@
 //! platform; since it drifts with power-cycling and migration, the paper
 //! (and we) use the average monthly level over the year.
 
-use crate::curve::{share_from_counts, weekly_rate_by, AttributeCurve};
+use crate::curve::{rate_and_share_by_machine, AttributeCurve};
 use dcfail_model::prelude::*;
 use dcfail_stats::binning::Bins;
-use dcfail_stats::merge::CountVec;
 
 /// Bins for consolidation levels 1, 2, 4, ..., 32 with geometric-midpoint
 /// edges: a VM whose co-residents are occasionally off still lands in its
@@ -24,26 +23,24 @@ pub fn level_bins() -> Bins {
     ])
 }
 
-/// Fig. 9: weekly VM failure rate vs average consolidation level.
-pub fn rate_by_consolidation(dataset: &FailureDataset) -> AttributeCurve {
+/// Both Fig. 9 panels — the rate curve and the VM population shares — from
+/// one pass: each VM's mean consolidation level is computed and binned
+/// exactly once.
+pub fn fig9_parts(dataset: &FailureDataset) -> (AttributeCurve, Vec<(String, f64)>) {
     let bins = level_bins();
-    weekly_rate_by(dataset, "consolidation", &bins, MachineKind::Vm, |m, _| {
+    rate_and_share_by_machine(dataset, "consolidation", &bins, MachineKind::Vm, |m| {
         dataset.telemetry().mean_consolidation(m.id())
     })
 }
 
+/// Fig. 9: weekly VM failure rate vs average consolidation level.
+pub fn rate_by_consolidation(dataset: &FailureDataset) -> AttributeCurve {
+    fig9_parts(dataset).0
+}
+
 /// Distribution of VMs across consolidation-level bins: `(label, share)`.
 pub fn vm_share_by_level(dataset: &FailureDataset) -> Vec<(String, f64)> {
-    let bins = level_bins();
-    let mut counts = CountVec::zeros(bins.len());
-    for m in dataset.machines_of_kind(MachineKind::Vm) {
-        if let Some(level) = dataset.telemetry().mean_consolidation(m.id()) {
-            if let Some(bin) = bins.index_of(level) {
-                counts.add(bin, 1);
-            }
-        }
-    }
-    share_from_counts(&bins, counts.counts())
+    fig9_parts(dataset).1
 }
 
 #[cfg(test)]

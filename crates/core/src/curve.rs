@@ -82,6 +82,11 @@ impl AttributeCurve {
     }
 }
 
+/// Sentinel bin id for "machine-week not binned" in the flat columnar bin
+/// grids ([`CurveCounts::observe_machine_weeks_into`]). Bin counts are tiny
+/// (≤ 13 across all figures), so bin ids fit a `u16` with room to spare.
+pub const NO_BIN: u16 = u16::MAX;
+
 /// Mergeable per-(bin, week) population and event counts behind a
 /// rate-vs-attribute curve.
 ///
@@ -101,6 +106,10 @@ pub struct CurveCounts {
 impl CurveCounts {
     /// Empty counts for a curve over `bins` and `weeks` observation weeks.
     pub fn new(attribute: &str, bins: &Bins, weeks: usize) -> Self {
+        assert!(
+            bins.len() < NO_BIN as usize,
+            "bin count must leave room for the NO_BIN sentinel"
+        );
         Self {
             attribute: attribute.to_string(),
             labels: (0..bins.len()).map(|b| bins.label(b).to_string()).collect(),
@@ -116,23 +125,59 @@ impl CurveCounts {
     pub fn observe_machine_weeks(
         &mut self,
         bins: &Bins,
-        mut attr: impl FnMut(usize) -> Option<f64>,
+        attr: impl FnMut(usize) -> Option<f64>,
     ) -> Vec<Option<usize>> {
-        let mut per_week = vec![None; self.weeks];
-        for (w, slot) in per_week.iter_mut().enumerate() {
+        let mut row = vec![NO_BIN; self.weeks];
+        self.observe_machine_weeks_into(bins, attr, &mut row);
+        row.iter()
+            .map(|&b| (b != NO_BIN).then_some(b as usize))
+            .collect()
+    }
+
+    /// [`Self::observe_machine_weeks`] in flat columnar form: writes the
+    /// per-week bin assignment into a preallocated `row` of `u16` bin ids
+    /// ([`NO_BIN`] for unbinned weeks) instead of allocating a
+    /// `Vec<Option<usize>>` per machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is not exactly one slot per observation week.
+    pub fn observe_machine_weeks_into(
+        &mut self,
+        bins: &Bins,
+        mut attr: impl FnMut(usize) -> Option<f64>,
+        row: &mut [u16],
+    ) {
+        assert_eq!(row.len(), self.weeks, "row must be one slot per week");
+        for (w, slot) in row.iter_mut().enumerate() {
+            *slot = NO_BIN;
             if let Some(value) = attr(w) {
                 if let Some(bin) = bins.index_of(value) {
                     self.population.add(bin, w, 1);
-                    *slot = Some(bin);
+                    *slot = bin as u16;
                 }
             }
         }
-        per_week
+    }
+
+    /// Buckets a machine whose attribute is week-invariant: the attribute is
+    /// evaluated once, every observation week lands in its bin (the exact
+    /// counts `observe_machine_weeks` would produce for a constant
+    /// attribute), and the single bin id is returned for event attribution.
+    pub fn observe_machine_constant(&mut self, bins: &Bins, value: Option<f64>) -> Option<usize> {
+        let bin = value.and_then(|v| bins.index_of(v))?;
+        self.population.add_row(bin, 1);
+        Some(bin)
     }
 
     /// Counts one failure event in `(bin, week)`.
     pub fn add_event(&mut self, bin: usize, week: usize) {
         self.events.add(bin, week, 1);
+    }
+
+    /// Number of observation weeks the counts cover.
+    pub fn weeks(&self) -> usize {
+        self.weeks
     }
 
     fn is_unset(&self) -> bool {
@@ -224,28 +269,101 @@ pub fn weekly_rate_by(
     let weeks = dataset.horizon().num_weeks();
     let mut counts = CurveCounts::new(attribute, bins, weeks);
 
-    // Assign machine-weeks to bins.
-    let mut bin_of_machine_week: Vec<Vec<Option<usize>>> = Vec::new();
-    for m in dataset.machines() {
-        let per_week = if m.kind() == kind {
-            counts.observe_machine_weeks(bins, |w| attr(m, w))
-        } else {
-            vec![None; weeks]
-        };
-        bin_of_machine_week.push(per_week);
+    // Assign machine-weeks to bins: one flat machines × weeks matrix of
+    // small bin ids instead of a Vec<Option<usize>> per machine.
+    let machines = dataset.machines();
+    let mut bin_of_machine_week = vec![NO_BIN; machines.len() * weeks];
+    for (m, row) in machines.iter().zip(bin_of_machine_week.chunks_mut(weeks)) {
+        if m.kind() == kind {
+            counts.observe_machine_weeks_into(bins, |w| attr(m, w), row);
+        }
     }
 
-    // Count events per (bin, week).
+    // Count events per (bin, week): a dense scan over the flat grid.
     for ev in dataset.events() {
         let Some(w) = dataset.horizon().week_of(ev.at()) else {
             continue;
         };
-        if let Some(bin) = bin_of_machine_week[ev.machine().index()][w] {
-            counts.add_event(bin, w);
+        let bin = bin_of_machine_week[ev.machine().index() * weeks + w];
+        if bin != NO_BIN {
+            counts.add_event(bin as usize, w);
         }
     }
 
     counts.finalize()
+}
+
+/// [`weekly_rate_by`] for week-invariant attributes (capacity,
+/// consolidation level, on/off rate): `attr` runs once per machine instead
+/// of once per machine-week, and events are attributed through a flat
+/// per-machine bin table.
+pub fn weekly_rate_by_machine(
+    dataset: &FailureDataset,
+    attribute: &str,
+    bins: &Bins,
+    kind: MachineKind,
+    attr: impl FnMut(&Machine) -> Option<f64>,
+) -> AttributeCurve {
+    bin_machines(dataset, attribute, bins, kind, attr)
+        .0
+        .finalize()
+}
+
+/// Single-pass rate curve plus population-share panel for a week-invariant
+/// attribute — the Fig. 9/10 shape. Machines are binned exactly once and
+/// the same bin table feeds both panels, so the two no longer each
+/// recompute the attribute per machine.
+pub fn rate_and_share_by_machine(
+    dataset: &FailureDataset,
+    attribute: &str,
+    bins: &Bins,
+    kind: MachineKind,
+    attr: impl FnMut(&Machine) -> Option<f64>,
+) -> (AttributeCurve, Vec<(String, f64)>) {
+    let (counts, bin_of_machine) = bin_machines(dataset, attribute, bins, kind, attr);
+    let mut per_bin = vec![0u64; bins.len()];
+    for &bin in &bin_of_machine {
+        if bin != NO_BIN {
+            per_bin[bin as usize] += 1;
+        }
+    }
+    (counts.finalize(), share_from_counts(bins, &per_bin))
+}
+
+/// Shared core of the week-invariant fast paths: bins every machine of
+/// `kind` once, counts all its observation weeks via the constant path, and
+/// attributes events through the per-machine bin table.
+fn bin_machines(
+    dataset: &FailureDataset,
+    attribute: &str,
+    bins: &Bins,
+    kind: MachineKind,
+    mut attr: impl FnMut(&Machine) -> Option<f64>,
+) -> (CurveCounts, Vec<u16>) {
+    let weeks = dataset.horizon().num_weeks();
+    let mut counts = CurveCounts::new(attribute, bins, weeks);
+
+    let machines = dataset.machines();
+    let mut bin_of_machine = vec![NO_BIN; machines.len()];
+    for (m, slot) in machines.iter().zip(&mut bin_of_machine) {
+        if m.kind() == kind {
+            if let Some(bin) = counts.observe_machine_constant(bins, attr(m)) {
+                *slot = bin as u16;
+            }
+        }
+    }
+
+    for ev in dataset.events() {
+        let Some(w) = dataset.horizon().week_of(ev.at()) else {
+            continue;
+        };
+        let bin = bin_of_machine[ev.machine().index()];
+        if bin != NO_BIN {
+            counts.add_event(bin as usize, w);
+        }
+    }
+
+    (counts, bin_of_machine)
 }
 
 /// Normalizes per-bin machine counts into `(label, share)` rows, the shape
@@ -306,6 +424,58 @@ mod tests {
         let curve = weekly_rate_by(ds, "none", &bins, MachineKind::Vm, |_, _| None);
         assert!(curve.points.is_empty());
         assert!(curve.dynamic_range().is_none());
+    }
+
+    #[test]
+    fn constant_path_matches_per_week_path() {
+        let bins = Bins::from_edges(vec![0.0, 1.0, 2.0]);
+        let mut per_week = CurveCounts::new("x", &bins, 5);
+        let a = per_week.observe_machine_weeks(&bins, |_| Some(1.5));
+        let b = per_week.observe_machine_weeks(&bins, |_| None);
+        let mut constant = CurveCounts::new("x", &bins, 5);
+        let ca = constant.observe_machine_constant(&bins, Some(1.5));
+        let cb = constant.observe_machine_constant(&bins, None);
+        assert_eq!(constant, per_week);
+        assert_eq!(ca, a[0]);
+        assert!(a.iter().all(|&w| w == ca));
+        assert_eq!(cb, None);
+        assert!(b.iter().all(Option::is_none));
+        // Out-of-range value: no bin, no counts.
+        assert_eq!(constant.observe_machine_constant(&bins, Some(7.0)), None);
+        assert_eq!(constant, per_week);
+    }
+
+    #[test]
+    fn machine_fast_path_matches_generic_path() {
+        let ds = testutil::dataset();
+        let bins = Bins::discrete(&[1.0, 2.0, 4.0, 8.0, 16.0, 24.0, 32.0, 64.0]);
+        let fast = weekly_rate_by_machine(ds, "cpus", &bins, MachineKind::Pm, |m| {
+            Some(m.capacity().cpus() as f64)
+        });
+        let generic = weekly_rate_by(ds, "cpus", &bins, MachineKind::Pm, |m, _| {
+            Some(m.capacity().cpus() as f64)
+        });
+        assert_eq!(fast, generic);
+    }
+
+    #[test]
+    fn rate_and_share_single_pass_matches_separate_panels() {
+        let ds = testutil::dataset();
+        let bins = Bins::from_edges(vec![0.0, 2.0, 4.0, 1e9]);
+        let attr = |m: &Machine| Some(m.capacity().cpus() as f64);
+        let (curve, shares) = rate_and_share_by_machine(ds, "cpus", &bins, MachineKind::Vm, attr);
+        assert_eq!(
+            curve,
+            weekly_rate_by_machine(ds, "cpus", &bins, MachineKind::Vm, attr)
+        );
+        // Shares equal an independent per-machine count.
+        let mut counts = vec![0u64; bins.len()];
+        for m in ds.machines_of_kind(MachineKind::Vm) {
+            if let Some(b) = bins.index_of(m.capacity().cpus() as f64) {
+                counts[b] += 1;
+            }
+        }
+        assert_eq!(shares, share_from_counts(&bins, &counts));
     }
 
     #[test]

@@ -4,10 +4,9 @@
 //! two-month telemetry window (the paper's March–April slice) and assumed
 //! representative of the whole year.
 
-use crate::curve::{share_from_counts, weekly_rate_by, AttributeCurve};
+use crate::curve::{rate_and_share_by_machine, AttributeCurve};
 use dcfail_model::prelude::*;
 use dcfail_stats::binning::Bins;
-use dcfail_stats::merge::CountVec;
 
 /// Bins for monthly on/off transition counts (Fig. 10).
 pub fn onoff_bins() -> Bins {
@@ -20,35 +19,29 @@ pub fn onoff_bins() -> Bins {
     ])
 }
 
+/// Both Fig. 10 panels — the rate curve and the VM population shares — from
+/// one pass: per-VM transition rates come from the telemetry store's single
+/// bulk pass and each VM is binned exactly once.
+pub fn fig10_parts(dataset: &FailureDataset) -> (AttributeCurve, Vec<(String, f64)>) {
+    let bins = onoff_bins();
+    let rates = dataset.telemetry().monthly_transition_rates();
+    rate_and_share_by_machine(dataset, "on/off per month", &bins, MachineKind::Vm, |m| {
+        // The bulk pass is sorted by machine id.
+        rates
+            .binary_search_by_key(&m.id(), |&(id, _)| id)
+            .ok()
+            .map(|i| rates[i].1)
+    })
+}
+
 /// Fig. 10: weekly VM failure rate vs monthly on/off frequency.
 pub fn rate_by_onoff(dataset: &FailureDataset) -> AttributeCurve {
-    let bins = onoff_bins();
-    weekly_rate_by(
-        dataset,
-        "on/off per month",
-        &bins,
-        MachineKind::Vm,
-        |m, _| {
-            dataset
-                .telemetry()
-                .onoff(m.id())
-                .map(OnOffLog::monthly_transition_rate)
-        },
-    )
+    fig10_parts(dataset).0
 }
 
 /// Distribution of VMs across on/off-frequency bins: `(label, share)`.
 pub fn vm_share_by_onoff(dataset: &FailureDataset) -> Vec<(String, f64)> {
-    let bins = onoff_bins();
-    let mut counts = CountVec::zeros(bins.len());
-    for m in dataset.machines_of_kind(MachineKind::Vm) {
-        if let Some(log) = dataset.telemetry().onoff(m.id()) {
-            if let Some(bin) = bins.index_of(log.monthly_transition_rate()) {
-                counts.add(bin, 1);
-            }
-        }
-    }
-    share_from_counts(&bins, counts.counts())
+    fig10_parts(dataset).1
 }
 
 #[cfg(test)]

@@ -58,9 +58,10 @@ pub const BASELINE_FILE: &str = "dlint.baseline";
 dcfail_findings::rule_catalog! {
     /// Stable identifier of one determinism rule.
     ///
-    /// Serializes as the rule code (`"D01"` … `"D13"`). D01–D10 are the
+    /// Serializes as the rule code (`"D01"` … `"D14"`). D01–D10 are the
     /// published catalog; D11/D12 police the escape hatches themselves;
-    /// D13 guards the crash-safety boundary around checkpoint I/O.
+    /// D13 guards the crash-safety boundary around checkpoint I/O; D14
+    /// guards the fleet-scale perf contract on telemetry scans.
     LintRule, domain = "dlint" {
         /// Hash collections iterate in randomized order.
         D01 = ("D01", Error,
@@ -101,6 +102,10 @@ dcfail_findings::rule_catalog! {
         /// Ambient filesystem writes dodge fault injection and crash testing.
         D13 = ("D13", Error,
             "no direct std::fs mutation (fs::write, File::create, OpenOptions, rename, remove, create_dir) in library crates; route writes through dcfail_ckpt::FaultFs");
+        /// Per-log telemetry scans are linear in the sample window; a loop
+        /// over them is the quadratic fleet-scale path all over again.
+        D14 = ("D14", Error,
+            "no samples_15min/monthly_transition_rate calls inside loops in library code; hoist the scan or use the bulk Telemetry::monthly_transition_rates pass");
     }
 }
 
@@ -418,8 +423,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn catalog_covers_d01_through_d13() {
-        assert_eq!(LintRule::ALL.len(), 13);
+    fn catalog_covers_d01_through_d14() {
+        assert_eq!(LintRule::ALL.len(), 14);
         for (i, rule) in LintRule::ALL.iter().enumerate() {
             assert_eq!(rule.code(), format!("D{:02}", i + 1));
             assert_eq!(LintRule::from_code(rule.code()), Some(*rule));

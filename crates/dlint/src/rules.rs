@@ -102,6 +102,12 @@ const FS_WRITE_TOKENS: &[&str] = &[
     "fs::create_dir_all",
 ];
 
+/// Per-log telemetry scans that cost O(window samples) per call (D14).
+/// Calling one per machine rebuilds the quadratic fleet × samples hot path
+/// the columnar report rewrite removed; the bulk
+/// `Telemetry::monthly_transition_rates` pass exists so nothing has to.
+const HOT_SCAN_TOKENS: &[&str] = &["samples_15min", "monthly_transition_rate"];
+
 /// Entry points whose closures must fork their RNG per item (D05).
 const PAR_ENTRY_POINTS: &[&str] = &["par_map_reduce", "par_map_index", "par_map"];
 
@@ -129,99 +135,197 @@ pub fn lint_file(file: &ScannedFile, findings: &mut Vec<RawFinding>) {
             continue;
         }
 
-        if ORDERED_CRATES.contains(&ctx.crate_name.as_str()) {
-            for tok in ["HashMap", "HashSet"] {
-                if has_token(line, tok) {
-                    findings.push(RawFinding::new(
-                        LintRule::D01,
-                        file,
-                        idx,
-                        format!("{tok} in a digest-bearing crate; use BTreeMap/BTreeSet or a sorted Vec so iteration order is deterministic"),
-                    ));
-                }
-            }
-        }
-
-        if has_token(line, "partial_cmp") {
-            findings.push(RawFinding::new(
-                LintRule::D02,
-                file,
-                idx,
-                "partial_cmp yields None on NaN and makes comparator order input-dependent; use f64::total_cmp",
-            ));
-        }
-
-        if !CLOCK_CRATES.contains(&ctx.crate_name.as_str()) {
-            for tok in CLOCK_TOKENS {
-                if has_token(line, tok) {
-                    findings.push(RawFinding::new(
-                        LintRule::D03,
-                        file,
-                        idx,
-                        format!("{tok} injects wall-clock/ambient state into an analysis crate; thread a seeded StreamRng or move timing into obs/bench"),
-                    ));
-                }
-            }
-        }
-
-        if has_token(line, "env::var") && !ENV_ALLOWLIST.contains(&file.path.as_str()) {
-            findings.push(RawFinding::new(
-                LintRule::D04,
-                file,
-                idx,
-                "environment reads outside the par thread-resolution point make output depend on ambient process state; plumb configuration explicitly",
-            ));
-        }
-
-        if is_accumulator_file(&file.path) && line.contains("+=") && line_has_float_evidence(line) {
-            findings.push(RawFinding::new(
-                LintRule::D06,
-                file,
-                idx,
-                "bare float += in an accumulator module; route the sum through ExactSum/NormAccum so merge order cannot change the total",
-            ));
-        }
-
-        if !(ctx.is_bin_or_example || CLOCK_CRATES.contains(&ctx.crate_name.as_str())) {
-            for tok in ["println!", "eprintln!"] {
-                if line.contains(tok) {
-                    findings.push(RawFinding::new(
-                        LintRule::D09,
-                        file,
-                        idx,
-                        format!("{tok} in library code; return data or use the obs layer — stdout belongs to binaries"),
-                    ));
-                }
-            }
-        }
-
-        if !ctx.is_bin_or_example {
-            for tok in FS_WRITE_TOKENS {
-                if has_token(line, tok) {
-                    findings.push(RawFinding::new(
-                        LintRule::D13,
-                        file,
-                        idx,
-                        format!("{tok} mutates the filesystem from library code; route the write through dcfail_ckpt::FaultFs so faults stay injectable and tests stay hermetic"),
-                    ));
-                }
-            }
-        }
-
-        if F64_CRATES.contains(&ctx.crate_name.as_str())
-            && !F32_ALLOWLIST.contains(&file.path.as_str())
-            && has_token(line, "f32")
-        {
-            findings.push(RawFinding::new(
-                LintRule::D10,
-                file,
-                idx,
-                "f32 in an estimator crate halves precision and breaks cross-platform bit-identity; use f64 (feature vectors live in text/kmeans)",
-            ));
-        }
+        lint_code_line(&ctx, file, idx, line, findings);
     }
 
     lint_par_closures(file, findings);
+    if !ctx.is_bin_or_example {
+        lint_hot_loops(file, findings);
+    }
+}
+
+/// The per-line rules that only apply outside test regions (D01–D04, D06,
+/// D09, D10, D13).
+fn lint_code_line(
+    ctx: &FileCtx,
+    file: &ScannedFile,
+    idx: usize,
+    line: &str,
+    findings: &mut Vec<RawFinding>,
+) {
+    if ORDERED_CRATES.contains(&ctx.crate_name.as_str()) {
+        for tok in ["HashMap", "HashSet"] {
+            if has_token(line, tok) {
+                findings.push(RawFinding::new(
+                    LintRule::D01,
+                    file,
+                    idx,
+                    format!("{tok} in a digest-bearing crate; use BTreeMap/BTreeSet or a sorted Vec so iteration order is deterministic"),
+                ));
+            }
+        }
+    }
+
+    if has_token(line, "partial_cmp") {
+        findings.push(RawFinding::new(
+            LintRule::D02,
+            file,
+            idx,
+            "partial_cmp yields None on NaN and makes comparator order input-dependent; use f64::total_cmp",
+        ));
+    }
+
+    if !CLOCK_CRATES.contains(&ctx.crate_name.as_str()) {
+        for tok in CLOCK_TOKENS {
+            if has_token(line, tok) {
+                findings.push(RawFinding::new(
+                    LintRule::D03,
+                    file,
+                    idx,
+                    format!("{tok} injects wall-clock/ambient state into an analysis crate; thread a seeded StreamRng or move timing into obs/bench"),
+                ));
+            }
+        }
+    }
+
+    if has_token(line, "env::var") && !ENV_ALLOWLIST.contains(&file.path.as_str()) {
+        findings.push(RawFinding::new(
+            LintRule::D04,
+            file,
+            idx,
+            "environment reads outside the par thread-resolution point make output depend on ambient process state; plumb configuration explicitly",
+        ));
+    }
+
+    if is_accumulator_file(&file.path) && line.contains("+=") && line_has_float_evidence(line) {
+        findings.push(RawFinding::new(
+            LintRule::D06,
+            file,
+            idx,
+            "bare float += in an accumulator module; route the sum through ExactSum/NormAccum so merge order cannot change the total",
+        ));
+    }
+
+    if !(ctx.is_bin_or_example || CLOCK_CRATES.contains(&ctx.crate_name.as_str())) {
+        for tok in ["println!", "eprintln!"] {
+            if line.contains(tok) {
+                findings.push(RawFinding::new(
+                    LintRule::D09,
+                    file,
+                    idx,
+                    format!("{tok} in library code; return data or use the obs layer — stdout belongs to binaries"),
+                ));
+            }
+        }
+    }
+
+    if !ctx.is_bin_or_example {
+        for tok in FS_WRITE_TOKENS {
+            if has_token(line, tok) {
+                findings.push(RawFinding::new(
+                    LintRule::D13,
+                    file,
+                    idx,
+                    format!("{tok} mutates the filesystem from library code; route the write through dcfail_ckpt::FaultFs so faults stay injectable and tests stay hermetic"),
+                ));
+            }
+        }
+    }
+
+    if F64_CRATES.contains(&ctx.crate_name.as_str())
+        && !F32_ALLOWLIST.contains(&file.path.as_str())
+        && has_token(line, "f32")
+    {
+        findings.push(RawFinding::new(
+            LintRule::D10,
+            file,
+            idx,
+            "f32 in an estimator crate halves precision and breaks cross-platform bit-identity; use f64 (feature vectors live in text/kmeans)",
+        ));
+    }
+}
+
+/// D14: an O(window) telemetry scan (`samples_15min`,
+/// `monthly_transition_rate`) called inside a `for`/`while`/`loop` body in
+/// library code. Per-machine loops over these scans are exactly the
+/// quadratic hot path the columnar report rewrite removed — hoist the call
+/// or use the bulk `monthly_transition_rates` pass (whose own loop is the
+/// one sanctioned, `dlint::allow`ed site).
+///
+/// The walk is lexical: brace depth plus a stack of the depths at which a
+/// loop body opened. `for` counts as a loop header only when followed by an
+/// `in` token on the same line, which keeps `impl Trait for T` and
+/// `for<'a>` bounds out; closures handed to iterator adapters are not loops
+/// to this rule — heuristic by design, like every rule here.
+fn lint_hot_loops(file: &ScannedFile, findings: &mut Vec<RawFinding>) {
+    enum Ev {
+        Open,
+        Close,
+        Semi,
+        LoopKw,
+        Hot(&'static str),
+    }
+    let mut depth = 0usize;
+    let mut loop_depths: Vec<usize> = Vec::new();
+    let mut pending = false;
+    for (idx, line) in file.lines.iter().enumerate() {
+        let mut events: Vec<(usize, Ev)> = Vec::new();
+        for (pos, c) in line.char_indices() {
+            match c {
+                '{' => events.push((pos, Ev::Open)),
+                '}' => events.push((pos, Ev::Close)),
+                ';' => events.push((pos, Ev::Semi)),
+                _ => {}
+            }
+        }
+        for kw in ["while", "loop"] {
+            for pos in token_positions(line, kw) {
+                events.push((pos, Ev::LoopKw));
+            }
+        }
+        for pos in token_positions(line, "for") {
+            if has_token(&line[pos..], "in") {
+                events.push((pos, Ev::LoopKw));
+            }
+        }
+        for tok in HOT_SCAN_TOKENS {
+            for pos in token_positions(line, tok) {
+                events.push((pos, Ev::Hot(tok)));
+            }
+        }
+        // Cold path (one pass per source line) and positions are unique per
+        // event kind, so a stable sort costs nothing and keys are total.
+        events.sort_by_key(|&(pos, _)| pos);
+        for (_, ev) in events {
+            match ev {
+                Ev::Open => {
+                    depth += 1;
+                    if pending {
+                        loop_depths.push(depth);
+                        pending = false;
+                    }
+                }
+                Ev::Close => {
+                    depth = depth.saturating_sub(1);
+                    while loop_depths.last().is_some_and(|&d| d > depth) {
+                        loop_depths.pop();
+                    }
+                }
+                Ev::Semi => pending = false,
+                Ev::LoopKw => pending = true,
+                Ev::Hot(tok) => {
+                    if !loop_depths.is_empty() && !file.is_test_line(idx) {
+                        findings.push(RawFinding::new(
+                            LintRule::D14,
+                            file,
+                            idx,
+                            format!("{tok} is O(window samples) per call; a loop over it rebuilds the quadratic telemetry path — hoist the scan or use the bulk Telemetry::monthly_transition_rates pass"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// D05: a closure handed to a `par_map*` entry point that names an RNG must

@@ -1,0 +1,8 @@
+// D14: an O(window) telemetry scan called per machine in a loop.
+pub fn total_observable_transitions(logs: &[OnOffLog]) -> usize {
+    let mut total = 0;
+    for log in logs {
+        total += log.samples_15min().len();
+    }
+    total
+}

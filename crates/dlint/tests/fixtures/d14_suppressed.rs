@@ -1,0 +1,9 @@
+// D14 suppressed twin.
+pub fn total_observable_transitions(logs: &[OnOffLog]) -> usize {
+    let mut total = 0;
+    for log in logs {
+        // dlint::allow(D14): fixture stand-in for the one sanctioned bulk pass in telemetry
+        total += log.samples_15min().len();
+    }
+    total
+}

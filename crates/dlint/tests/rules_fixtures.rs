@@ -1,4 +1,4 @@
-//! Fixture-based rule tests: every token rule (D01–D10, D13) has one minimal
+//! Fixture-based rule tests: every token rule (D01–D10, D13, D14) has one minimal
 //! source file that fires it and one suppressed twin that does not.
 //!
 //! The fixtures live under `tests/fixtures/` (excluded from the workspace
@@ -82,6 +82,12 @@ const CASES: &[Case] = &[
         virtual_path: "crates/report/src/fixture.rs",
         fire: include_str!("fixtures/d13_fire.rs"),
         suppressed: include_str!("fixtures/d13_suppressed.rs"),
+    },
+    Case {
+        rule: LintRule::D14,
+        virtual_path: "crates/core/src/fixture.rs",
+        fire: include_str!("fixtures/d14_fire.rs"),
+        suppressed: include_str!("fixtures/d14_suppressed.rs"),
     },
 ];
 

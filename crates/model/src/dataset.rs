@@ -359,8 +359,10 @@ impl From<FailureDataset> for RawDataset {
 
 impl FailureDataset {
     fn rebuild_index(&mut self) {
+        // Unstable is safe: an incident hits each machine at most once, so
+        // (at, machine, incident) is unique per event and the order total.
         self.events
-            .sort_by_key(|e| (e.at(), e.machine(), e.incident()));
+            .sort_unstable_by_key(|e| (e.at(), e.machine(), e.incident()));
         let (event_offsets, event_index) = csr_index(
             self.machines.len(),
             self.events.iter().map(|e| e.machine().index()),

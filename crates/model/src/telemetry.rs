@@ -92,8 +92,12 @@ impl OnOffLog {
     }
 
     /// Power state at instant `t` (clamped to the log window).
+    ///
+    /// Toggles are strictly increasing by construction, so the number of
+    /// flips at or before `t` is a `partition_point` binary search rather
+    /// than a linear scan.
     pub fn is_on_at(&self, t: SimTime) -> bool {
-        let flips = self.toggles.iter().take_while(|&&x| x <= t).count();
+        let flips = self.toggles.partition_point(|&x| x <= t);
         self.initial_on ^ (flips % 2 == 1)
     }
 
@@ -114,9 +118,47 @@ impl OnOffLog {
     ///
     /// A power cycle shorter than one sampling period is invisible, exactly
     /// as it would be in the real monitoring data.
+    ///
+    /// Counted in O(toggles) without materializing the samples: sample `k`
+    /// is taken at `start + k·period` (k in `0..N`, `N = ⌈window/period⌉`),
+    /// so a toggle at offset `o` from the window start separates samples
+    /// `k-1` and `k` where `k = ⌈o/period⌉`. Adjacent samples differ iff an
+    /// odd number of toggles landed in their grid cell, so the sampled count
+    /// is the number of cells `1..=N-1` with odd toggle parity (cell 0 only
+    /// shifts the first sample's state; cells past `N-1` are unobserved).
+    /// Equality with the [`Self::samples_15min`]-derived count is pinned by
+    /// `transition_count_matches_sampled_view` below and a property test
+    /// over arbitrary windows/toggle sets in `tests/proptest.rs`.
     pub fn sampled_transitions(&self) -> usize {
-        let samples = self.samples_15min();
-        samples.windows(2).filter(|w| w[0] != w[1]).count()
+        let len = self.window.len().as_minutes();
+        if len <= 0 {
+            return 0;
+        }
+        let num_samples = (len + SAMPLE_PERIOD_MINUTES - 1) / SAMPLE_PERIOD_MINUTES;
+        let start = self.window.start();
+        let cell_of = |t: SimTime| {
+            // Ceiling division; toggle offsets are nonnegative (window-checked).
+            ((t - start).as_minutes() + SAMPLE_PERIOD_MINUTES - 1) / SAMPLE_PERIOD_MINUTES
+        };
+        let mut transitions = 0usize;
+        let mut i = 0;
+        while i < self.toggles.len() {
+            let cell = cell_of(self.toggles[i]);
+            if cell > num_samples - 1 {
+                // Past the last sample instant: unobserved, as is every
+                // later toggle (instants strictly increase).
+                break;
+            }
+            let mut run = 1;
+            while i + run < self.toggles.len() && cell_of(self.toggles[i + run]) == cell {
+                run += 1;
+            }
+            if cell >= 1 && run % 2 == 1 {
+                transitions += 1;
+            }
+            i += run;
+        }
+        transitions
     }
 
     /// Exact number of toggles in the log (ground truth).
@@ -241,6 +283,21 @@ impl Telemetry {
     pub fn num_onoff_logs(&self) -> usize {
         self.onoff.len()
     }
+
+    /// Monthly on/off transition rate of every logged machine, sorted by
+    /// machine id (the map's iteration order).
+    ///
+    /// Figs. 9/10's twin panels and the what-if model all need per-VM
+    /// rates; this computes each log's rate exactly once per dataset pass
+    /// so no analysis loop has to re-derive it per machine-week.
+    pub fn monthly_transition_rates(&self) -> Vec<(MachineId, f64)> {
+        let mut rates = Vec::with_capacity(self.onoff.len());
+        for (&m, log) in &self.onoff {
+            // dlint::allow(D14): the one sanctioned bulk site all analyses share
+            rates.push((m, log.monthly_transition_rate()));
+        }
+        rates
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +363,94 @@ mod tests {
         let samples = log.samples_15min();
         assert_eq!(samples.len(), 56 * 96);
         assert!(samples.iter().all(|&s| s));
+    }
+
+    /// The O(samples × toggles) reference count the fast grid-parity walk
+    /// replaced: derive the samples and count adjacent differences.
+    fn sampled_reference(log: &OnOffLog) -> usize {
+        let samples = log.samples_15min();
+        samples.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+
+    #[test]
+    fn transition_count_matches_sampled_view() {
+        let step = MINUTE * SAMPLE_PERIOD_MINUTES;
+        let w = window();
+        let cases: Vec<Vec<SimTime>> = vec![
+            vec![],
+            // Toggle exactly at the window start: shifts sample 0's state only.
+            vec![w.start()],
+            // Toggle exactly on a sample instant: flips that sample.
+            vec![w.start() + step],
+            vec![w.start() + step, w.start() + step * 2],
+            // Pair inside one cell: invisible.
+            vec![w.start() + MINUTE, w.start() + MINUTE * 14],
+            // Triple inside one cell: one visible transition.
+            vec![
+                w.start() + MINUTE,
+                w.start() + MINUTE * 5,
+                w.start() + MINUTE * 14,
+            ],
+            // Toggle after the last sample instant: unobserved.
+            vec![w.end() - MINUTE * 10],
+            // Dense burst straddling several cells.
+            (1..40).map(|i| w.start() + MINUTE * (i * 7)).collect(),
+            vec![w.start(), w.start() + MINUTE * 20, w.end() - MINUTE],
+        ];
+        for toggles in cases {
+            for initial_on in [false, true] {
+                let log = OnOffLog::new(w, initial_on, toggles.clone());
+                assert_eq!(
+                    log.sampled_transitions(),
+                    sampled_reference(&log),
+                    "toggles {toggles:?} initial_on {initial_on}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transition_count_matches_on_non_aligned_window() {
+        // Window length not a multiple of the sample period, odd start.
+        let w = Horizon::new(SimTime::from_minutes(7), SimTime::from_minutes(7 + 1000));
+        let cases: Vec<Vec<SimTime>> = vec![
+            vec![SimTime::from_minutes(7)],
+            vec![SimTime::from_minutes(22), SimTime::from_minutes(37)],
+            // Inside the trailing partial cell (after the last sample).
+            vec![SimTime::from_minutes(7 + 999)],
+            (0..60).map(|i| SimTime::from_minutes(9 + i * 13)).collect(),
+        ];
+        for toggles in cases {
+            let log = OnOffLog::new(w, true, toggles.clone());
+            assert_eq!(
+                log.sampled_transitions(),
+                sampled_reference(&log),
+                "toggles {toggles:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_rates_match_per_log_rates() {
+        let mut t = Telemetry::new();
+        let w = window();
+        t.set_onoff(MachineId::new(3), OnOffLog::always_on(w));
+        t.set_onoff(
+            MachineId::new(1),
+            OnOffLog::new(
+                w,
+                true,
+                vec![SimTime::from_days(10), SimTime::from_days(20)],
+            ),
+        );
+        let rates = t.monthly_transition_rates();
+        // Sorted by machine id, one entry per log, exact same value.
+        assert_eq!(rates.len(), 2);
+        assert_eq!(rates[0].0, MachineId::new(1));
+        assert_eq!(rates[1].0, MachineId::new(3));
+        for (m, rate) in rates {
+            assert_eq!(rate, t.onoff(m).unwrap().monthly_transition_rate());
+        }
     }
 
     #[test]

@@ -59,6 +59,31 @@ proptest! {
         prop_assert!(log.monthly_transition_rate() >= 0.0);
     }
 
+    /// The O(toggles) grid-parity transition count equals the count derived
+    /// from the materialized 15-minute sample view (the path it replaced),
+    /// over arbitrary windows, offsets and toggle sets.
+    #[test]
+    fn fast_transition_count_matches_sampled_view(
+        start_min in -10_000i64..10_000,
+        len_min in 1i64..20_000,
+        raw_offsets in prop::collection::btree_set(0i64..20_000, 0..40),
+        initial_on in any::<bool>(),
+    ) {
+        let window = Horizon::new(
+            SimTime::from_minutes(start_min),
+            SimTime::from_minutes(start_min + len_min),
+        );
+        let toggles: Vec<SimTime> = raw_offsets
+            .iter()
+            .filter(|&&o| o < len_min)
+            .map(|&o| SimTime::from_minutes(start_min + o))
+            .collect();
+        let log = OnOffLog::new(window, initial_on, toggles);
+        let samples = log.samples_15min();
+        let sampled = samples.windows(2).filter(|w| w[0] != w[1]).count();
+        prop_assert_eq!(log.sampled_transitions(), sampled);
+    }
+
     /// Resource capacity accessors round-trip construction.
     #[test]
     fn capacity_roundtrip(cpus in 1u32..128, mem in 1u64..1_000_000, disks in 0u32..32, gb in 0u64..100_000) {

@@ -596,8 +596,7 @@ pub fn render_fig9(
 
 /// Fig. 9: failure rate vs consolidation level.
 pub(crate) fn fig9_impl(dataset: &FailureDataset) -> Rendered {
-    let curve = consolidation::rate_by_consolidation(dataset);
-    let shares = consolidation::vm_share_by_level(dataset);
+    let (curve, shares) = consolidation::fig9_parts(dataset);
     render_fig9(&curve, &shares)
 }
 
@@ -625,8 +624,7 @@ pub fn render_fig10(
 
 /// Fig. 10: failure rate vs on/off frequency.
 pub(crate) fn fig10_impl(dataset: &FailureDataset) -> Rendered {
-    let curve = onoff::rate_by_onoff(dataset);
-    let shares = onoff::vm_share_by_onoff(dataset);
+    let (curve, shares) = onoff::fig10_parts(dataset);
     render_fig10(&curve, &shares)
 }
 

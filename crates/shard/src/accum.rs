@@ -10,7 +10,7 @@
 //! `weekly_rate_by`/`vm_share_by_*` passes.
 
 use dcfail_core::consolidation::level_bins;
-use dcfail_core::curve::{share_from_counts, AttributeCurve, CurveCounts};
+use dcfail_core::curve::{share_from_counts, AttributeCurve, CurveCounts, NO_BIN};
 use dcfail_core::onoff::onoff_bins;
 use dcfail_core::usage::{net_bins, util_bins};
 use dcfail_model::prelude::*;
@@ -22,26 +22,28 @@ use serde::{Deserialize, Serialize};
 /// Per-week bin assignments of one machine, one entry per telemetry curve
 /// the machine's kind contributes to — the lookup needed to attribute the
 /// machine's failure events to (bin, week) cells.
+///
+/// Week-varying panels (usage) keep a compact `u16` bin id per week
+/// ([`NO_BIN`] for unbinned weeks); the week-invariant Fig. 9/10 attributes
+/// store the single bin their constant value maps to.
 pub(crate) enum Assign {
     /// PM machines feed the Fig. 8 CPU and memory panels.
-    Pm {
-        cpu: Vec<Option<usize>>,
-        mem: Vec<Option<usize>>,
-    },
+    Pm { cpu: Vec<u16>, mem: Vec<u16> },
     /// VM machines feed four Fig. 8 panels plus Figs. 9 and 10.
     Vm {
-        cpu: Vec<Option<usize>>,
-        mem: Vec<Option<usize>>,
-        disk: Vec<Option<usize>>,
-        net: Vec<Option<usize>>,
-        cons: Vec<Option<usize>>,
-        onoff: Vec<Option<usize>>,
+        cpu: Vec<u16>,
+        mem: Vec<u16>,
+        disk: Vec<u16>,
+        net: Vec<u16>,
+        cons: Option<u16>,
+        onoff: Option<u16>,
     },
 }
 
 /// All telemetry-curve accumulators of one shard: the six Fig. 8 panels,
 /// the Fig. 9/10 rate curves and the two population-share counters.
 pub(crate) struct CurveAccums {
+    weeks: usize,
     util_bins: Bins,
     net_bins: Bins,
     level_bins: Bins,
@@ -86,6 +88,7 @@ impl CurveAccums {
         let level = level_bins();
         let onoff = onoff_bins();
         Self {
+            weeks,
             pm_cpu: CurveCounts::new("cpu util %", &util, weeks),
             vm_cpu: CurveCounts::new("cpu util %", &util, weeks),
             pm_mem: CurveCounts::new("mem util %", &util, weeks),
@@ -109,44 +112,79 @@ impl CurveAccums {
     pub(crate) fn observe(&mut self, m: &Machine, telemetry: &Telemetry) -> Assign {
         let id = m.id();
         match m.kind() {
-            MachineKind::Pm => Assign::Pm {
-                cpu: self.pm_cpu.observe_machine_weeks(&self.util_bins, |w| {
-                    telemetry.usage_in_week(id, w).map(|u| f64::from(u.cpu_pct))
-                }),
-                mem: self.pm_mem.observe_machine_weeks(&self.util_bins, |w| {
-                    telemetry.usage_in_week(id, w).map(|u| f64::from(u.mem_pct))
-                }),
-            },
+            MachineKind::Pm => {
+                let mut cpu = vec![NO_BIN; self.weeks];
+                let mut mem = vec![NO_BIN; self.weeks];
+                self.pm_cpu.observe_machine_weeks_into(
+                    &self.util_bins,
+                    |w| telemetry.usage_in_week(id, w).map(|u| f64::from(u.cpu_pct)),
+                    &mut cpu,
+                );
+                self.pm_mem.observe_machine_weeks_into(
+                    &self.util_bins,
+                    |w| telemetry.usage_in_week(id, w).map(|u| f64::from(u.mem_pct)),
+                    &mut mem,
+                );
+                Assign::Pm { cpu, mem }
+            }
             MachineKind::Vm => {
+                // Week-invariant attributes: computed and binned once per
+                // machine, feeding both the rate curves and the shares.
                 let level = telemetry.mean_consolidation(id);
                 let rate = telemetry.onoff(id).map(OnOffLog::monthly_transition_rate);
-                if let Some(bin) = level.and_then(|l| self.level_bins.index_of(l)) {
-                    self.level_shares.add(bin, 1);
+                let cons = self
+                    .consolidation
+                    .observe_machine_constant(&self.level_bins, level)
+                    .map(|b| b as u16);
+                let onoff = self
+                    .onoff
+                    .observe_machine_constant(&self.onoff_bins, rate)
+                    .map(|b| b as u16);
+                if let Some(bin) = cons {
+                    self.level_shares.add(bin as usize, 1);
                 }
-                if let Some(bin) = rate.and_then(|r| self.onoff_bins.index_of(r)) {
-                    self.onoff_shares.add(bin, 1);
+                if let Some(bin) = onoff {
+                    self.onoff_shares.add(bin as usize, 1);
                 }
-                Assign::Vm {
-                    cpu: self.vm_cpu.observe_machine_weeks(&self.util_bins, |w| {
-                        telemetry.usage_in_week(id, w).map(|u| f64::from(u.cpu_pct))
-                    }),
-                    mem: self.vm_mem.observe_machine_weeks(&self.util_bins, |w| {
-                        telemetry.usage_in_week(id, w).map(|u| f64::from(u.mem_pct))
-                    }),
-                    disk: self.vm_disk.observe_machine_weeks(&self.util_bins, |w| {
+                let mut cpu = vec![NO_BIN; self.weeks];
+                let mut mem = vec![NO_BIN; self.weeks];
+                let mut disk = vec![NO_BIN; self.weeks];
+                let mut net = vec![NO_BIN; self.weeks];
+                self.vm_cpu.observe_machine_weeks_into(
+                    &self.util_bins,
+                    |w| telemetry.usage_in_week(id, w).map(|u| f64::from(u.cpu_pct)),
+                    &mut cpu,
+                );
+                self.vm_mem.observe_machine_weeks_into(
+                    &self.util_bins,
+                    |w| telemetry.usage_in_week(id, w).map(|u| f64::from(u.mem_pct)),
+                    &mut mem,
+                );
+                self.vm_disk.observe_machine_weeks_into(
+                    &self.util_bins,
+                    |w| {
                         telemetry
                             .usage_in_week(id, w)
                             .map(|u| f64::from(u.disk_pct))
-                    }),
-                    net: self.vm_net.observe_machine_weeks(&self.net_bins, |w| {
+                    },
+                    &mut disk,
+                );
+                self.vm_net.observe_machine_weeks_into(
+                    &self.net_bins,
+                    |w| {
                         telemetry
                             .usage_in_week(id, w)
                             .map(|u| f64::from(u.net_kbps))
-                    }),
-                    cons: self
-                        .consolidation
-                        .observe_machine_weeks(&self.level_bins, |_| level),
-                    onoff: self.onoff.observe_machine_weeks(&self.onoff_bins, |_| rate),
+                    },
+                    &mut net,
+                );
+                Assign::Vm {
+                    cpu,
+                    mem,
+                    disk,
+                    net,
+                    cons,
+                    onoff,
                 }
             }
         }
@@ -156,9 +194,16 @@ impl CurveAccums {
     /// in every curve whose bin assignment covers that week — the same rule
     /// `weekly_rate_by` applies per curve.
     pub(crate) fn count_event(&mut self, assign: &Assign, week: usize) {
-        let hit = |counts: &mut CurveCounts, bins: &[Option<usize>]| {
-            if let Some(bin) = bins[week] {
-                counts.add_event(bin, week);
+        let hit = |counts: &mut CurveCounts, row: &[u16]| {
+            let bin = row[week];
+            if bin != NO_BIN {
+                counts.add_event(bin as usize, week);
+            }
+        };
+        // A constant bin covers every observation week.
+        let hit_const = |counts: &mut CurveCounts, bin: Option<u16>| {
+            if let Some(bin) = bin {
+                counts.add_event(bin as usize, week);
             }
         };
         match assign {
@@ -178,8 +223,8 @@ impl CurveAccums {
                 hit(&mut self.vm_mem, mem);
                 hit(&mut self.vm_disk, disk);
                 hit(&mut self.vm_net, net);
-                hit(&mut self.consolidation, cons);
-                hit(&mut self.onoff, onoff);
+                hit_const(&mut self.consolidation, *cons);
+                hit_const(&mut self.onoff, *onoff);
             }
         }
     }
@@ -226,6 +271,7 @@ impl CurveAccums {
     /// bins from their constructors.
     pub(crate) fn from_state(state: CurveState) -> Self {
         Self {
+            weeks: state.pm_cpu.weeks(),
             util_bins: util_bins(),
             net_bins: net_bins(),
             level_bins: level_bins(),
@@ -249,6 +295,8 @@ impl Mergeable for CurveAccums {
 
     fn identity() -> Self {
         Self {
+            // The identity is only ever absorbed into, never observed.
+            weeks: 0,
             util_bins: util_bins(),
             net_bins: net_bins(),
             level_bins: level_bins(),

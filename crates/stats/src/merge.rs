@@ -271,6 +271,19 @@ impl CountMatrix {
         assert!(row < self.rows && col < self.cols, "cell out of range");
         self.counts[row * self.cols + col] += by;
     }
+
+    /// Increments every cell of `row` by `by` — the bulk form of calling
+    /// [`Self::add`] once per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is out of range.
+    pub fn add_row(&mut self, row: usize, by: u64) {
+        assert!(row < self.rows, "row out of range");
+        for cell in &mut self.counts[row * self.cols..(row + 1) * self.cols] {
+            *cell += by;
+        }
+    }
 }
 
 impl Mergeable for CountMatrix {

@@ -30,7 +30,15 @@ fn machine_telemetry(
     let onoff_window = config.onoff_window();
     let mut rng = rng.fork_index("telemetry", machine.id().raw() as u64);
     let base = sample_base_usage(&mut rng, machine.kind());
-    let usage: Vec<WeeklyUsage> = (0..weeks).map(|_| jitter_week(&mut rng, base)).collect();
+    // One batched draw for all weekly noise (4 draws per week, in the same
+    // cpu/mem/disk/net order the per-week loop used) instead of 4 × weeks
+    // separate calls.
+    let mut noise = vec![0.0; 4 * weeks];
+    rng.uniform_fill(&mut noise);
+    let usage: Vec<WeeklyUsage> = noise
+        .chunks_exact(4)
+        .map(|n| jitter_week(n, base))
+        .collect();
     let (onoff, consolidation) = if machine.is_vm() {
         let log = lifecycle::sample_onoff_log(&mut rng, onoff_window);
         let occupancy = machine
@@ -119,24 +127,30 @@ fn sample_net_kbps(rng: &mut StreamRng) -> f64 {
     (lo.ln() + (hi.ln() - lo.ln()) * rng.uniform()).exp()
 }
 
-/// Adds bounded multiplicative weekly noise around the base levels.
-fn jitter_week(rng: &mut StreamRng, base: WeeklyUsage) -> WeeklyUsage {
-    let mut noise = || 1.0 + 0.25 * (rng.uniform() - 0.5) as f32;
+/// Adds bounded multiplicative weekly noise around the base levels, from
+/// one batched draw of 4 uniforms (cpu, mem, disk, net).
+fn jitter_week(draws: &[f64], base: WeeklyUsage) -> WeeklyUsage {
+    let noise = |u: f64| 1.0 + 0.25 * (u - 0.5) as f32;
     WeeklyUsage::new(
-        base.cpu_pct * noise(),
-        base.mem_pct * noise(),
-        base.disk_pct * noise(),
-        base.net_kbps * noise(),
+        base.cpu_pct * noise(draws[0]),
+        base.mem_pct * noise(draws[1]),
+        base.disk_pct * noise(draws[2]),
+        base.net_kbps * noise(draws[3]),
     )
 }
 
 /// Monthly consolidation levels: home occupancy modulated by co-residents'
 /// power states (85–100% of them on in any month).
 fn consolidation_series(rng: &mut StreamRng, occupancy: usize, months: usize) -> Vec<u16> {
-    (0..months)
-        .map(|_| {
-            let co_resident_on =
-                ((occupancy - 1) as f64 * rng.uniform_in(0.85, 1.0)).round() as u16;
+    let mut draws = vec![0.0; months];
+    rng.uniform_fill(&mut draws);
+    draws
+        .iter()
+        .map(|&u| {
+            // `uniform_in(0.85, 1.0)` spelled out over the batched draw —
+            // the exact same float expression, so values are bit-identical.
+            let on_frac = 0.85 + (1.0 - 0.85) * u;
+            let co_resident_on = ((occupancy - 1) as f64 * on_frac).round() as u16;
             1 + co_resident_on
         })
         .collect()

@@ -40,8 +40,9 @@ impl TicketStore {
             self.by_machine.entry(t.machine()).or_default().push(i);
         }
         self.by_time = (0..self.tickets.len()).collect();
+        // Unstable is safe: ticket ids are unique, so the key is total.
         self.by_time
-            .sort_by_key(|&i| (self.tickets[i].opened_at(), self.tickets[i].id()));
+            .sort_unstable_by_key(|&i| (self.tickets[i].opened_at(), self.tickets[i].id()));
     }
 
     /// Adds one ticket.
