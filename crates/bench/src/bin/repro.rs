@@ -12,6 +12,8 @@
 //! repro shard [--machines N | --scale S] [--shards K] [--seed N] [--json] [--baseline]
 //!             [--checkpoint-dir DIR] [--resume]
 //! repro crashtest [--seed N] [--scale S] [--shards K] [--rate R] [--smoke]
+//! repro stream [--seed N] [--scale S] [--events N] [--window P] [--slack M]
+//!              [--json] [--smoke]
 //! repro lint [--json] [--root DIR]
 //! ```
 //!
@@ -71,8 +73,21 @@
 //!   uninterrupted run. Also proves transient `EIO`/`ENOSPC` faults
 //!   (`--rate`, clamped to [0.25, 0.5] for this leg) are absorbed by the
 //!   deterministic retry policy. Exits 1 on any divergence.
+//! * `stream` — replay a synthesized event feed through the streaming ingest
+//!   engine (`dcfail-stream`): telemetry, failures and tickets arrive event
+//!   at a time, boundedly reordered within `--slack` minutes (default 0),
+//!   and the Fig. 8/9/10 estimators update incrementally over tumbling
+//!   windows. Prints ingest throughput, window lifecycle stats, burst-alert
+//!   lines, and the run digest, which is compared against the batch
+//!   pipeline's digest — the stream==batch contract, checked on every run.
+//!   `--events N` caps the replay at N events (throughput experiments; the
+//!   digest gate is skipped since batch saw the whole horizon); `--window P`
+//!   sets the burst detector's sliding history to P closed windows;
+//!   `--json` emits stats, alerts and digests as JSON. `--smoke` caps the
+//!   scale and exits nonzero unless the digests match and every event was
+//!   applied.
 //! * `lint` — run the `dcfail-dlint` determinism lint over the workspace's
-//!   own Rust source (rules D01–D14: hash-ordered collections, wall-clock
+//!   own Rust source (rules D01–D15: hash-ordered collections, wall-clock
 //!   reads, ambient randomness, unstable sorts, …), honoring inline
 //!   `dlint::allow` suppressions and the checked-in `dlint.baseline`.
 //!   `--root DIR` points at a workspace checkout (default: the current
@@ -120,6 +135,8 @@ const USAGE: &str = "usage: repro [--scale S] [--seed N] [--classify] [--csv DIR
             [--json] [--baseline] [--checkpoint-dir DIR] [--resume]\n       \
      repro crashtest [--seed N] [--scale S] [--shards K] [--rate R] \
             [--smoke]\n       \
+     repro stream [--seed N] [--scale S] [--events N] [--window P] \
+            [--slack M] [--json] [--smoke]\n       \
      repro lint [--json] [--root DIR]\n\
      exit codes: 0 clean, 1 findings (dirty audit/lint, failed smoke), \
      2 usage or I/O error";
@@ -147,7 +164,12 @@ struct Options {
     lint_root: Option<PathBuf>,
     /// `--machines`: a CSV path for `audit`, a fleet size for `shard`.
     machines_arg: Option<String>,
-    events_csv: Option<PathBuf>,
+    /// `--events`: a CSV path for `audit`, a replay cap for `stream`.
+    events_arg: Option<String>,
+    /// `--slack` (minutes): the stream engine's reorder bound.
+    slack_minutes: i64,
+    /// `--window`: the burst detector's sliding history, in closed windows.
+    window_panes: Option<usize>,
     targets: Vec<String>,
 }
 
@@ -157,6 +179,7 @@ enum Parsed {
     Run(Box<Options>),
 }
 
+#[allow(clippy::too_many_lines)] // one match arm per flag; splitting obscures the grammar
 fn parse_args() -> Result<Parsed, String> {
     let mut opts = Options {
         scale: 1.0,
@@ -178,7 +201,9 @@ fn parse_args() -> Result<Parsed, String> {
         dataset_json: None,
         lint_root: None,
         machines_arg: None,
-        events_csv: None,
+        events_arg: None,
+        slack_minutes: 0,
+        window_panes: None,
         targets: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -243,8 +268,23 @@ fn parse_args() -> Result<Parsed, String> {
                 opts.machines_arg = Some(v);
             }
             "--events" => {
-                let v = args.next().ok_or("--events needs a file")?;
-                opts.events_csv = Some(PathBuf::from(v));
+                let v = args.next().ok_or("--events needs a value")?;
+                opts.events_arg = Some(v);
+            }
+            "--slack" => {
+                let v = args.next().ok_or("--slack needs a value (minutes)")?;
+                opts.slack_minutes = v.parse().map_err(|_| format!("bad slack '{v}'"))?;
+                if opts.slack_minutes < 0 {
+                    return Err(format!("--slack must be non-negative, got {v}"));
+                }
+            }
+            "--window" => {
+                let v = args.next().ok_or("--window needs a value (panes)")?;
+                let panes: usize = v.parse().map_err(|_| format!("bad window '{v}'"))?;
+                if panes == 0 {
+                    return Err("--window must be at least 1".into());
+                }
+                opts.window_panes = Some(panes);
             }
             "--help" | "-h" => return Ok(Parsed::Help),
             other => opts.targets.push(other.to_string()),
@@ -281,9 +321,9 @@ fn audit_report(opts: &Options) -> Result<(AuditReport, DegradationReport), Stri
             .map_err(|e| format!("{} does not parse as a trace: {e}", path.display()))?;
         return Ok((dcfail_audit::audit_raw(&raw), DegradationReport::default()));
     }
-    if let (Some(machines), Some(events)) = (&opts.machines_arg, &opts.events_csv) {
+    if let (Some(machines), Some(events)) = (&opts.machines_arg, &opts.events_arg) {
         let machines_csv = read_file(&PathBuf::from(machines))?;
-        let events_csv = read_file(events)?;
+        let events_csv = read_file(&PathBuf::from(events))?;
         let horizon = Horizon::observation_year();
         let (_, report, degradation) =
             import::dataset_from_csv_with(&machines_csv, &events_csv, horizon, mode)
@@ -305,7 +345,7 @@ fn audit_report(opts: &Options) -> Result<(AuditReport, DegradationReport), Stri
 /// Runs the `audit` subcommand: lint a trace, print the report, exit nonzero
 /// on Error-level findings.
 fn run_audit(opts: &Options) -> Result<ExitCode, String> {
-    if opts.machines_arg.is_some() != opts.events_csv.is_some() {
+    if opts.machines_arg.is_some() != opts.events_arg.is_some() {
         return Err("--machines and --events must be given together".into());
     }
     let (report, degradation) = audit_report(opts)?;
@@ -511,6 +551,12 @@ fn run_bench(opts: &Options) -> Result<ExitCode, String> {
             "dataset: {} machines, {} events, {} incidents, {} tickets",
             report.machines, report.events, report.incidents, report.tickets
         );
+        println!(
+            "stream: {} feed events ingested in {:.1} ms ({:.2} M events/s)",
+            report.stream.events,
+            report.stream.ingest_ms,
+            report.stream.events_per_sec / 1e6
+        );
         if let (Some(shard), Some(mono)) = (report.shard_peak_rss_kb, report.monolithic_peak_rss_kb)
         {
             println!(
@@ -601,6 +647,28 @@ fn check_perf_gate(
             for (id, base_ms, ms) in growth.iter().take(3) {
                 println!("  {id}: {base_ms:.1} ms -> {ms:.1} ms");
             }
+            gate_failed = true;
+        }
+        GateVerdict::StreamRegression { baseline, ratio } => {
+            let (cur, base) = (
+                entry.stream.as_ref().expect("stream leg fired"),
+                baseline.stream.as_ref().expect("stream leg fired"),
+            );
+            println!(
+                "perf gate: STREAM REGRESSION — ingest {:.1} ms vs baseline {:.1} ms \
+                     ({} @ scale {}, {} threads): {:+.1}% exceeds the {:.0}% + {:.0} ms \
+                     tolerance ({:.2} -> {:.2} M events/s)",
+                cur.ingest_ms,
+                base.ingest_ms,
+                baseline.git,
+                entry.scale,
+                entry.threads,
+                (ratio - 1.0) * 100.0,
+                REGRESSION_TOLERANCE * 100.0,
+                NOISE_FLOOR_MS,
+                base.events_per_sec / 1e6,
+                cur.events_per_sec / 1e6
+            );
             gate_failed = true;
         }
         GateVerdict::NoBaseline => {
@@ -1084,6 +1152,172 @@ fn run_crashtest(opts: &Options) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// The `repro stream --json` document.
+#[derive(serde::Serialize)]
+struct StreamRunDoc {
+    seed: u64,
+    scale: f64,
+    slack_minutes: i64,
+    events_per_sec: f64,
+    digest: u64,
+    /// Absent when `--events` capped the replay (batch saw the whole
+    /// horizon, so the digests are not comparable).
+    batch_digest: Option<u64>,
+    stats: dcfail_stream::StreamStats,
+    alerts: Vec<dcfail_stream::Alert>,
+}
+
+/// Runs the `stream` subcommand: replay a synthesized event feed through the
+/// streaming ingest engine and hold its digest against the batch pipeline.
+#[allow(clippy::too_many_lines)] // linear flag-validate -> replay -> report flow
+fn run_stream(opts: &Options) -> Result<ExitCode, String> {
+    // The smoke run is a CI gate: pin a small scale so it stays fast.
+    if opts.smoke && opts.events_arg.is_some() {
+        return Err(
+            "--smoke and --events are mutually exclusive (smoke needs the digest gate)".into(),
+        );
+    }
+    let scale = if opts.smoke {
+        opts.scale.min(0.05)
+    } else {
+        opts.scale
+    };
+    let slack_minutes = opts.slack_minutes;
+    eprintln!(
+        "stream: synthesizing feed (seed {}, scale {scale}, slack {slack_minutes} min, \
+         {} threads) ...",
+        opts.seed,
+        dcfail_par::thread_count()
+    );
+    let dataset = Scenario::paper()
+        .seed(opts.seed)
+        .scale(scale)
+        .build()
+        .into_dataset();
+    let mut feed = dcfail_synth::feed::dataset_feed(&dataset);
+    if slack_minutes > 0 {
+        // Scramble arrivals within the slack bound: the engine must undo it.
+        let mut rng = StreamRng::new(opts.seed).fork("repro.stream.reorder");
+        feed = dcfail_synth::feed::reorder_within_slack(
+            &feed,
+            SimDuration::from_minutes(slack_minutes),
+            &mut rng,
+        );
+    }
+    // `--events N` caps the replay (throughput experiments). A capped run
+    // skips the digest gate: the batch pipeline saw the whole horizon.
+    let capped = match &opts.events_arg {
+        Some(arg) => {
+            let n: usize = arg
+                .parse()
+                .map_err(|_| format!("bad --events cap '{arg}'"))?;
+            let capped = n < feed.len();
+            feed.truncate(n);
+            capped
+        }
+        None => false,
+    };
+
+    let config = dcfail_stream::StreamConfig {
+        slack: SimDuration::from_minutes(slack_minutes),
+        detector: match opts.window_panes {
+            Some(panes) => dcfail_stream::DetectorConfig::with_panes(panes),
+            None => dcfail_stream::DetectorConfig::weekly(),
+        },
+    };
+    let mut engine = dcfail_stream::StreamEngine::new(dataset.horizon(), config);
+    let start = Instant::now();
+    for ev in feed {
+        engine
+            .ingest(ev)
+            .map_err(|e| format!("feed replay failed: {e}"))?;
+    }
+    let out = engine.finish();
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let events_per_sec = out.stats.events_ingested as f64 / elapsed_s.max(1e-9);
+    let digest = out.digest();
+    let batch = if capped {
+        None
+    } else {
+        Some(dcfail_stream::batch_digest(&dataset))
+    };
+
+    if opts.json {
+        let doc = StreamRunDoc {
+            seed: opts.seed,
+            scale,
+            slack_minutes,
+            events_per_sec,
+            digest,
+            batch_digest: batch,
+            stats: out.stats,
+            alerts: out.alerts.clone(),
+        };
+        let json = serde_json::to_string_pretty(&doc)
+            .map_err(|e| format!("cannot serialize stream report: {e}"))?;
+        println!("{json}");
+    } else {
+        println!(
+            "stream: {} events -> {} windows closed, {} alert(s) in {:.1} ms \
+             ({:.2} M events/s)",
+            out.stats.events_ingested,
+            out.stats.windows_closed,
+            out.alerts.len(),
+            elapsed_s * 1e3,
+            events_per_sec / 1e6
+        );
+        println!(
+            "  {} machines, {} failures, {} tickets; peak {} buffered event(s), \
+             {} open window(s)",
+            out.stats.machines,
+            out.stats.failures,
+            out.stats.tickets,
+            out.stats.peak_buffered,
+            out.stats.peak_open_windows
+        );
+        for alert in &out.alerts {
+            println!(
+                "  alert: week {:>2} — {} failures vs {:.1} expected (score {:.1})",
+                alert.week, alert.observed, alert.expected, alert.score
+            );
+        }
+        match batch {
+            Some(b) if b == digest => {
+                println!("  digest {digest:#018x} == batch digest (stream==batch holds)");
+            }
+            Some(b) => println!("  digest {digest:#018x} != batch digest {b:#018x} — DIVERGED"),
+            None => println!("  digest {digest:#018x} (capped replay; batch gate skipped)"),
+        }
+    }
+
+    let diverged = batch.is_some_and(|b| b != digest);
+    if opts.smoke {
+        let dropped =
+            out.stats.events_applied != out.stats.events_ingested || out.stats.late_events != 0;
+        if diverged || dropped {
+            eprintln!(
+                "stream smoke FAILED: {}",
+                if diverged {
+                    "stream digest diverged from batch"
+                } else {
+                    "events were dropped or late in a legal replay"
+                }
+            );
+            return Ok(ExitCode::from(EXIT_FINDINGS));
+        }
+        println!(
+            "stream smoke: OK ({} events replayed at slack {slack_minutes} min, \
+             digest {digest:#018x} == batch)",
+            out.stats.events_ingested
+        );
+    }
+    Ok(if diverged {
+        ExitCode::from(EXIT_FINDINGS)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 /// Workspace root the lint runs against when `--root` is absent: the current
 /// directory when it holds a `crates/` tree (running from a checkout), else
 /// the source tree this binary was built from.
@@ -1204,6 +1438,9 @@ fn dispatch(opts: &Options) -> Result<ExitCode, String> {
     }
     if opts.targets.iter().any(|t| t == "crashtest") {
         return run_crashtest(opts);
+    }
+    if opts.targets.iter().any(|t| t == "stream") {
+        return run_stream(opts);
     }
     if opts.targets.iter().any(|t| t == "lint") {
         return run_lint(opts);

@@ -43,6 +43,19 @@ pub struct RunnerEntry {
     pub ms: f64,
 }
 
+/// Streaming-ingest timing, as stored in the history file (the owned twin
+/// of [`crate::timing::StreamTiming`]). `None` in entries recorded before
+/// the stream engine existed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamEntry {
+    /// Events in the replayed feed.
+    pub events: u64,
+    /// Wall-clock ms from first ingest through `finish()`.
+    pub ingest_ms: f64,
+    /// Ingest throughput, events per second.
+    pub events_per_sec: f64,
+}
+
 /// One recorded bench run: the fields of a [`BenchReport`] that matter for
 /// regression tracking, in a shape that round-trips through JSON.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -68,6 +81,8 @@ pub struct HistoryEntry {
     pub peak_rss_kb: Option<u64>,
     /// Per-runner wall-clock ms, for diagnosing *where* a regression lives.
     pub runners: Vec<RunnerEntry>,
+    /// Streaming-ingest replay timing; `None` in pre-stream entries.
+    pub stream: Option<StreamEntry>,
 }
 
 impl HistoryEntry {
@@ -91,6 +106,11 @@ impl HistoryEntry {
                     ms: r.ms,
                 })
                 .collect(),
+            stream: Some(StreamEntry {
+                events: report.stream.events,
+                ingest_ms: report.stream.ingest_ms,
+                events_per_sec: report.stream.events_per_sec,
+            }),
         }
     }
 
@@ -121,6 +141,16 @@ pub enum GateVerdict {
         /// Current / baseline total report time.
         ratio: f64,
     },
+    /// The report fan-out held, but the streaming-ingest replay exceeds its
+    /// baseline by more than the tolerance (same relative + absolute rule,
+    /// applied to `ingest_ms`). Only possible when both entries carry stream
+    /// timing — pre-stream baselines never fire this.
+    StreamRegression {
+        /// The entry the run was compared against.
+        baseline: HistoryEntry,
+        /// Current / baseline stream ingest time.
+        ratio: f64,
+    },
     /// No entry in the history matches the current scale/thread count, so
     /// there is nothing to gate against. `--check` treats this as a finding:
     /// a gate that silently passes without a baseline is not a gate.
@@ -143,10 +173,21 @@ pub fn check(history: &[HistoryEntry], current: &HistoryEntry, tolerance: f64) -
     let ratio = current.report_ms / baseline.report_ms;
     let threshold = baseline.report_ms * (1.0 + tolerance) + NOISE_FLOOR_MS;
     if current.report_ms > threshold {
-        GateVerdict::Regression { baseline, ratio }
-    } else {
-        GateVerdict::Pass { baseline, ratio }
+        return GateVerdict::Regression { baseline, ratio };
     }
+    // Stream leg of the gate: same relative + absolute rule on ingest time,
+    // gated only when both entries measured the stream replay.
+    if let (Some(cur), Some(base)) = (&current.stream, &baseline.stream) {
+        let stream_threshold = base.ingest_ms * (1.0 + tolerance) + NOISE_FLOOR_MS;
+        if cur.ingest_ms > stream_threshold {
+            let stream_ratio = cur.ingest_ms / base.ingest_ms;
+            return GateVerdict::StreamRegression {
+                baseline,
+                ratio: stream_ratio,
+            };
+        }
+    }
+    GateVerdict::Pass { baseline, ratio }
 }
 
 /// Loads every entry of a JSON-lines history file. A missing file is an
@@ -210,6 +251,11 @@ mod tests {
                 id: "table1".into(),
                 ms: report_ms / 2.0,
             }],
+            stream: Some(StreamEntry {
+                events: 30_000,
+                ingest_ms: 20.0,
+                events_per_sec: 1_500_000.0,
+            }),
         }
     }
 
@@ -302,6 +348,35 @@ mod tests {
         assert!(matches!(
             check(&history, &quadratic, REGRESSION_TOLERANCE),
             GateVerdict::Regression { .. }
+        ));
+    }
+
+    #[test]
+    fn stream_leg_gates_ingest_time() {
+        let history = vec![entry(0.05, 1, 100.0)]; // stream baseline: 20 ms
+                                                   // Report time holds, stream ingest triples: the stream leg fires.
+        let mut slow_stream = entry(0.05, 1, 100.0);
+        slow_stream.stream.as_mut().unwrap().ingest_ms = 60.0;
+        match check(&history, &slow_stream, REGRESSION_TOLERANCE) {
+            GateVerdict::StreamRegression { ratio, .. } => {
+                assert!((ratio - 3.0).abs() < 1e-12);
+            }
+            other => panic!("expected stream regression, got {other:?}"),
+        }
+        // A pre-stream current run (or baseline) never fires the stream leg.
+        let mut no_stream = entry(0.05, 1, 100.0);
+        no_stream.stream = None;
+        assert!(matches!(
+            check(&history, &no_stream, REGRESSION_TOLERANCE),
+            GateVerdict::Pass { .. }
+        ));
+        // Jitter inside the noise floor passes: 20 ms -> 30 ms is +50%
+        // relative but only 10 ms absolute, not *more than* the threshold.
+        let mut jitter = entry(0.05, 1, 100.0);
+        jitter.stream.as_mut().unwrap().ingest_ms = 30.0;
+        assert!(matches!(
+            check(&history, &jitter, REGRESSION_TOLERANCE),
+            GateVerdict::Pass { .. }
         ));
     }
 

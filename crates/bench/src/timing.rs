@@ -24,6 +24,18 @@ pub struct RunnerTiming {
     pub ms: f64,
 }
 
+/// Wall-clock timing of one streaming-ingest replay over the full feed.
+#[derive(Debug, Clone, Serialize)]
+pub struct StreamTiming {
+    /// Events in the replayed feed.
+    pub events: u64,
+    /// Wall-clock ms from first ingest through `finish()` (all windows
+    /// closed, figures finalized).
+    pub ingest_ms: f64,
+    /// Ingest throughput, events per second.
+    pub events_per_sec: f64,
+}
+
 /// One `repro bench` run: configuration, dataset sizes, and timings.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchReport {
@@ -69,6 +81,8 @@ pub struct BenchReport {
     pub lint_findings: Option<usize>,
     /// Per-runner wall-clock ms, each measured sequentially in isolation.
     pub runners: Vec<RunnerTiming>,
+    /// Streaming-ingest replay of the same dataset as an event feed.
+    pub stream: StreamTiming,
 }
 
 /// Findings from a determinism-lint pass over the workspace source, resolved
@@ -180,6 +194,29 @@ pub fn measure(git: Option<String>, seed: u64, scale: f64) -> BenchReport {
     drop(all);
     let monolithic_peak_rss_kb = peak_rss_kb();
 
+    // Streaming replay: the same dataset as an event feed through the
+    // single-threaded ingest engine (the feed synthesis itself is untimed).
+    let stream = {
+        let feed = dcfail_synth::feed::dataset_feed(&dataset);
+        let events = feed.len() as u64;
+        let mut engine = dcfail_stream::StreamEngine::new(
+            dataset.horizon(),
+            dcfail_stream::StreamConfig::default(),
+        );
+        let start = Instant::now();
+        for ev in feed {
+            engine.ingest(ev).expect("canonical feed is never late");
+        }
+        let out = engine.finish();
+        let ingest_ms = ms_since(start);
+        drop(out);
+        StreamTiming {
+            events,
+            ingest_ms,
+            events_per_sec: events as f64 / (ingest_ms / 1e3).max(1e-9),
+        }
+    };
+
     BenchReport {
         git,
         seed,
@@ -197,6 +234,7 @@ pub fn measure(git: Option<String>, seed: u64, scale: f64) -> BenchReport {
         monolithic_peak_rss_kb,
         lint_findings: lint_findings(),
         runners,
+        stream,
     }
 }
 
@@ -223,6 +261,9 @@ mod tests {
         assert!(json.contains("\"git\":\"test\""));
         assert!(json.contains("shard_peak_rss_kb"));
         assert!(json.contains("lint_findings"));
+        assert!(report.stream.events > 0);
+        assert!(report.stream.ingest_ms > 0.0 && report.stream.events_per_sec > 0.0);
+        assert!(json.contains("events_per_sec"));
     }
 
     #[test]

@@ -31,7 +31,15 @@ fn help_exits_clean_and_documents_every_subcommand() {
     let out = repro(&["--help"]);
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for subcommand in ["audit", "chaos", "bench", "shard", "crashtest", "lint"] {
+    for subcommand in [
+        "audit",
+        "chaos",
+        "bench",
+        "shard",
+        "crashtest",
+        "lint",
+        "stream",
+    ] {
         assert!(stdout.contains(subcommand), "usage lacks {subcommand}");
     }
     assert!(stdout.contains("--checkpoint-dir"));
@@ -76,6 +84,19 @@ fn baseline_conflicts_with_checkpoint_dir() {
         &["shard", "--baseline", "--checkpoint-dir", "/tmp/x"],
         "mutually exclusive",
     );
+}
+
+#[test]
+fn stream_flag_validation_is_a_usage_error() {
+    // The smoke/--events conflict must be rejected *before* any replay runs:
+    // a usage error that arrives after minutes of work is not flag validation.
+    assert_usage_error(
+        &["stream", "--smoke", "--events", "10"],
+        "mutually exclusive",
+    );
+    assert_usage_error(&["stream", "--slack", "-5"], "--slack must be non-negative");
+    assert_usage_error(&["stream", "--slack", "soon"], "bad slack");
+    assert_usage_error(&["stream", "--window", "0"], "--window must be at least 1");
 }
 
 #[test]

@@ -13,7 +13,9 @@ use dcfail_stats::binning::Bins;
 /// box's nominal level (e.g. a yearly mean of 29.7 on a 32-VM box maps to
 /// the "32" bin, not "16").
 pub fn level_bins() -> Bins {
-    Bins::from_edges(vec![1.0, 1.5, 3.0, 6.0, 12.0, 24.0, 100.0]).with_labels(vec![
+    // Open-ended top bin: a mean level above the old 100.0 cap is a "32"
+    // machine, not a silently dropped one.
+    Bins::open_last(vec![1.0, 1.5, 3.0, 6.0, 12.0, 24.0]).with_labels(vec![
         "1".into(),
         "2".into(),
         "4".into(),

@@ -175,6 +175,21 @@ impl CurveCounts {
         self.events.add(bin, week, 1);
     }
 
+    /// Flushes one closed streaming window into the counts: `machines`
+    /// machine-weeks and `events` failure events land in `(bin, week)` at
+    /// once. A window accumulator that buckets its own members and then
+    /// flushes each bin through this method produces exactly the counts the
+    /// batch observe/add_event path would — counting is commutative, so the
+    /// column-at-a-time order cannot be told apart from the batch order.
+    pub fn add_window_column(&mut self, bin: usize, week: usize, machines: u64, events: u64) {
+        if machines > 0 {
+            self.population.add(bin, week, machines);
+        }
+        if events > 0 {
+            self.events.add(bin, week, events);
+        }
+    }
+
     /// Number of observation weeks the counts cover.
     pub fn weeks(&self) -> usize {
         self.weeks
@@ -509,6 +524,34 @@ mod tests {
         assert_eq!(right, s1);
 
         assert_eq!(merged.finalize(), whole.finalize());
+    }
+
+    #[test]
+    fn window_column_flush_matches_observe_path() {
+        let bins = Bins::from_edges(vec![0.0, 1.0, 2.0]);
+        let weeks = 3;
+
+        // Batch path: two machines observed per week, one event each in
+        // weeks 0 and 1.
+        let mut batch = CurveCounts::new("x", &bins, weeks);
+        let a = batch.observe_machine_weeks(&bins, |_| Some(0.5));
+        let b = batch.observe_machine_weeks(&bins, |_| Some(1.5));
+        batch.add_event(a[0].unwrap(), 0);
+        batch.add_event(b[1].unwrap(), 1);
+
+        // Streaming path: the same counts arrive one window column at a
+        // time, pre-aggregated per bin.
+        let mut stream = CurveCounts::new("x", &bins, weeks);
+        for week in 0..weeks {
+            // Both bins hold one machine every week.
+            stream.add_window_column(0, week, 1, u64::from(week == 0));
+            stream.add_window_column(1, week, 1, u64::from(week == 1));
+        }
+        assert_eq!(stream, batch);
+        // Zero-sized flushes are no-ops.
+        stream.add_window_column(0, 2, 0, 0);
+        assert_eq!(stream, batch);
+        assert_eq!(stream.finalize(), batch.finalize());
     }
 
     #[test]

@@ -8,15 +8,11 @@ use crate::curve::{rate_and_share_by_machine, AttributeCurve};
 use dcfail_model::prelude::*;
 use dcfail_stats::binning::Bins;
 
-/// Bins for monthly on/off transition counts (Fig. 10).
+/// Bins for monthly on/off transition counts (Fig. 10). The top bin is
+/// genuinely open-ended: a VM cycling more than 64 times a month is an "8+"
+/// machine, not a silently dropped one.
 pub fn onoff_bins() -> Bins {
-    Bins::from_edges(vec![0.0, 1.0, 2.0, 4.0, 8.0, 64.0]).with_labels(vec![
-        "0-1".into(),
-        "1-2".into(),
-        "2-4".into(),
-        "4-8".into(),
-        "8+".into(),
-    ])
+    Bins::open_last(vec![0.0, 1.0, 2.0, 4.0, 8.0])
 }
 
 /// Both Fig. 10 panels — the rate curve and the VM population shares — from

@@ -126,7 +126,7 @@ impl<'a> WhatIf<'a> {
                 ))
             }
             Intervention::LimitPowerCycling { max_per_month } => {
-                let rate = telemetry.onoff(machine.id())?.monthly_transition_rate();
+                let rate = telemetry.onoff(machine.id())?.monthly_transition_rate()?;
                 let after = rate.min(max_per_month);
                 Some((
                     Self::onoff_bucket(rate).to_string(),

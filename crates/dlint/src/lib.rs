@@ -58,14 +58,15 @@ pub const BASELINE_FILE: &str = "dlint.baseline";
 dcfail_findings::rule_catalog! {
     /// Stable identifier of one determinism rule.
     ///
-    /// Serializes as the rule code (`"D01"` … `"D14"`). D01–D10 are the
+    /// Serializes as the rule code (`"D01"` … `"D15"`). D01–D10 are the
     /// published catalog; D11/D12 police the escape hatches themselves;
     /// D13 guards the crash-safety boundary around checkpoint I/O; D14
-    /// guards the fleet-scale perf contract on telemetry scans.
+    /// guards the fleet-scale perf contract on telemetry scans; D15 guards
+    /// the O(slack) memory bound of the streaming ingest engine.
     LintRule, domain = "dlint" {
         /// Hash collections iterate in randomized order.
         D01 = ("D01", Error,
-            "no HashMap/HashSet in digest-bearing crates (core, stats, synth, report, shard, tickets); use BTreeMap/BTreeSet or sorted Vec");
+            "no HashMap/HashSet in digest-bearing crates (core, stats, synth, report, shard, tickets, stream); use BTreeMap/BTreeSet or sorted Vec");
         /// `partial_cmp` is not a total order over floats.
         D02 = ("D02", Error,
             "no partial_cmp-based comparisons or sorts; use f64::total_cmp");
@@ -92,7 +93,7 @@ dcfail_findings::rule_catalog! {
             "no println!/eprintln! outside bin, bench and obs");
         /// Estimators accumulate in f64 or not at all.
         D10 = ("D10", Error,
-            "no f32 in estimator crates (core, shard, stats) outside the feature-vector pipeline");
+            "no f32 in estimator crates (core, shard, stats, stream) outside the feature-vector pipeline");
         /// Suppressions must say why.
         D11 = ("D11", Error,
             "dlint::allow directives require a nonempty reason and a known rule code");
@@ -106,6 +107,9 @@ dcfail_findings::rule_catalog! {
         /// over them is the quadratic fleet-scale path all over again.
         D14 = ("D14", Error,
             "no samples_15min/monthly_transition_rate calls inside loops in library code; hoist the scan or use the bulk Telemetry::monthly_transition_rates pass");
+        /// A growable event backlog silently voids the O(slack) bound.
+        D15 = ("D15", Error,
+            "no growable buffering of feed events (Vec push of event-like values) in stream library code; park arrivals in the slack-bounded reorder buffer");
     }
 }
 
@@ -423,8 +427,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn catalog_covers_d01_through_d14() {
-        assert_eq!(LintRule::ALL.len(), 14);
+    fn catalog_covers_d01_through_d15() {
+        assert_eq!(LintRule::ALL.len(), 15);
         for (i, rule) in LintRule::ALL.iter().enumerate() {
             assert_eq!(rule.code(), format!("D{:02}", i + 1));
             assert_eq!(LintRule::from_code(rule.code()), Some(*rule));

@@ -65,7 +65,9 @@ impl FileCtx {
 
 /// Crates whose analysis output feeds the golden digests: unordered
 /// iteration anywhere in them is a reproducibility hazard (D01).
-const ORDERED_CRATES: &[&str] = &["core", "stats", "synth", "report", "shard", "tickets"];
+const ORDERED_CRATES: &[&str] = &[
+    "core", "stats", "synth", "report", "shard", "tickets", "stream",
+];
 
 /// Crates allowed to read wall-clock time and ambient randomness (D03).
 const CLOCK_CRATES: &[&str] = &["obs", "bench"];
@@ -75,7 +77,7 @@ const CLOCK_CRATES: &[&str] = &["obs", "bench"];
 const ENV_ALLOWLIST: &[&str] = &["crates/par/src/lib.rs"];
 
 /// Estimator crates where `f32` silently halves precision (D10)…
-const F64_CRATES: &[&str] = &["core", "shard", "stats"];
+const F64_CRATES: &[&str] = &["core", "shard", "stats", "stream"];
 
 /// …except the TF-IDF/k-means feature-vector pipeline, which uses `f32`
 /// deliberately (memory-bound, order-insensitive distances).
@@ -232,6 +234,20 @@ fn lint_code_line(
         }
     }
 
+    if ctx.crate_name == "stream" {
+        for (pos, _) in line.match_indices(".push(") {
+            let arg = paren_argument(&line[pos + ".push(".len()..]);
+            if names_event(arg) {
+                findings.push(RawFinding::new(
+                    LintRule::D15,
+                    file,
+                    idx,
+                    "growable push of a feed event in stream library code voids the O(slack) memory bound; park arrivals in the watermark-drained reorder buffer instead",
+                ));
+            }
+        }
+    }
+
     if F64_CRATES.contains(&ctx.crate_name.as_str())
         && !F32_ALLOWLIST.contains(&file.path.as_str())
         && has_token(line, "f32")
@@ -243,6 +259,46 @@ fn lint_code_line(
             "f32 in an estimator crate halves precision and breaks cross-platform bit-identity; use f64 (feature vectors live in text/kmeans)",
         ));
     }
+}
+
+/// Trims `rest` (the text just past a call's open paren) to the argument
+/// list: everything up to the matching close paren, or the whole remainder
+/// of the line when the call spans lines (D15 heuristic).
+fn paren_argument(rest: &str) -> &str {
+    let mut depth = 1usize;
+    for (pos, c) in rest.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &rest[..pos];
+                }
+            }
+            _ => {}
+        }
+    }
+    rest
+}
+
+/// True when the region names an identifier that denotes a raw feed event
+/// (D15): `ev`, `evt`, `event`, `payload`, or anything containing `event`.
+fn names_event(region: &str) -> bool {
+    let mut ident = String::new();
+    for c in region.chars().chain(std::iter::once(' ')) {
+        if is_ident(c) {
+            ident.push(c);
+        } else {
+            if !ident.is_empty() {
+                let lower = ident.to_ascii_lowercase();
+                if matches!(lower.as_str(), "ev" | "evt" | "payload") || lower.contains("event") {
+                    return true;
+                }
+            }
+            ident.clear();
+        }
+    }
+    false
 }
 
 /// D14: an O(window) telemetry scan (`samples_15min`,

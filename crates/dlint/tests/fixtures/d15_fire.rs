@@ -1,0 +1,10 @@
+// D15: a growable event backlog in stream library code.
+pub struct Backlog {
+    events: Vec<FeedEvent>,
+}
+
+impl Backlog {
+    pub fn enqueue(&mut self, event: FeedEvent) {
+        self.events.push(event);
+    }
+}

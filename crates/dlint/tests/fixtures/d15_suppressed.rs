@@ -1,0 +1,11 @@
+// D15 suppressed twin.
+pub struct Backlog {
+    events: Vec<FeedEvent>,
+}
+
+impl Backlog {
+    pub fn enqueue(&mut self, event: FeedEvent) {
+        // dlint::allow(D15): fixture stand-in for a bounded staging queue drained every watermark advance
+        self.events.push(event);
+    }
+}

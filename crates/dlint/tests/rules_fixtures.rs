@@ -1,4 +1,4 @@
-//! Fixture-based rule tests: every token rule (D01–D10, D13, D14) has one minimal
+//! Fixture-based rule tests: every token rule (D01–D10, D13–D15) has one minimal
 //! source file that fires it and one suppressed twin that does not.
 //!
 //! The fixtures live under `tests/fixtures/` (excluded from the workspace
@@ -88,6 +88,12 @@ const CASES: &[Case] = &[
         virtual_path: "crates/core/src/fixture.rs",
         fire: include_str!("fixtures/d14_fire.rs"),
         suppressed: include_str!("fixtures/d14_suppressed.rs"),
+    },
+    Case {
+        rule: LintRule::D15,
+        virtual_path: "crates/stream/src/fixture.rs",
+        fire: include_str!("fixtures/d15_fire.rs"),
+        suppressed: include_str!("fixtures/d15_suppressed.rs"),
     },
 ];
 

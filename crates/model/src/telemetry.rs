@@ -166,13 +166,16 @@ impl OnOffLog {
         self.toggles.len()
     }
 
-    /// Average observable transitions per 28-day month over the log window.
-    pub fn monthly_transition_rate(&self) -> f64 {
+    /// Average observable transitions per 28-day month over the log window,
+    /// or `None` when the window is degenerate (length ≤ 0): an unobservable
+    /// machine has no rate at all, rather than a fake maximally-stable `0.0`
+    /// that would misfile it into the "0-1" bin of Fig. 10.
+    pub fn monthly_transition_rate(&self) -> Option<f64> {
         let months = self.window.len().as_days() / 28.0;
         if months <= 0.0 {
-            return 0.0;
+            return None;
         }
-        self.sampled_transitions() as f64 / months
+        Some(self.sampled_transitions() as f64 / months)
     }
 }
 
@@ -284,8 +287,10 @@ impl Telemetry {
         self.onoff.len()
     }
 
-    /// Monthly on/off transition rate of every logged machine, sorted by
-    /// machine id (the map's iteration order).
+    /// Monthly on/off transition rate of every logged machine with a
+    /// non-degenerate window, sorted by machine id (the map's iteration
+    /// order). Machines whose log window has length ≤ 0 are skipped: they
+    /// contribute to neither the Fig. 10 rate curve nor its share panel.
     ///
     /// Figs. 9/10's twin panels and the what-if model all need per-VM
     /// rates; this computes each log's rate exactly once per dataset pass
@@ -294,7 +299,9 @@ impl Telemetry {
         let mut rates = Vec::with_capacity(self.onoff.len());
         for (&m, log) in &self.onoff {
             // dlint::allow(D14): the one sanctioned bulk site all analyses share
-            rates.push((m, log.monthly_transition_rate()));
+            if let Some(rate) = log.monthly_transition_rate() {
+                rates.push((m, rate));
+            }
         }
         rates
     }
@@ -343,7 +350,7 @@ mod tests {
         );
         assert_eq!(log.sampled_transitions(), 2);
         // 2 transitions over 2 months → 1/month.
-        assert!((log.monthly_transition_rate() - 1.0).abs() < 1e-9);
+        assert!((log.monthly_transition_rate().unwrap() - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -449,7 +456,7 @@ mod tests {
         assert_eq!(rates[0].0, MachineId::new(1));
         assert_eq!(rates[1].0, MachineId::new(3));
         for (m, rate) in rates {
-            assert_eq!(rate, t.onoff(m).unwrap().monthly_transition_rate());
+            assert_eq!(Some(rate), t.onoff(m).unwrap().monthly_transition_rate());
         }
     }
 

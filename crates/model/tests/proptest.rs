@@ -56,7 +56,7 @@ proptest! {
         // State parity at the end matches toggle count parity.
         let end_state = log.is_on_at(window.end());
         prop_assert_eq!(end_state, toggles.len().is_multiple_of(2));
-        prop_assert!(log.monthly_transition_rate() >= 0.0);
+        prop_assert!(log.monthly_transition_rate().unwrap() >= 0.0);
     }
 
     /// The O(toggles) grid-parity transition count equals the count derived

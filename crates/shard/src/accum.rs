@@ -131,7 +131,9 @@ impl CurveAccums {
                 // Week-invariant attributes: computed and binned once per
                 // machine, feeding both the rate curves and the shares.
                 let level = telemetry.mean_consolidation(id);
-                let rate = telemetry.onoff(id).map(OnOffLog::monthly_transition_rate);
+                let rate = telemetry
+                    .onoff(id)
+                    .and_then(OnOffLog::monthly_transition_rate);
                 let cons = self
                     .consolidation
                     .observe_machine_constant(&self.level_bins, level)

@@ -42,6 +42,38 @@ impl Bins {
         }
     }
 
+    /// Bins from explicit finite edges whose last bin is right-unbounded:
+    /// bin `i` covers `[edges[i], edges[i+1])` and the final bin covers
+    /// `[edges.last(), ∞)`, so every finite non-NaN value at or above the
+    /// first edge maps to a bin. Generated labels end in `"{last}+"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 edges are given, edges are not strictly
+    /// increasing, or any edge is non-finite.
+    pub fn open_last(edges: Vec<f64>) -> Self {
+        assert!(edges.len() >= 2, "need at least two edges");
+        for pair in edges.windows(2) {
+            assert!(pair[0] < pair[1], "edges must strictly increase");
+        }
+        assert!(
+            edges.iter().all(|e| e.is_finite()),
+            "open_last edges must be finite"
+        );
+        let mut labels: Vec<String> = edges
+            .windows(2)
+            .map(|pair| format!("{}-{}", trim_float(pair[0]), trim_float(pair[1])))
+            .collect();
+        labels.push(format!("{}+", trim_float(edges[edges.len() - 1])));
+        let mut edges = edges;
+        edges.push(f64::INFINITY);
+        Self {
+            edges,
+            labels,
+            closed_last: false,
+        }
+    }
+
     /// `n` equal-width bins over `[lo, hi]`.
     ///
     /// # Panics
@@ -99,6 +131,13 @@ impl Bins {
     /// True when there are no bins (cannot happen via constructors).
     pub fn is_empty(&self) -> bool {
         self.labels.is_empty()
+    }
+
+    /// True when the top bin is right-unbounded ([`Bins::open_last`] or
+    /// [`Bins::discrete`]): no finite non-NaN value ≥ the first edge maps
+    /// to `None`.
+    pub fn is_open_ended(&self) -> bool {
+        self.edges[self.edges.len() - 1] == f64::INFINITY
     }
 
     /// The bin index of `x`, or `None` if out of range.
@@ -258,6 +297,30 @@ mod tests {
         assert_eq!(b.index_of(100.0), Some(3)); // open-ended top
         assert_eq!(b.index_of(0.5), None);
         assert_eq!(b.label(1), "2");
+    }
+
+    #[test]
+    fn open_last_bins() {
+        let b = Bins::open_last(vec![0.0, 1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(b.len(), 5);
+        assert!(b.is_open_ended());
+        assert_eq!(b.index_of(-0.1), None);
+        assert_eq!(b.index_of(0.0), Some(0));
+        assert_eq!(b.index_of(7.99), Some(3));
+        assert_eq!(b.index_of(8.0), Some(4));
+        assert_eq!(b.index_of(64.0), Some(4));
+        assert_eq!(b.index_of(1e300), Some(4)); // no silent top-end drop
+        assert_eq!(b.index_of(f64::NAN), None);
+        assert_eq!(b.label(3), "4-8");
+        assert_eq!(b.label(4), "8+");
+        assert!(!Bins::from_edges(vec![0.0, 1.0]).is_open_ended());
+        assert!(Bins::discrete(&[1.0, 2.0]).is_open_ended());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn open_last_rejects_infinite_edges() {
+        let _ = Bins::open_last(vec![0.0, f64::INFINITY]);
     }
 
     #[test]

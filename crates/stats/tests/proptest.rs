@@ -182,4 +182,40 @@ proptest! {
         prop_assert!(fit.shape().is_finite() && fit.shape() > 0.0);
         prop_assert!(fit.scale().is_finite() && fit.scale() > 0.0);
     }
+
+    /// Open-ended bins keep their defining promise: no finite non-NaN value
+    /// at or above the first edge maps to `None`, everything at or above
+    /// the last finite edge lands in the labelled-open top bin, and below
+    /// it the mapping agrees with the closed bins over the same edges.
+    #[test]
+    fn open_last_bins_never_drop_high_values(
+        base in -1e6f64..1e6,
+        steps in proptest::collection::vec(0.001f64..1e3, 1..8),
+        probe in -1e9f64..1e9,
+    ) {
+        let mut edges = vec![base];
+        for s in &steps {
+            let next = edges[edges.len() - 1] + s;
+            edges.push(next);
+        }
+        let last = edges[edges.len() - 1];
+        let bins = Bins::open_last(edges.clone());
+        prop_assert!(bins.is_open_ended());
+        prop_assert_eq!(bins.len(), edges.len());
+        prop_assert!(bins.label(bins.len() - 1).ends_with('+'));
+        match bins.index_of(probe) {
+            None => prop_assert!(probe < edges[0], "{probe} dropped in-range"),
+            Some(i) => {
+                prop_assert!(probe >= edges[0]);
+                prop_assert!(i < bins.len());
+                if probe >= last {
+                    prop_assert_eq!(i, bins.len() - 1);
+                } else {
+                    prop_assert_eq!(Bins::from_edges(edges.clone()).index_of(probe), Some(i));
+                }
+            }
+        }
+        prop_assert_eq!(bins.index_of(f64::NAN), None);
+        prop_assert_eq!(bins.index_of(f64::INFINITY), None, "only finite values bin");
+    }
 }

@@ -1,0 +1,216 @@
+//! Online failure-burst detection over closed windows.
+//!
+//! A CUSUM-style detector rides on the stream engine's window lifecycle: it
+//! sees each tumbling window's failure count exactly once, at window close,
+//! in week order. Its baseline is a *sliding* window of the last
+//! [`DetectorConfig::panes`] closed-window counts, so the alarm adapts to
+//! the fleet's drifting base rate instead of comparing against a fixed
+//! threshold.
+//!
+//! The detector is wall-clock-free and RNG-free: its inputs are window
+//! counts and its arithmetic runs in a fixed order (the baseline mean goes
+//! through [`ExactSum`]), so a streamed run emits byte-identical alerts at
+//! any thread count and any legal arrival reordering.
+
+use dcfail_model::prelude::*;
+use dcfail_stats::merge::ExactSum;
+use serde::Serialize;
+use std::collections::VecDeque;
+
+/// Tuning of the windowed-rate CUSUM burst detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DetectorConfig {
+    /// Sliding-baseline length: how many closed windows the running mean is
+    /// computed over.
+    pub panes: usize,
+    /// Closed windows required before the detector starts scoring; earlier
+    /// windows only feed the baseline.
+    pub min_history: usize,
+    /// Drift allowance as a fraction of the baseline mean: per-window excess
+    /// below `drift * mean` never accumulates score.
+    pub drift: f64,
+    /// Alarm threshold on the accumulated score, as a multiple of the
+    /// baseline mean, floored at [`DetectorConfig::floor`] events.
+    pub threshold: f64,
+    /// Absolute score floor in events: with a near-zero baseline the alarm
+    /// still requires at least this much accumulated excess.
+    pub floor: f64,
+}
+
+impl DetectorConfig {
+    /// A detector sized for weekly windows: two-month baseline, one month of
+    /// warm-up, alarm at twice the weekly mean (at least three events) of
+    /// accumulated excess.
+    pub fn weekly() -> Self {
+        Self {
+            panes: 8,
+            min_history: 4,
+            drift: 0.5,
+            threshold: 2.0,
+            floor: 3.0,
+        }
+    }
+
+    /// [`DetectorConfig::weekly`] with a different sliding-baseline length
+    /// (`min_history` scales to half of it).
+    pub fn with_panes(panes: usize) -> Self {
+        let panes = panes.max(1);
+        Self {
+            panes,
+            min_history: (panes / 2).max(1),
+            ..Self::weekly()
+        }
+    }
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self::weekly()
+    }
+}
+
+/// One detected failure burst.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Alert {
+    /// Week index of the window that fired the alarm.
+    pub week: usize,
+    /// The window's end instant (when the alarm became observable).
+    pub at: SimTime,
+    /// Failure count of the firing window.
+    pub observed: u64,
+    /// Sliding-baseline mean at firing time.
+    pub expected: f64,
+    /// Accumulated CUSUM score at firing time.
+    pub score: f64,
+}
+
+/// Windowed-rate CUSUM detector state.
+#[derive(Debug, Clone)]
+pub struct BurstDetector {
+    config: DetectorConfig,
+    history: VecDeque<u64>,
+    score: f64,
+}
+
+impl BurstDetector {
+    /// Fresh detector.
+    pub fn new(config: DetectorConfig) -> Self {
+        Self {
+            config,
+            history: VecDeque::with_capacity(config.panes + 1),
+            score: 0.0,
+        }
+    }
+
+    /// Sliding-baseline mean over the retained history, `0.0` when empty.
+    fn baseline(&self) -> f64 {
+        if self.history.is_empty() {
+            return 0.0;
+        }
+        let mut sum = ExactSum::new();
+        for &count in &self.history {
+            sum.push(count as f64);
+        }
+        sum.value() / self.history.len() as f64
+    }
+
+    /// Feeds one closed window (week index, window end, failure count) to
+    /// the detector; returns the alert if the window fired the alarm. Must
+    /// be called in week order — the engine's close path guarantees it.
+    pub fn observe(&mut self, week: usize, at: SimTime, count: u64) -> Option<Alert> {
+        let mut fired = None;
+        if self.history.len() >= self.config.min_history {
+            let mean = self.baseline();
+            let excess = count as f64 - mean * (1.0 + self.config.drift);
+            self.score = (self.score + excess).max(0.0);
+            let threshold = (mean * self.config.threshold).max(self.config.floor);
+            if self.score > threshold {
+                fired = Some(Alert {
+                    week,
+                    at,
+                    observed: count,
+                    expected: mean,
+                    score: self.score,
+                });
+                self.score = 0.0;
+            }
+        }
+        self.history.push_back(count);
+        while self.history.len() > self.config.panes {
+            self.history.pop_front();
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(detector: &mut BurstDetector, counts: &[u64]) -> Vec<Alert> {
+        counts
+            .iter()
+            .enumerate()
+            .filter_map(|(week, &c)| {
+                detector.observe(week, SimTime::from_days(7 * (week as i64 + 1)), c)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn steady_rate_never_alarms() {
+        let mut d = BurstDetector::new(DetectorConfig::weekly());
+        let alerts = feed(&mut d, &[5; 40]);
+        assert!(alerts.is_empty(), "steady traffic fired: {alerts:?}");
+    }
+
+    #[test]
+    fn burst_after_steady_baseline_alarms_once_and_resets() {
+        let mut d = BurstDetector::new(DetectorConfig::weekly());
+        let counts = [5, 5, 5, 5, 5, 5, 5, 5, 40, 5, 5, 5, 5, 5];
+        let alerts = feed(&mut d, &counts);
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        let a = alerts[0];
+        assert_eq!(a.week, 8);
+        assert_eq!(a.observed, 40);
+        assert!((a.expected - 5.0).abs() < 1e-12);
+        assert!(a.score > a.expected * 2.0);
+        assert_eq!(a.at, SimTime::from_days(63));
+    }
+
+    #[test]
+    fn slow_creep_below_drift_stays_silent() {
+        let mut d = BurstDetector::new(DetectorConfig::weekly());
+        // +20% per window stays inside the 50% drift allowance against a
+        // trailing mean.
+        let counts: Vec<u64> = (0..20).map(|w| 10 + w / 5).collect();
+        assert!(feed(&mut d, &counts).is_empty());
+    }
+
+    #[test]
+    fn warmup_windows_never_alarm() {
+        let mut d = BurstDetector::new(DetectorConfig::weekly());
+        // A huge first window is baseline, not a burst.
+        assert!(feed(&mut d, &[1000, 5, 5, 5]).is_empty());
+    }
+
+    #[test]
+    fn zero_baseline_requires_the_floor() {
+        let mut d = BurstDetector::new(DetectorConfig::weekly());
+        // Quiet fleet: a window of 3 events only meets, not exceeds, the
+        // 3-event floor; 4 events clears it.
+        let quiet = feed(&mut d, &[0, 0, 0, 0, 3]);
+        assert!(quiet.is_empty(), "{quiet:?}");
+        let mut d = BurstDetector::new(DetectorConfig::weekly());
+        let loud = feed(&mut d, &[0, 0, 0, 0, 4]);
+        assert_eq!(loud.len(), 1);
+    }
+
+    #[test]
+    fn with_panes_scales_min_history() {
+        let d = DetectorConfig::with_panes(12);
+        assert_eq!((d.panes, d.min_history), (12, 6));
+        let d = DetectorConfig::with_panes(0);
+        assert_eq!((d.panes, d.min_history), (1, 1));
+    }
+}

@@ -1,0 +1,62 @@
+//! # dcfail-stream
+//!
+//! Streaming ingest for the failure-analysis pipeline: tickets and
+//! telemetry arrive as a time-ordered (or boundedly-reordered) event feed,
+//! and the Fig. 8/9/10 estimators update incrementally over per-week
+//! *tumbling* windows, with an online burst detector riding a *sliding*
+//! window of closed-window failure counts.
+//!
+//! ## The determinism contract
+//!
+//! A streamed run over a horizon produces **byte-identical** figures and
+//! digests to the batch run on the same horizon — at any thread count and
+//! under any legal arrival reordering within the configured slack bound.
+//! The contract holds by construction, not by averaging: the engine parks
+//! arrivals in a slack-bounded reorder buffer keyed by `(at, seq)` and only
+//! replays them once the watermark (newest arrival minus slack) proves
+//! their canonical slot, so every estimator sees events in exactly the
+//! order the batch pipeline iterates them. Windows are
+//! [`Mergeable`](dcfail_stats::merge::Mergeable) accumulators
+//! ([`window::WindowAccum`]) that absorb events while open and flush into
+//! the global [`dcfail_core::curve::CurveCounts`] columns on close.
+//!
+//! Memory is O(open windows + announced machines): the reorder buffer holds
+//! at most a slack's worth of events, and closed windows release their
+//! state into the shared curve counts.
+//!
+//! ```
+//! use dcfail_model::prelude::*;
+//! use dcfail_stream::{FeedEvent, FeedPayload, StreamConfig, StreamEngine};
+//!
+//! let horizon = Horizon::observation_year();
+//! let mut engine = StreamEngine::new(horizon, StreamConfig::default());
+//! engine
+//!     .ingest(FeedEvent {
+//!         at: horizon.start(),
+//!         seq: 0,
+//!         payload: FeedPayload::Attrs {
+//!             machine: MachineId::new(0),
+//!             kind: MachineKind::Vm,
+//!             consolidation: Some(16.0),
+//!             onoff_rate: Some(0.5),
+//!         },
+//!     })
+//!     .unwrap();
+//! let output = engine.finish();
+//! assert_eq!(output.stats.machines, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod detect;
+pub mod engine;
+pub mod window;
+
+pub use dcfail_synth::feed::{FeedEvent, FeedPayload};
+pub use detect::{Alert, BurstDetector, DetectorConfig};
+pub use engine::{
+    batch_digest, batch_rendered, figure_digest, StreamConfig, StreamEngine, StreamError,
+    StreamOutput, StreamStats,
+};
+pub use window::{PanelBins, WindowAccum, WindowStats};

@@ -1,0 +1,314 @@
+//! Per-week window accumulators.
+//!
+//! A [`WindowAccum`] is the mergeable state of one open tumbling window (one
+//! observation week): which machines reported usage and the per-panel bin
+//! each landed in, per-bin population counts, and per-machine failure/ticket
+//! tallies. The engine absorbs events into the accumulator while the window
+//! is open and flushes it into the global [`dcfail_core::curve::CurveCounts`]
+//! columns when the watermark passes the window's end.
+//!
+//! The accumulator is [`Mergeable`]: two accumulators for the same week over
+//! *disjoint* machine sets absorb into the state a single pass would have
+//! built, the same contract the sharded batch pipeline relies on.
+
+use dcfail_core::curve::NO_BIN;
+use dcfail_model::prelude::*;
+use dcfail_stats::binning::Bins;
+use dcfail_stats::merge::{CountVec, Mergeable};
+use std::collections::BTreeMap;
+
+/// Number of Fig. 8 panels tracked per window, in rendering order:
+/// PM CPU, VM CPU, PM memory, VM memory, VM disk, VM network.
+pub const NUM_PANELS: usize = 6;
+
+/// Sentinel week index marking the [`Mergeable::identity`] accumulator.
+const UNSET_WEEK: usize = usize::MAX;
+
+/// The usage bins of the Fig. 8 panels, precomputed once per engine.
+#[derive(Debug, Clone)]
+pub struct PanelBins {
+    /// Utilization-percent bins (CPU/memory/disk panels).
+    pub util: Bins,
+    /// Network-volume bins.
+    pub net: Bins,
+}
+
+impl PanelBins {
+    /// The paper's Fig. 8 bins.
+    pub fn paper() -> Self {
+        Self {
+            util: dcfail_core::usage::util_bins(),
+            net: dcfail_core::usage::net_bins(),
+        }
+    }
+
+    /// Bin count of panel `p`.
+    pub fn len(&self, p: usize) -> usize {
+        if p == NUM_PANELS - 1 {
+            self.net.len()
+        } else {
+            self.util.len()
+        }
+    }
+}
+
+/// Counts extracted from a closed window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowStats {
+    /// The window's week index.
+    pub week: usize,
+    /// Machines that reported usage in the window.
+    pub machines: usize,
+    /// Failure events absorbed by the window.
+    pub failures: u64,
+    /// Tickets absorbed by the window.
+    pub tickets: u64,
+}
+
+/// Mergeable state of one open tumbling window (one observation week).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowAccum {
+    week: usize,
+    /// Per machine that reported usage this week: its bin in each Fig. 8
+    /// panel ([`NO_BIN`] where the panel does not apply to the machine).
+    bins_of: BTreeMap<MachineId, [u16; NUM_PANELS]>,
+    /// Per-panel population counts per bin, kept in lockstep with `bins_of`.
+    pop: [CountVec; NUM_PANELS],
+    /// Failure events per machine this week.
+    failures: BTreeMap<MachineId, u64>,
+    failure_total: u64,
+    tickets: u64,
+}
+
+impl WindowAccum {
+    /// Empty accumulator for week `week` over the given panel bins.
+    pub fn new(week: usize, panel_bins: &PanelBins) -> Self {
+        assert_ne!(week, UNSET_WEEK, "week index collides with the sentinel");
+        let pop = std::array::from_fn(|p| CountVec::zeros(panel_bins.len(p)));
+        Self {
+            week,
+            bins_of: BTreeMap::new(),
+            pop,
+            failures: BTreeMap::new(),
+            failure_total: 0,
+            tickets: 0,
+        }
+    }
+
+    /// The window's week index.
+    pub fn week(&self) -> usize {
+        self.week
+    }
+
+    /// Absorbs one machine-week usage rollup: bins the machine into every
+    /// applicable panel and counts it in each panel's population. Returns
+    /// `false` (and changes nothing) when the machine already reported usage
+    /// this week.
+    pub fn record_usage(
+        &mut self,
+        machine: MachineId,
+        kind: MachineKind,
+        usage: [f64; 4],
+        panel_bins: &PanelBins,
+    ) -> bool {
+        if self.bins_of.contains_key(&machine) {
+            return false;
+        }
+        let [cpu, mem, disk, net] = usage;
+        let util = |value: f64| panel_bins.util.index_of(value);
+        let mut bins = [NO_BIN; NUM_PANELS];
+        let panel_values = match kind {
+            MachineKind::Pm => [util(cpu), None, util(mem), None, None, None],
+            MachineKind::Vm => [
+                None,
+                util(cpu),
+                None,
+                util(mem),
+                util(disk),
+                panel_bins.net.index_of(net),
+            ],
+        };
+        for (p, value) in panel_values.into_iter().enumerate() {
+            if let Some(bin) = value {
+                bins[p] = bin as u16;
+                self.pop[p].add(bin, 1);
+            }
+        }
+        self.bins_of.insert(machine, bins);
+        true
+    }
+
+    /// Absorbs one failure event on `machine`.
+    pub fn record_failure(&mut self, machine: MachineId) {
+        *self.failures.entry(machine).or_insert(0) += 1;
+        self.failure_total += 1;
+    }
+
+    /// Absorbs one ticket.
+    pub fn record_ticket(&mut self) {
+        self.tickets += 1;
+    }
+
+    /// The per-panel bins of each machine that reported usage this week.
+    pub fn bins_of(&self) -> &BTreeMap<MachineId, [u16; NUM_PANELS]> {
+        &self.bins_of
+    }
+
+    /// Per-panel population counts per bin.
+    pub fn population(&self, p: usize) -> &[u64] {
+        self.pop[p].counts()
+    }
+
+    /// Failure events per machine this week.
+    pub fn failures(&self) -> &BTreeMap<MachineId, u64> {
+        &self.failures
+    }
+
+    /// Total failure events absorbed by the window.
+    pub fn failure_total(&self) -> u64 {
+        self.failure_total
+    }
+
+    fn is_unset(&self) -> bool {
+        self.week == UNSET_WEEK
+    }
+}
+
+impl Mergeable for WindowAccum {
+    type Output = WindowStats;
+
+    fn identity() -> Self {
+        Self {
+            week: UNSET_WEEK,
+            bins_of: BTreeMap::new(),
+            pop: std::array::from_fn(|_| CountVec::identity()),
+            failures: BTreeMap::new(),
+            failure_total: 0,
+            tickets: 0,
+        }
+    }
+
+    fn absorb(&mut self, other: &Self) {
+        if other.is_unset() {
+            return;
+        }
+        if self.is_unset() {
+            self.week = other.week;
+        } else {
+            assert_eq!(self.week, other.week, "window weeks must match");
+        }
+        for (machine, bins) in &other.bins_of {
+            let previous = self.bins_of.insert(*machine, *bins);
+            assert!(
+                previous.is_none(),
+                "window shards must partition machines ({machine} seen twice)"
+            );
+        }
+        for (mine, theirs) in self.pop.iter_mut().zip(&other.pop) {
+            mine.absorb(theirs);
+        }
+        for (machine, count) in &other.failures {
+            *self.failures.entry(*machine).or_insert(0) += count;
+        }
+        self.failure_total += other.failure_total;
+        self.tickets += other.tickets;
+    }
+
+    fn finalize(self) -> WindowStats {
+        WindowStats {
+            week: self.week,
+            machines: self.bins_of.len(),
+            failures: self.failure_total,
+            tickets: self.tickets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm(i: u32) -> MachineId {
+        MachineId::new(i)
+    }
+
+    #[test]
+    fn usage_bins_into_kind_specific_panels() {
+        let bins = PanelBins::paper();
+        let mut w = WindowAccum::new(0, &bins);
+        assert!(w.record_usage(vm(0), MachineKind::Pm, [15.0, 55.0, 90.0, 64.0], &bins));
+        assert!(w.record_usage(vm(1), MachineKind::Vm, [15.0, 55.0, 90.0, 64.0], &bins));
+        let pm = w.bins_of()[&vm(0)];
+        let v = w.bins_of()[&vm(1)];
+        // PM machines land only in the PM CPU/memory panels.
+        assert_eq!(pm, [1, NO_BIN, 5, NO_BIN, NO_BIN, NO_BIN]);
+        // VM machines land in the four VM panels (64 Kbps → log2 bin 5).
+        assert_eq!(v, [NO_BIN, 1, NO_BIN, 5, 9, 5]);
+        assert_eq!(w.population(0)[1], 1);
+        assert_eq!(w.population(1)[1], 1);
+        assert_eq!(w.population(5)[5], 1);
+        // Duplicate usage is rejected without changing the counts.
+        assert!(!w.record_usage(vm(0), MachineKind::Pm, [95.0, 5.0, 5.0, 1.0], &bins));
+        assert_eq!(w.bins_of()[&vm(0)], pm);
+    }
+
+    #[test]
+    fn out_of_range_network_volume_stays_unbinned() {
+        let bins = PanelBins::paper();
+        let mut w = WindowAccum::new(3, &bins);
+        // 0.5 Kbps is below the 2 Kbps bottom edge of the network bins.
+        assert!(w.record_usage(vm(7), MachineKind::Vm, [1.0, 1.0, 1.0, 0.5], &bins));
+        assert_eq!(w.bins_of()[&vm(7)][NUM_PANELS - 1], NO_BIN);
+        assert!(w.population(NUM_PANELS - 1).iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn absorb_over_disjoint_machines_matches_single_pass() {
+        let bins = PanelBins::paper();
+        let mut whole = WindowAccum::new(2, &bins);
+        whole.record_usage(vm(0), MachineKind::Vm, [5.0, 5.0, 5.0, 10.0], &bins);
+        whole.record_usage(vm(1), MachineKind::Pm, [50.0, 50.0, 0.0, 0.0], &bins);
+        whole.record_failure(vm(0));
+        whole.record_failure(vm(0));
+        whole.record_ticket();
+
+        let mut a = WindowAccum::new(2, &bins);
+        a.record_usage(vm(0), MachineKind::Vm, [5.0, 5.0, 5.0, 10.0], &bins);
+        a.record_failure(vm(0));
+        let mut b = WindowAccum::new(2, &bins);
+        b.record_usage(vm(1), MachineKind::Pm, [50.0, 50.0, 0.0, 0.0], &bins);
+        b.record_failure(vm(0));
+        b.record_ticket();
+
+        let mut merged = WindowAccum::identity();
+        merged.absorb(&a);
+        merged.absorb(&b);
+        assert_eq!(merged, whole);
+
+        // Identity is neutral on both sides.
+        let mut right = a.clone();
+        right.absorb(&WindowAccum::identity());
+        assert_eq!(right, a);
+
+        let stats = merged.finalize();
+        assert_eq!(
+            stats,
+            WindowStats {
+                week: 2,
+                machines: 2,
+                failures: 2,
+                tickets: 1,
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "partition")]
+    fn absorb_rejects_overlapping_machines() {
+        let bins = PanelBins::paper();
+        let mut a = WindowAccum::new(0, &bins);
+        a.record_usage(vm(0), MachineKind::Vm, [5.0, 5.0, 5.0, 10.0], &bins);
+        let b = a.clone();
+        a.absorb(&b);
+    }
+}

@@ -1,0 +1,160 @@
+//! The stream==batch determinism contract, pinned as tests.
+//!
+//! A streamed run over a horizon must produce byte-identical figures and
+//! digests to the batch run on the same horizon — at any thread count and
+//! any legal arrival reordering within the slack bound.
+
+#![allow(clippy::unwrap_used)]
+
+use dcfail_model::prelude::*;
+use dcfail_stats::rng::StreamRng;
+use dcfail_stream::{
+    batch_digest, batch_rendered, StreamConfig, StreamEngine, StreamError, StreamOutput,
+};
+use dcfail_synth::feed::{dataset_feed, reorder_within_slack, FeedEvent};
+use dcfail_synth::Scenario;
+use std::sync::OnceLock;
+
+fn dataset() -> &'static FailureDataset {
+    static DATASET: OnceLock<FailureDataset> = OnceLock::new();
+    DATASET.get_or_init(|| {
+        Scenario::paper()
+            .seed(42)
+            .scale(0.02)
+            .build()
+            .into_dataset()
+    })
+}
+
+fn feed() -> &'static Vec<FeedEvent> {
+    static FEED: OnceLock<Vec<FeedEvent>> = OnceLock::new();
+    FEED.get_or_init(|| dataset_feed(dataset()))
+}
+
+fn stream_run(events: &[FeedEvent], slack_minutes: i64) -> StreamOutput {
+    let config = StreamConfig {
+        slack: SimDuration::from_minutes(slack_minutes),
+        ..StreamConfig::default()
+    };
+    let mut engine = StreamEngine::new(dataset().horizon(), config);
+    for ev in events {
+        engine.ingest(*ev).expect("legal feed is never late");
+    }
+    engine.finish()
+}
+
+#[test]
+fn canonical_feed_reproduces_batch_figures_byte_identically() {
+    let out = stream_run(feed(), 0);
+    let batch = batch_rendered(dataset());
+    for ((sid, s), (bid, b)) in out.rendered().iter().zip(batch.iter()) {
+        assert_eq!(sid, bid);
+        assert_eq!(s.text, b.text, "{sid}: text diverged");
+        assert_eq!(s.csv, b.csv, "{sid}: csv diverged");
+    }
+    assert_eq!(out.digest(), batch_digest(dataset()));
+    // Every feed event is accounted for.
+    assert_eq!(
+        out.stats.events_ingested,
+        feed().len() as u64,
+        "{:?}",
+        out.stats
+    );
+    assert_eq!(out.stats.events_applied, out.stats.events_ingested);
+    assert_eq!(out.stats.late_events, 0);
+    assert_eq!(out.stats.machines as usize, dataset().machines().len());
+    assert_eq!(
+        out.stats.windows_closed as usize,
+        dataset().horizon().num_weeks()
+    );
+}
+
+#[test]
+fn reordered_feeds_reproduce_the_canonical_digest() {
+    let reference = stream_run(feed(), 0).digest();
+    assert_eq!(reference, batch_digest(dataset()));
+    for (case, slack) in [(0u64, 1i64), (1, 60), (2, 720), (3, 10_080)] {
+        let mut rng = StreamRng::new(7).fork_index("equality.reorder", case);
+        let shuffled = reorder_within_slack(feed(), SimDuration::from_minutes(slack), &mut rng);
+        let out = stream_run(&shuffled, slack);
+        assert_eq!(
+            out.digest(),
+            reference,
+            "slack {slack} min (case {case}) diverged"
+        );
+        assert_eq!(out.stats.late_events, 0);
+    }
+}
+
+#[test]
+fn equal_timestamp_permutations_survive_zero_slack() {
+    // Zero slack, jitter only among equal timestamps: rank/machine ties
+    // arrive scrambled but the engine must still canonicalize them.
+    let mut shuffled = feed().clone();
+    let mut rng = StreamRng::new(3).fork("equality.tieshuffle");
+    // Shuffle the whole feed, then restore timestamp order (stable by at
+    // only) — equal-`at` runs keep the shuffled order.
+    rng.shuffle(&mut shuffled);
+    shuffled.sort_by_key(|e| e.at);
+    let out = stream_run(&shuffled, 0);
+    assert_eq!(out.digest(), batch_digest(dataset()));
+    assert_eq!(out.stats.late_events, 0);
+}
+
+#[test]
+fn genuinely_late_events_are_rejected_and_counted() {
+    let config = StreamConfig {
+        slack: SimDuration::from_minutes(0),
+        ..StreamConfig::default()
+    };
+    let mut engine = StreamEngine::new(dataset().horizon(), config);
+    let events = feed();
+    // Ingest a prefix, then replay the very first event: its slot is long
+    // gone.
+    for ev in &events[..1000] {
+        engine.ingest(*ev).unwrap();
+    }
+    let err = engine.ingest(events[0]).unwrap_err();
+    assert!(matches!(err, StreamError::LateEvent { .. }));
+    assert!(err.to_string().contains("late event"));
+    assert_eq!(engine.stats().late_events, 1);
+}
+
+#[test]
+fn alerts_are_deterministic_under_reordering() {
+    let reference = stream_run(feed(), 0);
+    for case in 0..3u64 {
+        let mut rng = StreamRng::new(11).fork_index("equality.alerts", case);
+        let shuffled = reorder_within_slack(feed(), SimDuration::from_minutes(1440), &mut rng);
+        let out = stream_run(&shuffled, 1440);
+        assert_eq!(out.alerts, reference.alerts, "case {case}");
+    }
+    // Alerts arrive in window-close order.
+    for pair in reference.alerts.windows(2) {
+        assert!(pair[0].week < pair[1].week);
+    }
+}
+
+#[test]
+fn memory_stays_bounded_by_the_slack() {
+    // With a one-hour slack the reorder buffer never holds more than the
+    // events of a couple of timestamps, and open windows never exceed
+    // two (the week being filled plus the week awaiting its close).
+    let mut rng = StreamRng::new(5).fork("equality.memory");
+    let shuffled = reorder_within_slack(feed(), SimDuration::from_minutes(60), &mut rng);
+    let out = stream_run(&shuffled, 60);
+    assert_eq!(out.digest(), batch_digest(dataset()));
+    assert!(
+        out.stats.peak_open_windows <= 2,
+        "peak open windows {}",
+        out.stats.peak_open_windows
+    );
+    // The buffer high-water mark is a small fraction of the feed: memory is
+    // O(slack), not O(horizon).
+    assert!(
+        out.stats.peak_buffered < feed().len() / 10,
+        "peak buffered {} of {}",
+        out.stats.peak_buffered,
+        feed().len()
+    );
+}

@@ -147,7 +147,8 @@ fn raw_static_mult(config: &ScenarioConfig, m: &Machine, telemetry: &Telemetry) 
         if fx.onoff {
             let rate = telemetry
                 .onoff(m.id())
-                .map_or(0.0, OnOffLog::monthly_transition_rate);
+                .and_then(OnOffLog::monthly_transition_rate)
+                .unwrap_or(0.0);
             mult *= curves::onoff_mult(rate);
         }
     }

@@ -29,6 +29,9 @@
 //!   paper's 53% low-quality-text degradation, plus the non-crash ticket
 //!   haystack and per-class log-normal repair times (Table IV).
 //! * [`scenario`] — presets; [`Scenario::paper`] is the calibrated setup.
+//! * [`feed`] — the event-at-a-time view of a built dataset: a canonically
+//!   ordered [`feed::FeedEvent`] stream (plus a legal-reorder shuffler) for
+//!   the `dcfail-stream` ingest engine.
 //!
 //! ```
 //! use dcfail_synth::Scenario;
@@ -44,6 +47,7 @@
 
 pub mod config;
 pub mod config_audit;
+pub mod feed;
 pub mod hazard;
 pub mod incidents;
 pub mod lifecycle;

@@ -148,7 +148,7 @@ mod tests {
         for _ in 0..2_000 {
             let log = sample_onoff_log(&mut rng, window);
             assert_eq!(log.window(), window);
-            rates.push(log.monthly_transition_rate());
+            rates.push(log.monthly_transition_rate().unwrap());
         }
         let low = rates.iter().filter(|&&r| r <= 1.0).count() as f64 / rates.len() as f64;
         let high = rates.iter().filter(|&&r| r >= 8.0).count() as f64 / rates.len() as f64;

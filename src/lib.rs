@@ -5,8 +5,11 @@
 //! of Virtual and Physical Machines"* (DSN 2014).
 //!
 //! See [`model`], [`stats`], [`synth`], [`tickets`], [`analysis`],
-//! [`report`], [`audit`], [`chaos`], [`ckpt`], [`par`] and [`obs`] for the
-//! individual subsystems. Long sharded runs can be made crash-safe through
+//! [`report`], [`stream`], [`audit`], [`chaos`], [`ckpt`], [`par`] and
+//! [`obs`] for the individual subsystems. Datasets can also be consumed as
+//! an event-at-a-time feed through [`stream`], whose windowed estimators
+//! are pinned byte-identical to the batch figures (`repro stream --smoke`
+//! checks the digests). Long sharded runs can be made crash-safe through
 //! [`ckpt`], which persists per-shard state as checksummed segments behind
 //! an injectable [`ckpt::FaultFs`] — a run killed at any I/O operation and
 //! resumed ([`shard::resume_sharded`]) is byte-identical to an uninterrupted
@@ -43,5 +46,6 @@ pub use dcfail_par as par;
 pub use dcfail_report as report;
 pub use dcfail_shard as shard;
 pub use dcfail_stats as stats;
+pub use dcfail_stream as stream;
 pub use dcfail_synth as synth;
 pub use dcfail_tickets as tickets;

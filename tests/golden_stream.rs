@@ -1,0 +1,58 @@
+//! Golden pin for the stream==batch contract: the streaming ingest engine
+//! must keep producing the batch pipeline's exact figure bytes — at every
+//! thread count — and both must keep producing today's bytes. If this test
+//! fails after an intentional renderer or estimator change, re-derive the
+//! digest with the instructions in the failure message.
+
+#![allow(clippy::unwrap_used)]
+
+use dcfail::model::prelude::*;
+use dcfail::stream::{batch_digest, StreamConfig, StreamEngine};
+use dcfail::synth::feed::dataset_feed;
+use dcfail::synth::Scenario;
+
+/// Pinned digest of the three streamed figures (fig8/fig9/fig10) at seed 42,
+/// scale 0.02 — byte-identical to the batch renderers by construction.
+const GOLDEN_STREAM: u64 = 0x1a1e6e0e415403cf;
+
+fn build_dataset() -> FailureDataset {
+    Scenario::paper()
+        .seed(42)
+        .scale(0.02)
+        .build()
+        .into_dataset()
+}
+
+fn stream_digest(dataset: &FailureDataset) -> u64 {
+    let mut engine = StreamEngine::new(dataset.horizon(), StreamConfig::default());
+    for ev in dataset_feed(dataset) {
+        engine.ingest(ev).expect("canonical feed is never late");
+    }
+    engine.finish().digest()
+}
+
+/// One test fn, not one per thread count: the override is process-global, so
+/// the sweep must be sequential (and must restore the ambient setting).
+#[test]
+fn stream_equals_batch_at_every_thread_count() {
+    let ambient = dcfail::par::thread_override();
+    for threads in [1, 2, 8] {
+        dcfail::par::set_thread_override(Some(threads));
+        let dataset = build_dataset();
+        let streamed = stream_digest(&dataset);
+        let batch = batch_digest(&dataset);
+        assert_eq!(
+            streamed, batch,
+            "stream and batch figures diverged at {threads} threads"
+        );
+        assert_eq!(
+            streamed, GOLDEN_STREAM,
+            "streamed figure bytes at {threads} threads changed: digest \
+             {streamed:#018x} != pinned {GOLDEN_STREAM:#018x}. If the change \
+             is intentional, re-derive with `repro stream --scale 0.02 \
+             --seed 42 --json` and update GOLDEN_STREAM in \
+             tests/golden_stream.rs."
+        );
+    }
+    dcfail::par::set_thread_override(ambient);
+}
