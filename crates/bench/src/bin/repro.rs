@@ -14,6 +14,8 @@
 //! repro crashtest [--seed N] [--scale S] [--shards K] [--rate R] [--smoke]
 //! repro stream [--seed N] [--scale S] [--events N] [--window P] [--slack M]
 //!              [--json] [--smoke]
+//! repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--seed N]
+//!             [--scale S] [--smoke]
 //! repro lint [--json] [--root DIR]
 //! ```
 //!
@@ -86,14 +88,27 @@
 //!   `--json` emits stats, alerts and digests as JSON. `--smoke` caps the
 //!   scale and exits nonzero unless the digests match and every event was
 //!   applied.
+//! * `serve` — run the `dcfail-serve` HTTP/JSON daemon over the experiment
+//!   registry: `GET /registry`, `GET /reports/:id` (the versioned envelope,
+//!   byte-identical to `repro <id> --json`), `POST /whatif`, `POST /audit`,
+//!   `GET /metrics`, `GET /stream/alerts`. `--addr` picks the bind address
+//!   (default `127.0.0.1:4914`; port 0 for ephemeral), `--workers` the pool
+//!   size, `--queue` the bounded request-queue depth (a full queue answers a
+//!   typed 429). `--smoke` is the CI gate: ephemeral port at a capped
+//!   scale, every endpoint diffed against the library's own envelope bytes,
+//!   a deterministic 429 flood against a held worker pool, and a clean
+//!   shutdown that releases the port. Exits 1 on any deviation.
 //! * `lint` — run the `dcfail-dlint` determinism lint over the workspace's
-//!   own Rust source (rules D01–D15: hash-ordered collections, wall-clock
+//!   own Rust source (rules D01–D16: hash-ordered collections, wall-clock
 //!   reads, ambient randomness, unstable sorts, …), honoring inline
 //!   `dlint::allow` suppressions and the checked-in `dlint.baseline`.
 //!   `--root DIR` points at a workspace checkout (default: the current
 //!   directory if it looks like one, else the build-time source tree);
 //!   `--json` emits the versioned JSON report. Exits 1 on Error findings.
 //! * `<id>` — one or more of `table1..table7`, `fig1..fig10`.
+//! * `--json` — with `all`/`extras`/`<id>`: print each artifact as its
+//!   versioned JSON envelope instead of text — the same bytes the daemon
+//!   serves at `/reports/:id` (both go through `Toolkit::envelope_json`).
 //! * `--classify` — re-label events with a freshly trained k-means pipeline
 //!   (instead of the simulator's monitor labels) before analyzing.
 //! * `--csv DIR` — also write each artifact's CSV series under `DIR`.
@@ -108,7 +123,11 @@ use dcfail_chaos::{inject, InjectionPlan, IoFaultPlan};
 use dcfail_ckpt::{ChaosFs, CheckpointStore, FaultFs, FsError, MemFs, RealFs};
 use dcfail_core::{degradation, rates, repair};
 use dcfail_model::prelude::*;
-use dcfail_report::experiments::{run, run_all, ExperimentId, RunConfig};
+use dcfail_report::experiments::{run_all, ExperimentId, RunConfig};
+use dcfail_report::Toolkit;
+use dcfail_serve::conn::{get_request, post_request, roundtrip, PendingRequest};
+use dcfail_serve::http::split_response;
+use dcfail_serve::{serve, ServeConfig};
 use dcfail_stats::rng::StreamRng;
 use dcfail_synth::Scenario;
 use dcfail_tickets::classify::{apply_to_dataset, PipelineConfig};
@@ -123,7 +142,7 @@ const EXIT_FINDINGS: u8 = 1;
 const EXIT_USAGE: u8 = 2;
 
 const USAGE: &str = "usage: repro [--scale S] [--seed N] [--classify] [--csv DIR] \
-            [--metrics OUT.json] [all | ablate | <id>...]\n       \
+            [--json] [--metrics OUT.json] [all | ablate | <id>...]\n       \
      repro audit [--json] [--lenient] [--dataset FILE.json | \
             --machines M.csv --events E.csv]\n       \
      repro chaos [--seed N] [--scale S] [--rate R] [--smoke]\n       \
@@ -137,6 +156,8 @@ const USAGE: &str = "usage: repro [--scale S] [--seed N] [--classify] [--csv DIR
             [--smoke]\n       \
      repro stream [--seed N] [--scale S] [--events N] [--window P] \
             [--slack M] [--json] [--smoke]\n       \
+     repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--seed N] \
+            [--scale S] [--smoke]\n       \
      repro lint [--json] [--root DIR]\n\
      exit codes: 0 clean, 1 findings (dirty audit/lint, failed smoke), \
      2 usage or I/O error";
@@ -162,6 +183,12 @@ struct Options {
     metrics_path: Option<PathBuf>,
     dataset_json: Option<PathBuf>,
     lint_root: Option<PathBuf>,
+    /// `--addr`: the serve daemon's bind address.
+    addr: Option<String>,
+    /// `--workers`: the serve daemon's worker-pool size.
+    workers: Option<usize>,
+    /// `--queue`: the serve daemon's bounded request-queue depth.
+    queue: Option<usize>,
     /// `--machines`: a CSV path for `audit`, a fleet size for `shard`.
     machines_arg: Option<String>,
     /// `--events`: a CSV path for `audit`, a replay cap for `stream`.
@@ -200,6 +227,9 @@ fn parse_args() -> Result<Parsed, String> {
         metrics_path: None,
         dataset_json: None,
         lint_root: None,
+        addr: None,
+        workers: None,
+        queue: None,
         machines_arg: None,
         events_arg: None,
         slack_minutes: 0,
@@ -262,6 +292,26 @@ fn parse_args() -> Result<Parsed, String> {
             "--root" => {
                 let v = args.next().ok_or("--root needs a directory")?;
                 opts.lint_root = Some(PathBuf::from(v));
+            }
+            "--addr" => {
+                let v = args.next().ok_or("--addr needs a HOST:PORT address")?;
+                opts.addr = Some(v);
+            }
+            "--workers" => {
+                let v = args.next().ok_or("--workers needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad worker count '{v}'"))?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                opts.workers = Some(n);
+            }
+            "--queue" => {
+                let v = args.next().ok_or("--queue needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad queue depth '{v}'"))?;
+                if n == 0 {
+                    return Err("--queue must be at least 1".into());
+                }
+                opts.queue = Some(n);
             }
             "--machines" => {
                 let v = args.next().ok_or("--machines needs a value")?;
@@ -935,11 +985,13 @@ fn run_shard(opts: &Options) -> Result<ExitCode, String> {
             opts.seed
         );
         let dataset = Scenario::from_config(config).build().into_dataset();
+        let toolkit = Toolkit::from_dataset(dataset, run_config.clone());
+        let machines = toolkit.snapshot().dataset().machines().len();
         let reports = ExperimentId::PAPER
             .iter()
-            .map(|&id| (id, run(id, &dataset, &run_config)))
+            .map(|&id| (id, (*toolkit.render(id)).clone()))
             .collect();
-        (dataset.machines().len(), reports)
+        (machines, reports)
     } else if let Some(dir) = &opts.checkpoint_dir {
         let dir = dir.display().to_string();
         let fs = RealFs;
@@ -1349,6 +1401,243 @@ fn run_lint(opts: &Options) -> Result<ExitCode, String> {
     })
 }
 
+/// Default bind address of the `serve` daemon when `--addr` is absent.
+const SERVE_DEFAULT_ADDR: &str = "127.0.0.1:4914";
+
+/// Runs the `serve` subcommand: start the dcfail-serve daemon and block, or
+/// — with `--smoke` — run the self-contained CI gate instead.
+fn run_serve(opts: &Options) -> Result<ExitCode, String> {
+    if opts.smoke {
+        return run_serve_smoke(opts);
+    }
+    let config = ServeConfig {
+        addr: opts
+            .addr
+            .clone()
+            .unwrap_or_else(|| SERVE_DEFAULT_ADDR.to_string()),
+        workers: opts.workers.unwrap_or(4),
+        queue: opts.queue.unwrap_or(64),
+        seed: opts.seed,
+        scale: opts.scale,
+        metrics: true,
+        ingest: true,
+    };
+    eprintln!(
+        "serve: building paper scenario (seed {}, scale {}) ...",
+        opts.seed, opts.scale
+    );
+    let handle = serve(config).map_err(|e| format!("cannot start server: {e}"))?;
+    println!("serving on http://{}", handle.addr());
+    println!(
+        "  GET /registry | GET /reports/:id | POST /whatif | POST /audit | \
+         GET /metrics | GET /stream/alerts"
+    );
+    // Daemon mode: serve until the process is killed. The worker pool owns
+    // all the work; this thread just has to stay alive.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// One smoke request: send raw bytes, give back (status, body-as-text).
+fn smoke_fetch(addr: std::net::SocketAddr, raw: &[u8]) -> Result<(u16, String), String> {
+    let response = roundtrip(addr, raw).map_err(|e| format!("roundtrip failed: {e}"))?;
+    let (status, body) = split_response(&response).ok_or("unparseable HTTP response")?;
+    String::from_utf8(body)
+        .map(|text| (status, text))
+        .map_err(|_| "non-UTF-8 response body".to_string())
+}
+
+/// The `serve --smoke` CI gate: ephemeral port at a capped scale, every
+/// endpoint checked (reports diffed byte-for-byte against the library's own
+/// envelope), a deterministic 429 flood against a held worker pool, and a
+/// clean shutdown that releases the port.
+#[allow(clippy::too_many_lines)] // one linear checklist; splitting obscures the gate
+fn run_serve_smoke(opts: &Options) -> Result<ExitCode, String> {
+    let fail = |msg: &str| {
+        eprintln!("serve smoke FAILED: {msg}");
+        Ok(ExitCode::from(EXIT_FINDINGS))
+    };
+    // The smoke run is a CI gate: pin a small scale so it stays fast.
+    let scale = opts.scale.min(0.05);
+    let workers = opts.workers.unwrap_or(2);
+    let queue = opts.queue.unwrap_or(2);
+    eprintln!(
+        "serve smoke: starting on an ephemeral port (seed {}, scale {scale}, \
+         {workers} workers, queue {queue}) ...",
+        opts.seed
+    );
+    let handle = serve(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue,
+        seed: opts.seed,
+        scale,
+        metrics: true,
+        ingest: true,
+    })
+    .map_err(|e| format!("cannot start smoke server: {e}"))?;
+    let addr = handle.addr();
+    // `--metrics OUT.json` already owns the process-global obs window; the
+    // daemon then runs without one and /metrics answers 503.
+    let owns_window = handle.state().with_obs(|_| ()).is_some();
+
+    // Every report, diffed byte-for-byte against the library's own envelope
+    // — the CLI==server identity the redesign promises.
+    let reference = Toolkit::build_scaled(RunConfig::with_seed(opts.seed), scale);
+    for id in ExperimentId::ALL {
+        let (status, body) = smoke_fetch(addr, &get_request(&format!("/reports/{id}")))?;
+        if status != 200 {
+            return fail(&format!("/reports/{id} answered {status}"));
+        }
+        if body != reference.envelope_json(id) {
+            return fail(&format!(
+                "/reports/{id} bytes diverge from the library envelope"
+            ));
+        }
+    }
+
+    // The remaining endpoints: status plus a structural needle each.
+    let checks: [(&str, Vec<u8>, u16, &str); 7] = [
+        (
+            "GET /registry",
+            get_request("/registry"),
+            200,
+            "\"experiments\"",
+        ),
+        (
+            "POST /whatif",
+            post_request("/whatif", ""),
+            200,
+            "\"payload\"",
+        ),
+        (
+            "POST /whatif (bad body)",
+            post_request("/whatif", "{\"seed\": \"nope\"}"),
+            400,
+            "bad_request_body",
+        ),
+        (
+            "POST /audit",
+            post_request("/audit", ""),
+            200,
+            "\"clean\":true",
+        ),
+        (
+            "GET /reports/nope",
+            get_request("/reports/nope"),
+            404,
+            "unknown_experiment",
+        ),
+        ("GET /nope", get_request("/nope"), 404, "not_found"),
+        (
+            "POST /registry",
+            post_request("/registry", ""),
+            405,
+            "method_not_allowed",
+        ),
+    ];
+    for (name, raw, want_status, needle) in checks {
+        let (status, body) = smoke_fetch(addr, &raw)?;
+        if status != want_status {
+            return fail(&format!("{name} answered {status}, want {want_status}"));
+        }
+        if !body.contains(needle) {
+            return fail(&format!("{name} body lacks {needle:?}: {body}"));
+        }
+    }
+
+    if !handle.wait_for_alerts(0) {
+        return fail("background stream ingest did not complete");
+    }
+    let (status, body) = smoke_fetch(addr, &get_request("/stream/alerts"))?;
+    if status != 200 || !body.contains("\"complete\":true") {
+        return fail(&format!("/stream/alerts not complete: {status} {body}"));
+    }
+
+    if owns_window {
+        let (status, body) = smoke_fetch(addr, &get_request("/metrics"))?;
+        if status != 200 || !body.contains("serve.requests") {
+            return fail(&format!("/metrics export incomplete: {status}"));
+        }
+    } else {
+        eprintln!("serve smoke: note: external metrics window active, /metrics leg skipped");
+    }
+
+    // Backpressure: hold the pool, overfill the bounded queue, and require
+    // typed 429s while nothing can drain. Absorbed capacity while held is
+    // `workers` (each parked at the gate holding one connection) + `queue`.
+    handle.hold_workers();
+    let flood = workers + queue + 3;
+    let (status_tx, status_rx) = std::sync::mpsc::channel();
+    let mut readers = Vec::new();
+    for _ in 0..flood {
+        let pending = PendingRequest::open(addr, &get_request("/registry"))
+            .map_err(|e| format!("flood connection failed: {e}"))?;
+        let tx = status_tx.clone();
+        readers.push(std::thread::spawn(move || {
+            let _ = tx.send(pending.finish().ok().and_then(|raw| split_response(&raw)));
+        }));
+    }
+    drop(status_tx);
+    // While the pool is held, the only responses that can complete are the
+    // acceptor's sheds — collect three, which must all be the typed 429.
+    let mut statuses = Vec::new();
+    for _ in 0..3 {
+        match status_rx.recv_timeout(std::time::Duration::from_secs(30)) {
+            Ok(Some((429, body))) if String::from_utf8_lossy(&body).contains("queue_full") => {
+                statuses.push(429);
+            }
+            Ok(Some((status, _))) => {
+                handle.release_workers();
+                return fail(&format!(
+                    "held pool completed a {status} response; expected only typed 429s"
+                ));
+            }
+            Ok(None) | Err(_) => {
+                handle.release_workers();
+                return fail("flooded connection got no parseable response while held");
+            }
+        }
+    }
+    handle.release_workers();
+    for outcome in &status_rx {
+        match outcome {
+            Some((status, _)) => statuses.push(status),
+            None => return fail("flooded connection got no parseable response"),
+        }
+    }
+    for reader in readers {
+        let _ = reader.join();
+    }
+    let shed = statuses.iter().filter(|&&s| s == 429).count();
+    let served = statuses.iter().filter(|&&s| s == 200).count();
+    if shed < 3 || served + shed != flood {
+        return fail(&format!(
+            "bounded queue misbehaved: {served} served, {shed} shed of {flood}"
+        ));
+    }
+
+    // Clean shutdown: threads join, the obs window closes, the port frees.
+    let report = handle.shutdown();
+    if owns_window && report.and_then(|r| r.counter("serve.requests")).is_none() {
+        return fail("shutdown did not return the final metrics report");
+    }
+    if let Ok(raw) = roundtrip(addr, &get_request("/registry")) {
+        let alive = split_response(&raw).is_some_and(|(status, _)| status == 200);
+        if alive {
+            return fail("listener still serving after shutdown");
+        }
+    }
+
+    println!(
+        "serve smoke: OK ({} reports byte-identical to the library envelope, \
+         {shed} typed sheds, clean shutdown)",
+        ExperimentId::ALL.len()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
 fn run_experiments(opts: &Options) -> Result<ExitCode, String> {
     let run_extras = opts.targets.iter().any(|t| t == "extras");
     let run_summary = opts.targets.iter().any(|t| t == "summary");
@@ -1393,11 +1682,18 @@ fn run_experiments(opts: &Options) -> Result<ExitCode, String> {
             .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
     }
 
-    let config = RunConfig::with_seed(opts.seed);
+    // One Toolkit per process: every render below shares the built dataset
+    // and the artifact cache, and `--json` emits the same envelope bytes the
+    // serve daemon answers with at `/reports/:id`.
+    let toolkit = Toolkit::from_dataset(dataset, RunConfig::with_seed(opts.seed));
     for id in ids {
-        let rendered = run(id, &dataset, &config);
-        println!("==== {} ====", rendered.title);
-        println!("{}", rendered.text);
+        let rendered = toolkit.render(id);
+        if opts.json {
+            println!("{}", toolkit.envelope_json(id));
+        } else {
+            println!("==== {} ====", rendered.title);
+            println!("{}", rendered.text);
+        }
         if let (Some(dir), Some(csv)) = (&opts.csv_dir, &rendered.csv) {
             let path = dir.join(format!("{}.csv", id.key()));
             std::fs::write(&path, csv)
@@ -1407,15 +1703,27 @@ fn run_experiments(opts: &Options) -> Result<ExitCode, String> {
 
     if run_extras {
         for id in ExperimentId::EXTRAS {
-            let rendered = run(id, &dataset, &config);
-            println!("==== {} ====", rendered.title);
-            println!("{}", rendered.text);
+            if opts.json {
+                println!("{}", toolkit.envelope_json(id));
+            } else {
+                let rendered = toolkit.render(id);
+                println!("==== {} ====", rendered.title);
+                println!("{}", rendered.text);
+            }
         }
     }
     if run_summary {
-        let rendered = dcfail_report::summary::findings(&dataset);
-        println!("==== {} ====", rendered.title);
-        println!("{}", rendered.text);
+        let rendered = dcfail_report::summary::findings(toolkit.snapshot().dataset());
+        if opts.json {
+            // The summary is not a registry artifact (no experiment id), so
+            // it has no envelope; emit the bare rendered document.
+            let s = serde_json::to_string(&rendered)
+                .map_err(|e| format!("cannot serialize summary: {e}"))?;
+            println!("{s}");
+        } else {
+            println!("==== {} ====", rendered.title);
+            println!("{}", rendered.text);
+        }
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -1441,6 +1749,9 @@ fn dispatch(opts: &Options) -> Result<ExitCode, String> {
     }
     if opts.targets.iter().any(|t| t == "stream") {
         return run_stream(opts);
+    }
+    if opts.targets.iter().any(|t| t == "serve") {
+        return run_serve(opts);
     }
     if opts.targets.iter().any(|t| t == "lint") {
         return run_lint(opts);

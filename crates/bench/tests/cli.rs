@@ -39,6 +39,7 @@ fn help_exits_clean_and_documents_every_subcommand() {
         "crashtest",
         "lint",
         "stream",
+        "serve",
     ] {
         assert!(stdout.contains(subcommand), "usage lacks {subcommand}");
     }
@@ -97,6 +98,24 @@ fn stream_flag_validation_is_a_usage_error() {
     assert_usage_error(&["stream", "--slack", "-5"], "--slack must be non-negative");
     assert_usage_error(&["stream", "--slack", "soon"], "bad slack");
     assert_usage_error(&["stream", "--window", "0"], "--window must be at least 1");
+}
+
+#[test]
+fn serve_flag_validation_is_a_usage_error() {
+    assert_usage_error(&["serve", "--workers", "0"], "--workers must be at least 1");
+    assert_usage_error(&["serve", "--workers", "many"], "bad worker count");
+    assert_usage_error(&["serve", "--queue", "0"], "--queue must be at least 1");
+    assert_usage_error(&["serve", "--queue", "deep"], "bad queue depth");
+    assert_usage_error(&["serve", "--addr"], "--addr needs a HOST:PORT address");
+}
+
+#[test]
+fn serve_unbindable_addr_is_a_usage_error() {
+    // A bind failure is an environment error (exit 2), not a smoke finding.
+    assert_usage_error(
+        &["serve", "--addr", "256.0.0.1:0", "--scale", "0.01"],
+        "cannot start server",
+    );
 }
 
 #[test]

@@ -58,11 +58,12 @@ pub const BASELINE_FILE: &str = "dlint.baseline";
 dcfail_findings::rule_catalog! {
     /// Stable identifier of one determinism rule.
     ///
-    /// Serializes as the rule code (`"D01"` … `"D15"`). D01–D10 are the
+    /// Serializes as the rule code (`"D01"` … `"D16"`). D01–D10 are the
     /// published catalog; D11/D12 police the escape hatches themselves;
     /// D13 guards the crash-safety boundary around checkpoint I/O; D14
     /// guards the fleet-scale perf contract on telemetry scans; D15 guards
-    /// the O(slack) memory bound of the streaming ingest engine.
+    /// the O(slack) memory bound of the streaming ingest engine; D16
+    /// confines raw socket I/O to the serve daemon's connection module.
     LintRule, domain = "dlint" {
         /// Hash collections iterate in randomized order.
         D01 = ("D01", Error,
@@ -72,7 +73,7 @@ dcfail_findings::rule_catalog! {
             "no partial_cmp-based comparisons or sorts; use f64::total_cmp");
         /// Wall-clock and ambient randomness vary run to run.
         D03 = ("D03", Error,
-            "no Instant::now/SystemTime::now/thread_rng/rand::random outside obs and bench");
+            "no Instant::now/SystemTime::now/thread_rng/rand::random outside obs, bench and serve");
         /// Environment reads smuggle ambient state into analysis.
         D04 = ("D04", Error,
             "no std::env::var outside the par thread-resolution point");
@@ -110,6 +111,10 @@ dcfail_findings::rule_catalog! {
         /// A growable event backlog silently voids the O(slack) bound.
         D15 = ("D15", Error,
             "no growable buffering of feed events (Vec push of event-like values) in stream library code; park arrivals in the slack-bounded reorder buffer");
+        /// Scattered socket I/O dodges the serve daemon's timeout, size-cap
+        /// and shutdown policy, which lives in exactly one module.
+        D16 = ("D16", Error,
+            "no TcpStream in library code outside crates/serve/src/conn.rs; route socket I/O through the serve connection module");
     }
 }
 
@@ -427,8 +432,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn catalog_covers_d01_through_d15() {
-        assert_eq!(LintRule::ALL.len(), 15);
+    fn catalog_covers_d01_through_d16() {
+        assert_eq!(LintRule::ALL.len(), 16);
         for (i, rule) in LintRule::ALL.iter().enumerate() {
             assert_eq!(rule.code(), format!("D{:02}", i + 1));
             assert_eq!(LintRule::from_code(rule.code()), Some(*rule));

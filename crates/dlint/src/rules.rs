@@ -69,8 +69,20 @@ const ORDERED_CRATES: &[&str] = &[
     "core", "stats", "synth", "report", "shard", "tickets", "stream",
 ];
 
-/// Crates allowed to read wall-clock time and ambient randomness (D03).
-const CLOCK_CRATES: &[&str] = &["obs", "bench"];
+/// Crates allowed to read wall-clock time and ambient randomness (D03):
+/// obs and bench exist to measure, and the serve daemon times request
+/// latency and socket deadlines — none of it reaches analysis output.
+const CLOCK_CRATES: &[&str] = &["obs", "bench", "serve"];
+
+/// Crates whose *libraries* may write to stdout/stderr (D09). Narrower than
+/// [`CLOCK_CRATES`]: serve may read clocks but must return `Response`
+/// values, not print — its binary front-end (`repro serve`) owns the
+/// terminal.
+const STDOUT_CRATES: &[&str] = &["obs", "bench"];
+
+/// The one library module allowed to touch `TcpStream` (D16): every socket
+/// read/write shares its timeout, size-cap and shutdown policy.
+const SOCKET_ALLOWLIST: &[&str] = &["crates/serve/src/conn.rs"];
 
 /// Files allowed to read process environment variables (D04): the thread
 /// count is resolved once, here, and nowhere else.
@@ -146,8 +158,43 @@ pub fn lint_file(file: &ScannedFile, findings: &mut Vec<RawFinding>) {
     }
 }
 
+/// The I/O-confinement rules: each nondeterministic edge gets exactly one
+/// named door — `std::fs` mutation goes through `dcfail_ckpt::FaultFs`
+/// (D13), raw sockets through the serve connection module (D16).
+fn lint_io_doors(
+    ctx: &FileCtx,
+    file: &ScannedFile,
+    idx: usize,
+    line: &str,
+    findings: &mut Vec<RawFinding>,
+) {
+    if ctx.is_bin_or_example {
+        return;
+    }
+
+    if !SOCKET_ALLOWLIST.contains(&file.path.as_str()) && has_token(line, "TcpStream") {
+        findings.push(RawFinding::new(
+            LintRule::D16,
+            file,
+            idx,
+            "TcpStream in library code outside the serve connection module scatters socket I/O; route it through crates/serve/src/conn.rs so timeouts, size caps and shutdown semantics stay in one place",
+        ));
+    }
+
+    for tok in FS_WRITE_TOKENS {
+        if has_token(line, tok) {
+            findings.push(RawFinding::new(
+                LintRule::D13,
+                file,
+                idx,
+                format!("{tok} mutates the filesystem from library code; route the write through dcfail_ckpt::FaultFs so faults stay injectable and tests stay hermetic"),
+            ));
+        }
+    }
+}
+
 /// The per-line rules that only apply outside test regions (D01–D04, D06,
-/// D09, D10, D13).
+/// D09, D10, D13, D15, D16).
 fn lint_code_line(
     ctx: &FileCtx,
     file: &ScannedFile,
@@ -208,7 +255,7 @@ fn lint_code_line(
         ));
     }
 
-    if !(ctx.is_bin_or_example || CLOCK_CRATES.contains(&ctx.crate_name.as_str())) {
+    if !(ctx.is_bin_or_example || STDOUT_CRATES.contains(&ctx.crate_name.as_str())) {
         for tok in ["println!", "eprintln!"] {
             if line.contains(tok) {
                 findings.push(RawFinding::new(
@@ -221,18 +268,7 @@ fn lint_code_line(
         }
     }
 
-    if !ctx.is_bin_or_example {
-        for tok in FS_WRITE_TOKENS {
-            if has_token(line, tok) {
-                findings.push(RawFinding::new(
-                    LintRule::D13,
-                    file,
-                    idx,
-                    format!("{tok} mutates the filesystem from library code; route the write through dcfail_ckpt::FaultFs so faults stay injectable and tests stay hermetic"),
-                ));
-            }
-        }
-    }
+    lint_io_doors(ctx, file, idx, line, findings);
 
     if ctx.crate_name == "stream" {
         for (pos, _) in line.match_indices(".push(") {

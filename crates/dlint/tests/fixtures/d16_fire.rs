@@ -1,0 +1,6 @@
+//! D16 fixture: raw socket I/O in library code outside the serve
+//! connection module.
+
+pub fn dial_sideways() {
+    let _ = std::net::TcpStream::connect("127.0.0.1:80");
+}

@@ -1,0 +1,6 @@
+//! D16 twin: the same dial, justified inline.
+
+pub fn dial_sideways() {
+    // dlint::allow(D16): fixture models a sanctioned liveness probe
+    let _ = std::net::TcpStream::connect("127.0.0.1:80");
+}

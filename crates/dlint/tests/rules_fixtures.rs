@@ -1,4 +1,4 @@
-//! Fixture-based rule tests: every token rule (D01–D10, D13–D15) has one minimal
+//! Fixture-based rule tests: every token rule (D01–D10, D13–D16) has one minimal
 //! source file that fires it and one suppressed twin that does not.
 //!
 //! The fixtures live under `tests/fixtures/` (excluded from the workspace
@@ -94,6 +94,13 @@ const CASES: &[Case] = &[
         virtual_path: "crates/stream/src/fixture.rs",
         fire: include_str!("fixtures/d15_fire.rs"),
         suppressed: include_str!("fixtures/d15_suppressed.rs"),
+    },
+    Case {
+        rule: LintRule::D16,
+        // In scope even inside the serve crate: only conn.rs is exempt.
+        virtual_path: "crates/serve/src/fixture.rs",
+        fire: include_str!("fixtures/d16_fire.rs"),
+        suppressed: include_str!("fixtures/d16_suppressed.rs"),
     },
 ];
 

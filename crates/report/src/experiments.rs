@@ -11,7 +11,10 @@ use std::str::FromStr;
 
 /// Identifier of a reproducible artifact: the paper's tables and figures
 /// plus the `extras::*` extension reports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Ordered by declaration (paper order, then extras) so ids can key sorted
+/// containers such as the [`crate::toolkit::Toolkit`] artifact cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ExperimentId {
     /// Table I — related-work scope comparison (static).
     Table1,
@@ -175,6 +178,28 @@ impl fmt::Display for ExperimentId {
     }
 }
 
+// Serialized as the short id string ("fig2"), matching `Display`/`FromStr`,
+// so JSON envelopes stay readable and URL path segments round-trip.
+impl serde::Serialize for ExperimentId {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.key().to_string())
+    }
+}
+
+impl serde::Deserialize for ExperimentId {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value {
+            serde::Value::Str(s) => s
+                .parse()
+                .map_err(|e: ParseExperimentError| serde::Error::custom(e.to_string())),
+            other => Err(serde::Error::custom(format!(
+                "expected experiment id string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 /// The default RNG seed for seeded runners (the bootstrap CIs) — identical
 /// to the seed the pre-registry `repro` harness passed by default.
 pub const DEFAULT_SEED: u64 = 42;
@@ -216,16 +241,34 @@ impl RunConfig {
             ..Self::default()
         }
     }
+
+    /// FNV-1a digest over the *output-affecting* part of the config.
+    ///
+    /// Two configs with equal digests are guaranteed to render identical
+    /// bytes for every experiment: only `seed` feeds any runner. `threads`
+    /// and `metrics` are deliberately excluded — the workspace's parallel-
+    /// determinism and obs-equivalence suites pin that neither can change a
+    /// byte of output, so including them would only fragment the
+    /// [`crate::toolkit::Toolkit`] artifact cache.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf29ce484222325;
+        for byte in self.seed.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        hash
+    }
 }
 
 /// Scoped `dcfail_par` thread override: installs on construction, restores
 /// the previous override on drop.
-struct ThreadGuard {
+pub(crate) struct ThreadGuard {
     prev: Option<usize>,
 }
 
 impl ThreadGuard {
-    fn install(threads: Option<NonZeroUsize>) -> Option<Self> {
+    pub(crate) fn install(threads: Option<NonZeroUsize>) -> Option<Self> {
         let t = threads?;
         let prev = dcfail_par::thread_override();
         dcfail_par::set_thread_override(Some(t.get()));
@@ -461,6 +504,20 @@ mod tests {
         dcfail_par::set_thread_override(None);
         let b = run(ExperimentId::Fig2, &ds, &RunConfig::default());
         assert_eq!(a.text, b.text);
+    }
+
+    #[test]
+    fn config_digest_tracks_seed_only() {
+        let threaded = RunConfig {
+            seed: 1,
+            threads: NonZeroUsize::new(4),
+            metrics: false,
+        };
+        assert_eq!(RunConfig::with_seed(1).digest(), threaded.digest());
+        assert_ne!(
+            RunConfig::with_seed(1).digest(),
+            RunConfig::with_seed(2).digest()
+        );
     }
 
     #[test]

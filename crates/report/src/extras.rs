@@ -282,88 +282,6 @@ the post-failure hazard decays over ~a week — Table V's burst, resolved in tim
     }
 }
 
-/// Runs every extension report in the fixed runner order.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_all(dataset, &RunConfig::with_seed(seed))` and filter on \
-            `ExperimentId::is_extra`, or `run(id, …)` per extra"
-)]
-pub fn run_all(dataset: &FailureDataset, seed: u64) -> Vec<Rendered> {
-    let config = crate::experiments::RunConfig::with_seed(seed);
-    let _span = dcfail_obs::span("report.extras");
-    dcfail_par::par_map(&crate::experiments::ExperimentId::EXTRAS, |_, &id| {
-        crate::experiments::run(id, dataset, &config)
-    })
-}
-
-// ---------------------------------------------------------------------------
-// Deprecated direct entry points. Kept for one release; route through
-// `dcfail_report::run(ExperimentId::…, dataset, &RunConfig::default())`.
-// ---------------------------------------------------------------------------
-
-/// Availability and "nines" per machine kind.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::Availability, dataset, &RunConfig::default())`"
-)]
-pub fn availability_report(dataset: &FailureDataset) -> Rendered {
-    availability_impl(dataset)
-}
-
-/// Censoring-corrected inter-failure survival vs the paper's naive gaps.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::CensoredInterfailure, dataset, &RunConfig::default())`"
-)]
-pub fn censored_interfailure_report(dataset: &FailureDataset) -> Rendered {
-    censored_interfailure_impl(dataset)
-}
-
-/// Bootstrap confidence intervals on the Fig. 2 headline rates.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::RateConfidence, dataset, &RunConfig::with_seed(seed))`"
-)]
-pub fn rate_confidence_report(dataset: &FailureDataset, seed: u64) -> Rendered {
-    rate_confidence_impl(dataset, seed)
-}
-
-/// Week-ahead failure-prediction evaluation.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::Prediction, dataset, &RunConfig::default())`"
-)]
-pub fn prediction_report(dataset: &FailureDataset) -> Rendered {
-    prediction_impl(dataset)
-}
-
-/// Counterfactual evaluation of the paper's operational advice.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::Whatif, dataset, &RunConfig::default())`"
-)]
-pub fn whatif_report(dataset: &FailureDataset) -> Rendered {
-    whatif_impl(dataset)
-}
-
-/// Follow-on failure intensities per triggering root cause.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::Followon, dataset, &RunConfig::default())`"
-)]
-pub fn followon_report(dataset: &FailureDataset) -> Rendered {
-    followon_impl(dataset)
-}
-
-/// Temporal dependency: daily-count dispersion and the post-failure hazard.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::Temporal, dataset, &RunConfig::default())`"
-)]
-pub fn temporal_report(dataset: &FailureDataset) -> Rendered {
-    temporal_impl(dataset)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,18 +301,6 @@ mod tests {
             let r = run(id, dataset(), &config);
             assert!(!r.title.is_empty());
             assert!(r.text.len() > 40, "{}: too short", r.title);
-        }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_all_still_matches_registry() {
-        use crate::experiments::{run, ExperimentId, RunConfig};
-        let old = run_all(dataset(), 1);
-        assert_eq!(old.len(), 7);
-        let config = RunConfig::with_seed(1);
-        for (id, r) in ExperimentId::EXTRAS.into_iter().zip(&old) {
-            assert_eq!(run(id, dataset(), &config).text, r.text);
         }
     }
 

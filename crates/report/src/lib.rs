@@ -7,9 +7,14 @@
 //! Every artifact — the paper's 17 tables and figures plus the 7 extension
 //! reports — is addressed by [`ExperimentId`] and dispatched through
 //! [`run`]/[`run_all`] with a [`RunConfig`] (seed, thread override,
-//! metrics). The old direct entry points (`runners::table*`, `runners::fig*`
-//! and `extras::*_report`/`extras::run_all`) are deprecated for one release;
-//! migrate call sites to the registry.
+//! metrics). The pre-registry direct entry points (`runners::table*`,
+//! `runners::fig*`, `extras::*_report` and the seed-only `extras::run_all`)
+//! were deprecated for one release and are now removed.
+//!
+//! Long-lived callers (the `repro` CLI, the dcfail-serve daemon) hold a
+//! [`Toolkit`]: a built [`DatasetSnapshot`] plus a keyed artifact cache, so
+//! repeated renders reuse the dataset and emit through the versioned JSON
+//! [`Envelope`].
 //!
 //! ```
 //! use dcfail_report::{run, ExperimentId, RunConfig};
@@ -23,11 +28,15 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod envelope;
 pub mod experiments;
 pub mod extras;
 pub mod runners;
 pub mod summary;
 pub mod table;
+pub mod toolkit;
 
+pub use envelope::{Envelope, EnvelopeError, ENVELOPE_SCHEMA_VERSION};
 pub use experiments::{run, run_all, ExperimentId, ParseExperimentError, RunConfig, DEFAULT_SEED};
 pub use runners::Rendered;
+pub use toolkit::{DatasetSnapshot, Toolkit};

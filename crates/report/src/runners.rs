@@ -14,7 +14,11 @@ use dcfail_stats::fit::Family;
 use std::fmt::Write as _;
 
 /// A rendered experiment report.
-#[derive(Debug, Clone)]
+///
+/// Serializable so front-ends (the `repro` CLI's `--json` mode and the
+/// dcfail-serve daemon) can ship it inside the versioned
+/// [`Envelope`](crate::envelope::Envelope) with byte-identical payloads.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Rendered {
     /// Report title.
     pub title: String,
@@ -631,164 +635,6 @@ pub(crate) fn fig10_impl(dataset: &FailureDataset) -> Rendered {
 /// Convenience: the gamma/log-normal fit families a rendered fit line uses.
 pub fn paper_families() -> [Family; 3] {
     Family::PAPER
-}
-
-// ---------------------------------------------------------------------------
-// Deprecated direct entry points. Kept for one release; route through
-// `dcfail_report::run(ExperimentId::…, dataset, &RunConfig::default())`.
-// ---------------------------------------------------------------------------
-
-/// Table I: scope comparison with related work (static, from the paper).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::Table1, dataset, &RunConfig::default())`"
-)]
-pub fn table1() -> Rendered {
-    table1_impl()
-}
-
-/// Table II: dataset statistics per subsystem.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::Table2, dataset, &RunConfig::default())`"
-)]
-pub fn table2(dataset: &FailureDataset) -> Rendered {
-    table2_impl(dataset)
-}
-
-/// Table III: inter-failure times per class, operator vs server view.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::Table3, dataset, &RunConfig::default())`"
-)]
-pub fn table3(dataset: &FailureDataset) -> Rendered {
-    table3_impl(dataset)
-}
-
-/// Table IV: repair times per class.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::Table4, dataset, &RunConfig::default())`"
-)]
-pub fn table4(dataset: &FailureDataset) -> Rendered {
-    table4_impl(dataset)
-}
-
-/// Table V: random vs recurrent weekly failure probabilities.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::Table5, dataset, &RunConfig::default())`"
-)]
-pub fn table5(dataset: &FailureDataset) -> Rendered {
-    table5_impl(dataset)
-}
-
-/// Table VI: incident footprints by machine type.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::Table6, dataset, &RunConfig::default())`"
-)]
-pub fn table6(dataset: &FailureDataset) -> Rendered {
-    table6_impl(dataset)
-}
-
-/// Table VII: incident footprint by failure class.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::Table7, dataset, &RunConfig::default())`"
-)]
-pub fn table7(dataset: &FailureDataset) -> Rendered {
-    table7_impl(dataset)
-}
-
-/// Fig. 1: crash-ticket distribution across failure classes per subsystem.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::Fig1, dataset, &RunConfig::default())`"
-)]
-pub fn fig1(dataset: &FailureDataset) -> Rendered {
-    fig1_impl(dataset)
-}
-
-/// Fig. 2: weekly failure rates of PMs and VMs.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::Fig2, dataset, &RunConfig::default())`"
-)]
-pub fn fig2(dataset: &FailureDataset) -> Rendered {
-    fig2_impl(dataset)
-}
-
-/// Fig. 3: inter-failure time CDFs and fits.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::Fig3, dataset, &RunConfig::default())`"
-)]
-pub fn fig3(dataset: &FailureDataset) -> Rendered {
-    fig3_impl(dataset)
-}
-
-/// Fig. 4: repair-time CDFs and fits.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::Fig4, dataset, &RunConfig::default())`"
-)]
-pub fn fig4(dataset: &FailureDataset) -> Rendered {
-    fig4_impl(dataset)
-}
-
-/// Fig. 5: recurrent failure probabilities.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::Fig5, dataset, &RunConfig::default())`"
-)]
-pub fn fig5(dataset: &FailureDataset) -> Rendered {
-    fig5_impl(dataset)
-}
-
-/// Fig. 6: VM failures vs age.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::Fig6, dataset, &RunConfig::default())`"
-)]
-pub fn fig6(dataset: &FailureDataset) -> Rendered {
-    fig6_impl(dataset)
-}
-
-/// Fig. 7: failure rate vs resource capacity (four panels).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::Fig7, dataset, &RunConfig::default())`"
-)]
-pub fn fig7(dataset: &FailureDataset) -> Rendered {
-    fig7_impl(dataset)
-}
-
-/// Fig. 8: failure rate vs resource usage (four panels).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::Fig8, dataset, &RunConfig::default())`"
-)]
-pub fn fig8(dataset: &FailureDataset) -> Rendered {
-    fig8_impl(dataset)
-}
-
-/// Fig. 9: failure rate vs consolidation level.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::Fig9, dataset, &RunConfig::default())`"
-)]
-pub fn fig9(dataset: &FailureDataset) -> Rendered {
-    fig9_impl(dataset)
-}
-
-/// Fig. 10: failure rate vs on/off frequency.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run(ExperimentId::Fig10, dataset, &RunConfig::default())`"
-)]
-pub fn fig10(dataset: &FailureDataset) -> Rendered {
-    fig10_impl(dataset)
 }
 
 #[cfg(test)]

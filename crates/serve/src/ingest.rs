@@ -1,0 +1,87 @@
+//! Background stream ingest: replays the served snapshot's event feed
+//! through the dcfail-stream engine and publishes the resulting burst
+//! alerts for `GET /stream/alerts`.
+//!
+//! The ingest thread consumes Toolkit handles from a channel: the server
+//! sends the initial snapshot at startup and every published snapshot
+//! after that, and drops the sender on shutdown (which ends the thread).
+//! Replaying the snapshot's *own* feed keeps the result deterministic —
+//! the workspace's stream==batch contract means the alert set for a given
+//! data version is a pure function of that version.
+
+use crate::state::{AlertsState, AppState};
+use dcfail_report::Toolkit;
+use dcfail_stream::{StreamConfig, StreamEngine};
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+
+/// Computes the alert state for one snapshot (blocking, CPU-bound).
+#[must_use]
+pub fn replay(toolkit: &Toolkit) -> AlertsState {
+    let _span = dcfail_obs::span("serve.ingest");
+    let dataset = toolkit.snapshot().dataset();
+    let mut engine = StreamEngine::new(dataset.horizon(), StreamConfig::default());
+    for event in dcfail_synth::feed::dataset_feed(dataset) {
+        // In-order replay of the snapshot's own feed can't be late; a
+        // rejection would mean the determinism contract itself broke, and
+        // the alert set must not silently omit events, so surface loudly.
+        if let Err(e) = engine.ingest(event) {
+            dcfail_obs::warn(format!("serve ingest rejected an in-order event: {e:?}"));
+        }
+    }
+    let output = engine.finish();
+    AlertsState {
+        data_version: toolkit.data_version(),
+        complete: true,
+        events_ingested: output.stats.events_ingested,
+        alerts: output.alerts,
+    }
+}
+
+/// Ingest thread body: replay every snapshot the server publishes, always
+/// fast-forwarding to the newest pending one first so a burst of publishes
+/// costs one replay, not one per version.
+pub fn run(state: &AppState, snapshots: &Receiver<Arc<Toolkit>>) {
+    while let Ok(mut toolkit) = snapshots.recv() {
+        while let Ok(newer) = snapshots.try_recv() {
+            toolkit = newer;
+        }
+        let alerts = replay(&toolkit);
+        // Monotonic publication: a replay for an old version never
+        // overwrites a newer one (possible if a publish lands mid-replay).
+        if state.alerts().data_version <= alerts.data_version {
+            state.set_alerts(alerts);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcfail_report::RunConfig;
+
+    #[test]
+    fn replay_is_deterministic_and_complete() {
+        let toolkit = Toolkit::build_scaled(RunConfig::with_seed(42), 0.05);
+        let a = replay(&toolkit);
+        let b = replay(&toolkit);
+        assert!(a.complete);
+        assert!(a.events_ingested > 0, "feed must not be empty");
+        assert_eq!(a.alerts, b.alerts);
+        assert_eq!(a.events_ingested, b.events_ingested);
+    }
+
+    #[test]
+    fn replay_tags_the_snapshot_version() {
+        let dataset = dcfail_synth::Scenario::paper()
+            .seed(1)
+            .scale(0.02)
+            .build()
+            .into_dataset();
+        let toolkit = Toolkit::from_snapshot(
+            dcfail_report::DatasetSnapshot::new(dataset, 5),
+            RunConfig::with_seed(1),
+        );
+        assert_eq!(replay(&toolkit).data_version, 5);
+    }
+}

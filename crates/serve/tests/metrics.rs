@@ -1,0 +1,48 @@
+//! Obs integration over a live server: the daemon owns the process-global
+//! metrics window, `/metrics` exports it, and shutdown returns the final
+//! report. Kept in its own test binary so no other server test contends
+//! for the single obs window.
+
+#![allow(clippy::unwrap_used)]
+
+use dcfail_serve::conn::{get_request, roundtrip};
+use dcfail_serve::http::split_response;
+use dcfail_serve::{serve, ServeConfig};
+
+#[test]
+fn metrics_window_counts_requests_and_survives_shutdown() {
+    let server = serve(ServeConfig {
+        workers: 2,
+        queue: 16,
+        seed: 42,
+        scale: 0.02,
+        metrics: true,
+        ingest: false,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    for _ in 0..3 {
+        let raw = roundtrip(addr, &get_request("/reports/fig2")).expect("roundtrip");
+        assert_eq!(split_response(&raw).unwrap().0, 200);
+    }
+
+    let raw = roundtrip(addr, &get_request("/metrics")).expect("roundtrip");
+    let (status, body) = split_response(&raw).unwrap();
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("serve.requests"), "{text}");
+    assert!(text.contains("serve.status.200"), "{text}");
+    assert!(text.contains("serve.latency_ms"), "{text}");
+    assert!(
+        text.contains("toolkit.cache_hit"),
+        "repeat renders must hit the artifact cache: {text}"
+    );
+
+    let report = server.shutdown().expect("metrics report");
+    // 3 report fetches + the /metrics fetch itself.
+    assert!(report.counter("serve.requests") >= Some(4));
+    assert!(report.counter("toolkit.cache_miss") >= Some(1));
+    assert!(report.histogram("serve.latency_ms").is_some());
+}

@@ -5,8 +5,11 @@
 //! of Virtual and Physical Machines"* (DSN 2014).
 //!
 //! See [`model`], [`stats`], [`synth`], [`tickets`], [`analysis`],
-//! [`report`], [`stream`], [`audit`], [`chaos`], [`ckpt`], [`par`] and
-//! [`obs`] for the individual subsystems. Datasets can also be consumed as
+//! [`report`], [`serve`], [`stream`], [`audit`], [`chaos`], [`ckpt`],
+//! [`par`] and [`obs`] for the individual subsystems. The artifacts are
+//! servable as a long-running HTTP/JSON daemon through [`serve`] (or `repro
+//! serve`): snapshot-isolated queries over the [`report::Toolkit`] handle,
+//! with bounded queues and typed backpressure. Datasets can also be consumed as
 //! an event-at-a-time feed through [`stream`], whose windowed estimators
 //! are pinned byte-identical to the batch figures (`repro stream --smoke`
 //! checks the digests). Long sharded runs can be made crash-safe through
@@ -44,6 +47,7 @@ pub use dcfail_model as model;
 pub use dcfail_obs as obs;
 pub use dcfail_par as par;
 pub use dcfail_report as report;
+pub use dcfail_serve as serve;
 pub use dcfail_shard as shard;
 pub use dcfail_stats as stats;
 pub use dcfail_stream as stream;
